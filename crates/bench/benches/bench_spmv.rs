@@ -1,0 +1,64 @@
+//! Criterion: simulator throughput of SpMV (Table I row 4 / §VIII).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use spatial_core::model::Machine;
+use spatial_core::spmv::pram_baseline::spmv_pram_baseline;
+use spatial_core::spmv::spmv;
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmv");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    for &n in &[128usize, 256, 512] {
+        let a = workloads::random_uniform(n, 4, 3);
+        let x: Vec<i64> = (0..n as i64).map(|i| (i % 7) - 3).collect();
+        g.bench_with_input(BenchmarkId::new("direct", a.nnz()), &n, |b, _| {
+            b.iter(|| {
+                let mut m = Machine::new();
+                let out = spmv(&mut m, &a, &x);
+                std::hint::black_box(out.y.len())
+            })
+        });
+    }
+    // PRAM baseline at one size (it is much slower).
+    let n = 128usize;
+    let a = workloads::random_uniform(n, 4, 3);
+    let x: Vec<i64> = (0..n as i64).map(|i| (i % 7) - 3).collect();
+    g.bench_with_input(BenchmarkId::new("pram-baseline", a.nnz()), &n, |b, _| {
+        b.iter(|| {
+            let mut m = Machine::new();
+            let (y, _) = spmv_pram_baseline(&mut m, &a, &x);
+            std::hint::black_box(y.len())
+        })
+    });
+    g.finish();
+
+    // Matrix-family ablation.
+    let mut g = c.benchmark_group("spmv-family");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    let n = 256usize;
+    let fams: Vec<(&str, spatial_core::spmv::Coo<i64>)> = vec![
+        ("banded", workloads::banded(n, 2, 1)),
+        ("uniform", workloads::random_uniform(n, 4, 2)),
+        ("zipf", workloads::zipf_rows(n, 4, 3)),
+        ("perm", workloads::permutation_matrix(n, 4)),
+    ];
+    let x: Vec<i64> = vec![1; n];
+    for (label, a) in fams {
+        g.bench_with_input(BenchmarkId::new("direct", label), &n, |b, _| {
+            b.iter(|| {
+                let mut m = Machine::new();
+                let out = spmv(&mut m, &a, &x);
+                std::hint::black_box(out.y.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! **§II.B (mesh-connected networks)** — the depth separation between mesh
+//! algorithms and the paper's primitives.
+//!
+//! "Any algorithm on a mesh network (taking) K rounds … incurs O(Kn) energy
+//! with depth K and distance O(K). However, many problems such as sorting
+//! cannot be solved in sub-polynomial rounds … We improve on this
+//! significantly, reducing the depth to polylogarithmic while maintaining
+//! optimal energy and distance."
+//!
+//! Shearsort is the mesh representative (`Θ(√n log n)` rounds; the optimal
+//! mesh algorithms reach `Θ(√n)`); the table shows its polynomial depth
+//! against the 2D mergesort's polylog depth at matched `Θ`-optimal-ish
+//! energy.
+
+use bench::{measure, pseudo};
+use spatial_core::collectives::zarray::{place_row_major, place_z};
+use spatial_core::model::{Coord, SubGrid};
+use spatial_core::report::{print_section, Sweep};
+use spatial_core::sorting::shearsort::shearsort_row_major;
+use spatial_core::sorting::sort_z;
+use spatial_core::theory::{shape, Metric};
+
+fn main() {
+    println!("Reproduction of the §II.B mesh-vs-spatial depth separation.");
+
+    print_section("shearsort (mesh) vs 2D mergesort (spatial)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>9} | {:>14} {:>9} {:>9}",
+        "n", "mesh depth", "mesh dist", "√n·log n", "merge E/mesh E", "mrg dep", "mrg dist"
+    );
+    let mut mesh = Sweep::new("shearsort");
+    for &side in &[8u64, 16, 32, 64] {
+        let n = (side * side) as usize;
+        let grid = SubGrid::square(Coord::ORIGIN, side);
+        let vals = pseudo(n, 3);
+        let mut expect = vals.clone();
+        expect.sort_unstable();
+
+        let cm = measure(|m| {
+            let items: Vec<_> = vals.iter().enumerate().map(|(i, &v)| m.place(grid.rm_coord(i as u64), v)).collect();
+            let out = shearsort_row_major(m, grid, items);
+            let got: Vec<i64> = out.iter().map(|t| *t.value()).collect();
+            assert_eq!(got, expect);
+        });
+        let cs = measure(|m| {
+            let items = place_z(m, 0, vals.clone());
+            let _ = sort_z(m, 0, items);
+        });
+        mesh.push(n as u64, cm);
+        let bound = side as f64 * (side as f64).log2();
+        println!(
+            "{:>8} {:>12} {:>12} {:>9.0} | {:>14.1} {:>9} {:>9}",
+            n,
+            cm.depth,
+            cm.distance,
+            bound,
+            cs.energy as f64 / cm.energy as f64,
+            cs.depth,
+            cs.distance
+        );
+    }
+    println!("(mesh depth ≈ distance ≈ rounds — polynomial; mergesort depth stays polylog)");
+
+    print_section("mesh scaling fits (K-round model: energy O(Kn), depth K, distance O(K))");
+    for line in mesh.report_lines([
+        (Metric::Energy, shape(1.5, 1)),   // Θ(n^{3/2} log n) = K·n with K = √n·log n
+        (Metric::Depth, shape(0.5, 1)),    // K rounds
+        (Metric::Distance, shape(0.5, 1)), // O(K)
+    ]) {
+        println!("{line}");
+    }
+
+    print_section("depth-vs-energy frontier at n = 4096 (all sorters)");
+    let n = 4096usize;
+    let side = 64u64;
+    let grid = SubGrid::square(Coord::ORIGIN, side);
+    let vals = pseudo(n, 9);
+    let rows: Vec<(&str, spatial_core::model::Cost)> = vec![
+        ("shearsort (mesh)", measure(|m| {
+            let items: Vec<_> = vals.iter().enumerate().map(|(i, &v)| m.place(grid.rm_coord(i as u64), v)).collect();
+            let _ = shearsort_row_major(m, grid, items);
+        })),
+        ("bitonic network", measure(|m| {
+            let net = spatial_core::sortnet::bitonic_sort(n);
+            let items = place_row_major(m, grid, vals.clone());
+            let _ = spatial_core::sortnet::run_row_major(m, &net, grid, items);
+        })),
+        ("2D mergesort", measure(|m| {
+            let items = place_z(m, 0, vals.clone());
+            let _ = sort_z(m, 0, items);
+        })),
+        ("all-pairs", measure(|m| {
+            use spatial_core::sorting::allpairs::{allpairs_sort_to_z, scratch_for};
+            use spatial_core::sorting::keyed::attach_uids;
+            let items = attach_uids(place_z(m, 0, vals.clone()));
+            let bm = spatial_core::model::zorder::next_power_of_four(n as u64);
+            let _ = allpairs_sort_to_z(m, items, scratch_for(0, bm * bm), 0);
+        })),
+    ];
+    println!("{:>20} {:>16} {:>9} {:>10}", "algorithm", "energy", "depth", "distance");
+    for (name, c) in rows {
+        println!("{:>20} {:>16} {:>9} {:>10}", name, c.energy, c.depth, c.distance);
+    }
+    println!("(the frontier the paper maps: mesh = cheap energy / deep; networks = log²");
+    println!(" depth / log-factor energy; mergesort = optimal-energy class / log³ depth;");
+    println!(" all-pairs = minimal depth / quadratic-plus energy)");
+}

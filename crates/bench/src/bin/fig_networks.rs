@@ -1,0 +1,63 @@
+//! **Ablation** — sorting networks compared: bitonic vs Batcher's odd-even
+//! mergesort vs odd-even transposition, all mapped row-major on the grid.
+//!
+//! All `O(log² n)`-depth networks share the Lemma V.4 fate (a `Θ(log n)`
+//! energy factor over the 2D mergesort) because their recursions become
+//! one-dimensional; the transposition network shows the other classic trade
+//! (unit-distance hops but `Θ(n)` depth, i.e. a mesh algorithm in the sense
+//! of §II.B). The ablation quantifies the constants between them.
+
+use bench::{measure, pseudo};
+use spatial_core::collectives::zarray::place_row_major;
+use spatial_core::model::{Coord, SubGrid};
+use spatial_core::report::print_section;
+use spatial_core::sortnet::{bitonic_sort, odd_even_mergesort, odd_even_transposition, run_row_major, Network};
+
+fn run(net: &Network, n: usize, side: u64) -> spatial_core::model::Cost {
+    let grid = SubGrid::square(Coord::ORIGIN, side);
+    let vals = pseudo(n, 7);
+    measure(|m| {
+        let items = place_row_major(m, grid, vals.clone());
+        let out = run_row_major(m, net, grid, items);
+        assert!(out.windows(2).all(|w| w[0].value() <= w[1].value()));
+    })
+}
+
+fn main() {
+    println!("Sorting-network ablation on square grids (row-major wire mapping).");
+
+    print_section("costs per network");
+    println!(
+        "{:>8} {:>14} {:>12} {:>9} | {:>14} {:>12} {:>9} | {:>14} {:>9}",
+        "n", "bitonic E", "comparators", "depth", "odd-even E", "comparators", "depth", "transpose E", "depth"
+    );
+    for &n in &[64usize, 256, 1024, 4096] {
+        let side = (n as f64).sqrt() as u64;
+        let bit = bitonic_sort(n);
+        let oem = odd_even_mergesort(n);
+        let oet = odd_even_transposition(n);
+        let cb = run(&bit, n, side);
+        let co = run(&oem, n, side);
+        let ct = run(&oet, n, side);
+        println!(
+            "{:>8} {:>14} {:>12} {:>9} | {:>14} {:>12} {:>9} | {:>14} {:>9}",
+            n,
+            cb.energy,
+            bit.size(),
+            cb.depth,
+            co.energy,
+            oem.size(),
+            co.depth,
+            ct.energy,
+            ct.depth
+        );
+    }
+    println!("\nreadings:");
+    println!("  * odd-even mergesort uses fewer comparators than bitonic yet slightly");
+    println!("    MORE energy — the paper's §V.B point exactly: 1D-network energy is set");
+    println!("    by comparator geometry, not comparator count;");
+    println!("  * the transposition network is energy-frugal per stage (unit hops,");
+    println!("    Θ(n^1.5) energy total) but pays Θ(n) depth — the Thompson/Kung mesh");
+    println!("    regime the paper's §II.B contrasts against (Θ(√n) depth after 2D mapping");
+    println!("    of rows, here Θ(n) because the 1D network serializes).");
+}

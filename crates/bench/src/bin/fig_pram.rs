@@ -1,0 +1,99 @@
+//! **Lemma VII.1 / VII.2** — EREW and CRCW PRAM simulation costs.
+//!
+//! Per simulated step the lemmas charge `O(p(√p + √m))` energy; EREW keeps
+//! `O(1)` depth per step while CRCW pays `O(log³ p)` for sorting-based
+//! conflict resolution. The sweeps fit energy-per-step against `p^{3/2}`
+//! (with `p = m`) and print the per-step depth.
+
+use bench::measure;
+use spatial_core::pram::programs::{Broadcast, TreeSum};
+use spatial_core::pram::{simulate_crcw, simulate_erew, PramLayout, PramProgram};
+use spatial_core::report::{print_section, Sweep};
+use spatial_core::theory::{shape, Metric};
+
+fn main() {
+    println!("Reproduction of the §VII PRAM simulation bounds.");
+
+    print_section("(a) Lemma VII.1 — EREW tree sum, p = m = n/2");
+    println!("{:>8} {:>6} {:>14} {:>14} {:>10} {:>10}", "n", "T_p", "energy", "E/step", "depth", "dep/step");
+    let mut erew_sweep = Sweep::new("erew-per-step");
+    for k in 3..=8u32 {
+        let n = 1i64 << (2 * k);
+        let prog = TreeSum::new((0..n).collect());
+        let layout = PramLayout::adjacent(prog.processors(), prog.memory_cells());
+        let c = measure(|m| {
+            let mem = simulate_erew(m, &prog, layout);
+            assert_eq!(mem[0], n * (n - 1) / 2);
+        });
+        let steps = prog.steps() as u64;
+        let mut per_step = c;
+        per_step.energy /= steps;
+        per_step.messages /= steps;
+        per_step.depth = c.depth.div_ceil(steps);
+        erew_sweep.push(prog.processors() as u64, per_step);
+        println!(
+            "{:>8} {:>6} {:>14} {:>14} {:>10} {:>10.1}",
+            n,
+            steps,
+            c.energy,
+            per_step.energy,
+            c.depth,
+            c.depth as f64 / steps as f64
+        );
+    }
+    for line in erew_sweep.report_lines([
+        (Metric::Energy, shape(1.5, 0)), // O(p(√p+√m)) = O(p^{3/2}) for p = m
+        (Metric::Depth, shape(0.0, 0)),  // O(1) per step
+        (Metric::Distance, shape(0.5, 0)),
+    ]) {
+        println!("{line}");
+    }
+    println!("(per-step energy fits p^{{3/2}}; per-step depth is a constant — Lemma VII.1)");
+
+    print_section("(b) Lemma VII.2 — CRCW concurrent-read broadcast, one step");
+    println!("{:>8} {:>14} {:>10} {:>14}", "p", "energy", "depth", "depth/log³p");
+    let mut crcw_sweep = Sweep::new("crcw-step");
+    for k in 2..=6u32 {
+        let p = 4usize.pow(k);
+        let prog = Broadcast::new(1, p);
+        let layout = PramLayout::adjacent(prog.processors(), prog.memory_cells());
+        let c = measure(|m| {
+            let mem = simulate_crcw(m, &prog, layout);
+            assert!(mem[1..].iter().all(|&v| v == 1));
+        });
+        crcw_sweep.push(p as u64, c);
+        let log = (p as f64).log2();
+        println!("{:>8} {:>14} {:>10} {:>14.3}", p, c.energy, c.depth, c.depth as f64 / (log * log * log));
+    }
+    for line in crcw_sweep.report_lines([
+        (Metric::Energy, shape(1.5, 0)),
+        (Metric::Depth, shape(0.0, 3)), // O(log³ p) per step
+        (Metric::Distance, shape(0.5, 0)),
+    ]) {
+        println!("{line}");
+    }
+
+    print_section("(c) EREW vs CRCW on the same program (concurrency resolution overhead)");
+    println!("{:>8} {:>14} {:>14} {:>8} {:>10} {:>10}", "n", "erew E", "crcw E", "ratio", "erew dep", "crcw dep");
+    for k in 3..=6u32 {
+        let n = 1i64 << (2 * k);
+        let prog = TreeSum::new((0..n).collect());
+        let layout = PramLayout::adjacent(prog.processors(), prog.memory_cells());
+        let ce = measure(|m| {
+            let _ = simulate_erew(m, &prog, layout);
+        });
+        let cc = measure(|m| {
+            let _ = simulate_crcw(m, &prog, layout);
+        });
+        println!(
+            "{:>8} {:>14} {:>14} {:>8.1} {:>10} {:>10}",
+            n,
+            ce.energy,
+            cc.energy,
+            cc.energy as f64 / ce.energy as f64,
+            ce.depth,
+            cc.depth
+        );
+    }
+    println!("(CRCW's generality costs a polylog depth factor and constant-factor energy)");
+}

@@ -1,0 +1,92 @@
+//! **Lemma IV.3** — the energy-optimal scan vs the 1D binary-tree scan.
+//!
+//! §IV.C: a binary-tree prefix sum over the row-major order costs
+//! `Ω(n log n)` energy; the Z-order 4-ary up/down-sweep achieves `Θ(n)` at
+//! the same `O(log n)` depth. This binary prints both sweeps and the energy
+//! ratio, which must grow like `Θ(log n)`.
+
+use bench::{measure, pow4_sizes, pseudo};
+use spatial_core::collectives::naive::naive_scan;
+use spatial_core::collectives::zarray::{place_row_major, place_z, read_values};
+use spatial_core::collectives::scan;
+use spatial_core::model::{Coord, SubGrid};
+use spatial_core::report::{print_section, Sweep};
+use spatial_core::theory::{self, Metric};
+
+fn main() {
+    println!("Reproduction of Lemma IV.3: Z-order scan vs row-major binary-tree scan.");
+
+    print_section("energy comparison");
+    println!(
+        "{:>10} {:>14} {:>14} {:>8} {:>10} {:>10}",
+        "n", "z-scan", "naive scan", "ratio", "z depth", "naive dep"
+    );
+    let mut opt = Sweep::new("scan-zorder");
+    let mut naive = Sweep::new("scan-naive");
+    for &n in &pow4_sizes(3, 9) {
+        let vals = pseudo(n as usize, 1);
+        let mut expect = vals.clone();
+        for i in 1..expect.len() {
+            expect[i] += expect[i - 1];
+        }
+        let co = measure(|m| {
+            let items = place_z(m, 0, vals.clone());
+            let out = read_values(scan(m, 0, items, &|a, b| a + b));
+            assert_eq!(out, expect);
+        });
+        let side = (n as f64).sqrt() as u64;
+        let grid = SubGrid::square(Coord::ORIGIN, side);
+        let cn = measure(|m| {
+            let items = place_row_major(m, grid, vals.clone());
+            let out = read_values(naive_scan(m, items, grid, &|a, b| a + b));
+            assert_eq!(out, expect);
+        });
+        opt.push(n, co);
+        naive.push(n, cn);
+        println!(
+            "{:>10} {:>14} {:>14} {:>8.2} {:>10} {:>10}",
+            n,
+            co.energy,
+            cn.energy,
+            cn.energy as f64 / co.energy as f64,
+            co.depth,
+            cn.depth
+        );
+    }
+    println!("(ratio must grow ≈ Θ(log n))");
+
+    print_section("scaling fits");
+    for line in opt.report_lines([
+        (Metric::Energy, theory::scan_bound(Metric::Energy)),
+        (Metric::Depth, theory::scan_bound(Metric::Depth)),
+        (Metric::Distance, theory::scan_bound(Metric::Distance)),
+    ]) {
+        println!("{line}");
+    }
+    for line in naive.report_lines([
+        (Metric::Energy, theory::naive_collective_bound(Metric::Energy)),
+        (Metric::Depth, theory::naive_collective_bound(Metric::Depth)),
+        (Metric::Distance, theory::naive_collective_bound(Metric::Distance)),
+    ]) {
+        println!("{line}");
+    }
+
+    print_section("segmented scan costs the same as plain scan (§IV.C)");
+    let n = 4u64.pow(7);
+    let plain = measure(|m| {
+        let items = place_z(m, 0, pseudo(n as usize, 2));
+        let _ = scan(m, 0, items, &|a, b| a + b);
+    });
+    let segmented = measure(|m| {
+        use spatial_core::collectives::{segmented_scan, SegItem};
+        let items = place_z(
+            m,
+            0,
+            pseudo(n as usize, 2).into_iter().enumerate().map(|(i, v)| SegItem::new(i % 37 == 0, v)).collect(),
+        );
+        let _ = segmented_scan(m, 0, items, &|a, b| a + b);
+    });
+    println!("plain:     {plain}");
+    println!("segmented: {segmented}");
+    assert_eq!(plain.messages, segmented.messages, "identical communication pattern");
+}

@@ -1,0 +1,79 @@
+//! **Lemma VI.1 / VI.2 / Theorem VI.3** — the randomized selection's inner
+//! behaviour.
+//!
+//! * active-count trajectories: `N_{t+1} ≲ N_t^{3/4}·√ln n`, so `O(1)`
+//!   iterations suffice (Lemma VI.2);
+//! * fallback (pivot-failure) frequency across many seeds (Lemma VI.1 says
+//!   it vanishes polynomially);
+//! * the energy separation from sorting (Theorem VI.3 vs Theorem V.8).
+
+use bench::{measure, pseudo};
+use spatial_core::collectives::zarray::place_z;
+use spatial_core::report::print_section;
+use spatial_core::selection::select_rank_values;
+use spatial_core::sorting::sort_z;
+
+fn main() {
+    println!("Reproduction of the §VI selection analysis.");
+
+    print_section("(a) Lemma VI.2: active-count trajectories (n = 4^9, 5 seeds)");
+    let n = 4usize.pow(9);
+    let ln_n = (n as f64).ln();
+    for seed in 0..5u64 {
+        let vals = pseudo(n, 7);
+        let mut traj = Vec::new();
+        let mut iters = 0;
+        let _ = measure(|m| {
+            let (_, stats) = select_rank_values(m, 0, vals.clone(), n as u64 / 2, seed);
+            traj = stats.active_trajectory.clone();
+            iters = stats.iterations;
+        });
+        let bounds: Vec<String> = traj
+            .windows(2)
+            .map(|w| format!("{} -> {} (bound {:.0})", w[0], w[1], (w[0] as f64).powf(0.75) * ln_n.sqrt() * 2.0))
+            .collect();
+        println!("  seed {seed}: {iters} iterations");
+        for b in bounds {
+            println!("    N_t {b}");
+        }
+    }
+
+    print_section("(b) Lemma VI.1: fallback frequency over 100 seeds (n = 4096)");
+    let n = 4096usize;
+    let mut fallbacks = 0u32;
+    let mut iter_histogram = std::collections::BTreeMap::new();
+    for seed in 0..100u64 {
+        let vals = pseudo(n, 13);
+        let mut m = spatial_core::model::Machine::new();
+        let (got, stats) = select_rank_values(&mut m, 0, vals.clone(), n as u64 / 2, seed);
+        let mut sorted = vals;
+        sorted.sort_unstable();
+        assert_eq!(got, sorted[n / 2 - 1], "wrong median at seed {seed}");
+        fallbacks += stats.fallbacks;
+        *iter_histogram.entry(stats.iterations).or_insert(0u32) += 1;
+    }
+    println!("  fallbacks: {fallbacks}/100 runs (paper: probability O(n^(-c/6)))");
+    println!("  iteration histogram: {iter_histogram:?}");
+
+    print_section("(c) Theorem VI.3 vs Theorem V.8: selection vs sorting energy");
+    println!("{:>10} {:>16} {:>16} {:>8}", "n", "selection E", "sorting E", "ratio");
+    for k in 4..=8u32 {
+        let n = 4usize.pow(k);
+        let vals = pseudo(n, 17);
+        let cs = measure(|m| {
+            let (_, _) = select_rank_values(m, 0, vals.clone(), n as u64 / 2, 3);
+        });
+        let co = measure(|m| {
+            let items = place_z(m, 0, vals.clone());
+            let _ = sort_z(m, 0, items);
+        });
+        println!(
+            "{:>10} {:>16} {:>16} {:>8.1}",
+            n,
+            cs.energy,
+            co.energy,
+            co.energy as f64 / cs.energy as f64
+        );
+    }
+    println!("(the ratio column must grow polynomially, ≈ ·2 per 4x n — the Θ(√n) separation)");
+}

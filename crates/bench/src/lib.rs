@@ -1,0 +1,66 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` that
+//! regenerates it (see DESIGN.md §3 for the index); the binaries share the
+//! sweep-and-report machinery here. Run them with, e.g.:
+//!
+//! ```bash
+//! cargo run -p bench --release --bin table1
+//! ```
+
+use spatial_core::model::{Cost, Machine};
+use spatial_core::report::Sweep;
+
+/// Deterministic pseudo-random array (no RNG state needed for sweeps whose
+/// exact values are irrelevant).
+pub fn pseudo(n: usize, seed: i64) -> Vec<i64> {
+    (0..n).map(|i| ((i as i64).wrapping_mul(2654435761).wrapping_add(seed * 40503)) % 1_000_003 - 500_000).collect()
+}
+
+/// Runs `f` on a fresh machine and returns the accumulated cost.
+pub fn measure(f: impl FnOnce(&mut Machine)) -> Cost {
+    let mut m = Machine::new();
+    f(&mut m);
+    m.report()
+}
+
+/// Builds a sweep by measuring `f(n)` for each size.
+pub fn sweep(name: &str, sizes: &[u64], mut f: impl FnMut(&mut Machine, u64)) -> Sweep {
+    let mut s = Sweep::new(name);
+    for &n in sizes {
+        let cost = measure(|m| f(m, n));
+        s.push(n, cost);
+    }
+    s
+}
+
+/// Prints a sweep's raw rows and its paper-vs-measured verdict lines.
+pub fn print_sweep(s: &Sweep, claims: [(spatial_core::theory::Metric, spatial_core::theory::Shape); 3]) {
+    for row in s.raw_rows() {
+        println!("{row}");
+    }
+    for line in s.report_lines(claims) {
+        println!("{line}");
+    }
+}
+
+/// Powers of four `4^lo ..= 4^hi`.
+pub fn pow4_sizes(lo: u32, hi: u32) -> Vec<u64> {
+    (lo..=hi).map(|k| 4u64.pow(k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pseudo_is_deterministic() {
+        assert_eq!(pseudo(16, 3), pseudo(16, 3));
+        assert_ne!(pseudo(16, 3), pseudo(16, 4));
+    }
+
+    #[test]
+    fn pow4_sizes_are_powers() {
+        assert_eq!(pow4_sizes(2, 4), vec![16, 64, 256]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Naive row-major binary-tree baselines with `Θ(n log n)` energy.
+//!
+//! These are the constructions the paper improves on: a binary tree built
+//! over the array in row-major order (offset-doubling dissemination) costs
+//! `Θ(n log n)` energy at logarithmic depth, because the low tree levels pay
+//! unit-distance hops for `n/2` edges, the middle levels pay full-row hops —
+//! `Θ(n)` energy per level for `Θ(log n)` levels (§IV.C, and \[11\] for the
+//! matching broadcast/reduce lower bounds in the log-depth regime).
+//!
+//! The benchmark harness compares these against the energy-optimal
+//! collectives to reproduce the claimed `Θ(log n)` separation.
+
+use spatial_model::{Machine, SubGrid, Tracked};
+
+use crate::check_grid_len;
+
+/// Binary-tree broadcast over the row-major order: at stride `s = n/2, n/4,
+/// …, 1`, every informed index `i ≡ 0 (mod 2s)` informs `i + s`. Level
+/// `s` sends `n/2s` messages of row-major offset `s`, which on the grid
+/// costs `Θ(min(s, √n)·n/s)` — `Θ(n)` per level for the `log √n` in-row
+/// levels — giving `Θ(n log n)` energy at `O(log n)` depth. This is the
+/// baseline the paper's §IV improves by a `Θ(log n)` factor.
+pub fn naive_broadcast<T: Clone>(machine: &mut Machine, root: Tracked<T>, grid: SubGrid) -> Vec<Tracked<T>> {
+    assert_eq!(root.loc(), grid.origin);
+    let n = grid.len();
+    assert!(n.is_power_of_two(), "naive broadcast requires a power-of-two grid");
+    let mut slots: Vec<Option<Tracked<T>>> = (0..n).map(|_| None).collect();
+    slots[0] = Some(root);
+    let mut s = n / 2;
+    while s >= 1 {
+        let mut i = 0;
+        while i + s < n {
+            let src = slots[i as usize].as_ref().expect("tree parent holds the value");
+            let v = machine.send(src, grid.rm_coord(i + s));
+            slots[(i + s) as usize] = Some(v);
+            i += 2 * s;
+        }
+        s /= 2;
+    }
+    slots.into_iter().map(|o| o.expect("tree covered all PEs")).collect()
+}
+
+/// Binary-tree reduce over the row-major order (the reverse of
+/// [`naive_broadcast`]). Energy `Θ(n log n)`, depth `O(log n)`.
+pub fn naive_reduce<T: Clone>(
+    machine: &mut Machine,
+    items: Vec<Tracked<T>>,
+    grid: SubGrid,
+    op: &impl Fn(&T, &T) -> T,
+) -> Tracked<T> {
+    check_grid_len(&items, &grid);
+    let mut slots: Vec<Option<Tracked<T>>> = items.into_iter().map(Some).collect();
+    let n = grid.len();
+    assert!(n.is_power_of_two(), "naive reduce requires a power-of-two grid");
+    let mut stride = 1u64;
+    while stride < n {
+        let mut i = 0;
+        while i + stride < n {
+            let hi = slots[(i + stride) as usize].take().expect("slot populated");
+            let arrived = machine.send_owned(hi, grid.rm_coord(i));
+            let lo = slots[i as usize].take().expect("slot populated");
+            let combined = lo.zip_with(&arrived, |a, b| op(a, b));
+            machine.discard(lo);
+            machine.discard(arrived);
+            slots[i as usize] = Some(combined);
+            i += 2 * stride;
+        }
+        stride *= 2;
+    }
+    slots[0].take().expect("root holds the total")
+}
+
+/// Blelloch-style up/down-sweep scan over the **row-major** binary tree.
+/// Correct, logarithmic depth, but `Θ(n log n)` energy — the baseline the
+/// Z-order scan of Lemma IV.3 beats by a `Θ(log n)` factor.
+pub fn naive_scan<T: Clone>(
+    machine: &mut Machine,
+    items: Vec<Tracked<T>>,
+    grid: SubGrid,
+    op: &impl Fn(&T, &T) -> T,
+) -> Vec<Tracked<T>> {
+    check_grid_len(&items, &grid);
+    let n = grid.len();
+    assert!(n.is_power_of_two(), "naive scan requires a power-of-two length");
+    // Classic Blelloch layout over the row-major linear order: subtree sums
+    // are stored at the right end of their range.
+    let leaves: Vec<Tracked<T>> = items.iter().map(|t| t.duplicate()).collect();
+    let mut partial: Vec<Tracked<T>> = items.into_iter().collect();
+    // Up-sweep: partial[i+2s-1] <- partial[i+s-1] ∘ partial[i+2s-1].
+    let mut s = 1u64;
+    while s < n {
+        let mut i = 0;
+        while i + 2 * s <= n {
+            let l = (i + s - 1) as usize;
+            let r = (i + 2 * s - 1) as usize;
+            let arrived = machine.send(&partial[l], grid.rm_coord(r as u64));
+            let combined = arrived.zip_with(&partial[r], |a, b| op(a, b));
+            machine.discard(arrived);
+            machine.discard(std::mem::replace(&mut partial[r], combined));
+            i += 2 * s;
+        }
+        s *= 2;
+    }
+    // Down-sweep: the carry at a node is the sum of everything left of its
+    // range (`None` = empty prefix); it ends up at each leaf's position.
+    let mut carry: Vec<Option<Option<Tracked<T>>>> = (0..n).map(|_| None).collect();
+    carry[(n - 1) as usize] = Some(None);
+    let mut s = n / 2;
+    while s >= 1 {
+        let mut i = 0;
+        while i + 2 * s <= n {
+            let l = (i + s - 1) as usize;
+            let r = (i + 2 * s - 1) as usize;
+            let c = carry[r].take().expect("parent carry set");
+            // Left child inherits the parent's carry (moved to its cell);
+            // right child's carry is parent ∘ left-subtree-sum.
+            let left_carry = c.as_ref().map(|cv| machine.send(cv, grid.rm_coord(l as u64)));
+            let left_sum = machine.send(&partial[l], grid.rm_coord(r as u64));
+            let right_carry = match c {
+                None => left_sum,
+                Some(cv) => {
+                    let combined = cv.zip_with(&left_sum, |a, b| op(a, b));
+                    machine.discard(cv);
+                    machine.discard(left_sum);
+                    combined
+                }
+            };
+            carry[l] = Some(left_carry);
+            carry[r] = Some(Some(right_carry));
+            i += 2 * s;
+        }
+        s /= 2;
+    }
+    // Inclusive result at each leaf: carry ∘ leaf.
+    let mut out = Vec::with_capacity(n as usize);
+    for (leaf, c) in leaves.into_iter().zip(carry) {
+        let res = match c.expect("every leaf received a carry") {
+            None => leaf,
+            Some(p) => {
+                let r = p.zip_with(&leaf, |a, b| op(a, b));
+                machine.discard(p);
+                machine.discard(leaf);
+                r
+            }
+        };
+        out.push(res);
+    }
+    for p in partial {
+        machine.discard(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zarray::{place_row_major, read_values};
+    use spatial_model::Coord;
+
+    #[test]
+    fn naive_broadcast_reaches_everyone() {
+        let mut m = Machine::new();
+        let g = SubGrid::square(Coord::ORIGIN, 8);
+        let root = m.place(g.origin, 5i64);
+        let out = naive_broadcast(&mut m, root, g);
+        assert!(out.iter().all(|v| *v.value() == 5));
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn naive_reduce_computes_sum() {
+        let mut m = Machine::new();
+        let g = SubGrid::square(Coord::ORIGIN, 8);
+        let items = place_row_major(&mut m, g, (0..64i64).collect());
+        let got = naive_reduce(&mut m, items, g, &|a, b| a + b);
+        assert_eq!(got.into_value(), 63 * 64 / 2);
+    }
+
+    #[test]
+    fn naive_scan_matches_prefix_sums() {
+        for side in [2u64, 4, 8, 16] {
+            let n = side * side;
+            let mut m = Machine::new();
+            let g = SubGrid::square(Coord::ORIGIN, side);
+            let vals: Vec<i64> = (0..n as i64).map(|i| (i % 5) - 2).collect();
+            let mut expect = vals.clone();
+            for i in 1..n as usize {
+                expect[i] += expect[i - 1];
+            }
+            let items = place_row_major(&mut m, g, vals);
+            let got = read_values(naive_scan(&mut m, items, g, &|a, b| a + b));
+            assert_eq!(got, expect, "side {side}");
+        }
+    }
+
+    #[test]
+    fn naive_broadcast_uses_superlinear_energy() {
+        // The point of the baseline: energy grows like n log n, so the
+        // per-element energy must grow with n (unlike the optimal broadcast).
+        let per_elem = |side: u64| {
+            let mut m = Machine::new();
+            let g = SubGrid::square(Coord::ORIGIN, side);
+            let root = m.place(g.origin, 0u8);
+            let _ = naive_broadcast(&mut m, root, g);
+            m.energy() as f64 / (side * side) as f64
+        };
+        let small = per_elem(8);
+        let large = per_elem(64);
+        assert!(
+            large > small * 1.5,
+            "expected superlinear growth: {small:.2} -> {large:.2} energy/element"
+        );
+    }
+}

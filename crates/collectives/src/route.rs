@@ -1,0 +1,131 @@
+//! Direct data-movement helpers: permutation routing, gather, scatter.
+//!
+//! These are the "one message per element" movements used inside the sorting
+//! and selection algorithms: each element is sent straight to its destination
+//! PE, so the energy is the sum of Manhattan displacements and the depth is 1
+//! per element chain.
+
+use spatial_model::{zorder, Coord, Machine, SubGrid, Tracked};
+
+/// Routes each element directly to the coordinate chosen by `dest`.
+pub fn route<T>(
+    machine: &mut Machine,
+    items: Vec<Tracked<T>>,
+    dest: impl Fn(usize, &Tracked<T>) -> Coord,
+) -> Vec<Tracked<T>> {
+    items
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let d = dest(i, &t);
+            machine.move_to(t, d)
+        })
+        .collect()
+}
+
+/// Moves element `i` to global Z-index `lo + i`.
+pub fn route_to_z<T>(machine: &mut Machine, items: Vec<Tracked<T>>, lo: u64) -> Vec<Tracked<T>> {
+    route(machine, items, |i, _| zorder::coord_of(lo + i as u64))
+}
+
+/// Moves element `i` to row-major position `i` of `grid`.
+pub fn route_to_row_major<T>(machine: &mut Machine, items: Vec<Tracked<T>>, grid: SubGrid) -> Vec<Tracked<T>> {
+    assert!(items.len() as u64 <= grid.len(), "grid too small for the array");
+    route(machine, items, |i, _| grid.rm_coord(i as u64))
+}
+
+/// Applies a permutation: element `i` moves to the Z-position `lo + perm[i]`.
+///
+/// Used for the Lemma V.1 permutation lower-bound experiments and the final
+/// Z-order → row-major rearrangement of the 2D mergesort.
+pub fn permute_z<T>(machine: &mut Machine, items: Vec<Tracked<T>>, lo: u64, perm: &[u64]) -> Vec<Tracked<T>> {
+    assert_eq!(items.len(), perm.len());
+    route(machine, items, |i, _| zorder::coord_of(lo + perm[i]))
+}
+
+/// Converts an array laid out on the Z-curve range `[lo, lo+n)` into
+/// row-major order on the same square subgrid (`n` a power of four, `lo`
+/// aligned). Element `i` of the logical array keeps its logical index; only
+/// its physical cell changes.
+pub fn z_to_row_major<T>(machine: &mut Machine, items: Vec<Tracked<T>>, lo: u64) -> Vec<Tracked<T>> {
+    let n = items.len() as u64;
+    assert!(zorder::is_power_of_four(n), "layout conversion needs a full square");
+    assert_eq!(lo % n, 0, "segment must be square-aligned");
+    let side = 1u64 << (n.trailing_zeros() / 2);
+    let origin = zorder::coord_of(lo);
+    let grid = SubGrid::square(origin, side);
+    route(machine, items, |i, _| grid.rm_coord(i as u64))
+}
+
+/// Inverse of [`z_to_row_major`].
+pub fn row_major_to_z<T>(machine: &mut Machine, items: Vec<Tracked<T>>, lo: u64) -> Vec<Tracked<T>> {
+    let n = items.len() as u64;
+    assert!(zorder::is_power_of_four(n));
+    assert_eq!(lo % n, 0);
+    route(machine, items, |i, _| zorder::coord_of(lo + i as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zarray::{place_z, read_values};
+
+    #[test]
+    fn route_to_z_places_on_curve() {
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, vec![1, 2, 3, 4]);
+        let moved = route_to_z(&mut m, items, 16);
+        for (i, t) in moved.iter().enumerate() {
+            assert_eq!(t.loc(), zorder::coord_of(16 + i as u64));
+        }
+        assert_eq!(read_values(moved), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn z_to_row_major_roundtrip() {
+        let mut m = Machine::new();
+        let vals: Vec<i64> = (0..16).collect();
+        let items = place_z(&mut m, 0, vals.clone());
+        let rm = z_to_row_major(&mut m, items, 0);
+        let g = SubGrid::square(Coord::ORIGIN, 4);
+        for (i, t) in rm.iter().enumerate() {
+            assert_eq!(t.loc(), g.rm_coord(i as u64));
+        }
+        let back = row_major_to_z(&mut m, rm, 0);
+        for (i, t) in back.iter().enumerate() {
+            assert_eq!(t.loc(), zorder::coord_of(i as u64));
+        }
+        assert_eq!(read_values(back), vals);
+    }
+
+    #[test]
+    fn permute_moves_values() {
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, vec![10, 20, 30, 40]);
+        let perm = [3u64, 2, 1, 0];
+        let out = permute_z(&mut m, items, 0, &perm);
+        // out[i] holds the original value i at position perm[i].
+        for (i, t) in out.iter().enumerate() {
+            assert_eq!(t.loc(), zorder::coord_of(perm[i]));
+        }
+    }
+
+    #[test]
+    fn reversal_permutation_energy_is_superlinear() {
+        // Lemma V.1: reversing a row-major layout on a √n×√n grid costs
+        // Ω(n^{3/2}) energy.
+        let energy = |side: u64| {
+            let n = side * side;
+            let mut m = Machine::new();
+            let g = SubGrid::square(Coord::ORIGIN, side);
+            let items: Vec<_> = (0..n).map(|i| m.place(g.rm_coord(i), i)).collect();
+            let _ = route(&mut m, items, |i, _| g.rm_coord(n - 1 - i as u64));
+            m.energy() as f64
+        };
+        let e8 = energy(8);
+        let e32 = energy(32);
+        // n grows 16×, n^{3/2} grows 64×.
+        let growth = e32 / e8;
+        assert!(growth > 40.0, "expected ~64x growth, got {growth:.1}x");
+    }
+}

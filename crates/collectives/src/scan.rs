@@ -1,0 +1,526 @@
+//! The energy-optimal parallel scan (paper §IV.C, Lemma IV.3).
+//!
+//! Input: an array of `n` elements (n a power of four) stored along the
+//! Z-order curve of a `√n × √n` subgrid. The scan runs an **up-sweep**
+//! (computing quadrant partial sums along a 4-ary summation tree whose height-
+//! `i` subtree root sits at the `i`-th Z-order position of its subgrid) and a
+//! **down-sweep** (passing exclusive prefixes down to the quadrants), exactly
+//! as in Fig. 1. Costs: `O(n)` energy, `O(log n)` depth, `O(√n)` distance.
+//!
+//! The operator only needs to be associative; the inclusive scan never
+//! requires an identity element (the carried prefix is `Option`al).
+
+use spatial_model::{zorder, Machine, Tracked};
+
+/// A node of the 4-ary summation tree built by the up-sweep.
+struct SumNode<T> {
+    /// Partial sum of this subtree, resident at Z-position `lo + height`.
+    sum: Tracked<T>,
+    /// Children in Z-order (leaves have none).
+    children: Option<Box<[SumNode<T>; 4]>>,
+}
+
+/// Inclusive scan of `items` (element `i` at global Z-index `lo + i`) under
+/// the associative operator `op`. Result `i` — `A_0 ∘ … ∘ A_i` — is returned
+/// at the same Z-position as input `i`.
+///
+/// ```
+/// use spatial_model::Machine;
+/// use collectives::{place_z, read_values, scan};
+///
+/// let mut m = Machine::new();
+/// let items = place_z(&mut m, 0, vec![1i64, 2, 3, 4]);
+/// let sums = read_values(scan(&mut m, 0, items, &|a, b| a + b));
+/// assert_eq!(sums, vec![1, 3, 6, 10]);
+/// assert!(m.energy() > 0); // the up/down sweeps sent real messages
+/// ```
+///
+/// # Panics
+/// Panics if `items.len()` is not a power of four, if `lo` is not aligned to
+/// the array length, or if items are not resident at their Z-positions.
+pub fn scan<T: Clone>(
+    machine: &mut Machine,
+    lo: u64,
+    items: Vec<Tracked<T>>,
+    op: &impl Fn(&T, &T) -> T,
+) -> Vec<Tracked<T>> {
+    let n = items.len() as u64;
+    assert!(zorder::is_power_of_four(n), "scan input must be a power of 4 (pad if needed)");
+    assert_eq!(lo % n, 0, "scan segment must be aligned so quadrants are square subgrids");
+    for (i, it) in items.iter().enumerate() {
+        assert_eq!(it.loc(), zorder::coord_of(lo + i as u64), "item {i} off its Z-position");
+    }
+    let mut leaves: Vec<Option<Tracked<T>>> = items.into_iter().map(Some).collect();
+    let tree = up_sweep(machine, lo, n, &mut leaves, lo, op);
+    let mut out: Vec<Option<Tracked<T>>> = (0..n).map(|_| None).collect();
+    let mut leaves: Vec<Option<Tracked<T>>> = leaves;
+    down_sweep(machine, lo, n, tree, None, &mut leaves, &mut out, lo, op);
+    out.into_iter().map(|o| o.expect("down-sweep missed a leaf")).collect()
+}
+
+/// Exclusive scan: result `i` is `identity ∘ A_0 ∘ … ∘ A_{i-1}`; result `0`
+/// is `identity`.
+pub fn scan_exclusive<T: Clone>(
+    machine: &mut Machine,
+    lo: u64,
+    items: Vec<Tracked<T>>,
+    identity: T,
+    op: &impl Fn(&T, &T) -> T,
+) -> Vec<Tracked<T>> {
+    // Shift trick: run the inclusive machinery but emit the carried prefix
+    // (or identity) at each leaf instead of combining with the leaf value.
+    let n = items.len() as u64;
+    assert!(zorder::is_power_of_four(n));
+    assert_eq!(lo % n, 0);
+    let mut leaves: Vec<Option<Tracked<T>>> = items.into_iter().map(Some).collect();
+    let tree = up_sweep(machine, lo, n, &mut leaves, lo, op);
+    let mut out: Vec<Option<Tracked<T>>> = (0..n).map(|_| None).collect();
+    down_sweep_exclusive(machine, lo, n, tree, None, &identity, &mut leaves, &mut out, lo, op);
+    out.into_iter().map(|o| o.expect("down-sweep missed a leaf")).collect()
+}
+
+/// Inclusive scan over a Z-segment of **arbitrary** length (extension
+/// beyond the paper's power-of-four assumption, documented in DESIGN.md).
+///
+/// The segment `[lo, lo+n)` decomposes into `O(log n)` aligned power-of-four
+/// blocks; each block runs the energy-optimal [`scan`], the block totals are
+/// gathered at the first cell where the carries are formed locally, and each
+/// carry is broadcast over its block and folded in. Costs: `O(n)` energy,
+/// `O(log n)` depth, `O(√n)` distance — the Lemma IV.3 bounds without the
+/// padding.
+pub fn scan_any<T: Clone>(
+    machine: &mut Machine,
+    lo: u64,
+    items: Vec<Tracked<T>>,
+    op: &impl Fn(&T, &T) -> T,
+) -> Vec<Tracked<T>> {
+    let n = items.len() as u64;
+    if n == 0 {
+        return items;
+    }
+    if zorder::is_power_of_four(n) && lo.is_multiple_of(n) {
+        return scan(machine, lo, items, op);
+    }
+    let blocks = zorder::aligned_blocks(lo, lo + n);
+    // Per-block scans.
+    let mut scanned: Vec<Vec<Tracked<T>>> = Vec::with_capacity(blocks.len());
+    let mut iter = items.into_iter();
+    for &(start, len) in &blocks {
+        let chunk: Vec<Tracked<T>> = iter.by_ref().take(len as usize).collect();
+        scanned.push(scan(machine, start, chunk, op));
+    }
+    // Gather the block totals at the segment's first cell and form the
+    // exclusive block carries locally.
+    let hub = zorder::coord_of(lo);
+    let totals: Vec<Tracked<T>> = scanned
+        .iter()
+        .map(|blk| {
+            let last = blk.last().expect("non-empty block");
+            machine.send(last, hub)
+        })
+        .collect();
+    let mut carries: Vec<Option<Tracked<T>>> = vec![None];
+    let mut running: Option<Tracked<T>> = None;
+    for t in &totals[..totals.len() - 1] {
+        running = Some(match running.take() {
+            None => t.duplicate(),
+            Some(r) => {
+                let nr = r.zip_with(t, |x, y| op(x, y));
+                machine.discard(r);
+                nr
+            }
+        });
+        carries.push(Some(running.as_ref().expect("just set").duplicate()));
+    }
+    if let Some(r) = running {
+        machine.discard(r);
+    }
+    for t in totals {
+        machine.discard(t);
+    }
+    // Broadcast each carry over its block and fold it in.
+    let mut out = Vec::with_capacity(n as usize);
+    for ((&(start, len), blk), carry) in blocks.iter().zip(scanned).zip(carries) {
+        match carry {
+            None => out.extend(blk),
+            Some(c) => {
+                let c = machine.move_to(c, zorder::coord_of(start));
+                let copies = crate::zseg::broadcast_z(machine, c, start, start + len);
+                for (v, cp) in blk.into_iter().zip(copies) {
+                    let folded = cp.zip_with(&v, |p, x| op(p, x));
+                    machine.discard(cp);
+                    machine.discard(v);
+                    out.push(folded);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Height of the subtree covering `len` leaves (`len = 4^h`).
+fn height(len: u64) -> u64 {
+    (len.trailing_zeros() / 2) as u64
+}
+
+fn up_sweep<T: Clone>(
+    machine: &mut Machine,
+    lo: u64,
+    len: u64,
+    leaves: &mut [Option<Tracked<T>>],
+    base: u64,
+    op: &impl Fn(&T, &T) -> T,
+) -> SumNode<T> {
+    if len == 1 {
+        // Height 0: the element itself is the subtree sum (duplicated
+        // locally, which is free — the leaf keeps its copy for the
+        // down-sweep).
+        let leaf = leaves[(lo - base) as usize].as_ref().expect("leaf present");
+        return SumNode { sum: leaf.duplicate(), children: None };
+    }
+    let q = len / 4;
+    let children: [SumNode<T>; 4] = [
+        up_sweep(machine, lo, q, leaves, base, op),
+        up_sweep(machine, lo + q, q, leaves, base, op),
+        up_sweep(machine, lo + 2 * q, q, leaves, base, op),
+        up_sweep(machine, lo + 3 * q, q, leaves, base, op),
+    ];
+    // Gather the four child sums at this node's storage cell: Z-position
+    // `lo + height` of the current subgrid.
+    let h = height(len);
+    let cell = zorder::coord_of(lo + h);
+    let mut acc: Option<Tracked<T>> = None;
+    for c in &children {
+        let arrived = machine.send(&c.sum, cell);
+        acc = Some(match acc {
+            None => arrived,
+            Some(a) => a.zip_with(&arrived, |x, y| op(x, y)),
+        });
+    }
+    SumNode { sum: acc.expect("four children"), children: Some(Box::new(children)) }
+}
+
+/// Passes the exclusive prefix `carry` down the tree; each leaf stores
+/// `carry ∘ A` (inclusive scan).
+#[allow(clippy::too_many_arguments)]
+fn down_sweep<T: Clone>(
+    machine: &mut Machine,
+    lo: u64,
+    len: u64,
+    node: SumNode<T>,
+    carry: Option<Tracked<T>>,
+    leaves: &mut [Option<Tracked<T>>],
+    out: &mut [Option<Tracked<T>>],
+    base: u64,
+    op: &impl Fn(&T, &T) -> T,
+) {
+    if len == 1 {
+        let a = leaves[(lo - base) as usize].take().expect("leaf present");
+        machine.discard(node.sum);
+        let res = match carry {
+            None => a,
+            Some(x) => {
+                // The carry was sent to this subgrid's only processor.
+                debug_assert_eq!(x.loc(), a.loc());
+                let r = x.zip_with(&a, |p, v| op(p, v));
+                machine.discard(x);
+                machine.discard(a);
+                r
+            }
+        };
+        out[(lo - base) as usize] = Some(res);
+        return;
+    }
+    let q = len / 4;
+    let top_left = zorder::coord_of(lo);
+    // Bring the incoming carry to the subgrid's top-left processor, gather
+    // the three needed child sums there, and form the running prefixes.
+    let carry = carry.map(|x| machine.move_to(x, top_left));
+    let children = *node.children.expect("internal node");
+    machine.discard(node.sum);
+    let mut prefixes: Vec<Option<Tracked<T>>> = Vec::with_capacity(4);
+    let mut running: Option<Tracked<T>> = carry.inspect(|c| {
+        prefixes.push(Some(c.duplicate()));
+    });
+    if running.is_none() {
+        prefixes.push(None);
+    }
+    let mut child_nodes = Vec::with_capacity(4);
+    for (i, c) in children.into_iter().enumerate() {
+        if i < 3 {
+            let s = machine.send(&c.sum, top_left);
+            running = Some(match running.take() {
+                None => s,
+                Some(r) => {
+                    let nr = r.zip_with(&s, |x, y| op(x, y));
+                    machine.discard(r);
+                    machine.discard(s);
+                    nr
+                }
+            });
+            prefixes.push(Some(running.as_ref().expect("just set").duplicate()));
+        }
+        child_nodes.push(c);
+    }
+    if let Some(r) = running {
+        machine.discard(r);
+    }
+    // Send prefix i to quadrant i's top-left processor and recurse.
+    for (i, (c, p)) in child_nodes.into_iter().zip(prefixes).enumerate() {
+        let qlo = lo + i as u64 * q;
+        let carried = p.map(|p| machine.move_to(p, zorder::coord_of(qlo)));
+        down_sweep(machine, qlo, q, c, carried, leaves, out, base, op);
+    }
+}
+
+/// Exclusive-scan down-sweep: leaves emit the carry (or identity) itself.
+#[allow(clippy::too_many_arguments)]
+fn down_sweep_exclusive<T: Clone>(
+    machine: &mut Machine,
+    lo: u64,
+    len: u64,
+    node: SumNode<T>,
+    carry: Option<Tracked<T>>,
+    identity: &T,
+    leaves: &mut [Option<Tracked<T>>],
+    out: &mut [Option<Tracked<T>>],
+    base: u64,
+    op: &impl Fn(&T, &T) -> T,
+) {
+    if len == 1 {
+        let a = leaves[(lo - base) as usize].take().expect("leaf present");
+        machine.discard(node.sum);
+        let res = match carry {
+            None => a.with_value(identity.clone()),
+            Some(x) => {
+                debug_assert_eq!(x.loc(), a.loc());
+                x
+            }
+        };
+        machine.discard(a);
+        out[(lo - base) as usize] = Some(res);
+        return;
+    }
+    let q = len / 4;
+    let top_left = zorder::coord_of(lo);
+    let carry = carry.map(|x| machine.move_to(x, top_left));
+    let children = *node.children.expect("internal node");
+    machine.discard(node.sum);
+    let mut prefixes: Vec<Option<Tracked<T>>> = Vec::with_capacity(4);
+    let mut running: Option<Tracked<T>> = carry.inspect(|c| {
+        prefixes.push(Some(c.duplicate()));
+    });
+    if running.is_none() {
+        prefixes.push(None);
+    }
+    let mut child_nodes = Vec::with_capacity(4);
+    for (i, c) in children.into_iter().enumerate() {
+        if i < 3 {
+            let s = machine.send(&c.sum, top_left);
+            running = Some(match running.take() {
+                None => s,
+                Some(r) => {
+                    let nr = r.zip_with(&s, |x, y| op(x, y));
+                    machine.discard(r);
+                    machine.discard(s);
+                    nr
+                }
+            });
+            prefixes.push(Some(running.as_ref().expect("just set").duplicate()));
+        }
+        child_nodes.push(c);
+    }
+    if let Some(r) = running {
+        machine.discard(r);
+    }
+    for (i, (c, p)) in child_nodes.into_iter().zip(prefixes).enumerate() {
+        let qlo = lo + i as u64 * q;
+        let carried = p.map(|p| machine.move_to(p, zorder::coord_of(qlo)));
+        down_sweep_exclusive(machine, qlo, q, c, carried, identity, leaves, out, base, op);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zarray::{place_z, read_values};
+
+    fn run_scan(vals: Vec<i64>) -> (Machine, Vec<i64>) {
+        let mut m = Machine::new();
+        let n = vals.len();
+        let items = place_z(&mut m, 0, vals);
+        let out = scan(&mut m, 0, items, &|a, b| a + b);
+        assert_eq!(out.len(), n);
+        (m, read_values(out))
+    }
+
+    #[test]
+    fn scan_matches_sequential_prefix_sum() {
+        for &n in &[1usize, 4, 16, 64, 256, 1024] {
+            let vals: Vec<i64> = (0..n as i64).map(|i| (i * 7919) % 101 - 50).collect();
+            let mut expect = vals.clone();
+            for i in 1..n {
+                expect[i] += expect[i - 1];
+            }
+            let (_, got) = run_scan(vals);
+            assert_eq!(got, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn scan_results_stay_on_their_pe() {
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, (0..16i64).collect());
+        let locs: Vec<_> = items.iter().map(|t| t.loc()).collect();
+        let out = scan(&mut m, 0, items, &|a, b| a + b);
+        for (o, l) in out.iter().zip(locs) {
+            assert_eq!(o.loc(), l, "result must overwrite the input position");
+        }
+    }
+
+    #[test]
+    fn scan_energy_is_linear() {
+        // Lemma IV.3: O(n) energy.
+        for &n in &[64usize, 256, 1024, 4096] {
+            let (m, _) = run_scan((0..n as i64).collect());
+            assert!(
+                m.energy() <= 12 * n as u64,
+                "n = {n}: energy {} > {}",
+                m.energy(),
+                12 * n
+            );
+        }
+    }
+
+    #[test]
+    fn scan_depth_is_logarithmic() {
+        for &n in &[64usize, 1024, 4096] {
+            let (m, _) = run_scan((0..n as i64).collect());
+            let bound = 8 * (n as f64).log2() as u64 + 8;
+            assert!(m.report().depth <= bound, "n = {n}: depth {} > {bound}", m.report().depth);
+        }
+    }
+
+    #[test]
+    fn scan_distance_is_order_sqrt_n() {
+        for &n in &[256usize, 4096] {
+            let (m, _) = run_scan((0..n as i64).collect());
+            let bound = 16 * (n as f64).sqrt() as u64;
+            assert!(
+                m.report().distance <= bound,
+                "n = {n}: distance {} > {bound}",
+                m.report().distance
+            );
+        }
+    }
+
+    #[test]
+    fn scan_on_offset_aligned_segment() {
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 64, (1..=16i64).collect());
+        let out = scan(&mut m, 64, items, &|a, b| a + b);
+        let got = read_values(out);
+        let expect: Vec<i64> = (1..=16i64).scan(0, |s, x| { *s += x; Some(*s) }).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn scan_with_non_commutative_operator() {
+        // String concatenation is associative but not commutative: the scan
+        // must preserve Z-curve order.
+        let mut m = Machine::new();
+        let letters: Vec<String> = "abcdefghijklmnop".chars().map(|c| c.to_string()).collect();
+        let items = place_z(&mut m, 0, letters);
+        let out = scan(&mut m, 0, items, &|a: &String, b: &String| format!("{a}{b}"));
+        let got = read_values(out);
+        assert_eq!(got[0], "a");
+        assert_eq!(got[3], "abcd");
+        assert_eq!(got[15], "abcdefghijklmnop");
+    }
+
+    #[test]
+    fn exclusive_scan_shifts_by_one() {
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, vec![3i64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3]);
+        let out = scan_exclusive(&mut m, 0, items, 0, &|a, b| a + b);
+        let got = read_values(out);
+        let vals = [3i64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3];
+        let mut expect = vec![0i64];
+        for i in 0..15 {
+            expect.push(expect[i] + vals[i]);
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn scan_memory_stays_constant_per_pe() {
+        // Paper: "each processor stores at most 2 values of the summation
+        // tree" — allow a small constant for carries in flight.
+        let mut m = Machine::new();
+        m.enable_memory_meter();
+        let items = place_z(&mut m, 0, (0..256i64).collect());
+        let out = scan(&mut m, 0, items, &|a, b| a + b);
+        assert!(m.memory().unwrap().peak() <= 6, "peak {}", m.memory().unwrap().peak());
+        for o in out {
+            m.discard(o);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of 4")]
+    fn scan_rejects_non_power_of_four() {
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, vec![1i64, 2, 3, 4, 5, 6, 7, 8]);
+        let _ = scan(&mut m, 0, items, &|a, b| a + b);
+    }
+
+    #[test]
+    fn scan_any_handles_arbitrary_lengths() {
+        for n in [1usize, 2, 3, 7, 8, 13, 100, 257, 1000] {
+            let vals: Vec<i64> = (0..n as i64).map(|i| (i * 7) % 13 - 6).collect();
+            let mut expect = vals.clone();
+            for i in 1..n {
+                expect[i] += expect[i - 1];
+            }
+            let mut m = Machine::new();
+            let items = place_z(&mut m, 0, vals);
+            let got = read_values(scan_any(&mut m, 0, items, &|a, b| a + b));
+            assert_eq!(got, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn scan_any_on_unaligned_start() {
+        // lo = 4 with len = 24: blocks (4,4), (8,8), (16,12→(16,4)+(20,4)+(24,4))…
+        let n = 24usize;
+        let vals: Vec<i64> = (1..=n as i64).collect();
+        let mut expect = vals.clone();
+        for i in 1..n {
+            expect[i] += expect[i - 1];
+        }
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 4, vals);
+        let got = read_values(scan_any(&mut m, 4, items, &|a, b| a + b));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn scan_any_energy_stays_linear() {
+        let n = 3000usize;
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, vec![1i64; n]);
+        let _ = scan_any(&mut m, 0, items, &|a, b| a + b);
+        assert!(m.energy() <= 24 * n as u64, "energy {}", m.energy());
+    }
+
+    #[test]
+    fn scan_any_with_non_commutative_operator() {
+        let n = 21usize;
+        let letters: Vec<String> = (0..n).map(|i| ((b'a' + (i % 26) as u8) as char).to_string()).collect();
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, letters.clone());
+        let got = read_values(scan_any(&mut m, 0, items, &|a: &String, b: &String| format!("{a}{b}")));
+        assert_eq!(got[n - 1], letters.concat());
+        assert_eq!(got[2], letters[..3].concat());
+    }
+}

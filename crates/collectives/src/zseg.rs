@@ -1,0 +1,179 @@
+//! Collectives over arbitrary Z-curve segments.
+//!
+//! Arrays in this codebase live on contiguous ranges `[lo, hi)` of the global
+//! Z-order curve (see DESIGN.md). Such a range decomposes into `O(log L)`
+//! aligned power-of-four blocks, each an axis-aligned square; the block sides
+//! first grow then shrink, so chaining block corners costs `O(√L)` distance
+//! and the per-block quadrant trees give `O(L)` total energy at `O(log L)`
+//! depth — the same bounds as the square-subgrid collectives.
+
+use spatial_model::{zorder, Machine, Tracked};
+
+/// Broadcasts `root` to every cell of the Z-range `[lo, hi)`.
+///
+/// Returns one value per cell, indexed by Z-offset (`out[i]` lives at
+/// Z-index `lo + i`). The root may start anywhere; it is first moved to
+/// `coord_of(lo)`.
+pub fn broadcast_z<T: Clone>(machine: &mut Machine, root: Tracked<T>, lo: u64, hi: u64) -> Vec<Tracked<T>> {
+    assert!(lo < hi, "empty Z range");
+    let mut out: Vec<Option<Tracked<T>>> = (0..(hi - lo)).map(|_| None).collect();
+    let mut carrier = machine.move_to(root, zorder::coord_of(lo));
+    let blocks = zorder::aligned_blocks(lo, hi);
+    for (bi, &(start, len)) in blocks.iter().enumerate() {
+        let here = machine.move_to(carrier, zorder::coord_of(start));
+        // Hand the value to the next block corner before filling this block,
+        // so the inter-block chain is only O(#blocks) messages long.
+        carrier = if bi + 1 < blocks.len() {
+            machine.send(&here, zorder::coord_of(blocks[bi + 1].0))
+        } else {
+            here.duplicate()
+        };
+        bcast_block(machine, here, start, len, lo, &mut out);
+    }
+    machine.discard(carrier);
+    out.into_iter().map(|o| o.expect("broadcast_z missed a cell")).collect()
+}
+
+fn bcast_block<T: Clone>(
+    machine: &mut Machine,
+    root: Tracked<T>,
+    start: u64,
+    len: u64,
+    base: u64,
+    out: &mut [Option<Tracked<T>>],
+) {
+    debug_assert_eq!(root.loc(), zorder::coord_of(start));
+    if len == 1 {
+        out[(start - base) as usize] = Some(root);
+        return;
+    }
+    let q = len / 4;
+    let copies: Vec<Tracked<T>> = (1..4)
+        .map(|i| machine.send(&root, zorder::coord_of(start + i * q)))
+        .collect();
+    bcast_block(machine, root, start, q, base, out);
+    for (i, c) in copies.into_iter().enumerate() {
+        bcast_block(machine, c, start + (i as u64 + 1) * q, q, base, out);
+    }
+}
+
+/// Reduces one value per cell of the Z-range `[lo, hi)` (indexed by
+/// Z-offset) onto the range's first cell.
+pub fn reduce_z<T: Clone>(
+    machine: &mut Machine,
+    items: Vec<Tracked<T>>,
+    lo: u64,
+    op: &impl Fn(&T, &T) -> T,
+) -> Tracked<T> {
+    let hi = lo + items.len() as u64;
+    assert!(lo < hi, "empty Z range");
+    for (i, it) in items.iter().enumerate() {
+        debug_assert_eq!(it.loc(), zorder::coord_of(lo + i as u64), "item {i} off its Z-cell");
+    }
+    let mut slots: Vec<Option<Tracked<T>>> = items.into_iter().map(Some).collect();
+    // Reduce each aligned block onto its corner, then chain the corners
+    // back-to-front so the result lands on the first cell.
+    let blocks = zorder::aligned_blocks(lo, hi);
+    let mut acc: Option<Tracked<T>> = None;
+    for &(start, len) in blocks.iter().rev() {
+        let partial = reduce_block(machine, start, len, lo, &mut slots, op);
+        acc = Some(match acc {
+            None => partial,
+            Some(a) => {
+                let arrived = machine.send_owned(a, zorder::coord_of(start));
+                let combined = partial.zip_with(&arrived, |x, y| op(x, y));
+                machine.discard(partial);
+                machine.discard(arrived);
+                combined
+            }
+        });
+        if start != lo {
+            // keep the accumulator at the current block corner; the next
+            // (earlier) block will pull it over.
+        }
+    }
+    let res = acc.expect("non-empty range");
+    machine.move_to(res, zorder::coord_of(lo))
+}
+
+fn reduce_block<T: Clone>(
+    machine: &mut Machine,
+    start: u64,
+    len: u64,
+    base: u64,
+    slots: &mut [Option<Tracked<T>>],
+    op: &impl Fn(&T, &T) -> T,
+) -> Tracked<T> {
+    if len == 1 {
+        return slots[(start - base) as usize].take().expect("cell populated");
+    }
+    let q = len / 4;
+    let mut acc = reduce_block(machine, start, q, base, slots, op);
+    for i in 1..4 {
+        let partial = reduce_block(machine, start + i * q, q, base, slots, op);
+        let arrived = machine.send_owned(partial, zorder::coord_of(start));
+        let combined = acc.zip_with(&arrived, |x, y| op(x, y));
+        machine.discard(arrived);
+        machine.discard(std::mem::replace(&mut acc, combined));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zarray::place_z;
+
+    #[test]
+    fn broadcast_z_reaches_every_cell_of_unaligned_ranges() {
+        for &(lo, hi) in &[(0u64, 16u64), (3, 29), (17, 18), (5, 133), (64, 64 + 48)] {
+            let mut m = Machine::new();
+            let root = m.place(zorder::coord_of(lo), 7i64);
+            let out = broadcast_z(&mut m, root, lo, hi);
+            assert_eq!(out.len() as u64, hi - lo);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v.value(), 7);
+                assert_eq!(v.loc(), zorder::coord_of(lo + i as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_z_energy_is_linear() {
+        for &len in &[64u64, 256, 1024, 4096] {
+            let mut m = Machine::new();
+            let root = m.place(zorder::coord_of(0), 1u8);
+            let _ = broadcast_z(&mut m, root, 0, len);
+            assert!(m.energy() <= 6 * len, "len {len}: energy {}", m.energy());
+        }
+    }
+
+    #[test]
+    fn reduce_z_sums_unaligned_ranges() {
+        for &(lo, len) in &[(0u64, 16u64), (3, 29), (17, 1), (5, 133), (21, 100)] {
+            let mut m = Machine::new();
+            let vals: Vec<i64> = (0..len as i64).collect();
+            let items = place_z(&mut m, lo, vals);
+            let total = reduce_z(&mut m, items, lo, &|a, b| a + b);
+            assert_eq!(total.loc(), zorder::coord_of(lo));
+            assert_eq!(total.into_value(), (len as i64) * (len as i64 - 1) / 2, "lo={lo} len={len}");
+        }
+    }
+
+    #[test]
+    fn reduce_z_depth_is_logarithmic_for_aligned_ranges() {
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, vec![1i64; 1024]);
+        let _ = reduce_z(&mut m, items, 0, &|a, b| a + b);
+        assert!(m.report().depth <= 40, "depth {}", m.report().depth);
+    }
+
+    #[test]
+    fn broadcast_then_reduce_roundtrip() {
+        let mut m = Machine::new();
+        let root = m.place(zorder::coord_of(11), 3i64);
+        let out = broadcast_z(&mut m, root, 11, 91);
+        let total = reduce_z(&mut m, out, 11, &|a, b| a + b);
+        assert_eq!(total.into_value(), 3 * 80);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the collectives.
+
+use proptest::prelude::*;
+
+use collectives::zarray::{place_row_major, place_z, read_values};
+use collectives::{broadcast, reduce, scan, scan_exclusive, segmented_scan, SegItem};
+use collectives::zseg::{broadcast_z, reduce_z};
+use spatial_model::{Coord, Machine, SubGrid};
+
+/// Strategy: a power-of-four length in {4, 16, 64, 256}.
+fn pow4_len() -> impl Strategy<Value = usize> {
+    (1u32..=4).prop_map(|k| 4usize.pow(k))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scan_equals_sequential_prefix(len in pow4_len(), seed in 0i64..1000) {
+        let vals: Vec<i64> = (0..len as i64).map(|i| (i * 31 + seed) % 97 - 48).collect();
+        let mut expect = vals.clone();
+        for i in 1..len {
+            expect[i] += expect[i - 1];
+        }
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, vals);
+        let got = read_values(scan(&mut m, 0, items, &|a, b| a + b));
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn scan_with_max_operator(len in pow4_len(), vals_seed in 0i64..1000) {
+        let vals: Vec<i64> = (0..len as i64).map(|i| ((i * 67 + vals_seed) % 1009) - 500).collect();
+        let mut expect = vals.clone();
+        for i in 1..len {
+            expect[i] = expect[i].max(expect[i - 1]);
+        }
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, vals);
+        let got = read_values(scan(&mut m, 0, items, &|a, b| *a.max(b)));
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn exclusive_scan_is_shifted_inclusive(len in pow4_len(), seed in 0i64..100) {
+        let vals: Vec<i64> = (0..len as i64).map(|i| (i * 13 + seed) % 23).collect();
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, vals.clone());
+        let exc = read_values(scan_exclusive(&mut m, 0, items, 0, &|a, b| a + b));
+        let mut expect = vec![0i64];
+        for i in 0..len - 1 {
+            expect.push(expect[i] + vals[i]);
+        }
+        prop_assert_eq!(exc, expect);
+    }
+
+    #[test]
+    fn segmented_scan_matches_per_segment_reference(
+        len in pow4_len(),
+        head_mask in any::<u64>(),
+        seed in 0i64..100,
+    ) {
+        let vals: Vec<i64> = (0..len as i64).map(|i| (i * 7 + seed) % 11 - 5).collect();
+        let heads: Vec<bool> = (0..len).map(|i| i == 0 || (head_mask >> (i % 64)) & 1 == 1).collect();
+        let mut expect = Vec::with_capacity(len);
+        let mut acc = 0;
+        for i in 0..len {
+            acc = if heads[i] { vals[i] } else { acc + vals[i] };
+            expect.push(acc);
+        }
+        let mut m = Machine::new();
+        let items = place_z(
+            &mut m,
+            0,
+            vals.iter().zip(&heads).map(|(&v, &h)| SegItem::new(h, v)).collect(),
+        );
+        let got = read_values(segmented_scan(&mut m, 0, items, &|a, b| a + b));
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_pe_any_rectangle(h in 1u64..24, w in 1u64..24) {
+        let grid = SubGrid::new(Coord::ORIGIN, h, w);
+        let mut m = Machine::new();
+        let root = m.place(grid.origin, 77i64);
+        let out = broadcast(&mut m, root, grid);
+        prop_assert_eq!(out.len() as u64, h * w);
+        for (i, v) in out.iter().enumerate() {
+            prop_assert_eq!(*v.value(), 77);
+            prop_assert_eq!(v.loc(), grid.rm_coord(i as u64));
+        }
+    }
+
+    #[test]
+    fn reduce_equals_fold_any_rectangle(h in 1u64..24, w in 1u64..24, seed in 0i64..100) {
+        let grid = SubGrid::new(Coord::ORIGIN, h, w);
+        let n = (h * w) as i64;
+        let vals: Vec<i64> = (0..n).map(|i| (i * 17 + seed) % 101 - 50).collect();
+        let expect: i64 = vals.iter().sum();
+        let mut m = Machine::new();
+        let items = place_row_major(&mut m, grid, vals);
+        let got = reduce(&mut m, items, grid, &|a, b| a + b);
+        prop_assert_eq!(got.into_value(), expect);
+    }
+
+    #[test]
+    fn zseg_broadcast_and_reduce_roundtrip(lo in 0u64..512, len in 1u64..512) {
+        let mut m = Machine::new();
+        let root = m.place(spatial_model::zorder::coord_of(lo), 5i64);
+        let copies = broadcast_z(&mut m, root, lo, lo + len);
+        prop_assert_eq!(copies.len() as u64, len);
+        let total = reduce_z(&mut m, copies, lo, &|a, b| a + b);
+        prop_assert_eq!(total.into_value(), 5 * len as i64);
+    }
+
+    #[test]
+    fn scan_any_matches_prefix_for_arbitrary_lengths(
+        len in 1usize..600,
+        lo_blocks in 0u64..4,
+        seed in 0i64..100,
+    ) {
+        let lo = lo_blocks * 4; // any multiple of the smallest alignment
+        let vals: Vec<i64> = (0..len as i64).map(|i| (i * 37 + seed) % 19 - 9).collect();
+        let mut expect = vals.clone();
+        for i in 1..len {
+            expect[i] += expect[i - 1];
+        }
+        let mut m = Machine::new();
+        let items = place_z(&mut m, lo, vals);
+        let got = read_values(collectives::scan::scan_any(&mut m, lo, items, &|a, b| a + b));
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn scan_energy_linear_for_all_power_of_four(len in pow4_len()) {
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, vec![1i64; len]);
+        let _ = scan(&mut m, 0, items, &|a, b| a + b);
+        prop_assert!(m.energy() <= 12 * len as u64, "energy {} for n={}", m.energy(), len);
+    }
+}

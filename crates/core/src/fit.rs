@@ -1,0 +1,104 @@
+//! Log-log regression: empirical exponent estimation.
+//!
+//! The experiment harness validates polynomial bounds (`Θ(n)`, `Θ(n^{3/2})`,
+//! `Θ(√n)`) by fitting `log₂ y = e·log₂ n + c` over an `n`-sweep and
+//! comparing the fitted exponent `e` with the paper's; polylogarithmic
+//! bounds are validated by checking that `y / log^k n` stays bounded.
+
+/// Result of a least-squares fit in log-log space.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerFit {
+    /// Fitted exponent (slope in log-log space).
+    pub exponent: f64,
+    /// Fitted constant factor (`2^intercept`).
+    pub constant: f64,
+    /// Coefficient of determination of the log-log fit.
+    pub r2: f64,
+}
+
+/// Fits `y ≈ constant · x^exponent` by least squares on `(log₂ x, log₂ y)`.
+///
+/// # Panics
+/// Panics with fewer than two points or non-positive coordinates.
+pub fn fit_power(xs: &[f64], ys: &[f64]) -> PowerFit {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points to fit");
+    let pts: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            assert!(x > 0.0 && y > 0.0, "log-log fit needs positive data (x={x}, y={y})");
+            (x.log2(), y.log2())
+        })
+        .collect();
+    let n = pts.len() as f64;
+    let mx = pts.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pts.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = pts.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+    let sxy: f64 = pts.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let syy: f64 = pts.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+    assert!(sxx > 0.0, "x values must not all coincide");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    PowerFit { exponent: slope, constant: intercept.exp2(), r2 }
+}
+
+/// The ratios `y / log₂(x)^k` — bounded iff `y ∈ O(log^k x)`.
+pub fn polylog_ratios(xs: &[f64], ys: &[f64], k: u32) -> Vec<f64> {
+    xs.iter()
+        .zip(ys)
+        .map(|(&x, &y)| y / x.log2().powi(k as i32))
+        .collect()
+}
+
+/// Whether the tail of a ratio sequence is non-increasing up to `slack`
+/// (e.g. `1.10` allows 10% wobble) — the boundedness check for polylog
+/// claims.
+pub fn ratios_bounded(ratios: &[f64], slack: f64) -> bool {
+    ratios.windows(2).all(|w| w[1] <= w[0] * slack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_power_law_recovers_exponent() {
+        let xs: Vec<f64> = (4..12).map(|k| (1u64 << k) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.powf(1.5)).collect();
+        let fit = fit_power(&xs, &ys);
+        assert!((fit.exponent - 1.5).abs() < 1e-9, "{fit:?}");
+        assert!((fit.constant - 3.0).abs() < 1e-6, "{fit:?}");
+        assert!(fit.r2 > 0.999999);
+    }
+
+    #[test]
+    fn noisy_power_law_is_close() {
+        let xs: Vec<f64> = (4..14).map(|k| (1u64 << k) as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x.powf(1.0) * if i % 2 == 0 { 1.1 } else { 0.9 })
+            .collect();
+        let fit = fit_power(&xs, &ys);
+        assert!((fit.exponent - 1.0).abs() < 0.05, "{fit:?}");
+    }
+
+    #[test]
+    fn polylog_ratio_of_log_squared_is_flat() {
+        let xs: Vec<f64> = (4..14).map(|k| (1u64 << k) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 * x.log2() * x.log2()).collect();
+        let r = polylog_ratios(&xs, &ys, 2);
+        assert!(ratios_bounded(&r, 1.001), "{r:?}");
+        // But claiming only log^1 must fail (ratios grow).
+        let r1 = polylog_ratios(&xs, &ys, 1);
+        assert!(!ratios_bounded(&r1, 1.05), "{r1:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn rejects_single_point() {
+        let _ = fit_power(&[4.0], &[1.0]);
+    }
+}

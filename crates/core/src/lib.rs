@@ -1,0 +1,51 @@
+//! # spatial-core — energy-optimal spatial dataflow primitives
+//!
+//! The umbrella crate for this reproduction of *Energy-Optimal and Low-Depth
+//! Algorithmic Primitives for Spatial Dataflow Architectures* (Gianinazzi et
+//! al., IPDPS 2025). It re-exports the full toolchain and adds the
+//! paper-facing analysis utilities:
+//!
+//! * [`model`] — the Spatial Computer Model simulator (grid, Z-order curve,
+//!   exact energy/depth/distance accounting);
+//! * [`collectives`] — broadcast, reduce, all-reduce, energy-optimal scan,
+//!   segmented scan (§IV);
+//! * [`sortnet`] — bitonic networks and their grid execution (§V-B);
+//! * [`sorting`] — all-pairs sort, two-array rank selection, 2D mergesort,
+//!   permutation routing (§V);
+//! * [`selection`] — randomized linear-energy rank selection (§VI);
+//! * [`pram`] — EREW/CRCW PRAM simulation (§VII);
+//! * [`spmv`] — sparse matrix–vector multiplication (§VIII);
+//! * [`theory`] — closed-form predictors for every bound in Table I and the
+//!   section lemmas;
+//! * [`fit`] — log-log regression for empirical exponent estimation;
+//! * [`report`] — the paper-vs-measured tables printed by the benchmark
+//!   harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use spatial_core::model::Machine;
+//! use spatial_core::collectives::{place_z, read_values, scan};
+//!
+//! let mut machine = Machine::new();
+//! let items = place_z(&mut machine, 0, (1..=16i64).collect());
+//! let sums = scan(&mut machine, 0, items, &|a, b| a + b);
+//! assert_eq!(read_values(sums).last(), Some(&136));
+//! // Exact model costs of the scan:
+//! let cost = machine.report();
+//! assert!(cost.energy <= 12 * 16); // Θ(n) energy (Lemma IV.3)
+//! ```
+
+pub use collectives;
+pub use pram;
+pub use selection;
+pub use sortnet;
+pub use sorting;
+pub use spatial_model as model;
+pub use spmv;
+
+pub mod fit;
+pub mod groupby;
+pub mod report;
+pub mod theory;
+pub mod topk;

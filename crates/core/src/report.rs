@@ -1,0 +1,224 @@
+//! Paper-vs-measured reporting used by the benchmark harness.
+//!
+//! A [`Sweep`] collects `(n, Cost)` measurements for one algorithm; its
+//! report fits each metric's scaling exponent ([`crate::fit`]) and prints a
+//! row against the paper's claimed [`crate::theory::Shape`]s — the format
+//! EXPERIMENTS.md records.
+
+use spatial_model::Cost;
+
+use crate::fit::{fit_power, polylog_ratios, PowerFit};
+use crate::theory::{Metric, Shape};
+
+/// One measured point of a parameter sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    /// Input size.
+    pub n: u64,
+    /// Exact model cost at that size.
+    pub cost: Cost,
+}
+
+/// A named series of measurements over growing `n`.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    /// Algorithm / experiment name.
+    pub name: String,
+    /// Measurements in increasing `n`.
+    pub points: Vec<Point>,
+}
+
+impl Sweep {
+    /// Creates an empty sweep.
+    pub fn new(name: impl Into<String>) -> Self {
+        Sweep { name: name.into(), points: Vec::new() }
+    }
+
+    /// Records one measurement.
+    pub fn push(&mut self, n: u64, cost: Cost) {
+        self.points.push(Point { n, cost });
+    }
+
+    fn series(&self, metric: Metric) -> (Vec<f64>, Vec<f64>) {
+        let xs = self.points.iter().map(|p| p.n as f64).collect();
+        let ys = self
+            .points
+            .iter()
+            .map(|p| {
+                (match metric {
+                    Metric::Energy => p.cost.energy,
+                    Metric::Depth => p.cost.depth,
+                    Metric::Distance => p.cost.distance,
+                }) as f64
+            })
+            .collect();
+        (xs, ys)
+    }
+
+    /// Fits the scaling exponent of one metric over the sweep.
+    pub fn fit(&self, metric: Metric) -> PowerFit {
+        let (xs, ys) = self.series(metric);
+        fit_power(&xs, &ys)
+    }
+
+    /// `metric / log^k(n)` ratios (for polylog claims).
+    pub fn log_ratios(&self, metric: Metric, k: u32) -> Vec<f64> {
+        let (xs, ys) = self.series(metric);
+        polylog_ratios(&xs, &ys, k)
+    }
+
+    /// Fit over the larger-n half of the sweep (dodges small-n constants).
+    pub fn tail_fit(&self, metric: Metric) -> PowerFit {
+        let half = self.points.len() / 2;
+        let tail = Sweep { name: self.name.clone(), points: self.points[half.saturating_sub(1)..].to_vec() };
+        tail.fit(metric)
+    }
+
+    /// Verdict against a claimed upper-bound shape.
+    ///
+    /// The paper's bounds are upper bounds (`Θ` rows additionally match a
+    /// lower bound): measurements may undershoot but must not outgrow the
+    /// claim. Polynomial claims compare the tail-fitted exponent; polylog
+    /// claims require `metric / log^k n` to stay bounded.
+    pub fn conforms(&self, metric: Metric, claim: Shape, tol: f64) -> bool {
+        if claim.exponent > 0.0 {
+            self.tail_fit(metric).exponent <= claim.exponent + tol + claim.log_power as f64 * 0.15
+        } else {
+            let ratios = self.log_ratios(metric, claim.log_power);
+            crate::fit::ratios_bounded(&ratios[ratios.len() / 2..], 1.35)
+        }
+    }
+
+    /// Whether the measurement also *matches* the claim (the `Θ`-tightness
+    /// check): fitted exponent within `tol` of the claimed one.
+    pub fn tight(&self, metric: Metric, claim: Shape, tol: f64) -> bool {
+        claim.exponent > 0.0
+            && (self.tail_fit(metric).exponent - claim.exponent).abs() <= tol + claim.log_power as f64 * 0.15
+    }
+
+    /// One formatted report line per metric, e.g. for table printing.
+    pub fn report_lines(&self, claims: [(Metric, Shape); 3]) -> Vec<String> {
+        claims
+            .into_iter()
+            .map(|(metric, claim)| {
+                let verdict = if !self.conforms(metric, claim, 0.15) {
+                    "EXCEEDS BOUND"
+                } else if claim.exponent > 0.0 && self.tight(metric, claim, 0.15) {
+                    "OK, TIGHT"
+                } else if claim.exponent > 0.0 {
+                    "OK (below bound at these n)"
+                } else {
+                    "OK"
+                };
+                if claim.exponent > 0.0 {
+                    let fit = self.fit(metric);
+                    let tail = self.tail_fit(metric);
+                    format!(
+                        "{:<24} {:<9} paper={:<12} fitted n^{:.2} (tail n^{:.2}, r²={:.3})  [{}]",
+                        self.name,
+                        metric_name(metric),
+                        claim.label(),
+                        fit.exponent,
+                        tail.exponent,
+                        fit.r2,
+                        verdict
+                    )
+                } else {
+                    let ratios = self.log_ratios(metric, claim.log_power);
+                    format!(
+                        "{:<24} {:<9} paper={:<12} ratio/log^{}: {:.2} -> {:.2}  [{}]",
+                        self.name,
+                        metric_name(metric),
+                        claim.label(),
+                        claim.log_power,
+                        ratios.first().copied().unwrap_or(f64::NAN),
+                        ratios.last().copied().unwrap_or(f64::NAN),
+                        verdict
+                    )
+                }
+            })
+            .collect()
+    }
+
+    /// Raw measurement rows (`n energy depth distance messages`).
+    pub fn raw_rows(&self) -> Vec<String> {
+        self.points
+            .iter()
+            .map(|p| {
+                format!(
+                    "  n={:<9} energy={:<13} depth={:<6} distance={:<8} messages={}",
+                    p.n, p.cost.energy, p.cost.depth, p.cost.distance, p.cost.messages
+                )
+            })
+            .collect()
+    }
+}
+
+fn metric_name(m: Metric) -> &'static str {
+    match m {
+        Metric::Energy => "energy",
+        Metric::Depth => "depth",
+        Metric::Distance => "distance",
+    }
+}
+
+/// Prints a titled section to stdout (benchmark binaries' house style).
+pub fn print_section(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory::shape;
+
+    fn synthetic_sweep(f: impl Fn(u64) -> u64) -> Sweep {
+        let mut s = Sweep::new("synthetic");
+        for k in 3..10 {
+            let n = 1u64 << (2 * k);
+            s.push(
+                n,
+                Cost { energy: f(n), depth: (n as f64).log2() as u64, distance: (n as f64).sqrt() as u64, messages: n },
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn linear_energy_conforms_to_linear_claim() {
+        let s = synthetic_sweep(|n| 7 * n);
+        assert!(s.conforms(Metric::Energy, shape(1.0, 0), 0.05));
+        assert!(s.tight(Metric::Energy, shape(1.0, 0), 0.05));
+        // A linear measurement sits *below* an n^1.5 upper bound: it
+        // conforms but is not tight.
+        assert!(s.conforms(Metric::Energy, shape(1.5, 0), 0.05));
+        assert!(!s.tight(Metric::Energy, shape(1.5, 0), 0.05));
+    }
+
+    #[test]
+    fn three_halves_energy_detected() {
+        let s = synthetic_sweep(|n| ((n as f64).powf(1.5) * 2.0) as u64);
+        assert!(s.conforms(Metric::Energy, shape(1.5, 0), 0.05));
+        assert!(!s.conforms(Metric::Energy, shape(1.0, 0), 0.05));
+    }
+
+    #[test]
+    fn log_depth_conforms_to_polylog_claim() {
+        let s = synthetic_sweep(|n| n);
+        assert!(s.conforms(Metric::Depth, shape(0.0, 1), 0.05));
+    }
+
+    #[test]
+    fn report_lines_render() {
+        let s = synthetic_sweep(|n| n);
+        let lines = s.report_lines([
+            (Metric::Energy, shape(1.0, 0)),
+            (Metric::Depth, shape(0.0, 1)),
+            (Metric::Distance, shape(0.5, 0)),
+        ]);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("OK"), "{}", lines[0]);
+        assert!(lines[1].contains("ratio"), "{}", lines[1]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Closed-form predictors for the paper's bounds (Table I and the lemmas).
+//!
+//! Each predictor states the *shape* the paper proves; the experiment
+//! harness fits measured data against these shapes. Polynomial exponents are
+//! the theorems' exact values; constant factors are free (the model hides
+//! them) and estimated by the fit.
+
+/// The cost metric a bound speaks about.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Metric {
+    /// Total message-distance (network load).
+    Energy,
+    /// Longest chain of dependent messages.
+    Depth,
+    /// Largest total distance along a chain.
+    Distance,
+}
+
+/// An asymptotic shape `n^exponent · log₂(n)^log_power`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Shape {
+    /// Polynomial exponent of `n`.
+    pub exponent: f64,
+    /// Power of `log₂ n`.
+    pub log_power: u32,
+}
+
+impl Shape {
+    /// Evaluates the shape (constant factor 1) at `n`.
+    pub fn eval(&self, n: f64) -> f64 {
+        n.powf(self.exponent) * n.log2().max(1.0).powi(self.log_power as i32)
+    }
+
+    /// Human-readable form, e.g. `n^1.5·log³n`.
+    #[allow(clippy::redundant_guards)] // float literal patterns are not allowed
+    pub fn label(&self) -> String {
+        let poly = match self.exponent {
+            e if e == 0.0 => String::new(),
+            e if e == 0.5 => "√n".to_string(),
+            e if e == 1.0 => "n".to_string(),
+            e if e == 1.5 => "n^1.5".to_string(),
+            e => format!("n^{e}"),
+        };
+        let log = match self.log_power {
+            0 => String::new(),
+            1 => "log n".to_string(),
+            k => format!("log^{k} n"),
+        };
+        match (poly.is_empty(), log.is_empty()) {
+            (false, false) => format!("{poly}·{log}"),
+            (false, true) => poly,
+            (true, false) => log,
+            (true, true) => "1".to_string(),
+        }
+    }
+}
+
+/// Shorthand constructor.
+pub const fn shape(exponent: f64, log_power: u32) -> Shape {
+    Shape { exponent, log_power }
+}
+
+/// Table I, row *Parallel Scan*: `Θ(n)` energy, `O(log n)` depth, `Θ(√n)`
+/// distance (Lemma IV.3).
+pub fn scan_bound(metric: Metric) -> Shape {
+    match metric {
+        Metric::Energy => shape(1.0, 0),
+        Metric::Depth => shape(0.0, 1),
+        Metric::Distance => shape(0.5, 0),
+    }
+}
+
+/// Table I, row *Sorting*: `Θ(n^{3/2})` energy, `O(log³ n)` depth, `Θ(√n)`
+/// distance (Theorem V.8).
+pub fn sorting_bound(metric: Metric) -> Shape {
+    match metric {
+        Metric::Energy => shape(1.5, 0),
+        Metric::Depth => shape(0.0, 3),
+        Metric::Distance => shape(0.5, 0),
+    }
+}
+
+/// Table I, row *Rank Selection*: `Θ(n)` energy, `O(log² n)` depth, `Θ(√n)`
+/// distance, w.h.p. (Theorem VI.3).
+pub fn selection_bound(metric: Metric) -> Shape {
+    match metric {
+        Metric::Energy => shape(1.0, 0),
+        Metric::Depth => shape(0.0, 2),
+        Metric::Distance => shape(0.5, 0),
+    }
+}
+
+/// Table I, row *SpMV*: `Θ(m^{3/2})` energy, `O(log³ n)` depth, `Θ(√m)`
+/// distance (Theorem VIII.2).
+pub fn spmv_bound(metric: Metric) -> Shape {
+    match metric {
+        Metric::Energy => shape(1.5, 0),
+        Metric::Depth => shape(0.0, 3),
+        Metric::Distance => shape(0.5, 0),
+    }
+}
+
+/// Lemma V.4: Bitonic Sort on a square grid — `Θ(n^{3/2} log n)` energy,
+/// `Θ(log² n)` depth, `Θ(√n log n)` distance.
+pub fn bitonic_sort_bound(metric: Metric) -> Shape {
+    match metric {
+        Metric::Energy => shape(1.5, 1),
+        Metric::Depth => shape(0.0, 2),
+        Metric::Distance => shape(0.5, 1),
+    }
+}
+
+/// Lemma V.5: All-Pairs Sort — `O(n^{5/2})` energy, `O(log n)` depth,
+/// `O(n)` distance.
+pub fn allpairs_bound(metric: Metric) -> Shape {
+    match metric {
+        Metric::Energy => shape(2.5, 0),
+        Metric::Depth => shape(0.0, 1),
+        Metric::Distance => shape(1.0, 0),
+    }
+}
+
+/// Lemma V.6: rank selection in two sorted arrays — `O(n^{5/4})` energy.
+pub fn rank2_bound(metric: Metric) -> Shape {
+    match metric {
+        Metric::Energy => shape(1.25, 0),
+        Metric::Depth => shape(0.0, 1),
+        Metric::Distance => shape(0.5, 0),
+    }
+}
+
+/// Lemma V.7: 2D merge — `O(n^{3/2})` energy, `O(log² n)` depth.
+pub fn merge_bound(metric: Metric) -> Shape {
+    match metric {
+        Metric::Energy => shape(1.5, 0),
+        Metric::Depth => shape(0.0, 2),
+        Metric::Distance => shape(0.5, 0),
+    }
+}
+
+/// Lemma IV.1 / Corollary IV.2 on a square subgrid: `O(n)` energy,
+/// `O(log n)` depth, `O(√n)` distance.
+pub fn collective_bound(metric: Metric) -> Shape {
+    scan_bound(metric)
+}
+
+/// The naive row-major binary-tree collectives: `Θ(n log n)` energy.
+pub fn naive_collective_bound(metric: Metric) -> Shape {
+    match metric {
+        Metric::Energy => shape(1.0, 1),
+        Metric::Depth => shape(0.0, 1),
+        Metric::Distance => shape(0.5, 1),
+    }
+}
+
+/// Lemma V.1 permutation lower bound on an `h × w` grid.
+pub fn permutation_lower_bound(h: u64, w: u64) -> u64 {
+    let (mx, mn) = (h.max(w), h.min(w));
+    mx * mx * mn / 9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_render() {
+        assert_eq!(sorting_bound(Metric::Energy).label(), "n^1.5");
+        assert_eq!(sorting_bound(Metric::Depth).label(), "log^3 n");
+        assert_eq!(scan_bound(Metric::Distance).label(), "√n");
+        assert_eq!(bitonic_sort_bound(Metric::Energy).label(), "n^1.5·log n");
+        assert_eq!(shape(0.0, 0).label(), "1");
+    }
+
+    #[test]
+    fn eval_matches_formula() {
+        let s = shape(1.5, 1);
+        let n = 1024.0f64;
+        assert!((s.eval(n) - n.powf(1.5) * 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sorting_beats_bitonic_asymptotically() {
+        // The Θ(log n) separation the paper proves (§V discussion).
+        let n = 1u64 << 20;
+        let merge = sorting_bound(Metric::Energy).eval(n as f64);
+        let bitonic = bitonic_sort_bound(Metric::Energy).eval(n as f64);
+        assert!(bitonic / merge > 10.0);
+    }
+
+    #[test]
+    fn selection_beats_sorting_polynomially() {
+        let n = 1u64 << 20;
+        let sel = selection_bound(Metric::Energy).eval(n as f64);
+        let sort = sorting_bound(Metric::Energy).eval(n as f64);
+        assert!(sort / sel > 500.0);
+    }
+
+    #[test]
+    fn permutation_bound_is_square_symmetric() {
+        assert_eq!(permutation_lower_bound(8, 4), permutation_lower_bound(4, 8));
+        assert!(permutation_lower_bound(64, 64) > permutation_lower_bound(32, 32));
+    }
+}

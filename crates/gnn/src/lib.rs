@@ -1,0 +1,389 @@
+//! # Graph neural network layers on the Spatial Computer Model
+//!
+//! The paper's introduction motivates its primitives with graph neural
+//! networks — in particular *sort pooling* layers \[16\], which "rely on
+//! sorting as a critical operation for feature extraction". This crate
+//! composes the reproduced primitives into the two layers such a network
+//! needs, with every communication charged to the machine:
+//!
+//! * [`GraphConv`] — mean-style neighbourhood aggregation
+//!   `H' = σ(Â·H·W + b)`: the sparse propagation `Â·H` runs one low-depth
+//!   SpMV (Theorem VIII.2) per feature channel; the dense `·W` and the
+//!   activation are PE-local (each node's feature vector lives on its PE).
+//! * [`SortPooling`] — keep the `k` nodes with the largest readout channel,
+//!   in sorted order: rank selection (§VI) + compaction + a small 2D
+//!   mergesort, i.e. `O(n + k^{3/2})` energy instead of the `Θ(n^{3/2})` a
+//!   full sort would cost.
+//!
+//! Feature vectors have a small constant width `d`, so a node's features
+//! respect the model's O(1) words per PE.
+
+use spatial_model::{zorder, Machine, Tracked};
+
+use sorting::keyed::Keyed;
+use spmv::{spmv_multi, Coo};
+
+/// An `n × d` feature matrix: node `i`'s feature vector resides on the PE at
+/// Z-index `lo + i`.
+pub struct Features {
+    lo: u64,
+    d: usize,
+    rows: Vec<Tracked<Vec<f64>>>,
+}
+
+impl Features {
+    /// Places the rows (all of width `d`) on the Z-segment `[lo, lo + n)`.
+    pub fn place(machine: &mut Machine, lo: u64, rows: Vec<Vec<f64>>) -> Self {
+        assert!(!rows.is_empty(), "empty feature matrix");
+        let d = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == d), "ragged feature matrix");
+        let rows = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| machine.place(zorder::coord_of(lo + i as u64), r))
+            .collect();
+        Features { lo, d, rows }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the matrix has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Feature width.
+    pub fn width(&self) -> usize {
+        self.d
+    }
+
+    /// Host view of the matrix.
+    pub fn values(&self) -> Vec<Vec<f64>> {
+        self.rows.iter().map(|r| r.value().clone()).collect()
+    }
+}
+
+/// A graph-convolution layer `H' = relu(Â·H·W + b)` (optionally linear).
+pub struct GraphConv {
+    /// `d_in × d_out` weights (column-major by output).
+    pub weights: Vec<Vec<f64>>,
+    /// Per-output-channel bias.
+    pub bias: Vec<f64>,
+    /// Apply ReLU after the affine map.
+    pub relu: bool,
+}
+
+impl GraphConv {
+    /// Builds a layer; `weights[i][o]` maps input channel `i` to output `o`.
+    pub fn new(weights: Vec<Vec<f64>>, bias: Vec<f64>, relu: bool) -> Self {
+        assert!(!weights.is_empty());
+        let d_out = bias.len();
+        assert!(weights.iter().all(|r| r.len() == d_out), "weight shape mismatch");
+        GraphConv { weights, bias, relu }
+    }
+
+    /// Applies the layer: one SpMV per input channel for `Â·H`, then the
+    /// PE-local affine map and activation.
+    ///
+    /// `adj` is the (normalized) propagation matrix `Â` with
+    /// `adj.n_rows == adj.n_cols == h.len()`.
+    #[allow(clippy::needless_range_loop)] // channel indices address parallel arrays
+    pub fn forward(&self, machine: &mut Machine, adj: &Coo<f64>, h: &Features) -> Features {
+        let n = h.len();
+        let d_in = h.width();
+        let d_out = self.bias.len();
+        assert_eq!(adj.n_rows, n);
+        assert_eq!(adj.n_cols, n);
+        assert_eq!(self.weights.len(), d_in, "weight shape mismatch");
+
+        // Â·H in one multi-vector SpMV pass (citation [13]): the two sorts
+        // and scans are shared across all d_in channels.
+        let xs: Vec<Vec<f64>> = (0..d_in)
+            .map(|c| h.rows.iter().map(|r| r.value()[c]).collect())
+            .collect();
+        let (ys, _) = spmv_multi(machine, adj, &xs);
+        let mut agg: Vec<Vec<f64>> = vec![vec![0.0; d_in]; n];
+        for c in 0..d_in {
+            for (i, &v) in ys[c].iter().enumerate() {
+                agg[i][c] = v;
+            }
+        }
+        // The aggregated channels are delivered back onto the node PEs by
+        // the SpMV's gather step; combine them locally with the dense map.
+        let rows: Vec<Tracked<Vec<f64>>> = h
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, old)| {
+                let mut out_row = self.bias.clone();
+                for (ci, w_row) in self.weights.iter().enumerate() {
+                    for (co, w) in w_row.iter().enumerate() {
+                        out_row[co] += agg[i][ci] * w;
+                    }
+                }
+                if self.relu {
+                    for v in &mut out_row {
+                        *v = v.max(0.0);
+                    }
+                }
+                old.with_value(out_row)
+            })
+            .collect();
+        Features { lo: h.lo, d: d_out, rows }
+    }
+}
+
+/// Sort pooling: keep the `k` nodes with the largest *readout channel*
+/// (the last feature), ordered ascending by that channel.
+pub struct SortPooling {
+    /// Number of nodes to keep.
+    pub k: u64,
+    /// RNG seed for the rank selection.
+    pub seed: u64,
+}
+
+impl SortPooling {
+    /// Applies the pooling; returns the `k` kept feature rows in readout
+    /// order (resident on a compact segment).
+    pub fn forward(&self, machine: &mut Machine, h: &Features) -> Vec<Vec<f64>> {
+        let n = h.len() as u64;
+        assert!(self.k >= 1 && self.k <= n, "k out of range");
+        // Scored items: (readout, uid) keys with the full row riding along.
+        let scored: Vec<Tracked<Keyed<ScoredRow>>> = h
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.duplicate().map(|row| {
+                    let score = ordered::F64(*row.last().expect("non-empty row"));
+                    Keyed::new(ScoredRow { score, row }, i as u64)
+                })
+            })
+            .collect();
+        // Select the k-th largest score, filter, compact, sort — via the
+        // spatial-core top-k primitive.
+        let kept = spatial_core::topk::top_k(machine, h.lo, scored, self.k, self.seed);
+        kept.into_iter().map(|t| t.into_value().key.row).collect()
+    }
+}
+
+/// A feature row ordered by its readout score (ties broken by the outer
+/// [`Keyed`] uid, so the score-only equivalence is harmless).
+#[derive(Clone, Debug)]
+struct ScoredRow {
+    score: ordered::F64,
+    row: Vec<f64>,
+}
+impl PartialEq for ScoredRow {
+    fn eq(&self, o: &Self) -> bool {
+        self.score == o.score // consistent with the score-only Ord
+    }
+}
+impl Eq for ScoredRow {}
+impl Ord for ScoredRow {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        self.score.cmp(&o.score)
+    }
+}
+impl PartialOrd for ScoredRow {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+
+/// Total-ordered f64 wrapper (scores are finite by construction).
+pub mod ordered {
+    /// An `f64` with `Ord` via IEEE total ordering. Panics on NaN input at
+    /// comparison time would be silent; construction is the caller's
+    /// responsibility (GNN activations keep values finite).
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    pub struct F64(pub f64);
+    impl Eq for F64 {}
+    impl Ord for F64 {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&o.0)
+        }
+    }
+    impl PartialOrd for F64 {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+}
+
+/// A whole sort-pooling network: conv layers followed by pooling.
+pub struct SortPoolNet {
+    /// The stacked convolution layers.
+    pub layers: Vec<GraphConv>,
+    /// The final pooling.
+    pub pooling: SortPooling,
+}
+
+impl SortPoolNet {
+    /// Runs the full forward pass; returns the pooled `k × d` block.
+    pub fn forward(&self, machine: &mut Machine, adj: &Coo<f64>, input: Features) -> Vec<Vec<f64>> {
+        let mut h = input;
+        for layer in &self.layers {
+            h = layer.forward(machine, adj, &h);
+        }
+        self.pooling.forward(machine, &h)
+    }
+}
+
+/// Host reference of [`GraphConv::forward`] for testing.
+#[allow(clippy::needless_range_loop)]
+pub fn reference_conv(adj: &Coo<f64>, h: &[Vec<f64>], layer: &GraphConv) -> Vec<Vec<f64>> {
+    let n = h.len();
+    let d_in = h[0].len();
+    let d_out = layer.bias.len();
+    let mut agg = vec![vec![0.0; d_in]; n];
+    for c in 0..d_in {
+        let x: Vec<f64> = h.iter().map(|r| r[c]).collect();
+        let y = adj.multiply_dense(&x);
+        for i in 0..n {
+            agg[i][c] = y[i];
+        }
+    }
+    (0..n)
+        .map(|i| {
+            let mut row = layer.bias.clone();
+            for ci in 0..d_in {
+                for co in 0..d_out {
+                    row[co] += agg[i][ci] * layer.weights[ci][co];
+                }
+            }
+            if layer.relu {
+                for v in &mut row {
+                    *v = v.max(0.0);
+                }
+            }
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sorting::mergesort::sort_z;
+
+    fn line_graph(n: usize) -> Coo<f64> {
+        // Symmetric path graph with self-loops, row-normalized.
+        let mut entries = Vec::new();
+        for i in 0..n {
+            let mut nbrs = vec![i];
+            if i > 0 {
+                nbrs.push(i - 1);
+            }
+            if i + 1 < n {
+                nbrs.push(i + 1);
+            }
+            let w = 1.0 / nbrs.len() as f64;
+            for j in nbrs {
+                entries.push((i as u32, j as u32, w));
+            }
+        }
+        Coo::new(n, n, entries)
+    }
+
+    fn input_features(n: usize, d: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| (0..d).map(|c| ((i * 7 + c * 3) % 11) as f64 - 5.0).collect()).collect()
+    }
+
+    #[test]
+    fn conv_matches_host_reference() {
+        let n = 32;
+        let adj = line_graph(n);
+        let h = input_features(n, 3);
+        let layer = GraphConv::new(
+            vec![vec![0.5, -0.25], vec![1.0, 0.5], vec![-0.5, 1.0]],
+            vec![0.1, -0.1],
+            true,
+        );
+        let mut m = Machine::new();
+        let feats = Features::place(&mut m, 0, h.clone());
+        let out = layer.forward(&mut m, &adj, &feats);
+        let expect = reference_conv(&adj, &h, &layer);
+        for (a, b) in out.values().iter().zip(&expect) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+            }
+        }
+        assert_eq!(out.width(), 2);
+        assert!(m.energy() > 0);
+    }
+
+    #[test]
+    fn relu_clamps_negative_channels() {
+        let n = 8;
+        let adj = line_graph(n);
+        let h = input_features(n, 2);
+        let layer = GraphConv::new(vec![vec![-10.0], vec![-10.0]], vec![0.0], true);
+        let mut m = Machine::new();
+        let feats = Features::place(&mut m, 0, h);
+        let out = layer.forward(&mut m, &adj, &feats);
+        assert!(out.values().iter().all(|r| r[0] >= 0.0));
+    }
+
+    #[test]
+    fn sort_pooling_keeps_top_k_by_readout() {
+        let n = 64usize;
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, ((i * 13) % 64) as f64]).collect();
+        let mut m = Machine::new();
+        let feats = Features::place(&mut m, 0, rows.clone());
+        let pooled = SortPooling { k: 8, seed: 3 }.forward(&mut m, &feats);
+        // Expected: the 8 rows with the largest readout (second channel).
+        let mut by_score = rows.clone();
+        by_score.sort_by(|a, b| a[1].total_cmp(&b[1]));
+        let expect: Vec<Vec<f64>> = by_score[n - 8..].to_vec();
+        assert_eq!(pooled, expect);
+    }
+
+    #[test]
+    fn full_network_runs_end_to_end() {
+        let n = 64usize;
+        let adj = line_graph(n);
+        let h = input_features(n, 3);
+        let net = SortPoolNet {
+            layers: vec![
+                GraphConv::new(vec![vec![0.3, 0.7], vec![-0.2, 0.4], vec![0.5, -0.5]], vec![0.0, 0.0], true),
+                GraphConv::new(vec![vec![1.0, 0.0], vec![0.0, 1.0]], vec![0.0, 0.5], false),
+            ],
+            pooling: SortPooling { k: 16, seed: 1 },
+        };
+        let mut m = Machine::new();
+        let feats = Features::place(&mut m, 0, h.clone());
+        let pooled = net.forward(&mut m, &adj, feats);
+        assert_eq!(pooled.len(), 16);
+        // Host cross-check: replay both conv layers then pool.
+        let h1 = reference_conv(&adj, &h, &net.layers[0]);
+        let h2 = reference_conv(&adj, &h1, &net.layers[1]);
+        let mut by_score = h2.clone();
+        by_score.sort_by(|a, b| a.last().unwrap().total_cmp(b.last().unwrap()));
+        let expect: Vec<Vec<f64>> = by_score[n - 16..].to_vec();
+        assert_eq!(pooled, expect);
+        // Pooled rows come out ordered by readout.
+        assert!(pooled.windows(2).all(|w| w[0].last() <= w[1].last()));
+    }
+
+    #[test]
+    fn pooling_is_cheaper_than_sorting_all_nodes() {
+        let n = 4096usize;
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![((i * 48271) % 65521) as f64]).collect();
+        let mut m1 = Machine::new();
+        let feats = Features::place(&mut m1, 0, rows.clone());
+        let _ = SortPooling { k: 32, seed: 5 }.forward(&mut m1, &feats);
+
+        let mut m2 = Machine::new();
+        let items = collectives::zarray::place_z(
+            &mut m2,
+            0,
+            rows.iter().enumerate().map(|(i, r)| Keyed::new(ordered::F64(r[0]), i as u64)).collect(),
+        );
+        let _ = sort_z(&mut m2, 0, items);
+        assert!(m1.energy() * 3 < m2.energy(), "pooling {} vs sort {}", m1.energy(), m2.energy());
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for the GNN layers.
+
+use proptest::prelude::*;
+
+use gnn::{reference_conv, Features, GraphConv, SortPooling};
+use spatial_model::Machine;
+use spmv::Coo;
+
+/// Strategy: a small graph (adjacency with unit-ish weights) + features.
+fn graph_and_features() -> impl Strategy<Value = (Coo<f64>, Vec<Vec<f64>>)> {
+    (2usize..16, 1usize..4).prop_flat_map(|(n, d)| {
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..3 * n);
+        let feats = prop::collection::vec(prop::collection::vec(-4.0f64..4.0, d), n);
+        (edges, feats).prop_map(move |(e, f)| {
+            let entries = e.into_iter().map(|(r, c)| (r, c, 0.5)).collect();
+            (Coo::new(n, n, entries), f)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn conv_matches_reference((adj, feats) in graph_and_features()) {
+        let d = feats[0].len();
+        let layer = GraphConv::new(
+            (0..d).map(|i| (0..2).map(|o| 0.3 * (i as f64 + 1.0) - 0.2 * o as f64).collect()).collect(),
+            vec![0.1, -0.1],
+            true,
+        );
+        let mut m = Machine::new();
+        let h = Features::place(&mut m, 0, feats.clone());
+        let out = layer.forward(&mut m, &adj, &h);
+        let expect = reference_conv(&adj, &feats, &layer);
+        for (a, b) in out.values().iter().zip(&expect) {
+            for (x, y) in a.iter().zip(b) {
+                prop_assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooling_keeps_exactly_k(
+        scores in prop::collection::vec(-100i32..100, 4..64),
+        k_frac in 0.1f64..1.0,
+    ) {
+        let n = scores.len();
+        let k = ((n as f64 * k_frac) as u64).clamp(1, n as u64);
+        let rows: Vec<Vec<f64>> = scores.iter().map(|&s| vec![f64::from(s)]).collect();
+        let mut m = Machine::new();
+        let h = Features::place(&mut m, 0, rows.clone());
+        let pooled = SortPooling { k, seed: 1 }.forward(&mut m, &h);
+        prop_assert_eq!(pooled.len() as u64, k);
+        // Ordered ascending by readout and a subset of the input rows.
+        prop_assert!(pooled.windows(2).all(|w| w[0][0] <= w[1][0]));
+        for row in &pooled {
+            prop_assert!(rows.contains(row));
+        }
+        // The smallest kept score must dominate every dropped score
+        // (ties aside: count how many inputs strictly exceed the minimum).
+        let min_kept = pooled[0][0];
+        let strictly_above = rows.iter().filter(|r| r[0] > min_kept).count() as u64;
+        prop_assert!(strictly_above < k);
+    }
+}

@@ -1,0 +1,305 @@
+//! CRCW PRAM simulation (paper §VII.B, Lemma VII.2).
+//!
+//! Concurrent reads and writes are resolved with the energy-optimal sorting
+//! and scanning primitives:
+//!
+//! * **Read sub-step** — processors create `(cell, pid)` tuples, the tuples
+//!   are 2D-mergesorted by cell, group leaders (first tuple of each cell
+//!   group, found by a neighbour comparison) fetch the cell value, a
+//!   segmented broadcast copies it across the group, and each tuple routes
+//!   its value back to its processor (a permutation — the pids are
+//!   distinct — costing no more than the sort that the paper uses here).
+//! * **Write sub-step** — `(value, pid, cell)` tuples are sorted by
+//!   `(cell, pid)`; each group's first tuple wins (the *arbitrary* CRCW
+//!   rule, made deterministic as lowest-pid-wins) and sends its value to the
+//!   cell.
+//!
+//! Depth per simulated step is dominated by the sorts: `O(log³ p)`; energy
+//! is `O(p√p + p√m)` per step as in the lemma.
+
+use spatial_model::{zorder, Coord, Machine, Tracked};
+
+use collectives::segmented::{segmented_scan, SegItem};
+use sorting::allpairs::scratch_for;
+use sorting::mergesort::sort_z;
+
+use crate::{PramLayout, PramProgram, Word};
+
+/// Runs `prog` on the CRCW (arbitrary-write, lowest-pid-wins) simulator;
+/// returns the final shared memory.
+pub fn simulate_crcw<P: PramProgram>(machine: &mut Machine, prog: &P, layout: PramLayout) -> Vec<Word> {
+    let p = prog.processors();
+    let m = prog.memory_cells();
+    let p_pad = zorder::next_power_of_four(p as u64);
+    let proc_loc = |pid: usize| -> Coord { zorder::coord_of(layout.proc_lo + pid as u64) };
+    let mem_loc = |cell: usize| -> Coord { zorder::coord_of(layout.mem_lo + cell as u64) };
+    // Scratch segment for the access-tuple sorts, overlapping the processor
+    // square (each PE holds O(1) extra words during a sub-step).
+    let sort_lo = scratch_for(layout.proc_lo, p_pad);
+
+    let init = prog.initial_memory();
+    assert_eq!(init.len(), m, "initial memory must fill every cell");
+    let mut memory: Vec<Tracked<Word>> = init
+        .into_iter()
+        .enumerate()
+        .map(|(c, v)| machine.place(mem_loc(c), v))
+        .collect();
+    let mut states: Vec<Tracked<P::State>> =
+        (0..p).map(|pid| machine.place(proc_loc(pid), prog.init_state(pid))).collect();
+
+    for t in 0..prog.steps() {
+        // ---- Read sub-step -------------------------------------------------
+        // Tuple key: (cell, pid); non-readers carry a sentinel cell that
+        // sorts last and never elects a leader.
+        const NO_READ: u64 = u64::MAX;
+        let tuples: Vec<Tracked<(u64, u64)>> = (0..p)
+            .map(|pid| {
+                let addr = prog.read_addr(t, pid, states[pid].value());
+                if let Some(cell) = addr {
+                    assert!(cell < m, "read address {cell} out of bounds");
+                }
+                let key = addr.map_or(NO_READ, |c| c as u64);
+                let tup = states[pid].with_value((key, pid as u64));
+                machine.send_owned(tup, zorder::coord_of(sort_lo + pid as u64))
+            })
+            .collect();
+        let sorted = sort_z(machine, sort_lo, tuples);
+
+        // Leader detection: compare with the previous tuple's cell.
+        let mut leader = vec![false; p];
+        for (j, tup) in sorted.iter().enumerate() {
+            let (cell, _) = *tup.value();
+            if cell == NO_READ {
+                continue;
+            }
+            if j == 0 {
+                leader[j] = true;
+            } else {
+                // The neighbour message that carries the previous cell index.
+                let prev = machine.send(&sorted[j - 1], tup.loc());
+                let is_leader = tup.zip_with(&prev, |(c, _), (pc, _)| c != pc);
+                leader[j] = *is_leader.value();
+                machine.discard(prev);
+                machine.discard(is_leader);
+            }
+        }
+
+        // Leaders fetch their cell's value (request + response messages).
+        let mut fetched: Vec<Option<Tracked<Word>>> = (0..p).map(|_| None).collect();
+        for (j, tup) in sorted.iter().enumerate() {
+            if !leader[j] {
+                continue;
+            }
+            let cell = tup.value().0 as usize;
+            let request = tup.with_value(cell);
+            let request = machine.send_owned(request, mem_loc(cell));
+            let response = memory[cell].zip_with(&request, |v, _| *v);
+            machine.discard(request);
+            fetched[j] = Some(machine.send_owned(response, tup.loc()));
+        }
+
+        // Segmented broadcast of the fetched values across equal-cell groups.
+        let seg_items: Vec<Tracked<SegItem<Word>>> = sorted
+            .iter()
+            .enumerate()
+            .map(|(j, tup)| match fetched[j].take() {
+                Some(v) => {
+                    
+                    v.map(|w| SegItem::new(true, w))
+                }
+                None => tup.with_value(SegItem::new(false, 0)),
+            })
+            .collect();
+        let mut seg_items = seg_items;
+        for i in p as u64..p_pad {
+            seg_items.push(machine.place(zorder::coord_of(sort_lo + i), SegItem::new(true, 0)));
+        }
+        let values = segmented_scan(machine, sort_lo, seg_items, &|a: &Word, _| *a);
+
+        // Route each value back to its requesting processor (pids are
+        // distinct, so this is a permutation).
+        let mut reads: Vec<Option<Tracked<Word>>> = (0..p).map(|_| None).collect();
+        for (j, tup) in sorted.iter().enumerate() {
+            let (cell, pid) = *tup.value();
+            let v = values[j].duplicate();
+            if cell == NO_READ {
+                machine.discard(v);
+            } else {
+                let paired = v.zip_with(tup, |w, _| *w);
+                machine.discard(v);
+                reads[pid as usize] = Some(machine.send_owned(paired, proc_loc(pid as usize)));
+            }
+        }
+        for v in values {
+            machine.discard(v);
+        }
+        for tup in sorted {
+            machine.discard(tup);
+        }
+
+        // ---- Compute + write sub-step --------------------------------------
+        const NO_WRITE: u64 = u64::MAX;
+        let mut write_tuples: Vec<Tracked<(u64, u64, Word)>> = Vec::with_capacity(p);
+        for pid in 0..p {
+            let read_val = reads[pid].as_ref().map(|r| *r.value());
+            let mut state = states[pid].value().clone();
+            let write = prog.execute(t, pid, &mut state, read_val);
+            let new_state = match reads[pid].take() {
+                None => states[pid].with_value(state),
+                Some(r) => {
+                    let s = states[pid].zip_with(&r, |_, _| state);
+                    machine.discard(r);
+                    s
+                }
+            };
+            machine.discard(std::mem::replace(&mut states[pid], new_state));
+            let tup = match write {
+                Some((cell, value)) => {
+                    assert!(cell < m, "write address {cell} out of bounds");
+                    states[pid].with_value((cell as u64, pid as u64, value))
+                }
+                None => states[pid].with_value((NO_WRITE, pid as u64, 0)),
+            };
+            write_tuples.push(machine.send_owned(tup, zorder::coord_of(sort_lo + pid as u64)));
+        }
+        let sorted_w = sort_z(machine, sort_lo, write_tuples);
+        for (j, tup) in sorted_w.iter().enumerate() {
+            let (cell, _, _) = *tup.value();
+            if cell == NO_WRITE {
+                continue;
+            }
+            let is_first = if j == 0 {
+                true
+            } else {
+                let prev = machine.send(&sorted_w[j - 1], tup.loc());
+                let f = tup.zip_with(&prev, |(c, _, _), (pc, _, _)| c != pc);
+                let b = *f.value();
+                machine.discard(prev);
+                machine.discard(f);
+                b
+            };
+            if is_first {
+                let cell = cell as usize;
+                let outgoing = tup.with_value(tup.value().2);
+                let arrived = machine.send_owned(outgoing, mem_loc(cell));
+                machine.discard(std::mem::replace(&mut memory[cell], arrived));
+            }
+        }
+        for tup in sorted_w {
+            machine.discard(tup);
+        }
+    }
+
+    for s in states {
+        machine.discard(s);
+    }
+    memory.into_iter().map(Tracked::into_value).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::{Broadcast, CrcwMax, TreeSum};
+    use crate::simulate_erew;
+
+    #[test]
+    fn erew_programs_run_unchanged_on_crcw() {
+        let prog = TreeSum::new((1..=64).collect());
+        let layout = PramLayout::adjacent(prog.processors(), prog.memory_cells());
+        let mut m1 = Machine::new();
+        let mem_e = simulate_erew(&mut m1, &prog, layout);
+        let mut m2 = Machine::new();
+        let mem_c = simulate_crcw(&mut m2, &prog, layout);
+        assert_eq!(mem_e, mem_c);
+        assert_eq!(mem_c[0], (1..=64).sum::<Word>());
+    }
+
+    #[test]
+    fn concurrent_read_broadcast() {
+        // All p processors read cell 0 in the same step — illegal on EREW,
+        // resolved by the CRCW machinery.
+        let prog = Broadcast::new(7, 48);
+        let layout = PramLayout::adjacent(prog.processors(), prog.memory_cells());
+        let mut m = Machine::new();
+        let mem = simulate_crcw(&mut m, &prog, layout);
+        assert!(mem[1..].iter().all(|&v| v == 7), "{mem:?}");
+    }
+
+    #[test]
+    fn concurrent_write_max() {
+        let vals: Vec<Word> = vec![3, 99, 7, 42, 15, 8, 99, 1];
+        let prog = CrcwMax::new(vals.clone());
+        let layout = PramLayout::adjacent(prog.processors(), prog.memory_cells());
+        let mut m = Machine::new();
+        let mem = simulate_crcw(&mut m, &prog, layout);
+        assert_eq!(mem[prog.result_cell()], 99);
+    }
+
+    #[test]
+    fn list_ranking_by_pointer_jumping() {
+        use crate::programs::ListRanking;
+        // A linked list 5 -> 2 -> 7 -> 0 -> ... built from a permutation.
+        let order = [5usize, 2, 7, 0, 6, 1, 4, 3]; // visit order; last is tail
+        let mut next = vec![0usize; 8];
+        for w in order.windows(2) {
+            next[w[0]] = w[1];
+        }
+        next[order[7]] = order[7]; // tail self-loop
+        let prog = ListRanking::new(next);
+        let layout = PramLayout::adjacent(prog.processors(), prog.memory_cells());
+        let mut m = Machine::new();
+        let mem = simulate_crcw(&mut m, &prog, layout);
+        assert_eq!(prog.ranks(&mem), prog.reference_ranks());
+        // The head is 7 hops from the tail.
+        assert_eq!(prog.ranks(&mem)[5], 7);
+    }
+
+    #[test]
+    fn list_ranking_on_larger_random_list() {
+        use crate::programs::ListRanking;
+        // Deterministic pseudo-random visit order over 64 nodes.
+        let n = 64usize;
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut state = 0xC0FFEEu64;
+        for i in (1..n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            order.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let mut next = vec![0usize; n];
+        for w in order.windows(2) {
+            next[w[0]] = w[1];
+        }
+        next[order[n - 1]] = order[n - 1];
+        let prog = ListRanking::new(next);
+        let layout = PramLayout::adjacent(prog.processors(), prog.memory_cells());
+        let mut m = Machine::new();
+        let mem = simulate_crcw(&mut m, &prog, layout);
+        assert_eq!(prog.ranks(&mem), prog.reference_ranks());
+    }
+
+    #[test]
+    fn crcw_depth_is_polylog_per_step() {
+        let prog = Broadcast::new(1, 256);
+        let layout = PramLayout::adjacent(prog.processors(), prog.memory_cells());
+        let mut m = Machine::new();
+        let _ = simulate_crcw(&mut m, &prog, layout);
+        let p = prog.processors() as f64;
+        let log = p.log2();
+        let bound = (prog.steps() as f64 * 20.0 * log * log * log) as u64;
+        assert!(m.report().depth <= bound, "depth {} > {bound}", m.report().depth);
+    }
+
+    #[test]
+    fn crcw_costs_more_energy_than_erew_on_the_same_program() {
+        // The sorting overhead is the price of concurrency resolution.
+        let prog = TreeSum::new((0..64).collect());
+        let layout = PramLayout::adjacent(prog.processors(), prog.memory_cells());
+        let mut m1 = Machine::new();
+        let _ = simulate_erew(&mut m1, &prog, layout);
+        let mut m2 = Machine::new();
+        let _ = simulate_crcw(&mut m2, &prog, layout);
+        assert!(m2.energy() > m1.energy());
+    }
+}

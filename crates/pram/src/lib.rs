@@ -1,0 +1,90 @@
+//! # PRAM simulation on the Spatial Computer Model (paper §VII)
+//!
+//! Simulating PRAM algorithms gives quick spatial upper bounds: place the
+//! PRAM processors on a `√p × √p` subgrid and the `m` shared-memory cells on
+//! a `√m × √m` subgrid next to it, then emulate each synchronous step with
+//! messages.
+//!
+//! * [`erew`] — Exclusive-Read Exclusive-Write simulation (Lemma VII.1):
+//!   `O(p(√p + √m))` energy and `O(1)` depth per step; exclusivity is
+//!   checked at runtime and violations panic.
+//! * [`crcw`] — Concurrent-Read Concurrent-Write (arbitrary-winner)
+//!   simulation (Lemma VII.2): conflicts are resolved by sorting access
+//!   tuples with the energy-optimal 2D mergesort and broadcasting fetched
+//!   values with a segmented scan, for `O(log³ p)` depth per step.
+//! * [`programs`] — sample PRAM programs (tree sum, concurrent-read
+//!   broadcast, CRCW maximum, and the §VIII SpMV upper-bound program) used
+//!   by tests, benches and the SpMV baseline.
+
+pub mod crcw;
+pub mod erew;
+pub mod programs;
+
+pub use crcw::simulate_crcw;
+pub use erew::simulate_erew;
+
+/// A machine word of simulated shared memory.
+pub type Word = i64;
+
+/// A PRAM program: `steps()` synchronous rounds, each split into a read
+/// phase, a local compute phase, and a write phase (at most one read and one
+/// write per processor per round, as in §VII's sub-steps).
+pub trait PramProgram {
+    /// Per-processor local state (the PRAM's O(1) registers).
+    type State: Clone;
+
+    /// Number of PRAM processors `p`.
+    fn processors(&self) -> usize;
+    /// Number of shared-memory cells `m`.
+    fn memory_cells(&self) -> usize;
+    /// Number of synchronous steps `T_p`.
+    fn steps(&self) -> usize;
+    /// Initial contents of the shared memory.
+    fn initial_memory(&self) -> Vec<Word>;
+    /// Initial local state of processor `pid`.
+    fn init_state(&self, pid: usize) -> Self::State;
+    /// Read phase: the cell processor `pid` reads at step `t`, if any.
+    fn read_addr(&self, t: usize, pid: usize, state: &Self::State) -> Option<usize>;
+    /// Compute + write phase: update the state given the value read (if
+    /// any); optionally write `(cell, value)`.
+    fn execute(&self, t: usize, pid: usize, state: &mut Self::State, read: Option<Word>)
+        -> Option<(usize, Word)>;
+}
+
+/// Where the simulated PRAM lives on the grid: processors on the aligned
+/// Z-segment starting at `proc_lo`, memory cells at `mem_lo`.
+#[derive(Clone, Copy, Debug)]
+pub struct PramLayout {
+    /// Z-offset of the processor subgrid (aligned to padded `p`).
+    pub proc_lo: u64,
+    /// Z-offset of the memory subgrid (aligned to padded `m`).
+    pub mem_lo: u64,
+}
+
+impl PramLayout {
+    /// Default layout: processors at the origin square, memory on the
+    /// adjacent aligned square (Lemma VII.1's "next to it").
+    pub fn adjacent(p: usize, m: usize) -> Self {
+        let p_pad = spatial_model::zorder::next_power_of_four(p as u64);
+        let m_pad = spatial_model::zorder::next_power_of_four(m as u64);
+        // First m_pad-aligned offset at or after the processor square.
+        let mem_lo = p_pad.div_ceil(m_pad) * m_pad;
+        PramLayout { proc_lo: 0, mem_lo }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_layout_does_not_overlap() {
+        for (p, m) in [(16usize, 16usize), (64, 16), (16, 64), (100, 300), (1, 1)] {
+            let l = PramLayout::adjacent(p, m);
+            let p_pad = spatial_model::zorder::next_power_of_four(p as u64);
+            let m_pad = spatial_model::zorder::next_power_of_four(m as u64);
+            assert!(l.mem_lo >= l.proc_lo + p_pad || l.proc_lo >= l.mem_lo + m_pad);
+            assert_eq!(l.mem_lo % m_pad, 0, "memory square must be aligned");
+        }
+    }
+}

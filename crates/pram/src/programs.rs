@@ -1,0 +1,515 @@
+//! Sample PRAM programs for the simulators.
+//!
+//! These exercise the simulation machinery end-to-end and serve as the
+//! workloads of the Lemma VII.1/VII.2 experiments: an EREW tree sum, an EREW
+//! doubling broadcast, a concurrent-read broadcast, and a concurrent-write
+//! maximum.
+
+use crate::{PramProgram, Word};
+
+/// EREW binary-tree sum: `n/2` processors reduce `n` values (a power of two)
+/// into cell 0 in `2·log₂ n` steps (one read per sub-step).
+pub struct TreeSum {
+    values: Vec<Word>,
+}
+
+impl TreeSum {
+    /// Sums `values` (length a power of two).
+    pub fn new(values: Vec<Word>) -> Self {
+        assert!(values.len().is_power_of_two(), "tree sum needs a power-of-two input");
+        TreeSum { values }
+    }
+}
+
+/// Per-processor state for [`TreeSum`].
+#[derive(Clone, Default)]
+pub struct TreeSumState {
+    acc: Word,
+}
+
+impl PramProgram for TreeSum {
+    type State = TreeSumState;
+
+    fn processors(&self) -> usize {
+        (self.values.len() / 2).max(1)
+    }
+    fn memory_cells(&self) -> usize {
+        self.values.len()
+    }
+    fn steps(&self) -> usize {
+        2 * self.values.len().trailing_zeros() as usize
+    }
+    fn initial_memory(&self) -> Vec<Word> {
+        self.values.clone()
+    }
+    fn init_state(&self, _pid: usize) -> TreeSumState {
+        TreeSumState::default()
+    }
+    fn read_addr(&self, t: usize, pid: usize, _state: &TreeSumState) -> Option<usize> {
+        let (level, phase) = (t / 2, t % 2);
+        let stride = 1usize << level;
+        let base = pid * (stride * 2);
+        if base + stride >= self.values.len() {
+            return None; // processor idle at this level
+        }
+        Some(if phase == 0 { base + stride } else { base })
+    }
+    fn execute(&self, t: usize, pid: usize, state: &mut TreeSumState, read: Option<Word>) -> Option<(usize, Word)> {
+        let (level, phase) = (t / 2, t % 2);
+        let stride = 1usize << level;
+        let base = pid * (stride * 2);
+        if base + stride >= self.values.len() {
+            return None;
+        }
+        match phase {
+            0 => {
+                state.acc = read.expect("right child value");
+                None
+            }
+            _ => {
+                let left = read.expect("left child value");
+                Some((base, left + state.acc))
+            }
+        }
+    }
+}
+
+/// EREW doubling broadcast: copies cell 0 into all `n` cells in `log₂ n`
+/// steps without ever reading a cell twice in one step.
+pub struct CopyTree {
+    value: Word,
+    n: usize,
+}
+
+impl CopyTree {
+    /// Broadcasts `value` to `n` cells (a power of two).
+    pub fn new(value: Word, n: usize) -> Self {
+        let n = n.next_power_of_two();
+        CopyTree { value, n }
+    }
+}
+
+impl PramProgram for CopyTree {
+    type State = ();
+
+    fn processors(&self) -> usize {
+        self.n / 2
+    }
+    fn memory_cells(&self) -> usize {
+        self.n
+    }
+    fn steps(&self) -> usize {
+        self.n.trailing_zeros() as usize
+    }
+    fn initial_memory(&self) -> Vec<Word> {
+        let mut v = vec![0; self.n];
+        v[0] = self.value;
+        v
+    }
+    fn init_state(&self, _pid: usize) {}
+    fn read_addr(&self, t: usize, pid: usize, _s: &()) -> Option<usize> {
+        (pid < (1 << t)).then_some(pid)
+    }
+    fn execute(&self, t: usize, pid: usize, _s: &mut (), read: Option<Word>) -> Option<(usize, Word)> {
+        if pid < (1 << t) {
+            Some((pid + (1 << t), read.expect("source cell")))
+        } else {
+            None
+        }
+    }
+}
+
+/// Concurrent-read broadcast: every processor reads cell 0 in the same step
+/// (illegal on EREW; exercises the CRCW read machinery) and writes its copy
+/// to cell `pid + 1`.
+pub struct Broadcast {
+    value: Word,
+    p: usize,
+}
+
+impl Broadcast {
+    /// `p` processors all read the same source cell.
+    pub fn new(value: Word, p: usize) -> Self {
+        Broadcast { value, p }
+    }
+}
+
+impl PramProgram for Broadcast {
+    type State = ();
+
+    fn processors(&self) -> usize {
+        self.p
+    }
+    fn memory_cells(&self) -> usize {
+        self.p + 1
+    }
+    fn steps(&self) -> usize {
+        1
+    }
+    fn initial_memory(&self) -> Vec<Word> {
+        let mut v = vec![0; self.p + 1];
+        v[0] = self.value;
+        v
+    }
+    fn init_state(&self, _pid: usize) {}
+    fn read_addr(&self, _t: usize, _pid: usize, _s: &()) -> Option<usize> {
+        Some(0)
+    }
+    fn execute(&self, _t: usize, pid: usize, _s: &mut (), read: Option<Word>) -> Option<(usize, Word)> {
+        Some((pid + 1, read.expect("broadcast source")))
+    }
+}
+
+/// The classic constant-time CRCW maximum with `n²` processors: processor
+/// `(i, j)` knocks out `v_i` if it loses to `v_j` (concurrent writes to the
+/// flag cells), then the surviving index writes the result (unique thanks to
+/// index tie-breaking).
+pub struct CrcwMax {
+    values: Vec<Word>,
+}
+
+/// Per-processor state for [`CrcwMax`].
+#[derive(Clone, Default)]
+pub struct CrcwMaxState {
+    vi: Word,
+    loser: bool,
+}
+
+impl CrcwMax {
+    /// Finds the maximum of `values` (`n²` processors, so keep `n` modest).
+    pub fn new(values: Vec<Word>) -> Self {
+        assert!(!values.is_empty());
+        CrcwMax { values }
+    }
+
+    /// The memory cell holding the final maximum.
+    pub fn result_cell(&self) -> usize {
+        2 * self.values.len()
+    }
+
+    fn n(&self) -> usize {
+        self.values.len()
+    }
+}
+
+impl PramProgram for CrcwMax {
+    type State = CrcwMaxState;
+
+    fn processors(&self) -> usize {
+        self.n() * self.n()
+    }
+    fn memory_cells(&self) -> usize {
+        2 * self.n() + 1 // values, knockout flags, result
+    }
+    fn steps(&self) -> usize {
+        4
+    }
+    fn initial_memory(&self) -> Vec<Word> {
+        let mut v = self.values.clone();
+        v.extend(std::iter::repeat_n(0, self.n() + 1));
+        v
+    }
+    fn init_state(&self, _pid: usize) -> CrcwMaxState {
+        CrcwMaxState::default()
+    }
+    fn read_addr(&self, t: usize, pid: usize, _state: &CrcwMaxState) -> Option<usize> {
+        let n = self.n();
+        let (i, j) = (pid / n, pid % n);
+        match t {
+            0 => Some(i),                                  // v_i (concurrent)
+            1 => Some(j),                                  // v_j (concurrent)
+            2 => (j == 0).then_some(n + i),                // my knockout flag
+            _ => None,
+        }
+    }
+    fn execute(&self, t: usize, pid: usize, state: &mut CrcwMaxState, read: Option<Word>) -> Option<(usize, Word)> {
+        let n = self.n();
+        let (i, j) = (pid / n, pid % n);
+        match t {
+            0 => {
+                state.vi = read.expect("v_i");
+                None
+            }
+            1 => {
+                let vj = read.expect("v_j");
+                // (v, index) tie-break makes the winner unique.
+                let lose = (state.vi, i) < (vj, j);
+                lose.then(|| (n + i, 1)) // concurrent writes of the same 1
+            }
+            2 => {
+                if j == 0 {
+                    state.loser = read.expect("flag") == 1;
+                }
+                None
+            }
+            _ => {
+                if j == 0 && !state.loser {
+                    Some((2 * n, state.vi)) // the unique survivor
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// EREW prefix sums (Ladner–Fischer style up/down sweep over shared
+/// memory): after `2·(2 log₂ n − 1)` sub-steps, cell `i` holds
+/// `Σ_{j ≤ i} values[j]`.
+pub struct PrefixSums {
+    n: usize,
+    values: Vec<Word>,
+}
+
+/// Per-processor state for [`PrefixSums`].
+#[derive(Clone, Default)]
+pub struct PrefixState {
+    acc: Word,
+}
+
+impl PrefixSums {
+    /// Builds the program (length a power of two).
+    pub fn new(values: Vec<Word>) -> Self {
+        assert!(values.len().is_power_of_two());
+        PrefixSums { n: values.len(), values }
+    }
+
+    /// Which (level, phase, kind) a global step index encodes: the up-sweep
+    /// has `log n` levels, the down-sweep `log n − 1`, each split into a
+    /// read sub-step and a read+write sub-step.
+    fn decode_step(&self, t: usize) -> (bool, usize, usize) {
+        let levels = self.n.trailing_zeros() as usize;
+        let up_steps = 2 * levels;
+        if t < up_steps {
+            (true, t / 2, t % 2)
+        } else {
+            let t = t - up_steps;
+            (false, levels - 2 - t / 2, t % 2)
+        }
+    }
+
+    /// The (left, right) cells a processor combines at an up-sweep level.
+    fn up_pair(&self, level: usize, pid: usize) -> Option<(usize, usize)> {
+        let stride = 1usize << level;
+        let right = (pid + 1) * (stride * 2) - 1;
+        (right < self.n).then(|| (right - stride, right))
+    }
+
+    /// The (left, right) cells at a down-sweep level: right end of the left
+    /// sibling feeds the *middle* of the right sibling.
+    fn down_pair(&self, level: usize, pid: usize) -> Option<(usize, usize)> {
+        let stride = 1usize << level;
+        let src = (pid + 1) * (stride * 2) - 1;
+        let dst = src + stride;
+        (dst < self.n).then_some((src, dst))
+    }
+}
+
+impl PramProgram for PrefixSums {
+    type State = PrefixState;
+
+    fn processors(&self) -> usize {
+        (self.n / 2).max(1)
+    }
+    fn memory_cells(&self) -> usize {
+        self.n
+    }
+    fn steps(&self) -> usize {
+        let levels = self.n.trailing_zeros() as usize;
+        if levels == 0 {
+            0
+        } else {
+            2 * levels + 2 * (levels - 1)
+        }
+    }
+    fn initial_memory(&self) -> Vec<Word> {
+        self.values.clone()
+    }
+    fn init_state(&self, _pid: usize) -> PrefixState {
+        PrefixState::default()
+    }
+    fn read_addr(&self, t: usize, pid: usize, _state: &PrefixState) -> Option<usize> {
+        let (up, level, phase) = self.decode_step(t);
+        let pair = if up { self.up_pair(level, pid) } else { self.down_pair(level, pid) };
+        pair.map(|(l, r)| if phase == 0 { l } else { r })
+    }
+    fn execute(&self, t: usize, pid: usize, state: &mut PrefixState, read: Option<Word>) -> Option<(usize, Word)> {
+        let (up, level, phase) = self.decode_step(t);
+        let pair = if up { self.up_pair(level, pid) } else { self.down_pair(level, pid) };
+        let (_, r) = pair?;
+        if phase == 0 {
+            state.acc = read.expect("left operand");
+            None
+        } else {
+            Some((r, state.acc + read.expect("right operand")))
+        }
+    }
+}
+
+/// List ranking by pointer jumping — the textbook PRAM algorithm §VII's
+/// simulation motivates transferring "without the need for detailed
+/// reimplementation".
+///
+/// The list is given as a `next` array with the tail pointing to itself;
+/// after `⌈log₂ n⌉` jumping rounds, memory cell `n + i` holds node `i`'s
+/// distance to the tail. The jumps create *concurrent reads* (many nodes
+/// point at the tail as the pointers collapse), so this runs on the CRCW
+/// simulator only.
+pub struct ListRanking {
+    next: Vec<usize>,
+}
+
+/// Per-processor state for [`ListRanking`].
+#[derive(Clone, Default)]
+pub struct ListRankState {
+    next: usize,
+    jumped: usize,
+    rank: Word,
+}
+
+impl ListRanking {
+    /// Builds the program from a `next` array (tail points to itself).
+    pub fn new(next: Vec<usize>) -> Self {
+        let n = next.len();
+        assert!(n > 0);
+        for (i, &nx) in next.iter().enumerate() {
+            assert!(nx < n, "next[{i}] out of range");
+        }
+        ListRanking { next }
+    }
+
+    fn n(&self) -> usize {
+        self.next.len()
+    }
+
+    fn rounds(&self) -> usize {
+        usize::BITS as usize - (self.n().max(2) - 1).leading_zeros() as usize
+    }
+
+    /// Extracts the ranks from the final simulated memory.
+    pub fn ranks(&self, memory: &[Word]) -> Vec<Word> {
+        memory[self.n()..2 * self.n()].to_vec()
+    }
+
+    /// Host reference.
+    pub fn reference_ranks(&self) -> Vec<Word> {
+        (0..self.n())
+            .map(|mut i| {
+                let mut d = 0;
+                while self.next[i] != i {
+                    d += 1;
+                    i = self.next[i];
+                }
+                d
+            })
+            .collect()
+    }
+}
+
+impl PramProgram for ListRanking {
+    type State = ListRankState;
+
+    fn processors(&self) -> usize {
+        self.n()
+    }
+    fn memory_cells(&self) -> usize {
+        2 * self.n()
+    }
+    fn steps(&self) -> usize {
+        1 + 2 * self.rounds()
+    }
+    fn initial_memory(&self) -> Vec<Word> {
+        let mut mem: Vec<Word> = self.next.iter().map(|&nx| nx as Word).collect();
+        mem.extend(self.next.iter().enumerate().map(|(i, &nx)| Word::from(nx != i)));
+        mem
+    }
+    fn init_state(&self, _pid: usize) -> ListRankState {
+        ListRankState::default()
+    }
+    fn read_addr(&self, t: usize, pid: usize, state: &ListRankState) -> Option<usize> {
+        let n = self.n();
+        if t == 0 {
+            return Some(pid); // own next pointer
+        }
+        let phase = (t - 1) % 2;
+        if phase == 0 {
+            Some(state.next) // next[next] (concurrent as chains collapse)
+        } else {
+            Some(n + state.next) // rank[next]
+        }
+    }
+    fn execute(&self, t: usize, pid: usize, state: &mut ListRankState, read: Option<Word>) -> Option<(usize, Word)> {
+        let n = self.n();
+        if t == 0 {
+            state.next = read.expect("own next") as usize;
+            state.rank = Word::from(state.next != pid);
+            return None;
+        }
+        let phase = (t - 1) % 2;
+        if phase == 0 {
+            // Jump sub-step: memory holds next^(2^r); every processor reads
+            // its pointer's pointer and writes its own doubled pointer back
+            // (reads precede writes within a step, so this is synchronous).
+            state.jumped = read.expect("next of next") as usize;
+            Some((pid, state.jumped as Word))
+        } else {
+            // Accumulate sub-step: add the *old* rank of the old successor
+            // (rank writes land after all reads), then adopt the jump. The
+            // tail's rank is 0, so converged pointers add nothing.
+            state.rank += read.expect("rank of next");
+            state.next = state.jumped;
+            Some((n + pid, state.rank))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_sum_schedule_is_exclusive() {
+        // Host-side check that no two processors ever read or write the same
+        // cell in the same step (EREW validity).
+        let prog = TreeSum::new((0..128).collect());
+        for t in 0..prog.steps() {
+            let mut seen = std::collections::HashSet::new();
+            for pid in 0..prog.processors() {
+                if let Some(a) = prog.read_addr(t, pid, &TreeSumState::default()) {
+                    assert!(seen.insert(a), "step {t}: cell {a} read twice");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn copy_tree_schedule_is_exclusive() {
+        let prog = CopyTree::new(1, 64);
+        for t in 0..prog.steps() {
+            let mut seen = std::collections::HashSet::new();
+            for pid in 0..prog.processors() {
+                if let Some(a) = prog.read_addr(t, pid, &()) {
+                    assert!(seen.insert(a), "step {t}: cell {a} read twice");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crcw_max_host_semantics() {
+        // Pure host-side sanity of the knockout logic.
+        let vals: Vec<Word> = vec![5, 2, 9, 9, 1];
+        let n = vals.len();
+        let mut flags = vec![false; n];
+        for i in 0..n {
+            for j in 0..n {
+                if (vals[i], i) < (vals[j], j) {
+                    flags[i] = true;
+                }
+            }
+        }
+        let winners: Vec<usize> = (0..n).filter(|&i| !flags[i]).collect();
+        assert_eq!(winners.len(), 1);
+        assert_eq!(vals[winners[0]], 9);
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests for randomized rank selection.
+
+use proptest::prelude::*;
+
+use selection::select_rank_values;
+use spatial_model::Machine;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn selection_equals_order_statistic(
+        vals in prop::collection::vec(-10_000i64..10_000, 1..400),
+        k_frac in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let n = vals.len() as u64;
+        let k = ((n as f64 * k_frac) as u64).clamp(1, n);
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        let mut m = Machine::new();
+        let (got, _) = select_rank_values(&mut m, 0, vals, k, seed);
+        prop_assert_eq!(got, sorted[(k - 1) as usize]);
+    }
+
+    #[test]
+    fn selection_handles_constant_arrays(n in 1usize..300, k_frac in 0.0f64..1.0, seed in 0u64..100) {
+        let vals = vec![42i64; n];
+        let k = ((n as f64 * k_frac) as u64).clamp(1, n as u64);
+        let mut m = Machine::new();
+        let (got, _) = select_rank_values(&mut m, 0, vals, k, seed);
+        prop_assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn selection_is_seed_deterministic(
+        vals in prop::collection::vec(-100i64..100, 8..200),
+        seed in 0u64..50,
+    ) {
+        let n = vals.len() as u64;
+        let run = |vals: Vec<i64>| {
+            let mut m = Machine::new();
+            let (v, stats) = select_rank_values(&mut m, 0, vals, n / 2 + 1, seed);
+            (v, m.report(), stats.iterations, stats.fallbacks)
+        };
+        prop_assert_eq!(run(vals.clone()), run(vals));
+    }
+
+    #[test]
+    fn stats_trajectory_is_decreasing_after_first_step(
+        seed in 0u64..200,
+    ) {
+        let n = 4096usize;
+        let vals: Vec<i64> = (0..n as i64).map(|i| (i * 48271) % 65521).collect();
+        let mut m = Machine::new();
+        let (_, stats) = select_rank_values(&mut m, 0, vals, n as u64 / 2, seed);
+        // Active counts never grow.
+        for w in stats.active_trajectory.windows(2) {
+            prop_assert!(w[1] <= w[0], "{:?}", stats.active_trajectory);
+        }
+        prop_assert!(stats.iterations as u64 <= 10);
+    }
+}

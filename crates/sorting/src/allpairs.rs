@@ -1,0 +1,327 @@
+//! All-Pairs Sort (paper §V-C(a), Lemma V.5).
+//!
+//! "Explode" the computation onto an `M × M` scratch square (`M` = input size
+//! padded to a power of four): block `Γ_i` — the `i`-th aligned `M`-cell
+//! sub-square in Z-order — computes the rank of element `A_i` by comparing it
+//! against a full copy of the array. Costs (Lemma V.5): `O(m^{5/2})` energy,
+//! `O(log m)` depth, `O(m)` distance. The quadratic-plus energy is the price
+//! of the very low depth; the rank routines only ever run it on
+//! `O(√n)`-sized samples and windows.
+//!
+//! Scratch placement: the caller passes an *aligned* Z-offset (see
+//! [`scratch_for`]); the scratch square may overlap resident data — each PE
+//! holds O(1) extra words during the sort, which the model allows.
+
+use spatial_model::{zorder, Machine, Tracked};
+
+/// The aligned Z-offset of a scratch square of at least `cells` cells that
+/// contains (or sits next to) Z-index `near`.
+///
+/// Alignment guarantees every block boundary in the all-pairs layout is an
+/// aligned sub-square; containment keeps the scratch within `O(√cells)`
+/// distance of the data it serves.
+pub fn scratch_for(near: u64, cells: u64) -> u64 {
+    let s = zorder::next_power_of_four(cells);
+    (near / s) * s
+}
+
+/// Computes the rank of every element under the total order of `P`.
+///
+/// Returns, in **input order**, each element paired with its rank in the
+/// sorted sequence (`0` = smallest), resident at its block corner inside the
+/// scratch square at `scratch_lo` (which must be aligned to the scratch
+/// size; use [`scratch_for`]).
+///
+/// # Panics
+/// Panics if two elements compare equal (wrap inputs in
+/// [`crate::Keyed`] to guarantee distinctness) or if `scratch_lo` is
+/// misaligned.
+pub fn allpairs_rank<P: Ord + Clone>(
+    machine: &mut Machine,
+    items: Vec<Tracked<P>>,
+    scratch_lo: u64,
+) -> Vec<Tracked<(P, u64)>> {
+    let m = items.len() as u64;
+    assert!(m > 0, "all-pairs rank of an empty array");
+    let bm = zorder::next_power_of_four(m); // cells per block, and #blocks
+    let total = bm * bm;
+    assert_eq!(scratch_lo % total, 0, "scratch offset must be aligned to the scratch size");
+
+    // Step 0 (input staging): bring the array into block 0, element j at the
+    // block's j-th Z-cell.
+    let staged: Vec<Tracked<P>> = items
+        .into_iter()
+        .enumerate()
+        .map(|(j, t)| machine.move_to(t, zorder::coord_of(scratch_lo + j as u64)))
+        .collect();
+
+    // Step 1 (scatter): element i also goes to the corner of block i.
+    let corners: Vec<Tracked<P>> = staged
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let dst = zorder::coord_of(scratch_lo + i as u64 * bm);
+            if i == 0 {
+                t.duplicate()
+            } else {
+                machine.send(t, dst)
+            }
+        })
+        .collect();
+
+    // Step 3 (array copy): replicate the whole array into every block that
+    // hosts an element, treating blocks as units of a Z-quadrant broadcast.
+    let mut block_copies: Vec<Option<Vec<Tracked<P>>>> = (0..bm).map(|_| None).collect();
+    copy_to_blocks(machine, staged, 0, bm, m, scratch_lo, bm, &mut block_copies);
+
+    // Steps 2+4+5: broadcast A_i inside block i, compare, reduce the rank.
+    let mut out = Vec::with_capacity(m as usize);
+    for (i, corner) in corners.into_iter().enumerate() {
+        let block_lo = scratch_lo + i as u64 * bm;
+        let copy = block_copies[i].take().expect("block hosts the array copy");
+        // Broadcast A_i over the block's cells (Z-quadrant tree).
+        let mine = bcast_z_block(machine, corner.duplicate(), block_lo, bm);
+        // Per-cell comparison: 1 if the resident copy element precedes A_i.
+        let mut indicators: Vec<Tracked<u64>> = Vec::with_capacity(bm as usize);
+        for (j, b) in mine.into_iter().enumerate() {
+            let ind = if j < copy.len() {
+                let v = copy[j].zip_with(&b, |a_j, a_i| {
+                    assert!(a_j != a_i || j == i, "all-pairs rank requires distinct elements");
+                    u64::from(a_j < a_i)
+                });
+                v
+            } else {
+                b.with_value(0u64)
+            };
+            machine.discard(b);
+            indicators.push(ind);
+        }
+        for c in copy {
+            machine.discard(c);
+        }
+        // Rank = sum of indicators, reduced onto the block corner.
+        let rank = reduce_z_block(machine, indicators, block_lo);
+        let ranked = corner.zip_with(&rank, |p, r| (p.clone(), *r));
+        machine.discard(corner);
+        machine.discard(rank);
+        out.push(ranked);
+    }
+    out
+}
+
+/// All-Pairs Sort: ranks the elements and routes each to Z-index
+/// `out_lo + rank`. Returns the sorted array indexed by rank.
+pub fn allpairs_sort_to_z<P: Ord + Clone>(
+    machine: &mut Machine,
+    items: Vec<Tracked<P>>,
+    scratch_lo: u64,
+    out_lo: u64,
+) -> Vec<Tracked<P>> {
+    let m = items.len();
+    let ranked = allpairs_rank(machine, items, scratch_lo);
+    let mut out: Vec<Option<Tracked<P>>> = (0..m).map(|_| None).collect();
+    for t in ranked {
+        let rank = t.value().1;
+        let dst = zorder::coord_of(out_lo + rank);
+        let moved = machine.move_to(t, dst);
+        let slot = &mut out[rank as usize];
+        assert!(slot.is_none(), "duplicate rank {rank}");
+        *slot = Some(moved.map(|(p, _)| p));
+    }
+    out.into_iter().map(|o| o.expect("ranks form a permutation")).collect()
+}
+
+/// Replicates the array held by the block at Z-block-index `b0` into every
+/// block with index in `[b0, b0 + span)` that hosts an element (`< m_used`),
+/// recursing over block-index quadrants.
+#[allow(clippy::too_many_arguments)]
+fn copy_to_blocks<P: Clone>(
+    machine: &mut Machine,
+    holder: Vec<Tracked<P>>,
+    b0: u64,
+    span: u64,
+    m_used: u64,
+    scratch_lo: u64,
+    bm: u64,
+    out: &mut [Option<Vec<Tracked<P>>>],
+) {
+    if b0 >= m_used {
+        for t in holder {
+            machine.discard(t);
+        }
+        return;
+    }
+    if span == 1 {
+        out[b0 as usize] = Some(holder);
+        return;
+    }
+    let q = span / 4;
+    let mut copies: Vec<(u64, Vec<Tracked<P>>)> = Vec::with_capacity(3);
+    for t in 1..4 {
+        let target = b0 + t * q;
+        if target >= m_used {
+            break;
+        }
+        let copy: Vec<Tracked<P>> = holder
+            .iter()
+            .enumerate()
+            .map(|(j, el)| machine.send(el, zorder::coord_of(scratch_lo + target * bm + j as u64)))
+            .collect();
+        copies.push((target, copy));
+    }
+    copy_to_blocks(machine, holder, b0, q, m_used, scratch_lo, bm, out);
+    for (target, copy) in copies {
+        copy_to_blocks(machine, copy, target, q, m_used, scratch_lo, bm, out);
+    }
+}
+
+/// Z-quadrant broadcast within one aligned block; returns one value per cell
+/// indexed by Z-offset.
+pub(crate) fn bcast_z_block<T: Clone>(machine: &mut Machine, root: Tracked<T>, lo: u64, len: u64) -> Vec<Tracked<T>> {
+    debug_assert_eq!(root.loc(), zorder::coord_of(lo));
+    let mut out: Vec<Option<Tracked<T>>> = (0..len).map(|_| None).collect();
+    rec_bcast(machine, root, lo, len, lo, &mut out);
+    return out.into_iter().map(|o| o.expect("covered")).collect();
+
+    fn rec_bcast<T: Clone>(
+        machine: &mut Machine,
+        root: Tracked<T>,
+        lo: u64,
+        len: u64,
+        base: u64,
+        out: &mut [Option<Tracked<T>>],
+    ) {
+        if len == 1 {
+            out[(lo - base) as usize] = Some(root);
+            return;
+        }
+        let q = len / 4;
+        let copies: Vec<Tracked<T>> = (1..4).map(|i| machine.send(&root, zorder::coord_of(lo + i * q))).collect();
+        rec_bcast(machine, root, lo, q, base, out);
+        for (i, c) in copies.into_iter().enumerate() {
+            rec_bcast(machine, c, lo + (i as u64 + 1) * q, q, base, out);
+        }
+    }
+}
+
+/// Z-quadrant sum-reduce within one aligned block; result lands on the block
+/// corner.
+pub(crate) fn reduce_z_block(machine: &mut Machine, items: Vec<Tracked<u64>>, lo: u64) -> Tracked<u64> {
+    let len = items.len() as u64;
+    let mut slots: Vec<Option<Tracked<u64>>> = items.into_iter().map(Some).collect();
+    return rec_reduce(machine, lo, len, lo, &mut slots);
+
+    fn rec_reduce(
+        machine: &mut Machine,
+        lo: u64,
+        len: u64,
+        base: u64,
+        slots: &mut [Option<Tracked<u64>>],
+    ) -> Tracked<u64> {
+        if len == 1 {
+            return slots[(lo - base) as usize].take().expect("populated");
+        }
+        let q = len / 4;
+        let mut acc = rec_reduce(machine, lo, q, base, slots);
+        for i in 1..4 {
+            let part = rec_reduce(machine, lo + i * q, q, base, slots);
+            let arrived = machine.send_owned(part, zorder::coord_of(lo));
+            let combined = acc.zip_with(&arrived, |a, b| a + b);
+            machine.discard(arrived);
+            machine.discard(std::mem::replace(&mut acc, combined));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keyed::{attach_uids, detach_uids};
+    use collectives::zarray::{place_z, read_values};
+
+    fn run_sort(vals: Vec<i64>) -> (Machine, Vec<i64>) {
+        let mut m = Machine::new();
+        let n = vals.len() as u64;
+        let items = attach_uids(place_z(&mut m, 0, vals));
+        let cells = zorder::next_power_of_four(n) * zorder::next_power_of_four(n);
+        let sorted = allpairs_sort_to_z(&mut m, items, scratch_for(0, cells), 0);
+        (m, read_values(detach_uids(sorted)))
+    }
+
+    #[test]
+    fn sorts_small_arrays_of_every_size() {
+        for n in 1..=20usize {
+            let vals: Vec<i64> = (0..n as i64).map(|i| (i * 37) % 11 - 5).collect();
+            let mut expect = vals.clone();
+            expect.sort();
+            let (_, got) = run_sort(vals);
+            assert_eq!(got, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sorts_with_duplicates_stably() {
+        let vals = vec![3i64, 1, 3, 1, 3, 1, 2, 2];
+        let mut m = Machine::new();
+        let items = attach_uids(place_z(&mut m, 0, vals.clone()));
+        let sorted = allpairs_sort_to_z(&mut m, items, scratch_for(0, 16 * 16), 0);
+        let got: Vec<(i64, u64)> = sorted.iter().map(|t| (t.value().key, t.value().uid)).collect();
+        // Stable: equal keys keep input order of uids.
+        assert_eq!(got, vec![(1, 1), (1, 3), (1, 5), (2, 6), (2, 7), (3, 0), (3, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn ranks_are_a_permutation() {
+        let vals: Vec<i64> = vec![9, -3, 7, 7, 0, 2, 2, 2, 14, 1];
+        let mut m = Machine::new();
+        let items = attach_uids(place_z(&mut m, 0, vals));
+        let ranked = allpairs_rank(&mut m, items, 0);
+        let mut ranks: Vec<u64> = ranked.iter().map(|t| t.value().1).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn energy_scales_as_m_to_the_five_halves() {
+        // Lemma V.5: O(m^{5/2}) energy. 4x the input → ≈32x the energy.
+        let energy = |n: usize| {
+            let (m, _) = run_sort((0..n as i64).rev().collect());
+            m.energy() as f64
+        };
+        let growth = energy(256) / energy(64);
+        assert!(
+            growth > 16.0 && growth < 80.0,
+            "expected ≈32x energy growth for 4x m, got {growth:.1}x"
+        );
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        for &n in &[16usize, 64, 256] {
+            let (m, _) = run_sort((0..n as i64).rev().collect());
+            let bound = 10 * (n as f64).log2() as u64 + 10;
+            assert!(m.report().depth <= bound, "n = {n}: depth {} > {bound}", m.report().depth);
+        }
+    }
+
+    #[test]
+    fn distance_is_linear_in_m() {
+        for &n in &[64usize, 256] {
+            let (m, _) = run_sort((0..n as i64).collect());
+            assert!(
+                m.report().distance <= 12 * n as u64,
+                "n = {n}: distance {}",
+                m.report().distance
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_for_aligns_and_localizes() {
+        let s = scratch_for(1234, 1000);
+        assert_eq!(s % zorder::next_power_of_four(1000), 0);
+        assert!(s <= 1234);
+        assert_eq!(scratch_for(0, 5), 0);
+    }
+}

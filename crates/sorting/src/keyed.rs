@@ -1,0 +1,63 @@
+//! Tie-breaking wrapper: a key plus a unique id.
+//!
+//! The rank-based routines (all-pairs rank, rank splitting) need a *total*
+//! order with distinct elements so that every rank is unique and the k
+//! smallest elements form a well-defined set. Wrapping each input in a
+//! [`Keyed`] with its original index as `uid` provides that order and makes
+//! the overall sort stable.
+
+/// A sort key with a unique tie-breaker. Ordered lexicographically by
+/// `(key, uid)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub struct Keyed<T> {
+    /// The user's key.
+    pub key: T,
+    /// Unique id (input position); breaks ties and makes sorting stable.
+    pub uid: u64,
+}
+
+impl<T> Keyed<T> {
+    /// Wraps a key.
+    pub fn new(key: T, uid: u64) -> Self {
+        Keyed { key, uid }
+    }
+}
+
+/// Attaches `uid = i` to the `i`-th element (local, free).
+pub fn attach_uids<T>(items: Vec<spatial_model::Tracked<T>>) -> Vec<spatial_model::Tracked<Keyed<T>>> {
+    items
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| t.map(|key| Keyed::new(key, i as u64)))
+        .collect()
+}
+
+/// Drops the uids (local, free).
+pub fn detach_uids<T>(items: Vec<spatial_model::Tracked<Keyed<T>>>) -> Vec<spatial_model::Tracked<T>> {
+    items.into_iter().map(|t| t.map(|k| k.key)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_key_then_uid() {
+        let a = Keyed::new(1, 5);
+        let b = Keyed::new(1, 7);
+        let c = Keyed::new(2, 0);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn attach_detach_roundtrip() {
+        let mut m = spatial_model::Machine::new();
+        let items: Vec<_> = (0..4).map(|i| m.place(spatial_model::zorder::coord_of(i), i as i32)).collect();
+        let keyed = attach_uids(items);
+        assert_eq!(keyed[2].value().uid, 2);
+        let back = detach_uids(keyed);
+        assert_eq!(*back[3].value(), 3);
+        assert_eq!(m.energy(), 0);
+    }
+}

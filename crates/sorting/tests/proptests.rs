@@ -1,0 +1,129 @@
+//! Property-based tests for the sorting stack.
+
+use proptest::prelude::*;
+
+use collectives::zarray::place_z;
+use sorting::keyed::Keyed;
+use sorting::merge2d::merge_adjacent;
+use sorting::mergesort::{sort_z, sort_z_values};
+use sorting::rank2::{rank_split, Split};
+use spatial_model::{zorder, Machine};
+
+fn reference_split(a: &[i64], b: &[i64], k: u64) -> Split {
+    let mut all: Vec<(i64, u64)> = a.iter().enumerate().map(|(i, &v)| (v, i as u64)).collect();
+    let off = a.len() as u64;
+    all.extend(b.iter().enumerate().map(|(i, &v)| (v, off + i as u64)));
+    all.sort_unstable();
+    let ca = all[..k as usize].iter().filter(|(_, uid)| *uid < off).count() as u64;
+    Split { ca, cb: k - ca }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mergesort_sorts_any_vector(vals in prop::collection::vec(-1000i64..1000, 1..300)) {
+        let mut expect = vals.clone();
+        expect.sort();
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, vals);
+        let got = sort_z_values(&mut m, 0, items);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn mergesort_output_is_a_permutation_in_place(vals in prop::collection::vec(any::<i16>(), 1..200)) {
+        let vals: Vec<i64> = vals.into_iter().map(i64::from).collect();
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, vals.clone());
+        let out = sort_z(&mut m, 0, items);
+        // Multiset equality + output occupies exactly the input Z-cells.
+        let mut got: Vec<i64> = out.iter().map(|t| *t.value()).collect();
+        for (i, t) in out.iter().enumerate() {
+            prop_assert_eq!(t.loc(), zorder::coord_of(i as u64));
+        }
+        let mut expect = vals;
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn mergesort_is_stable(keys in prop::collection::vec(0i64..5, 1..150)) {
+        // Pair each key with its index; a stable sort keeps index order
+        // within equal keys. `sort_z` promises stability via uid wrapping.
+        #[derive(Clone, PartialEq, Eq, Debug)]
+        struct Item(i64, usize);
+        impl Ord for Item {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                self.0.cmp(&o.0)
+            }
+        }
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+        let items: Vec<Item> = keys.iter().enumerate().map(|(i, &k)| Item(k, i)).collect();
+        let mut expect = items.clone();
+        expect.sort_by_key(|it| it.0); // std stable sort
+        let mut m = Machine::new();
+        let placed = place_z(&mut m, 0, items);
+        let got = sort_z_values(&mut m, 0, placed);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn merge_equals_sorted_union(
+        a in prop::collection::vec(-500i64..500, 0..128),
+        b in prop::collection::vec(-500i64..500, 0..128),
+    ) {
+        let mut a = a;
+        let mut b = b;
+        a.sort_unstable();
+        b.sort_unstable();
+        let mut expect: Vec<i64> = a.iter().chain(b.iter()).copied().collect();
+        expect.sort_unstable();
+
+        let mut m = Machine::new();
+        let ka: Vec<Keyed<i64>> = a.iter().enumerate().map(|(i, &v)| Keyed::new(v, i as u64)).collect();
+        let kb: Vec<Keyed<i64>> = b.iter().enumerate().map(|(i, &v)| Keyed::new(v, (a.len() + i) as u64)).collect();
+        let ia = place_z(&mut m, 0, ka);
+        let ib = place_z(&mut m, a.len() as u64, kb);
+        let out = merge_adjacent(&mut m, ia, ib, 0);
+        let got: Vec<i64> = out.iter().map(|t| t.value().key).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn rank_split_matches_reference(
+        a in prop::collection::vec(-100i64..100, 1..64),
+        b in prop::collection::vec(-100i64..100, 1..64),
+        k_frac in 0.0f64..1.0,
+    ) {
+        let mut a = a;
+        let mut b = b;
+        a.sort_unstable();
+        b.sort_unstable();
+        let n = (a.len() + b.len()) as u64;
+        let k = ((n as f64 * k_frac) as u64).clamp(1, n);
+
+        let mut m = Machine::new();
+        let ka: Vec<Keyed<i64>> = a.iter().enumerate().map(|(i, &v)| Keyed::new(v, i as u64)).collect();
+        let kb: Vec<Keyed<i64>> = b.iter().enumerate().map(|(i, &v)| Keyed::new(v, (a.len() + i) as u64)).collect();
+        let ia = place_z(&mut m, 0, ka);
+        let ib = place_z(&mut m, a.len() as u64, kb);
+        let got = rank_split(&mut m, &ia, 0, &ib, a.len() as u64, k);
+        prop_assert_eq!(got, reference_split(&a, &b, k));
+    }
+
+    #[test]
+    fn sorting_idempotent(vals in prop::collection::vec(-1000i64..1000, 1..150)) {
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, vals);
+        let once = sort_z(&mut m, 0, items);
+        let once_vals: Vec<i64> = once.iter().map(|t| *t.value()).collect();
+        let twice = sort_z_values(&mut m, 0, once);
+        prop_assert_eq!(twice, once_vals);
+    }
+}

@@ -1,0 +1,136 @@
+//! Batcher's bitonic networks (paper §V-B, Fig. 2).
+//!
+//! `Θ(log² n)` depth, `Θ(n log² n)` comparators. The merge network compares
+//! wire `i` with wire `i + n/2` and recurses on both halves — exactly the
+//! recursion illustrated in Fig. 2, which in a 2D row-major mapping first
+//! shrinks the number of rows, then the number of columns.
+
+use crate::network::{Comparator, Network};
+
+/// The bitonic merge network over `n` wires (`n` a power of two): sorts any
+/// *bitonic* input ascending; in particular `[ascending A, descending B]`.
+///
+/// Stage `j ∈ {n/2, n/4, …, 1}` compares each wire `i` with `i ^ j`
+/// (ascending), matching the recursive "compare `i` with `i + n/2`, then
+/// merge the halves" definition.
+pub fn bitonic_merge(n: usize) -> Network {
+    assert!(n.is_power_of_two(), "bitonic networks need a power-of-two width");
+    let mut net = Network::new(n);
+    let mut j = n / 2;
+    while j >= 1 {
+        let mut stage = Vec::with_capacity(n / 2);
+        for i in 0..n {
+            let l = i ^ j;
+            if l > i {
+                stage.push(Comparator::new(i, l));
+            }
+        }
+        net.push_stage(stage);
+        j /= 2;
+    }
+    net
+}
+
+/// The full bitonic sorting network over `n` wires (`n` a power of two).
+///
+/// ```
+/// use sortnet::bitonic_sort;
+/// let net = bitonic_sort(8);
+/// assert_eq!(net.apply(&[5, 3, 8, 1, 9, 2, 7, 4]), vec![1, 2, 3, 4, 5, 7, 8, 9]);
+/// assert_eq!(net.depth(), 6); // log²-ish
+/// ```
+///
+/// Phase `k ∈ {2, 4, …, n}` merges bitonic runs of length `k`; direction of
+/// each comparator follows the `i & k` bit so that adjacent runs alternate
+/// and form bitonic sequences for the next phase.
+pub fn bitonic_sort(n: usize) -> Network {
+    assert!(n.is_power_of_two(), "bitonic networks need a power-of-two width");
+    let mut net = Network::new(n);
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j >= 1 {
+            let mut stage = Vec::with_capacity(n / 2);
+            for i in 0..n {
+                let l = i ^ j;
+                if l > i {
+                    if i & k == 0 {
+                        stage.push(Comparator::new(i, l));
+                    } else {
+                        stage.push(Comparator::new(l, i));
+                    }
+                }
+            }
+            net.push_stage(stage);
+            j /= 2;
+        }
+        k *= 2;
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitonic_sort_passes_01_principle_small_widths() {
+        for n in [2usize, 4, 8, 16] {
+            assert!(bitonic_sort(n).sorts_all_01(), "width {n}");
+        }
+    }
+
+    #[test]
+    fn bitonic_sort_depth_is_log_squared() {
+        for logn in 1..=6u32 {
+            let n = 1usize << logn;
+            let net = bitonic_sort(n);
+            assert_eq!(net.depth() as u32, logn * (logn + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn bitonic_merge_depth_is_log() {
+        assert_eq!(bitonic_merge(16).depth(), 4);
+        assert_eq!(bitonic_merge(64).depth(), 6);
+    }
+
+    #[test]
+    fn bitonic_merge_merges_reversed_halves() {
+        // Merge [ascending | descending]: a bitonic sequence.
+        let a = [1i64, 4, 7, 9];
+        let b = [8i64, 6, 3, 0];
+        let input: Vec<i64> = a.iter().chain(b.iter()).copied().collect();
+        let out = bitonic_merge(8).apply(&input);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn bitonic_sort_sorts_random_inputs() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [32usize, 128, 256] {
+            let net = bitonic_sort(n);
+            let input: Vec<u64> = (0..n).map(|_| next() % 1000).collect();
+            let out = net.apply(&input);
+            let mut expect = input.clone();
+            expect.sort_unstable();
+            assert_eq!(out, expect, "width {n}");
+        }
+    }
+
+    #[test]
+    fn comparator_count_matches_formula() {
+        // n/2 comparators per stage.
+        let n = 64;
+        let net = bitonic_sort(n);
+        assert_eq!(net.size(), net.depth() * n / 2);
+    }
+}

@@ -1,0 +1,28 @@
+//! # Sorting networks on the spatial grid (paper §V-B)
+//!
+//! Data-oblivious comparator networks and their execution on the Spatial
+//! Computer Model. The paper maps each wire of a network to a PE in
+//! row-major order and shows (Lemma V.3/V.4) that Bitonic Sort then costs
+//! `Θ(n^{3/2} log n)` energy — a logarithmic factor above the optimal 2D
+//! mergesort — because the recursion eventually degenerates into a 1D
+//! algorithm within single rows (Fig. 2).
+//!
+//! Provided here:
+//!
+//! * [`Network`] — stages of disjoint comparators, host evaluation, 0-1
+//!   principle checking;
+//! * [`bitonic_sort`] / [`bitonic_merge`] — Batcher's bitonic networks;
+//! * [`odd_even_transposition`] — the classic `n`-stage mesh baseline;
+//! * [`exec::run_on_coords`] — spatial execution with exact cost accounting.
+
+pub mod bitonic;
+pub mod exec;
+pub mod network;
+pub mod oddeven;
+pub mod oemergesort;
+
+pub use bitonic::{bitonic_merge, bitonic_sort};
+pub use exec::{run_on_coords, run_row_major};
+pub use network::{Comparator, Network};
+pub use oddeven::odd_even_transposition;
+pub use oemergesort::odd_even_mergesort;

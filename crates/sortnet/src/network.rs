@@ -1,0 +1,237 @@
+//! Comparator-network representation.
+
+/// One compare-exchange: after the comparator fires, the minimum of the two
+/// wire values sits on `low` and the maximum on `high`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Comparator {
+    /// Wire receiving the smaller value.
+    pub low: usize,
+    /// Wire receiving the larger value.
+    pub high: usize,
+}
+
+impl Comparator {
+    /// Creates a comparator; `low` and `high` must be distinct wires.
+    pub fn new(low: usize, high: usize) -> Self {
+        assert_ne!(low, high, "comparator needs two distinct wires");
+        Comparator { low, high }
+    }
+}
+
+/// A comparator network: a sequence of stages, each a set of comparators
+/// touching disjoint wires (so a stage fires in one parallel step).
+#[derive(Clone, Debug, Default)]
+pub struct Network {
+    width: usize,
+    stages: Vec<Vec<Comparator>>,
+}
+
+impl Network {
+    /// An empty network over `width` wires.
+    pub fn new(width: usize) -> Self {
+        Network { width, stages: Vec::new() }
+    }
+
+    /// Number of wires.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of parallel stages (the network's depth).
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total number of comparators.
+    pub fn size(&self) -> usize {
+        self.stages.iter().map(Vec::len).sum()
+    }
+
+    /// The stages in firing order.
+    pub fn stages(&self) -> &[Vec<Comparator>] {
+        &self.stages
+    }
+
+    /// Appends one parallel stage.
+    ///
+    /// # Panics
+    /// Panics if a wire is out of range or used twice within the stage.
+    pub fn push_stage(&mut self, stage: Vec<Comparator>) {
+        let mut used = vec![false; self.width];
+        for c in &stage {
+            assert!(c.low < self.width && c.high < self.width, "wire out of range");
+            for w in [c.low, c.high] {
+                assert!(!used[w], "wire {w} used twice in one stage");
+                used[w] = true;
+            }
+        }
+        self.stages.push(stage);
+    }
+
+    /// Appends all stages of `other` (same width) after this network.
+    pub fn concat(&mut self, other: &Network) {
+        assert_eq!(self.width, other.width, "concatenating networks of different widths");
+        self.stages.extend(other.stages.iter().cloned());
+    }
+
+    /// Greedily fuses consecutive stages that touch disjoint wires into one
+    /// parallel stage (earliest-fit list scheduling).
+    ///
+    /// Recursively-generated networks (e.g. [`crate::odd_even_mergesort`])
+    /// emit one stage per comparator group even when groups from sibling
+    /// sub-problems could fire simultaneously; fusing recovers the true
+    /// parallel depth without changing the comparator sequence semantics
+    /// (a comparator never moves past another one sharing a wire, so the
+    /// network computes the same function).
+    pub fn fused(&self) -> Network {
+        let mut stages: Vec<Vec<Comparator>> = Vec::new();
+        // For each wire, the index of the last stage that used it.
+        let mut last_use: Vec<Option<usize>> = vec![None; self.width];
+        for stage in &self.stages {
+            for &c in stage {
+                // Earliest stage after both operands' last uses.
+                let earliest = [c.low, c.high]
+                    .iter()
+                    .filter_map(|&w| last_use[w])
+                    .max()
+                    .map_or(0, |s| s + 1);
+                if earliest == stages.len() {
+                    stages.push(Vec::new());
+                }
+                stages[earliest].push(c);
+                last_use[c.low] = Some(earliest);
+                last_use[c.high] = Some(earliest);
+            }
+        }
+        let mut net = Network::new(self.width);
+        for stage in stages {
+            net.push_stage(stage);
+        }
+        net
+    }
+
+    /// Host-side evaluation (no spatial costs) — the functional semantics.
+    pub fn apply<T: Clone + Ord>(&self, input: &[T]) -> Vec<T> {
+        assert_eq!(input.len(), self.width);
+        let mut v = input.to_vec();
+        for stage in &self.stages {
+            for c in stage {
+                if v[c.low] > v[c.high] {
+                    v.swap(c.low, c.high);
+                }
+            }
+        }
+        v
+    }
+
+    /// Exhaustive 0-1 principle check: the network sorts every input iff it
+    /// sorts every 0/1 input. Only feasible for small widths (`2^width`
+    /// evaluations).
+    pub fn sorts_all_01(&self) -> bool {
+        assert!(self.width <= 20, "0-1 check is exponential; use random testing beyond width 20");
+        for mask in 0u64..(1 << self.width) {
+            let input: Vec<u8> = (0..self.width).map(|i| ((mask >> i) & 1) as u8).collect();
+            let out = self.apply(&input);
+            if out.windows(2).any(|w| w[0] > w[1]) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_wire_sorter() -> Network {
+        let mut n = Network::new(2);
+        n.push_stage(vec![Comparator::new(0, 1)]);
+        n
+    }
+
+    #[test]
+    fn comparator_orders_pairs() {
+        let n = two_wire_sorter();
+        assert_eq!(n.apply(&[5, 3]), vec![3, 5]);
+        assert_eq!(n.apply(&[3, 5]), vec![3, 5]);
+        assert!(n.sorts_all_01());
+    }
+
+    #[test]
+    fn depth_and_size_count_correctly() {
+        let mut n = Network::new(4);
+        n.push_stage(vec![Comparator::new(0, 1), Comparator::new(2, 3)]);
+        n.push_stage(vec![Comparator::new(1, 2)]);
+        assert_eq!(n.depth(), 2);
+        assert_eq!(n.size(), 3);
+        assert_eq!(n.width(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "used twice")]
+    fn stage_rejects_wire_collisions() {
+        let mut n = Network::new(3);
+        n.push_stage(vec![Comparator::new(0, 1), Comparator::new(1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn stage_rejects_out_of_range_wire() {
+        let mut n = Network::new(2);
+        n.push_stage(vec![Comparator::new(0, 2)]);
+    }
+
+    #[test]
+    fn incomplete_network_fails_01_check() {
+        let mut n = Network::new(3);
+        n.push_stage(vec![Comparator::new(0, 1)]);
+        assert!(!n.sorts_all_01());
+    }
+
+    #[test]
+    fn concat_appends_stages() {
+        let mut a = two_wire_sorter();
+        let b = two_wire_sorter();
+        a.concat(&b);
+        assert_eq!(a.depth(), 2);
+    }
+
+    #[test]
+    fn fused_network_preserves_semantics_and_reduces_depth() {
+        let net = crate::oemergesort::odd_even_mergesort(16);
+        let fused = net.fused();
+        assert_eq!(fused.size(), net.size(), "fusion never drops comparators");
+        assert!(fused.depth() < net.depth(), "{} vs {}", fused.depth(), net.depth());
+        assert!(fused.sorts_all_01(), "fused network must still sort");
+        // Batcher's depth for n = 2^p is p(p+1)/2 = 10 at p = 4.
+        assert_eq!(fused.depth(), 10);
+    }
+
+    #[test]
+    fn fusing_an_already_parallel_network_is_identity_depth() {
+        let net = crate::bitonic::bitonic_sort(16);
+        let fused = net.fused();
+        assert_eq!(fused.depth(), net.depth(), "bitonic stages are already maximal");
+        assert!(fused.sorts_all_01());
+    }
+
+    #[test]
+    fn fused_respects_wire_order() {
+        // Two comparators sharing wire 1 must not swap order.
+        let mut net = Network::new(3);
+        net.push_stage(vec![Comparator::new(0, 1)]);
+        net.push_stage(vec![Comparator::new(1, 2)]);
+        let fused = net.fused();
+        assert_eq!(fused.depth(), 2, "shared wire forbids fusion");
+        assert_eq!(fused.apply(&[3, 2, 1]), net.apply(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn reversed_comparator_places_max_low() {
+        // A "descending" comparator is expressed by swapping low/high.
+        let mut n = Network::new(2);
+        n.push_stage(vec![Comparator::new(1, 0)]);
+        assert_eq!(n.apply(&[3, 5]), vec![5, 3]);
+    }
+}

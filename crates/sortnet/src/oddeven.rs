@@ -1,0 +1,50 @@
+//! Odd-even transposition sort — the classic mesh-style baseline.
+//!
+//! `n` stages of neighbour exchanges. On a row-major grid mapping this is
+//! the prototypical "`K` rounds on a mesh" algorithm the related-work section
+//! discusses: `Θ(n)` depth but only unit-distance messages.
+
+use crate::network::{Comparator, Network};
+
+/// The odd-even transposition network over `n` wires: `n` alternating stages
+/// of `(2i, 2i+1)` and `(2i+1, 2i+2)` comparators.
+pub fn odd_even_transposition(n: usize) -> Network {
+    let mut net = Network::new(n);
+    for round in 0..n {
+        let first = round % 2;
+        let mut stage = Vec::with_capacity(n / 2);
+        let mut i = first;
+        while i + 1 < n {
+            stage.push(Comparator::new(i, i + 1));
+            i += 2;
+        }
+        net.push_stage(stage);
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_all_01_small() {
+        for n in [1usize, 2, 3, 5, 8, 12, 16] {
+            assert!(odd_even_transposition(n).sorts_all_01(), "width {n}");
+        }
+    }
+
+    #[test]
+    fn depth_equals_width() {
+        assert_eq!(odd_even_transposition(10).depth(), 10);
+    }
+
+    #[test]
+    fn sorts_reverse_input() {
+        let n = 17;
+        let input: Vec<i64> = (0..n as i64).rev().collect();
+        let out = odd_even_transposition(n).apply(&input);
+        let expect: Vec<i64> = (0..n as i64).collect();
+        assert_eq!(out, expect);
+    }
+}

@@ -1,0 +1,95 @@
+//! Grid coordinates and the Manhattan metric.
+
+use std::fmt;
+
+/// A processing-element coordinate on the unbounded 2D grid.
+///
+/// The grid is conceptually infinite in all four directions; coordinates are
+/// signed so that scratch regions can be allocated anywhere relative to the
+/// input subgrid (the model of the paper places the input on a subgrid of an
+/// unbounded processor field).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coord {
+    /// Row index (`i` in the paper's `p_{i,j}` notation).
+    pub row: i64,
+    /// Column index (`j` in the paper's `p_{i,j}` notation).
+    pub col: i64,
+}
+
+impl Coord {
+    /// The origin `p_{0,0}`.
+    pub const ORIGIN: Coord = Coord { row: 0, col: 0 };
+
+    /// Creates a coordinate from a row and column index.
+    #[inline]
+    pub const fn new(row: i64, col: i64) -> Self {
+        Coord { row, col }
+    }
+
+    /// Manhattan distance `|x - i| + |y - j|` — the cost of one message
+    /// between the two PEs.
+    #[inline]
+    pub fn manhattan(self, other: Coord) -> u64 {
+        self.row.abs_diff(other.row) + self.col.abs_diff(other.col)
+    }
+
+    /// Component-wise translation.
+    #[inline]
+    pub const fn offset(self, drow: i64, dcol: i64) -> Coord {
+        Coord::new(self.row + drow, self.col + dcol)
+    }
+}
+
+impl fmt::Debug for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+impl From<(i64, i64)> for Coord {
+    fn from((row, col): (i64, i64)) -> Self {
+        Coord::new(row, col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_is_symmetric_and_zero_on_self() {
+        let a = Coord::new(3, -4);
+        let b = Coord::new(-1, 7);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(b), 4 + 11);
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_checks() {
+        let pts = [
+            Coord::new(0, 0),
+            Coord::new(5, 5),
+            Coord::new(-3, 2),
+            Coord::new(100, -7),
+        ];
+        for &a in &pts {
+            for &b in &pts {
+                for &c in &pts {
+                    assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offset_translates() {
+        assert_eq!(Coord::ORIGIN.offset(2, -3), Coord::new(2, -3));
+    }
+}

@@ -1,0 +1,68 @@
+//! Cost snapshots and deltas.
+
+use std::fmt;
+use std::ops::Sub;
+
+/// A snapshot of the machine's accumulated model costs.
+///
+/// `depth` and `distance` are global watermarks — the critical path over all
+/// messages sent so far — so a `Cost` taken at the end of an algorithm is the
+/// exact cost triple the paper's bounds speak about.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Cost {
+    /// Total distance travelled by all messages.
+    pub energy: u64,
+    /// Longest chain of dependent messages.
+    pub depth: u64,
+    /// Largest total distance along any dependency chain.
+    pub distance: u64,
+    /// Number of messages sent.
+    pub messages: u64,
+}
+
+impl Cost {
+    /// Difference of two snapshots (energy and messages subtract; the
+    /// critical-path watermarks keep the later value, which upper-bounds the
+    /// cost of the enclosed phase).
+    pub fn delta(self, earlier: Cost) -> Cost {
+        Cost {
+            energy: self.energy - earlier.energy,
+            depth: self.depth,
+            distance: self.distance,
+            messages: self.messages - earlier.messages,
+        }
+    }
+}
+
+impl Sub for Cost {
+    type Output = Cost;
+    fn sub(self, earlier: Cost) -> Cost {
+        self.delta(earlier)
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "energy={} depth={} distance={} messages={}",
+            self.energy, self.depth, self.distance, self.messages
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_counters() {
+        let a = Cost { energy: 10, depth: 2, distance: 7, messages: 3 };
+        let b = Cost { energy: 25, depth: 5, distance: 9, messages: 8 };
+        let d = b - a;
+        assert_eq!(d.energy, 15);
+        assert_eq!(d.messages, 5);
+        assert_eq!(d.depth, 5);
+        assert_eq!(d.distance, 9);
+    }
+}

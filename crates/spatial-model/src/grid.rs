@@ -1,0 +1,199 @@
+//! Rectangular processor subgrids.
+
+use crate::coord::Coord;
+use crate::zorder;
+
+/// An `h × w` rectangle of PEs anchored at `origin` (its top-left corner).
+///
+/// Subgrids are the unit of recursion for the paper's algorithms: broadcasts
+/// recurse over quadrants, sorting recurses over Z-order quarters, and the
+/// PRAM simulation places processors and memory on adjacent subgrids.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct SubGrid {
+    /// Top-left corner.
+    pub origin: Coord,
+    /// Number of rows.
+    pub h: u64,
+    /// Number of columns.
+    pub w: u64,
+}
+
+impl SubGrid {
+    /// Creates an `h × w` subgrid anchored at `origin`.
+    pub fn new(origin: Coord, h: u64, w: u64) -> Self {
+        assert!(h > 0 && w > 0, "subgrid must be non-empty");
+        SubGrid { origin, h, w }
+    }
+
+    /// A square `side × side` subgrid anchored at `origin`.
+    pub fn square(origin: Coord, side: u64) -> Self {
+        SubGrid::new(origin, side, side)
+    }
+
+    /// The square subgrid holding `n` cells in Z-order at the origin, i.e.
+    /// the canonical input layout (`n` must be a power of four).
+    pub fn input_square(n: u64) -> Self {
+        assert!(zorder::is_power_of_four(n), "input size must be a power of 4 (paper §III)");
+        let side = 1u64 << (n.trailing_zeros() / 2);
+        SubGrid::square(Coord::ORIGIN, side)
+    }
+
+    /// Total number of PEs.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.h * self.w
+    }
+
+    /// Whether the subgrid holds zero PEs (never true by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the subgrid is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.h == self.w
+    }
+
+    /// The coordinate at local position `(i, j)`.
+    #[inline]
+    pub fn at(&self, i: u64, j: u64) -> Coord {
+        debug_assert!(i < self.h && j < self.w, "({i},{j}) outside {self:?}");
+        self.origin.offset(i as i64, j as i64)
+    }
+
+    /// The coordinate of local row-major index `idx`.
+    #[inline]
+    pub fn rm_coord(&self, idx: u64) -> Coord {
+        debug_assert!(idx < self.len());
+        self.at(idx / self.w, idx % self.w)
+    }
+
+    /// The local row-major index of `c` (must be contained).
+    #[inline]
+    pub fn rm_index(&self, c: Coord) -> u64 {
+        debug_assert!(self.contains(c));
+        (c.row - self.origin.row) as u64 * self.w + (c.col - self.origin.col) as u64
+    }
+
+    /// The coordinate of local Z-order index `idx` (square, power-of-two side).
+    #[inline]
+    pub fn z_coord(&self, idx: u64) -> Coord {
+        debug_assert!(self.is_square() && self.w.is_power_of_two());
+        debug_assert!(idx < self.len());
+        let (r, c) = zorder::decode(idx);
+        self.at(r, c)
+    }
+
+    /// The local Z-order index of `c` (square, power-of-two side).
+    #[inline]
+    pub fn z_index(&self, c: Coord) -> u64 {
+        debug_assert!(self.is_square() && self.w.is_power_of_two());
+        debug_assert!(self.contains(c));
+        zorder::encode((c.row - self.origin.row) as u64, (c.col - self.origin.col) as u64)
+    }
+
+    /// Whether `c` lies inside the subgrid.
+    #[inline]
+    pub fn contains(&self, c: Coord) -> bool {
+        c.row >= self.origin.row
+            && c.col >= self.origin.col
+            && c.row < self.origin.row + self.h as i64
+            && c.col < self.origin.col + self.w as i64
+    }
+
+    /// The four quadrants in Z-order (top-left, top-right, bottom-left,
+    /// bottom-right). Requires even `h` and `w`.
+    pub fn quadrants(&self) -> [SubGrid; 4] {
+        assert!(self.h.is_multiple_of(2) && self.w.is_multiple_of(2), "quadrants need even dimensions");
+        let (hh, hw) = (self.h / 2, self.w / 2);
+        [
+            SubGrid::new(self.origin, hh, hw),
+            SubGrid::new(self.origin.offset(0, hw as i64), hh, hw),
+            SubGrid::new(self.origin.offset(hh as i64, 0), hh, hw),
+            SubGrid::new(self.origin.offset(hh as i64, hw as i64), hh, hw),
+        ]
+    }
+
+    /// Manhattan diameter of the subgrid (corner to opposite corner).
+    #[inline]
+    pub fn diameter(&self) -> u64 {
+        (self.h - 1) + (self.w - 1)
+    }
+
+    /// Iterates all coordinates in row-major order.
+    pub fn iter_rm(&self) -> impl Iterator<Item = Coord> + '_ {
+        (0..self.len()).map(move |i| self.rm_coord(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_roundtrip() {
+        let g = SubGrid::new(Coord::new(2, 3), 4, 5);
+        for idx in 0..g.len() {
+            let c = g.rm_coord(idx);
+            assert!(g.contains(c));
+            assert_eq!(g.rm_index(c), idx);
+        }
+    }
+
+    #[test]
+    fn z_order_roundtrip_on_square() {
+        let g = SubGrid::square(Coord::new(-8, 16), 8);
+        for idx in 0..g.len() {
+            let c = g.z_coord(idx);
+            assert!(g.contains(c));
+            assert_eq!(g.z_index(c), idx);
+        }
+    }
+
+    #[test]
+    fn quadrants_partition_the_grid() {
+        let g = SubGrid::square(Coord::new(0, 0), 4);
+        let qs = g.quadrants();
+        let mut seen = std::collections::HashSet::new();
+        for q in &qs {
+            assert_eq!(q.len(), 4);
+            for c in q.iter_rm() {
+                assert!(g.contains(c));
+                assert!(seen.insert(c), "quadrants must not overlap");
+            }
+        }
+        assert_eq!(seen.len() as u64, g.len());
+    }
+
+    #[test]
+    fn quadrant_order_is_z_order() {
+        let g = SubGrid::square(Coord::ORIGIN, 4);
+        let qs = g.quadrants();
+        assert_eq!(qs[0].origin, Coord::new(0, 0));
+        assert_eq!(qs[1].origin, Coord::new(0, 2));
+        assert_eq!(qs[2].origin, Coord::new(2, 0));
+        assert_eq!(qs[3].origin, Coord::new(2, 2));
+    }
+
+    #[test]
+    fn input_square_has_sqrt_n_side() {
+        let g = SubGrid::input_square(64);
+        assert_eq!(g.h, 8);
+        assert_eq!(g.w, 8);
+        assert_eq!(g.origin, Coord::ORIGIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of 4")]
+    fn input_square_rejects_non_power_of_four() {
+        let _ = SubGrid::input_square(8);
+    }
+
+    #[test]
+    fn diameter_of_rectangle() {
+        assert_eq!(SubGrid::new(Coord::ORIGIN, 3, 5).diameter(), 6);
+        assert_eq!(SubGrid::square(Coord::ORIGIN, 1).diameter(), 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! The machine: message accounting, placement, and instrumentation.
+
+use crate::coord::Coord;
+use crate::cost::Cost;
+use crate::memory::MemMeter;
+use crate::path::Path;
+use crate::trace::Trace;
+use crate::value::Tracked;
+
+/// The Spatial Computer Model machine.
+///
+/// A `Machine` owns the global cost accumulators. Algorithms thread a
+/// `&mut Machine` through their recursion; all cross-PE data movement goes
+/// through [`Machine::send`] / [`Machine::send_owned`], which charge the
+/// Manhattan distance to the energy counter, extend the value's critical
+/// [`Path`], and update the global depth/distance watermarks.
+///
+/// The machine is deterministic and single-threaded: every cost reported is
+/// exactly reproducible.
+#[derive(Debug, Default)]
+pub struct Machine {
+    energy: u64,
+    messages: u64,
+    depth_watermark: u64,
+    distance_watermark: u64,
+    mem: Option<MemMeter>,
+    trace: Option<Trace>,
+}
+
+impl Machine {
+    /// A fresh machine with all counters at zero and instrumentation off.
+    pub fn new() -> Self {
+        Machine::default()
+    }
+
+    /// Enables per-PE memory metering (see [`MemMeter`]). Only values placed
+    /// or moved after this call are metered, so enable it before placing the
+    /// input.
+    pub fn enable_memory_meter(&mut self) {
+        self.mem = Some(MemMeter::new());
+    }
+
+    /// Enables message tracing with the given record cap.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = Some(Trace::with_cap(cap));
+    }
+
+    /// The active memory meter, if enabled.
+    pub fn memory(&self) -> Option<&MemMeter> {
+        self.mem.as_ref()
+    }
+
+    /// The active trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Places an input value at a PE (free: input placement is part of the
+    /// problem statement, not of the algorithm's cost).
+    pub fn place<T>(&mut self, loc: Coord, value: T) -> Tracked<T> {
+        if let Some(mem) = &mut self.mem {
+            mem.store(loc);
+        }
+        Tracked::raw(value, loc, Path::ZERO)
+    }
+
+    /// Sends a *copy* of `t` to `dst`, charging one message. The source copy
+    /// stays resident.
+    pub fn send<T: Clone>(&mut self, t: &Tracked<T>, dst: Coord) -> Tracked<T> {
+        let d = self.charge(t.loc(), dst, t.path());
+        if let Some(mem) = &mut self.mem {
+            mem.store(dst);
+        }
+        Tracked::raw(t.value().clone(), dst, t.path().step(d))
+    }
+
+    /// Moves `t` to `dst`, charging one message. The source PE frees the slot.
+    pub fn send_owned<T>(&mut self, t: Tracked<T>, dst: Coord) -> Tracked<T> {
+        let d = self.charge(t.loc(), dst, t.path());
+        if let Some(mem) = &mut self.mem {
+            mem.free(t.loc());
+            mem.store(dst);
+        }
+        let path = t.path().step(d);
+        let loc = t.loc();
+        let _ = loc;
+        let value = t.into_value();
+        Tracked::raw(value, dst, path)
+    }
+
+    /// Discards a value, releasing its memory slot (free in the model).
+    pub fn discard<T>(&mut self, t: Tracked<T>) {
+        if let Some(mem) = &mut self.mem {
+            mem.free(t.loc());
+        }
+    }
+
+    /// Sends a value only if it is not already at `dst` (avoids charging
+    /// zero-length self-messages; the model's messages always travel wires).
+    pub fn move_to<T>(&mut self, t: Tracked<T>, dst: Coord) -> Tracked<T> {
+        if t.loc() == dst {
+            t
+        } else {
+            self.send_owned(t, dst)
+        }
+    }
+
+    fn charge(&mut self, src: Coord, dst: Coord, path: Path) -> u64 {
+        let d = src.manhattan(dst);
+        self.energy += d;
+        self.messages += 1;
+        let p = path.step(d);
+        self.depth_watermark = self.depth_watermark.max(p.depth);
+        self.distance_watermark = self.distance_watermark.max(p.distance);
+        if let Some(tr) = &mut self.trace {
+            tr.record(src, dst, d);
+        }
+        d
+    }
+
+    /// Snapshot of the accumulated costs.
+    pub fn report(&self) -> Cost {
+        Cost {
+            energy: self.energy,
+            depth: self.depth_watermark,
+            distance: self.distance_watermark,
+            messages: self.messages,
+        }
+    }
+
+    /// Total energy so far.
+    pub fn energy(&self) -> u64 {
+        self.energy
+    }
+
+    /// Number of messages so far.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_charges_manhattan_distance() {
+        let mut m = Machine::new();
+        let a = m.place(Coord::new(0, 0), 1u32);
+        let b = m.send(&a, Coord::new(2, 3));
+        assert_eq!(m.energy(), 5);
+        assert_eq!(m.messages(), 1);
+        assert_eq!(b.loc(), Coord::new(2, 3));
+        assert_eq!(b.path(), Path { depth: 1, distance: 5 });
+    }
+
+    #[test]
+    fn chains_accumulate_depth_and_distance() {
+        let mut m = Machine::new();
+        let a = m.place(Coord::ORIGIN, 0u8);
+        let b = m.send_owned(a, Coord::new(0, 4));
+        let c = m.send_owned(b, Coord::new(4, 4));
+        assert_eq!(c.path(), Path { depth: 2, distance: 8 });
+        assert_eq!(m.report().depth, 2);
+        assert_eq!(m.report().distance, 8);
+        assert_eq!(m.report().energy, 8);
+    }
+
+    #[test]
+    fn independent_sends_do_not_chain() {
+        let mut m = Machine::new();
+        let a = m.place(Coord::ORIGIN, 0u8);
+        let b = m.place(Coord::new(10, 0), 0u8);
+        let _a2 = m.send(&a, Coord::new(0, 1));
+        let _b2 = m.send(&b, Coord::new(10, 1));
+        // Two parallel messages: energy 2, but depth stays 1.
+        assert_eq!(m.report().energy, 2);
+        assert_eq!(m.report().depth, 1);
+        assert_eq!(m.report().distance, 1);
+    }
+
+    #[test]
+    fn watermark_covers_dropped_values() {
+        let mut m = Machine::new();
+        let a = m.place(Coord::ORIGIN, 0u8);
+        let far = m.send(&a, Coord::new(100, 0));
+        let _ = far; // result discarded, but the chain still happened
+        assert_eq!(m.report().distance, 100);
+        assert_eq!(m.report().depth, 1);
+    }
+
+    #[test]
+    fn move_to_skips_self_messages() {
+        let mut m = Machine::new();
+        let a = m.place(Coord::ORIGIN, 3i64);
+        let a = m.move_to(a, Coord::ORIGIN);
+        assert_eq!(m.messages(), 0);
+        let a = m.move_to(a, Coord::new(1, 0));
+        assert_eq!(m.messages(), 1);
+        assert_eq!(a.loc(), Coord::new(1, 0));
+    }
+
+    #[test]
+    fn memory_meter_follows_moves() {
+        let mut m = Machine::new();
+        m.enable_memory_meter();
+        let a = m.place(Coord::ORIGIN, 1u8);
+        let b = m.send(&a, Coord::new(0, 1)); // copy: both resident
+        assert_eq!(m.memory().unwrap().resident(Coord::ORIGIN), 1);
+        assert_eq!(m.memory().unwrap().resident(Coord::new(0, 1)), 1);
+        let c = m.send_owned(b, Coord::new(0, 2)); // move
+        assert_eq!(m.memory().unwrap().resident(Coord::new(0, 1)), 0);
+        m.discard(a);
+        m.discard(c);
+        assert_eq!(m.memory().unwrap().resident(Coord::ORIGIN), 0);
+        assert_eq!(m.memory().unwrap().peak(), 1);
+    }
+
+    #[test]
+    fn trace_records_messages() {
+        let mut m = Machine::new();
+        m.enable_trace(16);
+        let a = m.place(Coord::ORIGIN, 1u8);
+        let _ = m.send(&a, Coord::new(1, 1));
+        let tr = m.trace().unwrap();
+        assert_eq!(tr.records().len(), 1);
+        assert_eq!(tr.records()[0].len, 2);
+    }
+}

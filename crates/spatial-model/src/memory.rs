@@ -1,0 +1,93 @@
+//! Optional per-PE resident-word metering.
+//!
+//! The Spatial Computer Model gives every PE only `O(1)` memory. The meter
+//! lets tests verify that an algorithm's peak residency per PE stays bounded
+//! by a small constant on concrete instances. It is opt-in because the
+//! bookkeeping uses a hash map over touched PEs, which would dominate the
+//! simulator's runtime at large scales.
+
+use std::collections::HashMap;
+
+use crate::coord::Coord;
+
+/// Tracks how many tracked words are resident at each touched PE.
+#[derive(Debug, Default)]
+pub struct MemMeter {
+    current: HashMap<Coord, u32>,
+    peak: u32,
+    peak_loc: Option<Coord>,
+}
+
+impl MemMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a word becoming resident at `loc`.
+    pub fn store(&mut self, loc: Coord) {
+        let e = self.current.entry(loc).or_insert(0);
+        *e += 1;
+        if *e > self.peak {
+            self.peak = *e;
+            self.peak_loc = Some(loc);
+        }
+    }
+
+    /// Registers a word leaving `loc` (moved or discarded). Saturates at
+    /// zero: local combinators (`map`, `zip_with`, `duplicate`) are free in
+    /// the model and not machine-visible, so the meter counts *deliveries
+    /// minus releases*. This is always an upper bound on true residency,
+    /// which is what the O(1)-memory assertions need.
+    pub fn free(&mut self, loc: Coord) {
+        if let Some(e) = self.current.get_mut(&loc) {
+            *e = e.saturating_sub(1);
+        }
+    }
+
+    /// Highest simultaneous residency observed at any single PE.
+    pub fn peak(&self) -> u32 {
+        self.peak
+    }
+
+    /// PE at which the peak occurred, if any word was ever stored.
+    pub fn peak_loc(&self) -> Option<Coord> {
+        self.peak_loc
+    }
+
+    /// Current residency at `loc`.
+    pub fn resident(&self, loc: Coord) -> u32 {
+        self.current.get(&loc).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut m = MemMeter::new();
+        let p = Coord::new(1, 2);
+        m.store(p);
+        m.store(p);
+        m.free(p);
+        m.store(Coord::ORIGIN);
+        assert_eq!(m.peak(), 2);
+        assert_eq!(m.peak_loc(), Some(p));
+        assert_eq!(m.resident(p), 1);
+        assert_eq!(m.resident(Coord::ORIGIN), 1);
+    }
+
+    #[test]
+    fn freeing_unstored_word_saturates() {
+        let mut m = MemMeter::new();
+        m.free(Coord::ORIGIN);
+        assert_eq!(m.resident(Coord::ORIGIN), 0);
+        m.store(Coord::ORIGIN);
+        m.free(Coord::ORIGIN);
+        m.free(Coord::ORIGIN);
+        assert_eq!(m.resident(Coord::ORIGIN), 0);
+        assert_eq!(m.peak(), 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Critical-path bookkeeping for the depth and distance metrics.
+
+/// The critical path of a value in the message DAG.
+///
+/// * `depth` — number of messages on the longest dependency chain leading to
+///   this value;
+/// * `distance` — total Manhattan distance along the longest-distance chain.
+///
+/// Both metrics satisfy the standard DAG recurrences, so tracking them per
+/// value (taking element-wise maxima when values are combined) yields the
+/// exact per-metric critical path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct Path {
+    /// Longest chain of dependent messages (count).
+    pub depth: u64,
+    /// Largest total distance of any chain of dependent messages.
+    pub distance: u64,
+}
+
+impl Path {
+    /// The path of a freshly placed input (no messages yet).
+    pub const ZERO: Path = Path { depth: 0, distance: 0 };
+
+    /// Element-wise maximum: the critical path of a local computation that
+    /// depends on both operands.
+    #[inline]
+    pub fn join(self, other: Path) -> Path {
+        Path {
+            depth: self.depth.max(other.depth),
+            distance: self.distance.max(other.distance),
+        }
+    }
+
+    /// Extends the path by one message of length `d`.
+    #[inline]
+    pub fn step(self, d: u64) -> Path {
+        Path {
+            depth: self.depth + 1,
+            distance: self.distance + d,
+        }
+    }
+
+    /// Joins an iterator of paths (identity: [`Path::ZERO`]).
+    pub fn join_all<I: IntoIterator<Item = Path>>(paths: I) -> Path {
+        paths.into_iter().fold(Path::ZERO, Path::join)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_takes_elementwise_max() {
+        let a = Path { depth: 3, distance: 10 };
+        let b = Path { depth: 5, distance: 2 };
+        assert_eq!(a.join(b), Path { depth: 5, distance: 10 });
+    }
+
+    #[test]
+    fn step_extends_both_metrics() {
+        let p = Path { depth: 1, distance: 4 }.step(7);
+        assert_eq!(p, Path { depth: 2, distance: 11 });
+    }
+
+    #[test]
+    fn join_all_of_empty_is_zero() {
+        assert_eq!(Path::join_all(std::iter::empty()), Path::ZERO);
+    }
+
+    #[test]
+    fn join_is_associative_and_commutative() {
+        let a = Path { depth: 1, distance: 9 };
+        let b = Path { depth: 7, distance: 2 };
+        let c = Path { depth: 4, distance: 4 };
+        assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+        assert_eq!(a.join(b), b.join(a));
+    }
+}

@@ -1,0 +1,65 @@
+//! Optional message tracing for visualisation and white-box tests.
+
+use crate::coord::Coord;
+
+/// One recorded message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MsgRecord {
+    /// Sender PE.
+    pub src: Coord,
+    /// Receiver PE.
+    pub dst: Coord,
+    /// Manhattan length of the hop.
+    pub len: u64,
+}
+
+/// A capped in-order record of messages.
+///
+/// Tracing is opt-in (see [`crate::Machine::enable_trace`]); the cap guards
+/// against unbounded memory growth when a trace is accidentally left on.
+#[derive(Debug)]
+pub struct Trace {
+    records: Vec<MsgRecord>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace that stores at most `cap` records.
+    pub fn with_cap(cap: usize) -> Self {
+        Trace { records: Vec::new(), cap, dropped: 0 }
+    }
+
+    pub(crate) fn record(&mut self, src: Coord, dst: Coord, len: u64) {
+        if self.records.len() < self.cap {
+            self.records.push(MsgRecord { src, dst, len });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded messages, in send order.
+    pub fn records(&self) -> &[MsgRecord] {
+        &self.records
+    }
+
+    /// Number of messages that did not fit under the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_caps_records() {
+        let mut t = Trace::with_cap(2);
+        t.record(Coord::new(0, 0), Coord::new(0, 1), 1);
+        t.record(Coord::new(0, 1), Coord::new(1, 1), 1);
+        t.record(Coord::new(1, 1), Coord::new(2, 1), 1);
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.dropped(), 1);
+    }
+}

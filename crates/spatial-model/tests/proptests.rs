@@ -1,0 +1,119 @@
+//! Property-based tests for the simulator substrate.
+
+use proptest::prelude::*;
+
+use spatial_model::{zorder, Coord, Machine, Path};
+
+proptest! {
+    #[test]
+    fn zorder_encode_decode_roundtrip(r in 0u64..(1 << 24), c in 0u64..(1 << 24)) {
+        let z = zorder::encode(r, c);
+        prop_assert_eq!(zorder::decode(z), (r, c));
+    }
+
+    #[test]
+    fn zorder_decode_encode_roundtrip(z in 0u64..(1 << 48)) {
+        let (r, c) = zorder::decode(z);
+        prop_assert_eq!(zorder::encode(r, c), z);
+    }
+
+    #[test]
+    fn zorder_preserves_quadrant_order(a in 0u64..(1 << 20), b in 0u64..(1 << 20)) {
+        // If a < b as Z-indices, a's coordinate is visited earlier on the
+        // curve — and both live inside the smallest aligned square that
+        // contains them both.
+        prop_assume!(a < b);
+        let square = zorder::next_power_of_four(b + 1);
+        let (ra, ca) = zorder::decode(a);
+        let (rb, cb) = zorder::decode(b);
+        let side = (square as f64).sqrt() as u64;
+        prop_assert!(ra < side && ca < side && rb < side && cb < side);
+    }
+
+    #[test]
+    fn aligned_blocks_partition_any_range(lo in 0u64..5000, len in 1u64..5000) {
+        let hi = lo + len;
+        let blocks = zorder::aligned_blocks(lo, hi);
+        let mut cur = lo;
+        for (s, l) in blocks {
+            prop_assert_eq!(s, cur);
+            prop_assert!(zorder::is_power_of_four(l));
+            prop_assert_eq!(s % l, 0);
+            cur += l;
+        }
+        prop_assert_eq!(cur, hi);
+    }
+
+    #[test]
+    fn aligned_range_diameter_is_sqrt_len(block in 0u64..100, len in 1u64..10_000) {
+        // The O(√L) diameter holds for ranges contained in an aligned
+        // square of comparable size — which is how every algorithm in this
+        // workspace uses Z-segments. (A range crossing a high quadrant
+        // boundary, e.g. the curve midpoint, can span the whole grid.)
+        let p = zorder::next_power_of_four(len);
+        let lo = block * p;
+        let side = zorder::range_diameter_side(lo, lo + len);
+        let bound = 2 * ((p as f64).sqrt() as u64);
+        prop_assert!(side <= bound, "side {} > bound {}", side, bound);
+    }
+
+    #[test]
+    fn manhattan_triangle_inequality(
+        a in (-1000i64..1000, -1000i64..1000),
+        b in (-1000i64..1000, -1000i64..1000),
+        c in (-1000i64..1000, -1000i64..1000),
+    ) {
+        let (a, b, c) = (Coord::new(a.0, a.1), Coord::new(b.0, b.1), Coord::new(c.0, c.1));
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+        prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+    }
+
+    #[test]
+    fn path_join_is_lattice_like(
+        d1 in 0u64..1000, x1 in 0u64..1000,
+        d2 in 0u64..1000, x2 in 0u64..1000,
+        d3 in 0u64..1000, x3 in 0u64..1000,
+    ) {
+        let (a, b, c) = (
+            Path { depth: d1, distance: x1 },
+            Path { depth: d2, distance: x2 },
+            Path { depth: d3, distance: x3 },
+        );
+        prop_assert_eq!(a.join(b), b.join(a));
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+        prop_assert_eq!(a.join(a), a);
+        prop_assert_eq!(a.join(Path::ZERO), a);
+    }
+
+    #[test]
+    fn send_chain_accounting_is_exact(hops in prop::collection::vec((-50i64..50, -50i64..50), 1..20)) {
+        // A single chain of sends: energy = distance = sum of hop lengths,
+        // depth = number of hops.
+        let mut m = Machine::new();
+        let mut cur = m.place(Coord::ORIGIN, 0u8);
+        let mut expect = 0u64;
+        for (dr, dc) in &hops {
+            let dst = cur.loc().offset(*dr, *dc);
+            expect += cur.loc().manhattan(dst);
+            cur = m.send_owned(cur, dst);
+        }
+        let rep = m.report();
+        prop_assert_eq!(rep.energy, expect);
+        prop_assert_eq!(rep.distance, expect);
+        prop_assert_eq!(rep.depth, hops.len() as u64);
+        prop_assert_eq!(cur.path().distance, expect);
+    }
+
+    #[test]
+    fn parallel_sends_do_not_inflate_depth(fan in 1usize..50) {
+        // A 1-to-many fan from independent placements has depth exactly 1.
+        let mut m = Machine::new();
+        for i in 0..fan {
+            let v = m.place(Coord::new(i as i64 * 3, 0), i);
+            let _ = m.send(&v, Coord::new(i as i64 * 3, 7));
+        }
+        prop_assert_eq!(m.report().depth, 1);
+        prop_assert_eq!(m.report().distance, 7);
+        prop_assert_eq!(m.report().energy, 7 * fan as u64);
+    }
+}

@@ -1,0 +1,165 @@
+//! Spatial vector operations for iterative solvers.
+//!
+//! The paper motivates SpMV with scientific workloads (conjugate gradients
+//! \[14\] is the canonical one). Krylov solvers need, besides `A·x`, only
+//! element-wise vector updates (free: the operands are co-located) and dot
+//! products (a multiply + [`collectives::reduce_z`]: `O(n)` energy,
+//! `O(log n)` depth). These helpers operate on vectors laid out on aligned
+//! Z-segments, one element per PE.
+
+use spatial_model::{zorder, Machine, Tracked};
+
+use collectives::zseg::{broadcast_z, reduce_z};
+
+/// A dense vector resident on the Z-segment `[lo, lo + len)`.
+pub struct SpatialVector {
+    lo: u64,
+    items: Vec<Tracked<f64>>,
+}
+
+impl SpatialVector {
+    /// Places `values[i]` at Z-index `lo + i` (input placement, free).
+    pub fn place(machine: &mut Machine, lo: u64, values: &[f64]) -> Self {
+        let items = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| machine.place(zorder::coord_of(lo + i as u64), v))
+            .collect();
+        SpatialVector { lo, items }
+    }
+
+    /// The segment offset.
+    pub fn lo(&self) -> u64 {
+        self.lo
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Reads the values out of the machine (host view).
+    pub fn values(&self) -> Vec<f64> {
+        self.items.iter().map(|t| *t.value()).collect()
+    }
+
+    /// Element-wise `self ← self + alpha · other` (axpy). Both vectors must
+    /// share the segment (co-located elements ⇒ the update is free except
+    /// for the broadcast of `alpha`, which the caller usually owns — here
+    /// `alpha` is a host scalar representing a value already known at every
+    /// PE from a previous all-reduce).
+    pub fn axpy(&mut self, other: &SpatialVector, alpha: f64) {
+        assert_eq!(self.lo, other.lo, "axpy needs co-located vectors");
+        assert_eq!(self.len(), other.len());
+        for (a, b) in self.items.iter_mut().zip(&other.items) {
+            let updated = a.zip_with(b, |x, y| x + alpha * y);
+            *a = updated;
+        }
+    }
+
+    /// Element-wise `self ← other + beta · self` (used for CG's direction
+    /// update).
+    pub fn xpby(&mut self, other: &SpatialVector, beta: f64) {
+        assert_eq!(self.lo, other.lo, "xpby needs co-located vectors");
+        assert_eq!(self.len(), other.len());
+        for (a, b) in self.items.iter_mut().zip(&other.items) {
+            let updated = a.zip_with(b, |x, y| y + beta * x);
+            *a = updated;
+        }
+    }
+
+    /// Dot product `⟨self, other⟩`: local multiplies + a Z-segment reduce.
+    /// The scalar result is then re-broadcast so every PE knows it (as a
+    /// solver's subsequent local updates require), keeping the whole
+    /// operation `O(n)` energy and `O(log n)` depth.
+    pub fn dot(&self, other: &SpatialVector, machine: &mut Machine) -> f64 {
+        assert_eq!(self.lo, other.lo, "dot needs co-located vectors");
+        assert_eq!(self.len(), other.len());
+        let prods: Vec<Tracked<f64>> = self
+            .items
+            .iter()
+            .zip(&other.items)
+            .map(|(a, b)| a.zip_with(b, |x, y| x * y))
+            .collect();
+        let total = reduce_z(machine, prods, self.lo, &|x, y| x + y);
+        let v = *total.value();
+        let copies = broadcast_z(machine, total, self.lo, self.lo + self.len() as u64);
+        for c in copies {
+            machine.discard(c);
+        }
+        v
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm2(&self, machine: &mut Machine) -> f64 {
+        self.dot(self, machine)
+    }
+
+    /// Overwrites the contents with `values` delivered from the result
+    /// segment of an SpMV (host glue for solver loops; charges nothing —
+    /// used when the producing primitive already routed the data here).
+    pub fn set_values(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.len());
+        for (item, &v) in self.items.iter_mut().zip(values) {
+            let updated = item.with_value(v);
+            *item = updated;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_host() {
+        let mut m = Machine::new();
+        let x = SpatialVector::place(&mut m, 0, &[1.0, 2.0, 3.0, 4.0]);
+        let y = SpatialVector::place(&mut m, 0, &[2.0, -1.0, 0.5, 1.0]);
+        assert_eq!(x.dot(&y, &mut m), 2.0 - 2.0 + 1.5 + 4.0);
+        assert!(m.energy() > 0, "dot must communicate");
+    }
+
+    #[test]
+    fn dot_costs_linear_energy_log_depth() {
+        let n = 4096usize;
+        let vals: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        let mut m = Machine::new();
+        let x = SpatialVector::place(&mut m, 0, &vals);
+        let _ = x.norm2(&mut m);
+        assert!(m.energy() <= 14 * n as u64, "energy {}", m.energy());
+        assert!(m.report().depth <= 6 * (n as f64).log2() as u64, "depth {}", m.report().depth);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut m = Machine::new();
+        let mut x = SpatialVector::place(&mut m, 0, &[1.0, 1.0, 1.0, 1.0]);
+        let y = SpatialVector::place(&mut m, 0, &[1.0, 2.0, 3.0, 4.0]);
+        x.axpy(&y, 0.5);
+        assert_eq!(x.values(), vec![1.5, 2.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn xpby_computes_direction_update() {
+        let mut m = Machine::new();
+        let mut p = SpatialVector::place(&mut m, 0, &[2.0, 4.0]);
+        let r = SpatialVector::place(&mut m, 0, &[1.0, 1.0]);
+        p.xpby(&r, 0.25); // p = r + 0.25 p
+        assert_eq!(p.values(), vec![1.5, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "co-located")]
+    fn dot_rejects_disjoint_segments() {
+        let mut m = Machine::new();
+        let x = SpatialVector::place(&mut m, 0, &[1.0]);
+        let y = SpatialVector::place(&mut m, 16, &[1.0]);
+        let _ = x.dot(&y, &mut m);
+    }
+}

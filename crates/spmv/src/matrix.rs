@@ -1,0 +1,195 @@
+//! Sparse matrix types: COO (the paper's input format) and CSR.
+
+use crate::Scalar;
+
+/// A sparse matrix in coordinate format: each non-zero is a triple
+/// `(row, col, value)`, in arbitrary order (paper §VIII: "each processor
+/// holding a single arbitrary of those triples").
+#[derive(Clone, Debug, PartialEq)]
+pub struct Coo<V> {
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Number of columns.
+    pub n_cols: usize,
+    /// The non-zero triples.
+    pub entries: Vec<(u32, u32, V)>,
+}
+
+impl<V: Scalar> Coo<V> {
+    /// Builds a COO matrix, validating the coordinates.
+    pub fn new(n_rows: usize, n_cols: usize, entries: Vec<(u32, u32, V)>) -> Self {
+        for &(r, c, _) in &entries {
+            assert!((r as usize) < n_rows && (c as usize) < n_cols, "entry ({r},{c}) out of bounds");
+        }
+        Coo { n_rows, n_cols, entries }
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Dense reference multiply — the correctness oracle for the spatial
+    /// algorithms.
+    pub fn multiply_dense(&self, x: &[V]) -> Vec<V> {
+        assert_eq!(x.len(), self.n_cols);
+        let mut y = vec![V::default(); self.n_rows];
+        for &(r, c, v) in &self.entries {
+            y[r as usize] = y[r as usize] + v * x[c as usize];
+        }
+        y
+    }
+
+    /// Converts to CSR (sorts entries by row, then column, combining
+    /// nothing — duplicates are kept, as SpMV sums them anyway).
+    pub fn to_csr(&self) -> Csr<V> {
+        let mut entries = self.entries.clone();
+        entries.sort_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = Vec::with_capacity(self.n_rows + 1);
+        row_ptr.push(0);
+        let mut idx = 0;
+        for r in 0..self.n_rows as u32 {
+            while idx < entries.len() && entries[idx].0 == r {
+                idx += 1;
+            }
+            row_ptr.push(idx);
+        }
+        Csr {
+            n_rows: self.n_rows,
+            n_cols: self.n_cols,
+            row_ptr,
+            cols: entries.iter().map(|&(_, c, _)| c).collect(),
+            vals: entries.iter().map(|&(_, _, v)| v).collect(),
+        }
+    }
+
+    /// The permutation matrix `P` with `P·x = x[perm]` (used by the
+    /// Lemma VIII.1 lower-bound experiment). `perm[i]` is the source index
+    /// of output `i`.
+    pub fn permutation(perm: &[usize]) -> Coo<V>
+    where
+        V: From<i8>,
+    {
+        let n = perm.len();
+        let entries = perm
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| {
+                assert!(j < n, "permutation index out of range");
+                (i as u32, j as u32, V::from(1))
+            })
+            .collect();
+        Coo::new(n, n, entries)
+    }
+}
+
+/// Compressed sparse row format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr<V> {
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Number of columns.
+    pub n_cols: usize,
+    /// `row_ptr[r]..row_ptr[r+1]` indexes row `r`'s entries.
+    pub row_ptr: Vec<usize>,
+    /// Column index per entry.
+    pub cols: Vec<u32>,
+    /// Value per entry.
+    pub vals: Vec<V>,
+}
+
+impl<V: Scalar> Csr<V> {
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Dense reference multiply.
+    #[allow(clippy::needless_range_loop)]
+    pub fn multiply_dense(&self, x: &[V]) -> Vec<V> {
+        assert_eq!(x.len(), self.n_cols);
+        let mut y = vec![V::default(); self.n_rows];
+        for r in 0..self.n_rows {
+            let mut acc = V::default();
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc = acc + self.vals[i] * x[self.cols[i] as usize];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Back to COO (row-sorted order).
+    pub fn to_coo(&self) -> Coo<V> {
+        let mut entries = Vec::with_capacity(self.nnz());
+        for r in 0..self.n_rows {
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                entries.push((r as u32, self.cols[i], self.vals[i]));
+            }
+        }
+        Coo::new(self.n_rows, self.n_cols, entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> Coo<i64> {
+        Coo::new(
+            3,
+            4,
+            vec![(0, 0, 2), (0, 3, 1), (1, 1, -1), (2, 0, 5), (2, 2, 3), (2, 3, 4)],
+        )
+    }
+
+    #[test]
+    fn dense_multiply_reference() {
+        let a = example();
+        let x = vec![1i64, 2, 3, 4];
+        assert_eq!(a.multiply_dense(&x), vec![2 + 4, -2, 5 + 9 + 16]);
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_product() {
+        let a = example();
+        let x = vec![7i64, -2, 0, 1];
+        let csr = a.to_csr();
+        assert_eq!(csr.multiply_dense(&x), a.multiply_dense(&x));
+        assert_eq!(csr.to_coo().multiply_dense(&x), a.multiply_dense(&x));
+        assert_eq!(csr.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn csr_row_ptr_is_monotone_and_complete() {
+        let csr = example().to_csr();
+        assert_eq!(csr.row_ptr.len(), 4);
+        assert_eq!(*csr.row_ptr.last().unwrap(), 6);
+        assert!(csr.row_ptr.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn permutation_matrix_permutes() {
+        let p: Coo<i64> = Coo::permutation(&[2, 0, 1]);
+        let x = vec![10i64, 20, 30];
+        assert_eq!(p.multiply_dense(&x), vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn empty_rows_give_zero() {
+        let a: Coo<i64> = Coo::new(3, 3, vec![(1, 1, 9)]);
+        assert_eq!(a.multiply_dense(&[1, 1, 1]), vec![0, 9, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_bad_coordinates() {
+        let _ = Coo::new(2, 2, vec![(2, 0, 1i64)]);
+    }
+
+    #[test]
+    fn duplicate_entries_accumulate() {
+        let a = Coo::new(1, 1, vec![(0, 0, 3i64), (0, 0, 4)]);
+        assert_eq!(a.multiply_dense(&[2]), vec![14]);
+    }
+}

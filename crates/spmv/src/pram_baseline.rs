@@ -1,0 +1,282 @@
+//! SpMV via CRCW PRAM simulation (paper §VIII, "PRAM Simulation Upper Bound").
+//!
+//! The PRAM algorithm computes all products `A_{ij}·x_j` in parallel (the
+//! `x_j` fetch is a *concurrent* read when a column has several entries) and
+//! then tree-sums the products of each row. It runs in `O(log n)` PRAM steps
+//! with one processor per non-zero; pushing it through the CRCW simulator
+//! (Lemma VII.2) yields `O(m^{3/2})` energy but `O(log⁴ n)` depth and
+//! `O(√m·log n)` distance — the extra `log n` factor that the direct
+//! algorithm of Theorem VIII.2 removes. The benchmark `fig_spmv` measures
+//! exactly this gap.
+//!
+//! Values are integer words (the PRAM memory is word-oriented); the cost
+//! structure is identical for any scalar type.
+
+use pram::{simulate_crcw, PramLayout, PramProgram, Word};
+use spatial_model::{Cost, Machine};
+
+use crate::matrix::{Coo, Csr};
+
+/// SpMV as a PRAM program over a row-grouped (CSR) matrix.
+///
+/// Memory layout: `[0, m)` product cells, `[m, m+n_cols)` the vector `x`,
+/// `[m+n_cols, m+n_cols+n_rows)` the result `y`. Entry values and the
+/// summation schedule live in the program structure (PRAM registers).
+pub struct SpmvProgram {
+    csr: Csr<Word>,
+    /// Segment start of each entry's row (by entry index).
+    seg_start: Vec<usize>,
+    /// Segment end of each entry's row.
+    seg_end: Vec<usize>,
+    /// Number of tree-sum levels = ⌈log₂ max row length⌉.
+    levels: usize,
+}
+
+/// Per-processor state: the entry's running subtree sum.
+#[derive(Clone, Default)]
+pub struct SpmvState {
+    sum: Word,
+}
+
+impl SpmvProgram {
+    /// Builds the program from a COO matrix (rows are grouped internally).
+    pub fn new(a: &Coo<Word>) -> Self {
+        let csr = a.to_csr();
+        let m = csr.nnz();
+        let mut seg_start = vec![0; m];
+        let mut seg_end = vec![0; m];
+        let mut max_len = 1usize;
+        for r in 0..csr.n_rows {
+            let (s, e) = (csr.row_ptr[r], csr.row_ptr[r + 1]);
+            for i in s..e {
+                seg_start[i] = s;
+                seg_end[i] = e;
+            }
+            max_len = max_len.max(e - s);
+        }
+        let levels = usize::BITS as usize - (max_len.max(1) - 1).leading_zeros() as usize;
+        SpmvProgram { csr, seg_start, seg_end, levels }
+    }
+
+    fn m(&self) -> usize {
+        self.csr.nnz()
+    }
+
+    /// Cell index of `x[j]`.
+    fn x_cell(&self, j: usize) -> usize {
+        self.m() + j
+    }
+
+    /// Cell index of `y[r]`.
+    pub fn y_cell(&self, r: usize) -> usize {
+        self.m() + self.csr.n_cols + r
+    }
+
+    /// Extracts `y` from the final simulated memory.
+    pub fn result(&self, memory: &[Word]) -> Vec<Word> {
+        (0..self.csr.n_rows).map(|r| memory[self.y_cell(r)]).collect()
+    }
+
+    /// Whether entry `pid` is the tree-sum parent at `level` (and its
+    /// partner index, if within the row segment).
+    fn partner(&self, pid: usize, level: usize) -> Option<usize> {
+        let (s, e) = (self.seg_start[pid], self.seg_end[pid]);
+        let off = pid - s;
+        if !off.is_multiple_of(1 << (level + 1)) {
+            return None;
+        }
+        let partner = pid + (1 << level);
+        (partner < e).then_some(partner)
+    }
+}
+
+impl PramProgram for SpmvProgram {
+    type State = SpmvState;
+
+    fn processors(&self) -> usize {
+        self.m().max(1)
+    }
+    fn memory_cells(&self) -> usize {
+        self.m() + self.csr.n_cols + self.csr.n_rows
+    }
+    fn steps(&self) -> usize {
+        // 1 step to fetch x (concurrent reads) + write the product, `levels`
+        // tree-sum steps, 1 step to publish the row result.
+        2 + self.levels
+    }
+    fn initial_memory(&self) -> Vec<Word> {
+        // x is loaded into its cells by the driver (`WithX`); the bare
+        // program multiplies by whatever is resident (zeros).
+        vec![0; self.memory_cells()]
+    }
+    fn init_state(&self, _pid: usize) -> SpmvState {
+        SpmvState::default()
+    }
+    fn read_addr(&self, t: usize, pid: usize, _state: &SpmvState) -> Option<usize> {
+        if pid >= self.m() {
+            return None;
+        }
+        if t == 0 {
+            // Concurrent read of x[col] (many entries can share a column).
+            return Some(self.x_cell(self.csr.cols[pid] as usize));
+        }
+        if t >= 1 && t <= self.levels {
+            // Tree sum: the parent reads its partner's product cell.
+            return self.partner(pid, t - 1);
+        }
+        None
+    }
+    fn execute(&self, t: usize, pid: usize, state: &mut SpmvState, read: Option<Word>) -> Option<(usize, Word)> {
+        if pid >= self.m() {
+            return None;
+        }
+        if t == 0 {
+            let xj = read.expect("x value");
+            state.sum = self.csr.vals[pid] * xj;
+            return Some((pid, state.sum));
+        }
+        if t >= 1 && t <= self.levels {
+            if self.partner(pid, t - 1).is_some() {
+                state.sum += read.expect("partner product");
+                return Some((pid, state.sum));
+            }
+            return None;
+        }
+        // Final step: each row's first entry publishes the row total.
+        if pid == self.seg_start[pid] {
+            let r = self.csr.row_ptr.partition_point(|&p| p <= pid).saturating_sub(1);
+            return Some((self.y_cell(r), state.sum));
+        }
+        None
+    }
+}
+
+/// A program wrapper that pre-loads `x` into the simulated memory.
+struct WithX<'a> {
+    inner: &'a SpmvProgram,
+    x: &'a [Word],
+}
+
+impl PramProgram for WithX<'_> {
+    type State = SpmvState;
+
+    fn processors(&self) -> usize {
+        self.inner.processors()
+    }
+    fn memory_cells(&self) -> usize {
+        self.inner.memory_cells()
+    }
+    fn steps(&self) -> usize {
+        self.inner.steps()
+    }
+    fn initial_memory(&self) -> Vec<Word> {
+        let mut mem = self.inner.initial_memory();
+        for (j, &v) in self.x.iter().enumerate() {
+            mem[self.inner.x_cell(j)] = v;
+        }
+        mem
+    }
+    fn init_state(&self, pid: usize) -> SpmvState {
+        self.inner.init_state(pid)
+    }
+    fn read_addr(&self, t: usize, pid: usize, s: &SpmvState) -> Option<usize> {
+        self.inner.read_addr(t, pid, s)
+    }
+    fn execute(&self, t: usize, pid: usize, s: &mut SpmvState, read: Option<Word>) -> Option<(usize, Word)> {
+        self.inner.execute(t, pid, s, read)
+    }
+}
+
+/// Runs the PRAM-simulated SpMV baseline; returns `(y, cost)`.
+pub fn spmv_pram_baseline(machine: &mut Machine, a: &Coo<Word>, x: &[Word]) -> (Vec<Word>, Cost) {
+    assert_eq!(x.len(), a.n_cols);
+    let prog = SpmvProgram::new(a);
+    let with_x = WithX { inner: &prog, x };
+    let layout = PramLayout::adjacent(with_x.processors(), with_x.memory_cells());
+    let before = machine.report();
+    let memory = simulate_crcw(machine, &with_x, layout);
+    let cost = machine.report() - before;
+    (prog.result(&memory), cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_matrix(n: usize, nnz_per_row: usize, seed: u64) -> Coo<Word> {
+        let mut entries = Vec::new();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for r in 0..n as u32 {
+            for _ in 0..nnz_per_row {
+                let c = (next() % n as u64) as u32;
+                let v = (next() % 9) as Word - 4;
+                entries.push((r, c, v));
+            }
+        }
+        Coo::new(n, n, entries)
+    }
+
+    #[test]
+    fn pram_spmv_matches_dense_reference() {
+        for n in [4usize, 16, 32] {
+            let a = pseudo_matrix(n, 3, n as u64 + 1);
+            let x: Vec<Word> = (0..n as Word).map(|i| (i % 5) - 2).collect();
+            let mut m = Machine::new();
+            let (y, _) = spmv_pram_baseline(&mut m, &a, &x);
+            assert_eq!(y, a.multiply_dense(&x), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn handles_irregular_row_lengths() {
+        let a = Coo::new(
+            4,
+            4,
+            vec![
+                (0, 0, 1),
+                (0, 1, 1),
+                (0, 2, 1),
+                (0, 3, 1), // full row
+                (2, 1, 5), // singleton row; rows 1 and 3 empty
+            ],
+        );
+        let x = vec![1, 2, 3, 4];
+        let mut m = Machine::new();
+        let (y, _) = spmv_pram_baseline(&mut m, &a, &x);
+        assert_eq!(y, vec![10, 0, 10, 0]);
+    }
+
+    #[test]
+    fn direct_spmv_beats_pram_baseline_in_depth() {
+        // The §VIII claim: the direct algorithm improves depth (and
+        // distance) by a log factor over the PRAM simulation.
+        let n = 64usize;
+        let a = pseudo_matrix(n, 4, 9);
+        let x: Vec<Word> = vec![1; n];
+
+        let mut m1 = Machine::new();
+        let out = crate::lowdepth::spmv(&mut m1, &a, &x);
+        let mut m2 = Machine::new();
+        let (y2, cost2) = spmv_pram_baseline(&mut m2, &a, &x);
+
+        assert_eq!(out.y, y2);
+        assert!(
+            out.cost.depth < cost2.depth,
+            "direct depth {} should beat PRAM depth {}",
+            out.cost.depth,
+            cost2.depth
+        );
+        assert!(
+            out.cost.distance < cost2.distance,
+            "direct distance {} should beat PRAM distance {}",
+            out.cost.distance,
+            cost2.distance
+        );
+    }
+}

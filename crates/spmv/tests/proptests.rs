@@ -1,0 +1,69 @@
+//! Property-based tests for sparse matrix–vector multiplication.
+
+use proptest::prelude::*;
+
+use spatial_model::Machine;
+use spmv::pram_baseline::spmv_pram_baseline;
+use spmv::{spmv, Coo};
+
+/// Strategy: a random small COO matrix plus a matching vector.
+fn coo_and_x() -> impl Strategy<Value = (Coo<i64>, Vec<i64>)> {
+    (2usize..24).prop_flat_map(|n| {
+        let entries = prop::collection::vec(
+            (0..n as u32, 0..n as u32, -9i64..9),
+            0..(4 * n),
+        );
+        let x = prop::collection::vec(-9i64..9, n);
+        (entries, x).prop_map(move |(e, x)| (Coo::new(n, n, e), x))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spmv_matches_dense_reference((a, x) in coo_and_x()) {
+        let mut m = Machine::new();
+        let out = spmv(&mut m, &a, &x);
+        prop_assert_eq!(out.y, a.multiply_dense(&x));
+    }
+
+    #[test]
+    fn pram_baseline_matches_dense_reference((a, x) in coo_and_x()) {
+        let mut m = Machine::new();
+        let (y, _) = spmv_pram_baseline(&mut m, &a, &x);
+        prop_assert_eq!(y, a.multiply_dense(&x));
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_semantics((a, x) in coo_and_x()) {
+        let csr = a.to_csr();
+        prop_assert_eq!(csr.multiply_dense(&x), a.multiply_dense(&x));
+        prop_assert_eq!(csr.to_coo().multiply_dense(&x), a.multiply_dense(&x));
+        prop_assert_eq!(csr.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn spmv_is_linear_in_x((a, x) in coo_and_x(), c in -5i64..5) {
+        // A(c·x) = c·(A·x) — catches summation/segmentation bugs.
+        let mut m = Machine::new();
+        let ax = spmv(&mut m, &a, &x).y;
+        let cx: Vec<i64> = x.iter().map(|v| c * v).collect();
+        let acx = spmv(&mut m, &a, &cx).y;
+        let scaled: Vec<i64> = ax.iter().map(|v| c * v).collect();
+        prop_assert_eq!(acx, scaled);
+    }
+
+    #[test]
+    fn permutation_matrices_permute(perm in prop::collection::vec(0usize..16, 16)) {
+        // Make `perm` a permutation by sorting-position trick.
+        let mut idx: Vec<usize> = (0..16).collect();
+        idx.sort_by_key(|&i| (perm[i], i));
+        let a: Coo<i64> = Coo::permutation(&idx);
+        let x: Vec<i64> = (0..16).map(|i| 100 + i as i64).collect();
+        let mut m = Machine::new();
+        let out = spmv(&mut m, &a, &x);
+        let expect: Vec<i64> = idx.iter().map(|&j| x[j]).collect();
+        prop_assert_eq!(out.y, expect);
+    }
+}

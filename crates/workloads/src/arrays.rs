@@ -1,0 +1,126 @@
+//! Array workloads for the scan / sort / selection experiments.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The array families used across the benchmarks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArrayKind {
+    /// Independent uniform values.
+    Uniform,
+    /// Already sorted ascending.
+    Sorted,
+    /// Sorted descending (the reversal permutation's best friend).
+    Reversed,
+    /// Very few distinct values (stresses tie handling).
+    DuplicateHeavy,
+    /// Alternating high/low (stresses merges).
+    Zigzag,
+}
+
+impl ArrayKind {
+    /// Every kind, for sweeps.
+    pub const ALL: [ArrayKind; 5] = [
+        ArrayKind::Uniform,
+        ArrayKind::Sorted,
+        ArrayKind::Reversed,
+        ArrayKind::DuplicateHeavy,
+        ArrayKind::Zigzag,
+    ];
+
+    /// Generates `n` values of this kind.
+    pub fn generate(self, n: usize, seed: u64) -> Vec<i64> {
+        match self {
+            ArrayKind::Uniform => uniform(n, seed),
+            ArrayKind::Sorted => sorted(n),
+            ArrayKind::Reversed => reversed(n),
+            ArrayKind::DuplicateHeavy => duplicate_heavy(n, seed),
+            ArrayKind::Zigzag => zigzag(n),
+        }
+    }
+
+    /// A short label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ArrayKind::Uniform => "uniform",
+            ArrayKind::Sorted => "sorted",
+            ArrayKind::Reversed => "reversed",
+            ArrayKind::DuplicateHeavy => "dup-heavy",
+            ArrayKind::Zigzag => "zigzag",
+        }
+    }
+}
+
+/// `n` independent uniform values in `[-10⁹, 10⁹]`.
+pub fn uniform(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1_000_000_000..=1_000_000_000)).collect()
+}
+
+/// `0, 1, …, n-1`.
+pub fn sorted(n: usize) -> Vec<i64> {
+    (0..n as i64).collect()
+}
+
+/// `n-1, …, 1, 0`.
+pub fn reversed(n: usize) -> Vec<i64> {
+    (0..n as i64).rev().collect()
+}
+
+/// Uniform over just 4 distinct values.
+pub fn duplicate_heavy(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..4)).collect()
+}
+
+/// `0, n-1, 1, n-2, …` — adjacent extremes.
+pub fn zigzag(n: usize) -> Vec<i64> {
+    (0..n as i64).map(|i| if i % 2 == 0 { i / 2 } else { n as i64 - 1 - i / 2 }).collect()
+}
+
+/// A uniformly random permutation of `0..n`.
+pub fn random_permutation(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<u64> = (0..n as u64).collect();
+    perm.shuffle(&mut rng);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_requested_length() {
+        for kind in ArrayKind::ALL {
+            assert_eq!(kind.generate(100, 1).len(), 100, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        assert_eq!(uniform(50, 7), uniform(50, 7));
+        assert_ne!(uniform(50, 7), uniform(50, 8));
+    }
+
+    #[test]
+    fn duplicate_heavy_has_few_distinct() {
+        let v = duplicate_heavy(1000, 3);
+        let distinct: std::collections::HashSet<_> = v.iter().collect();
+        assert!(distinct.len() <= 4);
+    }
+
+    #[test]
+    fn zigzag_alternates_extremes() {
+        assert_eq!(zigzag(6), vec![0, 5, 1, 4, 2, 3]);
+    }
+
+    #[test]
+    fn random_permutation_is_a_permutation() {
+        let p = random_permutation(200, 5);
+        let mut q = p.clone();
+        q.sort_unstable();
+        assert_eq!(q, (0..200).collect::<Vec<u64>>());
+    }
+}

@@ -1,0 +1,148 @@
+//! Graph workloads: power-law graphs and a PageRank reference.
+//!
+//! The paper motivates the primitives with graph algorithms and GNNs; these
+//! generators provide the adjacency structures the `pagerank` example and
+//! the SpMV benchmarks run on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spmv::Coo;
+
+/// A directed power-law graph as a column-stochastic transition matrix
+/// (entry `(dst, src, 1/outdeg(src))`), built with a preferential-attachment
+/// style process: node `v` links to `edges_per_node` earlier nodes, biased
+/// towards low ids (hubs).
+pub fn powerlaw_graph(n: usize, edges_per_node: usize, seed: u64) -> Coo<f64> {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut adj: Vec<(u32, u32)> = Vec::new(); // (src, dst)
+    for v in 1..n {
+        let mut chosen = std::collections::BTreeSet::new();
+        for _ in 0..edges_per_node.min(v) {
+            // Quadratic bias towards small ids approximates a power law.
+            let r: f64 = rng.gen();
+            let target = ((r * r) * v as f64) as usize;
+            chosen.insert(target.min(v - 1) as u32);
+        }
+        for t in chosen {
+            adj.push((v as u32, t));
+        }
+    }
+    // Dangling nodes (no out-edges) link to node 0 so columns stay stochastic.
+    let mut outdeg = vec![0u32; n];
+    for &(s, _) in &adj {
+        outdeg[s as usize] += 1;
+    }
+    #[allow(clippy::needless_range_loop)]
+    for v in 0..n {
+        if outdeg[v] == 0 {
+            adj.push((v as u32, 0));
+            outdeg[v] = 1;
+        }
+    }
+    let entries = adj
+        .into_iter()
+        .map(|(s, d)| (d, s, 1.0 / outdeg[s as usize] as f64))
+        .collect();
+    Coo::new(n, n, entries)
+}
+
+/// An R-MAT graph (Chakrabarti et al.) as an adjacency matrix with unit
+/// weights: each edge recursively descends into one of the four adjacency
+/// quadrants with probabilities `(a, b, c, d)`. The classic skewed setting
+/// `(0.57, 0.19, 0.19, 0.05)` produces the power-law degree distributions
+/// of web/social graphs — the "irregular access patterns" the paper's GNN
+/// motivation highlights.
+pub fn rmat(scale: u32, edges: usize, seed: u64) -> Coo<i64> {
+    let n = 1usize << scale;
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = std::collections::BTreeSet::new();
+    let mut attempts = 0;
+    while set.len() < edges && attempts < edges * 20 {
+        attempts += 1;
+        let (mut r, mut cc) = (0usize, 0usize);
+        for level in (0..scale).rev() {
+            let x: f64 = rng.gen();
+            let (dr, dc) = if x < a {
+                (0, 0)
+            } else if x < a + b {
+                (0, 1)
+            } else if x < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            r |= dr << level;
+            cc |= dc << level;
+        }
+        set.insert((r as u32, cc as u32));
+    }
+    Coo::new(n, n, set.into_iter().map(|(r, c)| (r, c, 1i64)).collect())
+}
+
+/// Host-side PageRank power iteration — the oracle for the spatial example.
+pub fn pagerank_reference(transition: &Coo<f64>, damping: f64, iters: usize) -> Vec<f64> {
+    let n = transition.n_rows;
+    let mut rank = vec![1.0 / n as f64; n];
+    for _ in 0..iters {
+        let spread = transition.multiply_dense(&rank);
+        for (r, s) in rank.iter_mut().zip(spread) {
+            *r = (1.0 - damping) / n as f64 + damping * s;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transition_matrix_columns_are_stochastic() {
+        let g = powerlaw_graph(50, 3, 1);
+        let mut col_sums = vec![0.0f64; 50];
+        for &(_, c, v) in &g.entries {
+            col_sums[c as usize] += v;
+        }
+        for (c, s) in col_sums.iter().enumerate() {
+            assert!((s - 1.0).abs() < 1e-9, "column {c} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let g = powerlaw_graph(64, 3, 2);
+        let pr = pagerank_reference(&g, 0.85, 30);
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "total {total}");
+        // Hubs (low ids) should accumulate more rank than the tail.
+        assert!(pr[0] > pr[63]);
+    }
+
+    #[test]
+    fn rmat_is_skewed_and_deterministic() {
+        let g = rmat(8, 1000, 7);
+        assert_eq!(g.n_rows, 256);
+        assert!(g.nnz() > 500, "should generate most requested edges");
+        assert_eq!(g.entries, rmat(8, 1000, 7).entries);
+        // Skew: the busiest row should hold many more edges than the median row.
+        let mut deg = vec![0usize; 256];
+        for &(r, _, _) in &g.entries {
+            deg[r as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let mut sorted = deg.clone();
+        sorted.sort_unstable();
+        let med = sorted[128];
+        assert!(max >= 4 * med.max(1), "max {max} vs median {med}");
+    }
+
+    #[test]
+    fn graph_is_deterministic_per_seed() {
+        let a = powerlaw_graph(30, 2, 9);
+        let b = powerlaw_graph(30, 2, 9);
+        assert_eq!(a.entries, b.entries);
+    }
+}

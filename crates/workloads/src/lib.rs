@@ -1,0 +1,15 @@
+//! # Workload generators
+//!
+//! Seeded, reproducible inputs for every experiment in EXPERIMENTS.md:
+//! arrays with controlled order statistics, adversarial permutations, and
+//! sparse matrices spanning the application domains the paper motivates
+//! (scientific stencils, banded systems, power-law graphs for GNN-style
+//! workloads, permutation matrices for the lower-bound experiments).
+
+pub mod arrays;
+pub mod graphs;
+pub mod matrices;
+
+pub use arrays::{duplicate_heavy, reversed, sorted, uniform, zigzag, ArrayKind};
+pub use graphs::{pagerank_reference, powerlaw_graph, rmat};
+pub use matrices::{banded, identity, permutation_matrix, poisson_2d, random_uniform, zipf_rows};

@@ -1,0 +1,155 @@
+//! Sparse-matrix workloads for the SpMV experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spmv::{Coo, Scalar};
+
+/// The 5-point Laplacian stencil on a `side × side` grid — the canonical
+//  scientific-computing SpMV (Poisson problems, Jacobi/CG solvers).
+pub fn poisson_2d(side: usize) -> Coo<f64> {
+    let n = side * side;
+    let idx = |r: usize, c: usize| (r * side + c) as u32;
+    let mut entries = Vec::with_capacity(5 * n);
+    for r in 0..side {
+        for c in 0..side {
+            entries.push((idx(r, c), idx(r, c), 4.0));
+            if r > 0 {
+                entries.push((idx(r, c), idx(r - 1, c), -1.0));
+            }
+            if r + 1 < side {
+                entries.push((idx(r, c), idx(r + 1, c), -1.0));
+            }
+            if c > 0 {
+                entries.push((idx(r, c), idx(r, c - 1), -1.0));
+            }
+            if c + 1 < side {
+                entries.push((idx(r, c), idx(r, c + 1), -1.0));
+            }
+        }
+    }
+    Coo::new(n, n, entries)
+}
+
+/// A banded matrix with the given half-bandwidth (tridiagonal = 1).
+pub fn banded(n: usize, half_bandwidth: usize, seed: u64) -> Coo<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut entries = Vec::new();
+    for r in 0..n {
+        let lo = r.saturating_sub(half_bandwidth);
+        let hi = (r + half_bandwidth).min(n - 1);
+        for c in lo..=hi {
+            entries.push((r as u32, c as u32, rng.gen_range(-5..=5)));
+        }
+    }
+    Coo::new(n, n, entries)
+}
+
+/// Uniformly random sparsity: `nnz_per_row` entries per row at uniform
+/// column positions.
+pub fn random_uniform(n: usize, nnz_per_row: usize, seed: u64) -> Coo<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut entries = Vec::with_capacity(n * nnz_per_row);
+    for r in 0..n {
+        for _ in 0..nnz_per_row {
+            entries.push((r as u32, rng.gen_range(0..n) as u32, rng.gen_range(-9..=9)));
+        }
+    }
+    Coo::new(n, n, entries)
+}
+
+/// Power-law (Zipf-ish) row lengths: a few hub rows with many entries, a
+/// long tail of short rows — the irregular access pattern of graph /
+/// GNN adjacency matrices the paper's introduction motivates.
+pub fn zipf_rows(n: usize, avg_nnz_per_row: usize, seed: u64) -> Coo<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total = n * avg_nnz_per_row;
+    // Row r gets weight ∝ 1/(r+1); normalize to `total` entries.
+    let harmonic: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
+    let mut entries = Vec::with_capacity(total + n);
+    for r in 0..n {
+        let want = ((total as f64) / ((r + 1) as f64 * harmonic)).round().max(1.0) as usize;
+        let want = want.min(n);
+        for _ in 0..want {
+            entries.push((r as u32, rng.gen_range(0..n) as u32, rng.gen_range(1..=9)));
+        }
+    }
+    Coo::new(n, n, entries)
+}
+
+/// The identity matrix.
+pub fn identity<V: Scalar + From<i8>>(n: usize) -> Coo<V> {
+    Coo::new(n, n, (0..n).map(|i| (i as u32, i as u32, V::from(1))).collect())
+}
+
+/// A random permutation matrix — the Lemma VIII.1 lower-bound workload.
+pub fn permutation_matrix(n: usize, seed: u64) -> Coo<i64> {
+    let perm = crate::arrays::random_permutation(n, seed);
+    Coo::permutation(&perm.iter().map(|&p| p as usize).collect::<Vec<_>>())
+}
+
+/// The reversal permutation matrix (the paper's explicit hard instance).
+pub fn reversal_matrix(n: usize) -> Coo<i64> {
+    Coo::permutation(&(0..n).rev().collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_has_five_point_structure() {
+        let a = poisson_2d(4);
+        assert_eq!(a.n_rows, 16);
+        // Interior point: 5 entries; corner: 3.
+        let row5: Vec<_> = a.entries.iter().filter(|e| e.0 == 5).collect();
+        assert_eq!(row5.len(), 5);
+        let row0: Vec<_> = a.entries.iter().filter(|e| e.0 == 0).collect();
+        assert_eq!(row0.len(), 3);
+        // Row sums of the interior are 0 (Laplacian).
+        let sum5: f64 = row5.iter().map(|e| e.2).sum();
+        assert_eq!(sum5, 0.0);
+    }
+
+    #[test]
+    fn banded_is_banded() {
+        let a = banded(10, 2, 1);
+        for &(r, c, _) in &a.entries {
+            assert!((r as i64 - c as i64).abs() <= 2);
+        }
+    }
+
+    #[test]
+    fn zipf_rows_are_skewed() {
+        let a = zipf_rows(64, 8, 3);
+        let count = |r: u32| a.entries.iter().filter(|e| e.0 == r).count();
+        assert!(count(0) > 4 * count(63).max(1), "hub row should dominate: {} vs {}", count(0), count(63));
+    }
+
+    #[test]
+    fn identity_preserves_x() {
+        let a: Coo<i64> = identity(8);
+        let x: Vec<i64> = (0..8).collect();
+        assert_eq!(a.multiply_dense(&x), x);
+    }
+
+    #[test]
+    fn permutation_matrix_has_one_entry_per_row_and_col() {
+        let a = permutation_matrix(32, 7);
+        assert_eq!(a.nnz(), 32);
+        let mut rows = [0; 32];
+        let mut cols = [0; 32];
+        for &(r, c, v) in &a.entries {
+            rows[r as usize] += 1;
+            cols[c as usize] += 1;
+            assert_eq!(v, 1);
+        }
+        assert!(rows.iter().all(|&x| x == 1) && cols.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn reversal_matrix_reverses() {
+        let a = reversal_matrix(4);
+        assert_eq!(a.multiply_dense(&[1, 2, 3, 4]), vec![4, 3, 2, 1]);
+    }
+}

@@ -1,0 +1,74 @@
+//! A complete sort-pooling GNN forward pass on the Spatial Computer Model.
+//!
+//! Two graph-convolution layers propagate features over a power-law graph
+//! (each channel is one low-depth SpMV), then a sort-pooling layer keeps
+//! the top-k nodes by readout score — the architecture of the paper's
+//! GNN motivation [16], with every message charged to the machine.
+//!
+//! ```bash
+//! cargo run --release --example gnn_forward
+//! ```
+
+use spatial_dataflow::gnn::{Features, GraphConv, SortPoolNet, SortPooling};
+use spatial_dataflow::prelude::*;
+use workloads::powerlaw_graph;
+
+fn main() {
+    let n = 256usize;
+    let graph = powerlaw_graph(n, 4, 11);
+    println!("sort-pooling GNN on a power-law graph: {n} nodes, {} edges", graph.nnz());
+
+    // Input features: degree-flavoured channels.
+    let mut indeg = vec![0.0f64; n];
+    for &(dst, _, _) in &graph.entries {
+        indeg[dst as usize] += 1.0;
+    }
+    let input: Vec<Vec<f64>> = (0..n)
+        .map(|i| vec![1.0, indeg[i] / 4.0, ((i % 16) as f64) / 16.0])
+        .collect();
+
+    let net = SortPoolNet {
+        layers: vec![
+            GraphConv::new(
+                vec![vec![0.6, -0.2, 0.1], vec![0.3, 0.8, -0.4], vec![-0.1, 0.2, 0.9]],
+                vec![0.05, 0.0, -0.05],
+                true,
+            ),
+            GraphConv::new(
+                vec![vec![0.5, 0.5], vec![-0.3, 0.7], vec![0.2, 1.0]],
+                vec![0.0, 0.0],
+                false,
+            ),
+        ],
+        pooling: SortPooling { k: 12, seed: 2 },
+    };
+
+    let mut machine = Machine::new();
+    let feats = Features::place(&mut machine, 0, input.clone());
+    let pooled = net.forward(&mut machine, &graph, feats);
+
+    // Host cross-check of the whole pipeline. Equal readout scores are
+    // broken by node index (the library's deterministic tie rule).
+    let h1 = spatial_dataflow::gnn::reference_conv(&graph, &input, &net.layers[0]);
+    let h2 = spatial_dataflow::gnn::reference_conv(&graph, &h1, &net.layers[1]);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| h2[a].last().unwrap().total_cmp(h2[b].last().unwrap()).then(a.cmp(&b)));
+    let expect: Vec<Vec<f64>> = order[n - 12..].iter().map(|&i| h2[i].clone()).collect();
+    // The spatial SpMV sums rows in segmented-scan order, the host in COO
+    // order — identical up to floating-point associativity.
+    let mut max_err = 0.0f64;
+    assert_eq!(pooled.len(), expect.len());
+    for (a, b) in pooled.iter().zip(&expect) {
+        for (x, y) in a.iter().zip(b) {
+            max_err = max_err.max((x - y).abs());
+        }
+    }
+    assert!(max_err < 1e-9, "spatial forward pass deviates from host reference by {max_err}");
+
+    println!("\npooled top-{} nodes (readout channel ascending):", pooled.len());
+    for row in &pooled {
+        println!("  features [{:.4}, {:.4}]", row[0], row[1]);
+    }
+    println!("\nverified against the host reference.");
+    println!("total model cost of the forward pass: {}", machine.report());
+}

@@ -1,0 +1,64 @@
+//! Nonparametric statistics on the Spatial Computer Model (§VI's opening
+//! motivation: "selecting an element of a certain rank plays a crucial role
+//! in nonparametric statistics").
+//!
+//! Computes a five-number summary (min, quartiles, median, max) and a
+//! trimmed mean of a skewed dataset with rank selection — `O(n)` energy per
+//! statistic — and compares the bill against sorting the whole dataset.
+//!
+//! ```bash
+//! cargo run --release --example order_statistics
+//! ```
+
+use spatial_dataflow::prelude::*;
+use spatial_dataflow::selection::quantiles;
+
+fn main() {
+    let n = 16384usize;
+    // A heavy-tailed dataset (squared uniforms — right-skewed).
+    let data: Vec<i64> = (0..n as i64)
+        .map(|i| {
+            let u = ((i * 48271) % 65521) as f64 / 65521.0;
+            (u * u * 1_000_000.0) as i64
+        })
+        .collect();
+
+    let mut machine = Machine::new();
+    let items = place_z(&mut machine, 0, data.clone());
+    let summary = quantiles(&mut machine, 0, &items, &[0.25, 0.5, 0.75, 1.0], 9);
+    let (min, _) = spatial_dataflow::selection::select_rank_values(&mut machine, 0, data.clone(), 1, 11);
+    let select_cost = machine.report();
+
+    println!("five-number summary of {n} skewed samples (selection, Θ(n) energy each):");
+    println!("  min  = {min}");
+    for (q, v) in &summary {
+        println!("  q{:>2.0} = {v}", q * 100.0);
+    }
+
+    // Verify against a host sort.
+    let mut sorted = data.clone();
+    sorted.sort_unstable();
+    assert_eq!(min, sorted[0]);
+    for (q, v) in &summary {
+        let k = ((q * n as f64).ceil() as usize).clamp(1, n);
+        assert_eq!(*v, sorted[k - 1], "quantile {q}");
+    }
+
+    // The skew shows up as mean >> median.
+    let mean = data.iter().sum::<i64>() / n as i64;
+    let median = summary[1].1;
+    println!("\n  mean = {mean} vs median = {median} (right-skew: mean/median = {:.2})", mean as f64 / median as f64);
+    assert!(mean > median);
+
+    // Cost comparison vs the sort-everything alternative.
+    let mut m_sort = Machine::new();
+    let items = place_z(&mut m_sort, 0, data);
+    let _ = sort_z(&mut m_sort, 0, items);
+    println!("\nmodel cost (5 selections): {select_cost}");
+    println!("model cost (1 full sort):  {}", m_sort.report());
+    println!(
+        "selection computed the summary with {:.1}x less energy",
+        m_sort.energy() as f64 / select_cost.energy as f64
+    );
+    assert!(select_cost.energy < m_sort.energy());
+}

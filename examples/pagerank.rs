@@ -1,0 +1,61 @@
+//! PageRank on a power-law graph via spatial SpMV.
+//!
+//! The paper's introduction motivates the primitives with graph workloads;
+//! this example runs PageRank power iterations where every `P·r` product is
+//! executed on the Spatial Computer Model (sort by column → segmented
+//! broadcast → multiply → sort by row → segmented sum), and reports the
+//! accumulated model costs.
+//!
+//! ```bash
+//! cargo run --release --example pagerank
+//! ```
+
+use spatial_dataflow::prelude::*;
+use workloads::{pagerank_reference, powerlaw_graph};
+
+fn main() {
+    let n = 512usize;
+    let damping = 0.85;
+    let iters = 10;
+
+    let graph = powerlaw_graph(n, 4, 7);
+    println!(
+        "power-law graph: {n} nodes, {} edges (top row has {} in-links)",
+        graph.nnz(),
+        graph.entries.iter().filter(|e| e.0 == 0).count()
+    );
+
+    let mut machine = Machine::new();
+    let mut rank = vec![1.0f64 / n as f64; n];
+    let mut total_energy = 0u64;
+    for it in 0..iters {
+        let out = spmv(&mut machine, &graph, &rank);
+        for (r, s) in rank.iter_mut().zip(out.y) {
+            *r = (1.0 - damping) / n as f64 + damping * s;
+        }
+        total_energy += out.cost.energy;
+        println!(
+            "iter {it:2}: spmv cost [{}]  rank[0] = {:.6}",
+            out.cost,
+            rank[0]
+        );
+    }
+
+    // Validate against the host reference.
+    let reference = pagerank_reference(&graph, damping, iters);
+    let max_err = rank
+        .iter()
+        .zip(&reference)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_err < 1e-12, "spatial PageRank deviates: {max_err}");
+
+    let mut top: Vec<(usize, f64)> = rank.iter().copied().enumerate().collect();
+    top.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\ntop-5 nodes by rank (hubs should dominate):");
+    for (node, score) in top.iter().take(5) {
+        println!("  node {node:4}  rank {score:.6}");
+    }
+    println!("\ntotal SpMV energy over {iters} iterations: {total_energy}");
+    println!("verified against host PageRank (max |Δ| = {max_err:.2e})");
+}

@@ -1,0 +1,86 @@
+//! Quickstart: run each headline primitive once and print its measured
+//! model costs next to the Table I predictions.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use spatial_dataflow::prelude::*;
+use spatial_dataflow::theory::{self, Metric};
+
+fn show(name: &str, n: u64, cost: Cost, bound: impl Fn(Metric) -> theory::Shape) {
+    println!("{name} (n = {n})");
+    println!("  measured: {cost}");
+    println!(
+        "  paper:    energy Θ({})  depth O({})  distance Θ({})",
+        bound(Metric::Energy).label(),
+        bound(Metric::Depth).label(),
+        bound(Metric::Distance).label()
+    );
+    println!();
+}
+
+fn main() {
+    let n = 4096usize;
+    let vals: Vec<i64> = (0..n as i64).map(|i| (i * 2654435761) % 100003).collect();
+
+    // --- Parallel scan (§IV.C) ---------------------------------------------
+    let mut m = Machine::new();
+    let items = place_z(&mut m, 0, vals.clone());
+    let sums = scan(&mut m, 0, items, &|a, b| a + b);
+    let expect: i64 = vals.iter().sum();
+    assert_eq!(*read_values(sums).last().unwrap(), expect);
+    show("Parallel scan", n as u64, m.report(), theory::scan_bound);
+
+    // --- 2D Mergesort (§V.C) -----------------------------------------------
+    let mut m = Machine::new();
+    let items = place_z(&mut m, 0, vals.clone());
+    let sorted = sort_z_values(&mut m, 0, items);
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    show("2D Mergesort", n as u64, m.report(), theory::sorting_bound);
+
+    // --- Rank selection (§VI) ----------------------------------------------
+    let mut m = Machine::new();
+    let k = n as u64 / 2;
+    let (median, stats) = select_rank_values(&mut m, 0, vals.clone(), k, 42);
+    assert_eq!(median, sorted[(k - 1) as usize]);
+    show("Rank selection (median)", n as u64, m.report(), theory::selection_bound);
+    println!(
+        "  selection details: {} sampling iterations, active counts {:?}",
+        stats.iterations, stats.active_trajectory
+    );
+    println!();
+
+    // --- SpMV (§VIII) --------------------------------------------------------
+    let side = 32usize; // 1024-unknown Poisson system, ~5 nnz/row
+    let a = {
+        // 5-point stencil with integer weights for exact comparison.
+        let idx = |r: usize, c: usize| (r * side + c) as u32;
+        let mut entries = Vec::new();
+        for r in 0..side {
+            for c in 0..side {
+                entries.push((idx(r, c), idx(r, c), 4i64));
+                if r > 0 {
+                    entries.push((idx(r, c), idx(r - 1, c), -1));
+                }
+                if r + 1 < side {
+                    entries.push((idx(r, c), idx(r + 1, c), -1));
+                }
+                if c > 0 {
+                    entries.push((idx(r, c), idx(r, c - 1), -1));
+                }
+                if c + 1 < side {
+                    entries.push((idx(r, c), idx(r, c + 1), -1));
+                }
+            }
+        }
+        Coo::new(side * side, side * side, entries)
+    };
+    let x: Vec<i64> = (0..a.n_cols as i64).map(|i| i % 13).collect();
+    let mut m = Machine::new();
+    let out = spmv(&mut m, &a, &x);
+    assert_eq!(out.y, a.multiply_dense(&x));
+    show("SpMV (Poisson stencil)", a.nnz() as u64, out.cost, theory::spmv_bound);
+
+    println!("All outputs verified against host references.");
+}

@@ -1,0 +1,10 @@
+#!/bin/bash
+# Regenerates every table/figure reproduction; outputs land in experiments/.
+set -u
+cd "$(dirname "$0")"
+BINS="table1 fig1_scan_trace fig2_bitonic_layout fig_collectives fig_scan_vs_naive fig_bitonic_vs_mergesort fig_permutation_lb fig_allpairs fig_rank2 fig_merge2d fig_selection fig_pram fig_spmv fig_mesh fig_networks fig_selection_c fig_multiselect fig_spmm"
+for b in $BINS; do
+  echo "=== running $b ==="
+  cargo run -p bench --release --bin "$b" > "experiments/$b.txt" 2>&1 || echo "FAILED: $b"
+done
+echo "all experiments done"

@@ -1,0 +1,169 @@
+//! `spatial-dataflow` — command-line driver for the spatial primitives.
+//!
+//! ```bash
+//! cargo run --release -- scan   --n 65536
+//! cargo run --release -- sort   --n 4096 --kind reversed
+//! cargo run --release -- select --n 65536 --k 100 --seed 7
+//! cargo run --release -- spmv   --n 1024 --nnz-per-row 4
+//! cargo run --release -- topk   --n 65536 --k 32
+//! cargo run --release -- info
+//! ```
+//!
+//! Each subcommand runs the primitive on a generated workload, verifies the
+//! output against a host reference, and prints the exact Spatial Computer
+//! Model costs next to the paper's Table I bound.
+
+use spatial_dataflow::prelude::*;
+use spatial_dataflow::theory::{self, Metric, Shape};
+use workloads::ArrayKind;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: spatial-dataflow <command> [options]\n\
+         \n\
+         commands:\n\
+           scan    --n <int> [--kind uniform|sorted|reversed|dup-heavy|zigzag] [--seed <int>]\n\
+           sort    --n <int> [--kind ...] [--seed <int>]\n\
+           select  --n <int> [--k <rank>] [--kind ...] [--seed <int>]\n\
+           topk    --n <int> [--k <count>] [--kind ...] [--seed <int>]\n\
+           spmv    --n <int> [--nnz-per-row <int>] [--seed <int>]\n\
+           info    print the Table I bounds\n"
+    );
+    std::process::exit(2)
+}
+
+struct Args {
+    n: usize,
+    k: u64,
+    nnz_per_row: usize,
+    seed: u64,
+    kind: ArrayKind,
+}
+
+fn parse(mut argv: std::env::Args) -> (String, Args) {
+    let cmd = argv.next().unwrap_or_else(|| usage());
+    let mut args = Args { n: 4096, k: 0, nnz_per_row: 4, seed: 1, kind: ArrayKind::Uniform };
+    let mut it = argv.peekable();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--n" => args.n = val().parse().unwrap_or_else(|_| usage()),
+            "--k" => args.k = val().parse().unwrap_or_else(|_| usage()),
+            "--nnz-per-row" => args.nnz_per_row = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--kind" => {
+                let v = val();
+                args.kind = ArrayKind::ALL
+                    .into_iter()
+                    .find(|k| k.label() == v)
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    (cmd, args)
+}
+
+fn report(name: &str, n: u64, cost: Cost, bound: impl Fn(Metric) -> Shape) {
+    println!("\n{name} (n = {n})");
+    println!("  measured: {cost}");
+    println!(
+        "  paper:    energy Θ({}), depth O({}), distance Θ({})",
+        bound(Metric::Energy).label(),
+        bound(Metric::Depth).label(),
+        bound(Metric::Distance).label()
+    );
+}
+
+fn main() {
+    let mut argv = std::env::args();
+    let _bin = argv.next();
+    let (cmd, a) = parse(argv);
+    match cmd.as_str() {
+        "scan" => {
+            let vals = a.kind.generate(a.n, a.seed);
+            let mut expect = vals.clone();
+            for i in 1..expect.len() {
+                expect[i] = expect[i].wrapping_add(expect[i - 1]);
+            }
+            let mut m = Machine::new();
+            let items = place_z(&mut m, 0, vals);
+            let out = spatial_dataflow::collectives::scan::scan_any(&mut m, 0, items, &|x, y| {
+                x.wrapping_add(*y)
+            });
+            assert_eq!(read_values(out), expect, "scan output verified");
+            report("parallel scan", a.n as u64, m.report(), theory::scan_bound);
+            println!("  verified against the sequential prefix sum.");
+        }
+        "sort" => {
+            let vals = a.kind.generate(a.n, a.seed);
+            let mut expect = vals.clone();
+            expect.sort_unstable();
+            let mut m = Machine::new();
+            let items = place_z(&mut m, 0, vals);
+            let got = sort_z_values(&mut m, 0, items);
+            assert_eq!(got, expect, "sort output verified");
+            report("2D mergesort", a.n as u64, m.report(), theory::sorting_bound);
+            println!("  verified against std sort ({} input).", a.kind.label());
+        }
+        "select" => {
+            let k = if a.k == 0 { a.n as u64 / 2 } else { a.k };
+            let vals = a.kind.generate(a.n, a.seed);
+            let mut sorted = vals.clone();
+            sorted.sort_unstable();
+            let mut m = Machine::new();
+            let (got, stats) = select_rank_values(&mut m, 0, vals, k, a.seed);
+            assert_eq!(got, sorted[(k - 1) as usize], "selection verified");
+            report("rank selection", a.n as u64, m.report(), theory::selection_bound);
+            println!(
+                "  rank {k} -> {got}; {} iterations, {} fallbacks, active counts {:?}",
+                stats.iterations, stats.fallbacks, stats.active_trajectory
+            );
+        }
+        "topk" => {
+            let k = if a.k == 0 { 16 } else { a.k };
+            let vals = a.kind.generate(a.n, a.seed);
+            let mut sorted = vals.clone();
+            sorted.sort_unstable();
+            let expect: Vec<i64> = sorted[a.n - k as usize..].to_vec();
+            let mut m = Machine::new();
+            let items = place_z(&mut m, 0, vals);
+            let got: Vec<i64> = top_k(&mut m, 0, items, k, a.seed)
+                .into_iter()
+                .map(|t| t.into_value())
+                .collect();
+            assert_eq!(got, expect, "top-k verified");
+            println!("\ntop-{k} of {} elements: {:?}{}", a.n, &got[..got.len().min(8)], if got.len() > 8 { " …" } else { "" });
+            println!("  measured: {}", m.report());
+            println!("  composition: Θ(n) selection + Θ(k^1.5) sort (vs Θ(n^1.5) for sorting everything)");
+        }
+        "spmv" => {
+            let mat = workloads::random_uniform(a.n, a.nnz_per_row, a.seed);
+            let x: Vec<i64> = (0..a.n as i64).map(|i| (i % 7) - 3).collect();
+            let expect = mat.multiply_dense(&x);
+            let mut m = Machine::new();
+            let out = spmv(&mut m, &mat, &x);
+            assert_eq!(out.y, expect, "spmv verified");
+            report("sparse matrix-vector multiply", mat.nnz() as u64, out.cost, theory::spmv_bound);
+            println!("  verified against the dense reference (m = {} non-zeros).", mat.nnz());
+        }
+        "info" => {
+            println!("Table I — Spatial Computer Model bounds (Gianinazzi et al., IPDPS 2025):");
+            for (name, f) in [
+                ("parallel scan", theory::scan_bound as fn(Metric) -> Shape),
+                ("sorting", theory::sorting_bound),
+                ("rank selection", theory::selection_bound),
+                ("spmv", theory::spmv_bound),
+            ] {
+                println!(
+                    "  {name:<16} energy Θ({:<10}) depth O({:<8}) distance Θ({})",
+                    f(Metric::Energy).label(),
+                    f(Metric::Depth).label(),
+                    f(Metric::Distance).label()
+                );
+            }
+            println!("\nrun `./run_experiments.sh` to regenerate every table/figure reproduction.");
+        }
+        _ => usage(),
+    }
+}

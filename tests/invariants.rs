@@ -1,0 +1,121 @@
+//! Cost-accounting invariants that every algorithm must satisfy.
+//!
+//! These are model-level laws, independent of any particular bound:
+//!
+//! * `distance ≤ energy` — the critical chain is a subset of all messages;
+//! * `depth ≤ messages` — a chain cannot be longer than the message count;
+//! * `depth ≤ distance` cannot be asserted (unit hops), but
+//!   `distance ≥ depth`·(min hop) holds with min hop ≥ 0 — we check
+//!   `distance ≥ 1` whenever `depth ≥ 1` and every hop is ≥ 1 in practice
+//!   for the algorithms here (no self-messages are ever charged);
+//! * re-running the same algorithm on the same input gives bit-identical
+//!   costs (the simulator is deterministic);
+//! * costs are monotone under machine reuse (energy only grows).
+
+use spatial_dataflow::model::{Cost, Machine};
+use spatial_dataflow::prelude::*;
+
+fn pseudo(n: usize, seed: i64) -> Vec<i64> {
+    (0..n).map(|i| ((i as i64 * 2654435761 + seed) % 100003) - 50000).collect()
+}
+
+/// Runs every primitive on a fresh machine and returns the cost snapshots.
+fn run_all(seed: i64) -> Vec<(&'static str, Cost)> {
+    let n = 1024usize;
+    let vals = pseudo(n, seed);
+    let mut out = Vec::new();
+
+    let mut m = Machine::new();
+    let items = place_z(&mut m, 0, vals.clone());
+    let _ = scan(&mut m, 0, items, &|a, b| a + b);
+    out.push(("scan", m.report()));
+
+    let mut m = Machine::new();
+    let items = place_z(&mut m, 0, vals.clone());
+    let _ = sort_z(&mut m, 0, items);
+    out.push(("sort", m.report()));
+
+    let mut m = Machine::new();
+    let (_, _) = select_rank_values(&mut m, 0, vals.clone(), n as u64 / 3, seed as u64);
+    out.push(("selection", m.report()));
+
+    let mut m = Machine::new();
+    let a = workloads::random_uniform(64, 4, seed as u64);
+    let x: Vec<i64> = (0..64).collect();
+    let _ = spmv(&mut m, &a, &x);
+    out.push(("spmv", m.report()));
+
+    let mut m = Machine::new();
+    let grid = spatial_dataflow::model::SubGrid::square(spatial_dataflow::model::Coord::ORIGIN, 32);
+    let root = m.place(grid.origin, 1i64);
+    let _ = broadcast(&mut m, root, grid);
+    out.push(("broadcast", m.report()));
+
+    out
+}
+
+#[test]
+fn distance_never_exceeds_energy() {
+    for (name, c) in run_all(1) {
+        assert!(c.distance <= c.energy, "{name}: distance {} > energy {}", c.distance, c.energy);
+    }
+}
+
+#[test]
+fn depth_never_exceeds_message_count() {
+    for (name, c) in run_all(2) {
+        assert!(c.depth <= c.messages, "{name}: depth {} > messages {}", c.depth, c.messages);
+    }
+}
+
+#[test]
+fn depth_never_exceeds_distance() {
+    // Every charged hop in these algorithms has length ≥ 1 (move_to skips
+    // self-messages), so a chain of k messages spans distance ≥ k.
+    for (name, c) in run_all(3) {
+        assert!(c.depth <= c.distance, "{name}: depth {} > distance {}", c.depth, c.distance);
+    }
+}
+
+#[test]
+fn energy_at_least_messages() {
+    // Same fact, globally: each charged message travels ≥ 1.
+    for (name, c) in run_all(4) {
+        assert!(c.energy >= c.messages, "{name}: energy {} < messages {}", c.energy, c.messages);
+    }
+}
+
+#[test]
+fn costs_are_deterministic() {
+    assert_eq!(run_all(5), run_all(5));
+}
+
+#[test]
+fn machine_counters_are_monotone_under_reuse() {
+    let mut m = Machine::new();
+    let mut last = m.report();
+    for round in 0..3 {
+        let items = place_z(&mut m, 0, pseudo(256, round));
+        let _ = sort_z(&mut m, 0, items);
+        let now = m.report();
+        assert!(now.energy > last.energy, "energy must accumulate");
+        assert!(now.messages > last.messages);
+        assert!(now.depth >= last.depth, "watermarks never decrease");
+        assert!(now.distance >= last.distance);
+        last = now;
+    }
+}
+
+#[test]
+fn cost_delta_isolates_phases() {
+    let mut m = Machine::new();
+    let items = place_z(&mut m, 0, pseudo(256, 9));
+    let before = m.report();
+    let sorted = sort_z(&mut m, 0, items);
+    let sort_cost = m.report() - before;
+    let before2 = m.report();
+    let _ = scan(&mut m, 0, sorted, &|a, b| *a.min(b));
+    let scan_cost = m.report() - before2;
+    assert_eq!(before.energy + sort_cost.energy + scan_cost.energy, m.report().energy);
+    assert!(sort_cost.energy > scan_cost.energy, "sorting costs more than scanning");
+}
