@@ -1,67 +1,51 @@
-//! Criterion: simulator throughput of the §IV collectives.
+//! Simulator throughput of the §IV collectives, on the in-tree timing
+//! harness (`bench::timing`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use bench::timing::Group;
 use spatial_core::collectives::naive::{naive_broadcast, naive_reduce};
 use spatial_core::collectives::zarray::place_row_major;
 use spatial_core::collectives::{all_reduce, broadcast, reduce};
 use spatial_core::model::{Coord, Machine, SubGrid};
 
-fn bench_collectives(c: &mut Criterion) {
-    let mut g = c.benchmark_group("collectives");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_secs(1));
+fn main() {
+    let mut g = Group::new("collectives").samples(10);
     for &n in &[4096u64, 16384, 65536] {
         let side = (n as f64).sqrt() as u64;
         let grid = SubGrid::square(Coord::ORIGIN, side);
-        g.bench_with_input(BenchmarkId::new("broadcast-opt", n), &n, |b, _| {
-            b.iter(|| {
-                let mut m = Machine::new();
-                let root = m.place(grid.origin, 1i64);
-                let out = broadcast(&mut m, root, grid);
-                std::hint::black_box((m.energy(), out.len()))
-            })
+        g.bench(&format!("broadcast-opt/{n}"), || {
+            let mut m = Machine::new();
+            let root = m.place(grid.origin, 1i64);
+            let out = broadcast(&mut m, root, grid);
+            (m.energy(), out.len())
         });
-        g.bench_with_input(BenchmarkId::new("broadcast-naive", n), &n, |b, _| {
-            b.iter(|| {
-                let mut m = Machine::new();
-                let root = m.place(grid.origin, 1i64);
-                let out = naive_broadcast(&mut m, root, grid);
-                std::hint::black_box((m.energy(), out.len()))
-            })
+        g.bench(&format!("broadcast-naive/{n}"), || {
+            let mut m = Machine::new();
+            let root = m.place(grid.origin, 1i64);
+            let out = naive_broadcast(&mut m, root, grid);
+            (m.energy(), out.len())
         });
-        g.bench_with_input(BenchmarkId::new("reduce-opt", n), &n, |b, _| {
-            b.iter(|| {
-                let mut m = Machine::new();
-                let items = place_row_major(&mut m, grid, (0..n as i64).collect());
-                let t = reduce(&mut m, items, grid, &|a, b| a + b);
-                std::hint::black_box(t.into_value())
-            })
+        g.bench(&format!("reduce-opt/{n}"), || {
+            let mut m = Machine::new();
+            let items = place_row_major(&mut m, grid, (0..n as i64).collect());
+            let t = reduce(&mut m, items, grid, &|a, b| a + b);
+            t.into_value()
         });
-        g.bench_with_input(BenchmarkId::new("reduce-naive", n), &n, |b, _| {
-            b.iter(|| {
-                let mut m = Machine::new();
-                let items = place_row_major(&mut m, grid, (0..n as i64).collect());
-                let t = naive_reduce(&mut m, items, grid, &|a, b| a + b);
-                std::hint::black_box(t.into_value())
-            })
+        g.bench(&format!("reduce-naive/{n}"), || {
+            let mut m = Machine::new();
+            let items = place_row_major(&mut m, grid, (0..n as i64).collect());
+            let t = naive_reduce(&mut m, items, grid, &|a, b| a + b);
+            t.into_value()
         });
     }
     // All-reduce at one size.
     let n = 16384u64;
     let side = (n as f64).sqrt() as u64;
     let grid = SubGrid::square(Coord::ORIGIN, side);
-    g.bench_with_input(BenchmarkId::new("all-reduce", n), &n, |b, _| {
-        b.iter(|| {
-            let mut m = Machine::new();
-            let items = place_row_major(&mut m, grid, (0..n as i64).collect());
-            let out = all_reduce(&mut m, items, grid, &|a, b| a + b);
-            std::hint::black_box(out.len())
-        })
+    g.bench(&format!("all-reduce/{n}"), || {
+        let mut m = Machine::new();
+        let items = place_row_major(&mut m, grid, (0..n as i64).collect());
+        let out = all_reduce(&mut m, items, grid, &|a, b| a + b);
+        out.len()
     });
     g.finish();
 }
-
-criterion_group!(benches, bench_collectives);
-criterion_main!(benches);

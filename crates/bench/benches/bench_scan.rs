@@ -1,50 +1,39 @@
-//! Criterion: simulator throughput of the scan primitives (Table I row 1).
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Simulator throughput of the scan primitives (Table I row 1), on the
+//! in-tree timing harness (`bench::timing`).
 
 use bench::pseudo;
+use bench::timing::Group;
 use spatial_core::collectives::naive::naive_scan;
 use spatial_core::collectives::zarray::{place_row_major, place_z};
 use spatial_core::collectives::{scan, segmented_scan, SegItem};
 use spatial_core::model::{Coord, Machine, SubGrid};
 
-fn bench_scans(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scan");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_secs(1));
+fn main() {
+    let mut g = Group::new("scan").samples(10);
     for &n in &[1024usize, 4096, 16384] {
         let vals = pseudo(n, 1);
-        g.bench_with_input(BenchmarkId::new("zorder", n), &n, |b, _| {
-            b.iter(|| {
-                let mut m = Machine::new();
-                let items = place_z(&mut m, 0, vals.clone());
-                let out = scan(&mut m, 0, items, &|a, b| a + b);
-                std::hint::black_box((m.energy(), out.len()))
-            })
+        g.bench(&format!("zorder/{n}"), || {
+            let mut m = Machine::new();
+            let items = place_z(&mut m, 0, vals.clone());
+            let out = scan(&mut m, 0, items, &|a, b| a + b);
+            (m.energy(), out.len())
         });
-        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
-            let side = (n as f64).sqrt() as u64;
-            let grid = SubGrid::square(Coord::ORIGIN, side);
-            b.iter(|| {
-                let mut m = Machine::new();
-                let items = place_row_major(&mut m, grid, vals.clone());
-                let out = naive_scan(&mut m, items, grid, &|a, b| a + b);
-                std::hint::black_box((m.energy(), out.len()))
-            })
+        let side = (n as f64).sqrt() as u64;
+        let grid = SubGrid::square(Coord::ORIGIN, side);
+        g.bench(&format!("naive/{n}"), || {
+            let mut m = Machine::new();
+            let items = place_row_major(&mut m, grid, vals.clone());
+            let out = naive_scan(&mut m, items, grid, &|a, b| a + b);
+            (m.energy(), out.len())
         });
-        g.bench_with_input(BenchmarkId::new("segmented", n), &n, |b, _| {
-            let seg: Vec<SegItem<i64>> = vals.iter().enumerate().map(|(i, &v)| SegItem::new(i % 17 == 0, v)).collect();
-            b.iter(|| {
-                let mut m = Machine::new();
-                let items = place_z(&mut m, 0, seg.clone());
-                let out = segmented_scan(&mut m, 0, items, &|a, b| a + b);
-                std::hint::black_box((m.energy(), out.len()))
-            })
+        let seg: Vec<SegItem<i64>> =
+            vals.iter().enumerate().map(|(i, &v)| SegItem::new(i % 17 == 0, v)).collect();
+        g.bench(&format!("segmented/{n}"), || {
+            let mut m = Machine::new();
+            let items = place_z(&mut m, 0, seg.clone());
+            let out = segmented_scan(&mut m, 0, items, &|a, b| a + b);
+            (m.energy(), out.len())
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_scans);
-criterion_main!(benches);

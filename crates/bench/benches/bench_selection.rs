@@ -1,59 +1,44 @@
-//! Criterion: simulator throughput of rank selection (Table I row 3).
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Simulator throughput of rank selection (Table I row 3), on the in-tree
+//! timing harness (`bench::timing`).
 
 use bench::pseudo;
+use bench::timing::Group;
 use spatial_core::collectives::zarray::place_z;
 use spatial_core::model::Machine;
 use spatial_core::selection::select_rank_values;
 use spatial_core::sorting::sort_z;
 
-fn bench_selection(c: &mut Criterion) {
-    let mut g = c.benchmark_group("selection");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_secs(1));
+fn main() {
+    let mut g = Group::new("selection").samples(10);
     for &n in &[4096usize, 16384, 65536] {
         let vals = pseudo(n, 3);
-        g.bench_with_input(BenchmarkId::new("select-median", n), &n, |b, _| {
-            b.iter(|| {
-                let mut m = Machine::new();
-                let (v, _) = select_rank_values(&mut m, 0, vals.clone(), n as u64 / 2, 7);
-                std::hint::black_box((m.energy(), v))
-            })
+        g.bench(&format!("select-median/{n}"), || {
+            let mut m = Machine::new();
+            let (v, _) = select_rank_values(&mut m, 0, vals.clone(), n as u64 / 2, 7);
+            (m.energy(), v)
         });
     }
     // The sort-based alternative at the smallest size, for the separation.
     let n = 4096usize;
     let vals = pseudo(n, 3);
-    g.bench_with_input(BenchmarkId::new("sort-then-index", n), &n, |b, _| {
-        b.iter(|| {
-            let mut m = Machine::new();
-            let items = place_z(&mut m, 0, vals.clone());
-            let out = sort_z(&mut m, 0, items);
-            std::hint::black_box((m.energy(), out.len()))
-        })
+    g.bench(&format!("sort-then-index/{n}"), || {
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, vals.clone());
+        let out = sort_z(&mut m, 0, items);
+        (m.energy(), out.len())
     });
     g.finish();
 
     // Rank position ablation.
-    let mut g = c.benchmark_group("selection-rank");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_secs(1));
+    let mut g = Group::new("selection-rank").samples(10);
     let n = 16384usize;
     let vals = pseudo(n, 4);
     for (label, k) in [("min", 1u64), ("p25", n as u64 / 4), ("median", n as u64 / 2), ("max", n as u64)] {
-        g.bench_with_input(BenchmarkId::new("select", label), &k, |b, &k| {
-            b.iter(|| {
-                let mut m = Machine::new();
-                let (v, _) = select_rank_values(&mut m, 0, vals.clone(), k, 11);
-                std::hint::black_box(v)
-            })
+        g.bench(&format!("select/{label}"), || {
+            let mut m = Machine::new();
+            let (v, _) = select_rank_values(&mut m, 0, vals.clone(), k, 11);
+            v
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_selection);
-criterion_main!(benches);

@@ -1,62 +1,46 @@
-//! Criterion: simulator throughput of the sorting algorithms (Table I row 2
-//! and the Fig. 2 comparison).
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Simulator throughput of the sorting algorithms (Table I row 2 and the
+//! Fig. 2 comparison), on the in-tree timing harness (`bench::timing`).
 
 use bench::pseudo;
+use bench::timing::Group;
 use spatial_core::collectives::zarray::{place_row_major, place_z};
 use spatial_core::model::{Coord, Machine, SubGrid};
 use spatial_core::sortnet::{bitonic_sort, run_row_major};
 use spatial_core::sorting::sort_z;
 
-fn bench_sorts(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sort");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_secs(1));
+fn main() {
+    let mut g = Group::new("sort").samples(10);
     for &n in &[256usize, 1024, 4096] {
         let vals = pseudo(n, 2);
-        g.bench_with_input(BenchmarkId::new("mergesort2d", n), &n, |b, _| {
-            b.iter(|| {
-                let mut m = Machine::new();
-                let items = place_z(&mut m, 0, vals.clone());
-                let out = sort_z(&mut m, 0, items);
-                std::hint::black_box((m.energy(), out.len()))
-            })
+        g.bench(&format!("mergesort2d/{n}"), || {
+            let mut m = Machine::new();
+            let items = place_z(&mut m, 0, vals.clone());
+            let out = sort_z(&mut m, 0, items);
+            (m.energy(), out.len())
         });
         let net = bitonic_sort(n);
         let side = (n as f64).sqrt() as u64;
         let grid = SubGrid::square(Coord::ORIGIN, side);
-        g.bench_with_input(BenchmarkId::new("bitonic", n), &n, |b, _| {
-            b.iter(|| {
-                let mut m = Machine::new();
-                let items = place_row_major(&mut m, grid, vals.clone());
-                let out = run_row_major(&mut m, &net, grid, items);
-                std::hint::black_box((m.energy(), out.len()))
-            })
+        g.bench(&format!("bitonic/{n}"), || {
+            let mut m = Machine::new();
+            let items = place_row_major(&mut m, grid, vals.clone());
+            let out = run_row_major(&mut m, &net, grid, items);
+            (m.energy(), out.len())
         });
     }
     g.finish();
 
     // Input-order ablation at a fixed size.
-    let mut g = c.benchmark_group("sort-input-order");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_secs(1));
+    let mut g = Group::new("sort-input-order").samples(10);
     let n = 1024usize;
     for kind in workloads::ArrayKind::ALL {
         let vals = kind.generate(n, 5);
-        g.bench_with_input(BenchmarkId::new("mergesort2d", kind.label()), &n, |b, _| {
-            b.iter(|| {
-                let mut m = Machine::new();
-                let items = place_z(&mut m, 0, vals.clone());
-                let out = sort_z(&mut m, 0, items);
-                std::hint::black_box((m.energy(), out.len()))
-            })
+        g.bench(&format!("mergesort2d/{}", kind.label()), || {
+            let mut m = Machine::new();
+            let items = place_z(&mut m, 0, vals.clone());
+            let out = sort_z(&mut m, 0, items);
+            (m.energy(), out.len())
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_sorts);
-criterion_main!(benches);

@@ -1,45 +1,35 @@
-//! Criterion: simulator throughput of SpMV (Table I row 4 / §VIII).
+//! Simulator throughput of SpMV (Table I row 4 / §VIII), on the in-tree
+//! timing harness (`bench::timing`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use bench::timing::Group;
 use spatial_core::model::Machine;
 use spatial_core::spmv::pram_baseline::spmv_pram_baseline;
 use spatial_core::spmv::spmv;
 
-fn bench_spmv(c: &mut Criterion) {
-    let mut g = c.benchmark_group("spmv");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_secs(1));
+fn main() {
+    let mut g = Group::new("spmv").samples(10);
     for &n in &[128usize, 256, 512] {
         let a = workloads::random_uniform(n, 4, 3);
         let x: Vec<i64> = (0..n as i64).map(|i| (i % 7) - 3).collect();
-        g.bench_with_input(BenchmarkId::new("direct", a.nnz()), &n, |b, _| {
-            b.iter(|| {
-                let mut m = Machine::new();
-                let out = spmv(&mut m, &a, &x);
-                std::hint::black_box(out.y.len())
-            })
+        g.bench(&format!("direct/{}", a.nnz()), || {
+            let mut m = Machine::new();
+            let out = spmv(&mut m, &a, &x);
+            out.y.len()
         });
     }
     // PRAM baseline at one size (it is much slower).
     let n = 128usize;
     let a = workloads::random_uniform(n, 4, 3);
     let x: Vec<i64> = (0..n as i64).map(|i| (i % 7) - 3).collect();
-    g.bench_with_input(BenchmarkId::new("pram-baseline", a.nnz()), &n, |b, _| {
-        b.iter(|| {
-            let mut m = Machine::new();
-            let (y, _) = spmv_pram_baseline(&mut m, &a, &x);
-            std::hint::black_box(y.len())
-        })
+    g.bench(&format!("pram-baseline/{}", a.nnz()), || {
+        let mut m = Machine::new();
+        let (y, _) = spmv_pram_baseline(&mut m, &a, &x);
+        y.len()
     });
     g.finish();
 
     // Matrix-family ablation.
-    let mut g = c.benchmark_group("spmv-family");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.warm_up_time(std::time::Duration::from_secs(1));
+    let mut g = Group::new("spmv-family").samples(10);
     let n = 256usize;
     let fams: Vec<(&str, spatial_core::spmv::Coo<i64>)> = vec![
         ("banded", workloads::banded(n, 2, 1)),
@@ -49,16 +39,11 @@ fn bench_spmv(c: &mut Criterion) {
     ];
     let x: Vec<i64> = vec![1; n];
     for (label, a) in fams {
-        g.bench_with_input(BenchmarkId::new("direct", label), &n, |b, _| {
-            b.iter(|| {
-                let mut m = Machine::new();
-                let out = spmv(&mut m, &a, &x);
-                std::hint::black_box(out.y.len())
-            })
+        g.bench(&format!("direct/{label}"), || {
+            let mut m = Machine::new();
+            let out = spmv(&mut m, &a, &x);
+            out.y.len()
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_spmv);
-criterion_main!(benches);

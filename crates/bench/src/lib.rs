@@ -8,6 +8,8 @@
 //! cargo run -p bench --release --bin table1
 //! ```
 
+pub mod timing;
+
 use spatial_core::model::{Cost, Machine};
 use spatial_core::report::Sweep;
 

@@ -1,0 +1,218 @@
+//! # timing — a minimal wall-clock benchmark harness
+//!
+//! Replaces the `criterion` dev-dependency with an in-tree, std-only loop:
+//! warmup, N timed samples, median/min/mean statistics, a human-readable
+//! table on stdout and machine-readable JSON under
+//! `target/spatial-bench/<group>.json`.
+//!
+//! Knobs (environment variables):
+//!
+//! * `SPATIAL_BENCH_SAMPLES` — timed samples per benchmark (default 15);
+//! * `SPATIAL_BENCH_WARMUP_MS` — minimum warmup time per benchmark
+//!   (default 200 ms, at least one run);
+//! * `SPATIAL_BENCH_JSON` — output directory (default `target/spatial-bench`).
+//!
+//! ```no_run
+//! let mut g = bench::timing::Group::new("scan");
+//! g.bench("zorder/1024", || {
+//!     // ... the measured work; its return value is sunk into black_box ...
+//!     42
+//! });
+//! g.finish();
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Timing statistics of one benchmark, in nanoseconds.
+#[derive(Clone, Debug)]
+pub struct Stats {
+    /// Benchmark id, e.g. `"zorder/1024"`.
+    pub id: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Median sample time (the headline number).
+    pub median_ns: u128,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Slowest sample.
+    pub max_ns: u128,
+    /// Arithmetic mean.
+    pub mean_ns: u128,
+}
+
+impl Stats {
+    fn from_samples(id: &str, mut ns: Vec<u128>) -> Self {
+        assert!(!ns.is_empty());
+        ns.sort_unstable();
+        let n = ns.len();
+        let median = if n % 2 == 1 { ns[n / 2] } else { (ns[n / 2 - 1] + ns[n / 2]) / 2 };
+        Stats {
+            id: id.to_string(),
+            samples: n,
+            median_ns: median,
+            min_ns: ns[0],
+            max_ns: ns[n - 1],
+            mean_ns: ns.iter().sum::<u128>() / n as u128,
+        }
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn env_u64(var: &str, default: u64) -> u64 {
+    std::env::var(var).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// A named group of benchmarks sharing configuration — the analogue of a
+/// criterion benchmark group.
+pub struct Group {
+    name: String,
+    samples: usize,
+    warmup: Duration,
+    results: Vec<Stats>,
+}
+
+impl Group {
+    /// A group with the environment-configured sample count and warmup.
+    pub fn new(name: &str) -> Self {
+        Group {
+            name: name.to_string(),
+            samples: env_u64("SPATIAL_BENCH_SAMPLES", 15).max(1) as usize,
+            warmup: Duration::from_millis(env_u64("SPATIAL_BENCH_WARMUP_MS", 200)),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the sample count (env var still wins if set).
+    pub fn samples(mut self, n: usize) -> Self {
+        if std::env::var("SPATIAL_BENCH_SAMPLES").is_err() {
+            self.samples = n.max(1);
+        }
+        self
+    }
+
+    /// Times `f`: warmup until the warmup budget is spent (at least once),
+    /// then `samples` timed runs. The closure's return value is passed
+    /// through [`std::hint::black_box`] so the work is not optimized away.
+    pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) {
+        // Warmup: run until the budget is exhausted, at least once.
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            if warm_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        let mut ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            ns.push(t.elapsed().as_nanos());
+        }
+        let stats = Stats::from_samples(id, ns);
+        println!(
+            "{:<40} median {:>12}   (min {}, mean {}, {} samples)",
+            format!("{}/{}", self.name, stats.id),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.mean_ns),
+            stats.samples
+        );
+        self.results.push(stats);
+    }
+
+    /// Serializes the group's results as a JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"group\": \"{}\",\n", self.name));
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, s) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"samples\": {}, \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}}}{}\n",
+                s.id,
+                s.samples,
+                s.median_ns,
+                s.min_ns,
+                s.max_ns,
+                s.mean_ns,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Prints the summary and writes `<dir>/<group>.json`. Returns the
+    /// results for programmatic use.
+    pub fn finish(self) -> Vec<Stats> {
+        // Cargo runs benches with the package dir as CWD, so resolve the
+        // default against the shared workspace target dir, not a nested
+        // `crates/bench/target/`.
+        let dir = std::env::var("SPATIAL_BENCH_JSON").unwrap_or_else(|_| {
+            std::env::var("CARGO_TARGET_DIR")
+                .map(|t| format!("{t}/spatial-bench"))
+                .unwrap_or_else(|_| {
+                    concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/spatial-bench").to_string()
+                })
+        });
+        let path = std::path::Path::new(&dir).join(format!("{}.json", self.name));
+        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, self.to_json()))
+        {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("  -> {}", path.display());
+        }
+        self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_median_is_order_insensitive() {
+        let s = Stats::from_samples("x", vec![30, 10, 20]);
+        assert_eq!(s.median_ns, 20);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.max_ns, 30);
+        let even = Stats::from_samples("y", vec![40, 10, 20, 30]);
+        assert_eq!(even.median_ns, 25);
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 µs");
+        assert_eq!(fmt_ns(2_000_000), "2.000 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+
+    #[test]
+    fn group_runs_and_serializes() {
+        std::env::set_var("SPATIAL_BENCH_WARMUP_MS", "0");
+        let mut g = Group::new("unit-test-group").samples(3);
+        let mut calls = 0u32;
+        g.bench("noop", || {
+            calls += 1;
+            calls
+        });
+        assert!(calls >= 4, "warmup (≥1) + 3 samples, got {calls}");
+        let json = g.to_json();
+        assert!(json.contains("\"group\": \"unit-test-group\""), "{json}");
+        assert!(json.contains("\"id\": \"noop\""), "{json}");
+        assert!(json.contains("median_ns"), "{json}");
+        std::env::remove_var("SPATIAL_BENCH_WARMUP_MS");
+    }
+}

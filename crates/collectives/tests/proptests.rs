@@ -1,22 +1,19 @@
-//! Property-based tests for the collectives.
+//! Property-based tests for the collectives, on the in-tree harness
+//! (`spatial_core::check`).
 
-use proptest::prelude::*;
+use spatial_core::check::{check, Gen};
+use spatial_core::{prop_assert, prop_assert_eq};
 
 use collectives::zarray::{place_row_major, place_z, read_values};
-use collectives::{broadcast, reduce, scan, scan_exclusive, segmented_scan, SegItem};
 use collectives::zseg::{broadcast_z, reduce_z};
+use collectives::{broadcast, reduce, scan, scan_exclusive, segmented_scan, SegItem};
 use spatial_model::{Coord, Machine, SubGrid};
 
-/// Strategy: a power-of-four length in {4, 16, 64, 256}.
-fn pow4_len() -> impl Strategy<Value = usize> {
-    (1u32..=4).prop_map(|k| 4usize.pow(k))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn scan_equals_sequential_prefix(len in pow4_len(), seed in 0i64..1000) {
+#[test]
+fn scan_equals_sequential_prefix() {
+    check("scan_equals_sequential_prefix", |g: &mut Gen| {
+        let len = g.pow4_len(1..=4);
+        let seed = g.int(0i64..1000);
         let vals: Vec<i64> = (0..len as i64).map(|i| (i * 31 + seed) % 97 - 48).collect();
         let mut expect = vals.clone();
         for i in 1..len {
@@ -26,11 +23,17 @@ proptest! {
         let items = place_z(&mut m, 0, vals);
         let got = read_values(scan(&mut m, 0, items, &|a, b| a + b));
         prop_assert_eq!(got, expect);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn scan_with_max_operator(len in pow4_len(), vals_seed in 0i64..1000) {
-        let vals: Vec<i64> = (0..len as i64).map(|i| ((i * 67 + vals_seed) % 1009) - 500).collect();
+#[test]
+fn scan_with_max_operator() {
+    check("scan_with_max_operator", |g: &mut Gen| {
+        let len = g.pow4_len(1..=4);
+        let vals_seed = g.int(0i64..1000);
+        let vals: Vec<i64> =
+            (0..len as i64).map(|i| ((i * 67 + vals_seed) % 1009) - 500).collect();
         let mut expect = vals.clone();
         for i in 1..len {
             expect[i] = expect[i].max(expect[i - 1]);
@@ -39,10 +42,15 @@ proptest! {
         let items = place_z(&mut m, 0, vals);
         let got = read_values(scan(&mut m, 0, items, &|a, b| *a.max(b)));
         prop_assert_eq!(got, expect);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn exclusive_scan_is_shifted_inclusive(len in pow4_len(), seed in 0i64..100) {
+#[test]
+fn exclusive_scan_is_shifted_inclusive() {
+    check("exclusive_scan_is_shifted_inclusive", |g: &mut Gen| {
+        let len = g.pow4_len(1..=4);
+        let seed = g.int(0i64..100);
         let vals: Vec<i64> = (0..len as i64).map(|i| (i * 13 + seed) % 23).collect();
         let mut m = Machine::new();
         let items = place_z(&mut m, 0, vals.clone());
@@ -52,16 +60,19 @@ proptest! {
             expect.push(expect[i] + vals[i]);
         }
         prop_assert_eq!(exc, expect);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn segmented_scan_matches_per_segment_reference(
-        len in pow4_len(),
-        head_mask in any::<u64>(),
-        seed in 0i64..100,
-    ) {
+#[test]
+fn segmented_scan_matches_per_segment_reference() {
+    check("segmented_scan_matches_per_segment_reference", |g: &mut Gen| {
+        let len = g.pow4_len(1..=4);
+        let head_mask = g.rng().next_u64();
+        let seed = g.int(0i64..100);
         let vals: Vec<i64> = (0..len as i64).map(|i| (i * 7 + seed) % 11 - 5).collect();
-        let heads: Vec<bool> = (0..len).map(|i| i == 0 || (head_mask >> (i % 64)) & 1 == 1).collect();
+        let heads: Vec<bool> =
+            (0..len).map(|i| i == 0 || (head_mask >> (i % 64)) & 1 == 1).collect();
         let mut expect = Vec::with_capacity(len);
         let mut acc = 0;
         for i in 0..len {
@@ -76,10 +87,15 @@ proptest! {
         );
         let got = read_values(segmented_scan(&mut m, 0, items, &|a, b| a + b));
         prop_assert_eq!(got, expect);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn broadcast_reaches_every_pe_any_rectangle(h in 1u64..24, w in 1u64..24) {
+#[test]
+fn broadcast_reaches_every_pe_any_rectangle() {
+    check("broadcast_reaches_every_pe_any_rectangle", |g: &mut Gen| {
+        let h = g.int(1u64..24);
+        let w = g.int(1u64..24);
         let grid = SubGrid::new(Coord::ORIGIN, h, w);
         let mut m = Machine::new();
         let root = m.place(grid.origin, 77i64);
@@ -89,10 +105,16 @@ proptest! {
             prop_assert_eq!(*v.value(), 77);
             prop_assert_eq!(v.loc(), grid.rm_coord(i as u64));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn reduce_equals_fold_any_rectangle(h in 1u64..24, w in 1u64..24, seed in 0i64..100) {
+#[test]
+fn reduce_equals_fold_any_rectangle() {
+    check("reduce_equals_fold_any_rectangle", |g: &mut Gen| {
+        let h = g.int(1u64..24);
+        let w = g.int(1u64..24);
+        let seed = g.int(0i64..100);
         let grid = SubGrid::new(Coord::ORIGIN, h, w);
         let n = (h * w) as i64;
         let vals: Vec<i64> = (0..n).map(|i| (i * 17 + seed) % 101 - 50).collect();
@@ -101,25 +123,31 @@ proptest! {
         let items = place_row_major(&mut m, grid, vals);
         let got = reduce(&mut m, items, grid, &|a, b| a + b);
         prop_assert_eq!(got.into_value(), expect);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn zseg_broadcast_and_reduce_roundtrip(lo in 0u64..512, len in 1u64..512) {
+#[test]
+fn zseg_broadcast_and_reduce_roundtrip() {
+    check("zseg_broadcast_and_reduce_roundtrip", |g: &mut Gen| {
+        let lo = g.int(0u64..512);
+        let len = g.int(1u64..512);
         let mut m = Machine::new();
         let root = m.place(spatial_model::zorder::coord_of(lo), 5i64);
         let copies = broadcast_z(&mut m, root, lo, lo + len);
         prop_assert_eq!(copies.len() as u64, len);
         let total = reduce_z(&mut m, copies, lo, &|a, b| a + b);
         prop_assert_eq!(total.into_value(), 5 * len as i64);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn scan_any_matches_prefix_for_arbitrary_lengths(
-        len in 1usize..600,
-        lo_blocks in 0u64..4,
-        seed in 0i64..100,
-    ) {
-        let lo = lo_blocks * 4; // any multiple of the smallest alignment
+#[test]
+fn scan_any_matches_prefix_for_arbitrary_lengths() {
+    check("scan_any_matches_prefix_for_arbitrary_lengths", |g: &mut Gen| {
+        let len = g.size(1..600);
+        let lo = g.int(0u64..4) * 4; // any multiple of the smallest alignment
+        let seed = g.int(0i64..100);
         let vals: Vec<i64> = (0..len as i64).map(|i| (i * 37 + seed) % 19 - 9).collect();
         let mut expect = vals.clone();
         for i in 1..len {
@@ -129,13 +157,18 @@ proptest! {
         let items = place_z(&mut m, lo, vals);
         let got = read_values(collectives::scan::scan_any(&mut m, lo, items, &|a, b| a + b));
         prop_assert_eq!(got, expect);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn scan_energy_linear_for_all_power_of_four(len in pow4_len()) {
+#[test]
+fn scan_energy_linear_for_all_power_of_four() {
+    check("scan_energy_linear_for_all_power_of_four", |g: &mut Gen| {
+        let len = g.pow4_len(1..=4);
         let mut m = Machine::new();
         let items = place_z(&mut m, 0, vec![1i64; len]);
         let _ = scan(&mut m, 0, items, &|a, b| a + b);
         prop_assert!(m.energy() <= 12 * len as u64, "energy {} for n={}", m.energy(), len);
-    }
+        Ok(())
+    });
 }

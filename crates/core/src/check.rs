@@ -1,0 +1,429 @@
+//! # check — an in-tree property-testing harness
+//!
+//! A minimal, dependency-free replacement for the slice of `proptest` this
+//! workspace used: seeded random case generation, a configurable case count,
+//! reproducible failure reporting, and greedy input shrinking for `Vec`
+//! properties.
+//!
+//! ## Running and reproducing
+//!
+//! Each property runs `SPATIAL_CHECK_CASES` cases (default
+//! [`DEFAULT_CASES`]) from the run seed `SPATIAL_CHECK_SEED` (default
+//! [`DEFAULT_SEED`]). Case `i` draws from an independent RNG stream, and
+//! case 0 uses the run seed *directly*, so any failing case is replayable in
+//! isolation from the two numbers the failure message prints:
+//!
+//! ```text
+//! SPATIAL_CHECK_SEED=<case seed> SPATIAL_CHECK_CASES=1 cargo test <test name>
+//! ```
+//!
+//! ## Writing properties
+//!
+//! ```
+//! use spatial_core::check::{check, Gen};
+//! use spatial_core::{prop_assert, prop_assert_eq};
+//!
+//! check("addition_commutes", |g: &mut Gen| {
+//!     let (a, b) = (g.int(-100i64..=100), g.int(-100i64..=100));
+//!     prop_assert_eq!(a + b, b + a);
+//!     Ok(())
+//! });
+//! ```
+//!
+//! [`check_vec`] adds shrinking: when a `Vec` case fails, progressively
+//! smaller sub-vectors are retried and the smallest still-failing input is
+//! reported alongside the seed.
+
+use spatial_rng::{Rng, SampleRange, SplitMix64};
+
+/// Default number of cases per property (override with `SPATIAL_CHECK_CASES`).
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Default run seed (override with `SPATIAL_CHECK_SEED`).
+pub const DEFAULT_SEED: u64 = 0x5EED_CAFE_F00D_0001;
+
+/// Harness configuration, normally read from the environment.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Run seed; case `i` derives its own seed from it (case 0 uses it as-is).
+    pub seed: u64,
+}
+
+impl Config {
+    /// Reads `SPATIAL_CHECK_CASES` / `SPATIAL_CHECK_SEED`, falling back to
+    /// the defaults. Invalid values are a test-setup bug, so they panic.
+    pub fn from_env() -> Self {
+        let parse = |var: &str, default: u64| -> u64 {
+            match std::env::var(var) {
+                Ok(v) => v
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{var} must be an unsigned integer, got {v:?}")),
+                Err(_) => default,
+            }
+        };
+        Config {
+            cases: parse("SPATIAL_CHECK_CASES", u64::from(DEFAULT_CASES)) as u32,
+            seed: parse("SPATIAL_CHECK_SEED", DEFAULT_SEED),
+        }
+    }
+
+    /// The environment config with the case count scaled by `num / den` —
+    /// for expensive properties that want fewer cases while still honouring
+    /// the user's override proportionally.
+    pub fn scaled(num: u32, den: u32) -> Self {
+        let base = Config::from_env();
+        Config { cases: (base.cases * num / den).max(1), seed: base.seed }
+    }
+
+    /// The seed for case `i`. Case 0 is the run seed itself so a reported
+    /// seed replays directly with `SPATIAL_CHECK_CASES=1`.
+    fn case_seed(&self, i: u32) -> u64 {
+        if i == 0 {
+            self.seed
+        } else {
+            // Avalanche the pair (seed, i) so neighbouring run seeds do not
+            // share case streams.
+            let mut sm = SplitMix64::new(self.seed ^ (u64::from(i)).rotate_left(32));
+            sm.next_u64()
+        }
+    }
+}
+
+/// Per-case random input source handed to properties.
+pub struct Gen {
+    rng: Rng,
+    case_seed: u64,
+}
+
+impl Gen {
+    fn new(case_seed: u64) -> Self {
+        Gen { rng: Rng::seed_from_u64(case_seed), case_seed }
+    }
+
+    /// The seed that reproduces this exact case.
+    pub fn case_seed(&self) -> u64 {
+        self.case_seed
+    }
+
+    /// Direct access to the underlying RNG.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// A uniform integer from a range (half-open or inclusive).
+    pub fn int<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        self.rng.gen_range(range)
+    }
+
+    /// A uniform size — same as [`Gen::int`], named for readability at
+    /// call-sites that pick lengths.
+    pub fn size<R: SampleRange<usize>>(&mut self, range: R) -> usize {
+        self.rng.gen_range(range)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        self.rng.gen_f64()
+    }
+
+    /// A Bernoulli draw.
+    pub fn bool_p(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// A vector of `len` elements produced by `f`.
+    pub fn vec<T>(&mut self, len: usize, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        (0..len).map(|_| f(self)).collect()
+    }
+
+    /// A vector with a random length in `len` and uniform `i64` values in
+    /// `vals` — the dominant input shape across this workspace's tests.
+    pub fn vec_i64(
+        &mut self,
+        len: std::ops::Range<usize>,
+        vals: std::ops::RangeInclusive<i64>,
+    ) -> Vec<i64> {
+        let n = self.size(len);
+        self.vec(n, |g| g.int(vals.clone()))
+    }
+
+    /// A power-of-four length `4^k` with `k` uniform in `ks` — Z-order
+    /// segments are padded to powers of four, so many properties sweep these.
+    pub fn pow4_len(&mut self, ks: std::ops::RangeInclusive<u32>) -> usize {
+        4usize.pow(self.int(ks))
+    }
+}
+
+/// Runs `prop` on [`Config::from_env`] cases; panics with a reproducible
+/// seed on the first failure.
+///
+/// `name` should match the enclosing `#[test]` function so the printed
+/// reproduction command filters to it.
+pub fn check<F>(name: &str, prop: F)
+where
+    F: Fn(&mut Gen) -> Result<(), String>,
+{
+    check_cfg(&Config::from_env(), name, prop)
+}
+
+/// [`check`] with an explicit configuration.
+pub fn check_cfg<F>(cfg: &Config, name: &str, prop: F)
+where
+    F: Fn(&mut Gen) -> Result<(), String>,
+{
+    for i in 0..cfg.cases {
+        let seed = cfg.case_seed(i);
+        let mut g = Gen::new(seed);
+        if let Err(msg) = prop(&mut g) {
+            panic!("{}", failure_report(name, i, cfg.cases, seed, &msg, None));
+        }
+    }
+}
+
+/// Property checking with shrinking for `Vec` inputs.
+///
+/// `gen_input` draws a random vector, `prop` judges it. On failure the
+/// harness greedily deletes chunks (halves, quarters, …, single elements)
+/// while the property keeps failing, then reports the minimal vector found
+/// together with the case seed.
+pub fn check_vec<T, G, F>(name: &str, gen_input: G, prop: F)
+where
+    T: Clone + std::fmt::Debug,
+    G: Fn(&mut Gen) -> Vec<T>,
+    F: Fn(&[T]) -> Result<(), String>,
+{
+    let cfg = Config::from_env();
+    for i in 0..cfg.cases {
+        let seed = cfg.case_seed(i);
+        let mut g = Gen::new(seed);
+        let input = gen_input(&mut g);
+        if let Err(msg) = prop(&input) {
+            let (min_input, min_msg) = shrink_vec(input, msg, &prop);
+            let shrunk = format!("shrunken input ({} elements): {:?}", min_input.len(), min_input);
+            panic!("{}", failure_report(name, i, cfg.cases, seed, &min_msg, Some(&shrunk)));
+        }
+    }
+}
+
+/// Greedy deletion shrinking: repeatedly drop the largest chunk whose
+/// removal keeps the property failing, down to single elements.
+fn shrink_vec<T: Clone, F>(mut input: Vec<T>, mut msg: String, prop: &F) -> (Vec<T>, String)
+where
+    F: Fn(&[T]) -> Result<(), String>,
+{
+    let mut chunk = (input.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < input.len() {
+            let end = (start + chunk).min(input.len());
+            let mut candidate = Vec::with_capacity(input.len() - (end - start));
+            candidate.extend_from_slice(&input[..start]);
+            candidate.extend_from_slice(&input[end..]);
+            if candidate.is_empty() {
+                break; // deleting everything proves nothing; keep ≥ 1 element
+            }
+            match prop(&candidate) {
+                Err(m) => {
+                    input = candidate;
+                    msg = m;
+                    progressed = true;
+                    // Retry the same offset: the next chunk slid into place.
+                }
+                Ok(()) => start = end,
+            }
+        }
+        if chunk == 1 && !progressed {
+            return (input, msg);
+        }
+        if !progressed {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+fn failure_report(
+    name: &str,
+    case: u32,
+    cases: u32,
+    seed: u64,
+    msg: &str,
+    shrunk: Option<&str>,
+) -> String {
+    let mut out = format!(
+        "property '{name}' failed on case {}/{cases} (case seed {seed}):\n  {msg}\n",
+        case + 1
+    );
+    if let Some(s) = shrunk {
+        out.push_str(&format!("  {s}\n"));
+    }
+    out.push_str(&format!(
+        "  reproduce with: SPATIAL_CHECK_SEED={seed} SPATIAL_CHECK_CASES=1 cargo test {name}"
+    ));
+    out
+}
+
+/// Returns `Err` from a property when a condition fails (the harness's
+/// analogue of `assert!`). Use inside closures passed to [`check`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!("{} ({}:{})", format!($($fmt)+), file!(), line!()));
+        }
+    };
+}
+
+/// Returns `Err` from a property when two values differ (the harness's
+/// analogue of `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{} != {}\n  left:  {:?}\n  right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{}: {} != {}\n  left:  {:?}\n  right: {:?} ({}:{})",
+                format!($($fmt)+),
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let cfg = Config { cases: 10, seed: 1 };
+        let ran = std::cell::Cell::new(0u32);
+        check_cfg(&cfg, "always_ok", |g| {
+            let _ = g.int(0i64..100);
+            ran.set(ran.get() + 1);
+            Ok(())
+        });
+        assert_eq!(ran.get(), 10);
+    }
+
+    #[test]
+    fn case_zero_uses_run_seed_directly() {
+        let cfg = Config { cases: 1, seed: 777 };
+        check_cfg(&cfg, "seed_passthrough", |g| {
+            prop_assert_eq!(g.case_seed(), 777u64);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn failure_reports_seed_and_repro_command() {
+        let res = std::panic::catch_unwind(|| {
+            check_cfg(&Config { cases: 5, seed: 42 }, "doomed", |_| Err("boom".into()))
+        });
+        let msg = *res.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("doomed"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+        assert!(msg.contains("SPATIAL_CHECK_SEED=42"), "{msg}");
+        assert!(msg.contains("SPATIAL_CHECK_CASES=1"), "{msg}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let draw = |seed| {
+            let mut g = Gen::new(seed);
+            (g.int(0u64..1000), g.vec_i64(1..50, -9..=9))
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+
+    #[test]
+    fn shrinking_finds_a_minimal_counterexample() {
+        // Property: "contains no element ≥ 50". Minimal failing input is a
+        // single offending element.
+        let fails = |v: &[i64]| -> Result<(), String> {
+            if v.iter().any(|&x| x >= 50) {
+                Err("found large element".into())
+            } else {
+                Ok(())
+            }
+        };
+        let input: Vec<i64> = (0..100).collect();
+        let (min, _) = shrink_vec(input, "seed msg".into(), &fails);
+        assert_eq!(min.len(), 1, "shrinker should isolate one element, got {min:?}");
+        assert!(min[0] >= 50);
+    }
+
+    #[test]
+    fn shrinking_preserves_failure() {
+        // Property failing only for vectors with ≥ 3 even elements: the
+        // shrunken result must still have exactly 3.
+        let fails = |v: &[i64]| -> Result<(), String> {
+            if v.iter().filter(|&&x| x % 2 == 0).count() >= 3 {
+                Err("three evens".into())
+            } else {
+                Ok(())
+            }
+        };
+        let input: Vec<i64> = (0..40).collect();
+        let (min, _) = shrink_vec(input, String::new(), &fails);
+        assert_eq!(min.iter().filter(|&&x| x % 2 == 0).count(), 3);
+        assert_eq!(min.len(), 3, "odd elements should all be deleted: {min:?}");
+    }
+
+    #[test]
+    fn check_vec_panics_with_shrunken_input() {
+        let res = std::panic::catch_unwind(|| {
+            check_vec(
+                "vec_doomed",
+                |g| g.vec_i64(1..100, 0..=1000),
+                |v| {
+                    if v.iter().any(|&x| x > 2) {
+                        Err("big".into())
+                    } else {
+                        Ok(())
+                    }
+                },
+            )
+        });
+        let msg = *res.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("shrunken input (1 elements)"), "{msg}");
+    }
+
+    #[test]
+    fn scaled_config_never_hits_zero_cases() {
+        let cfg = Config::scaled(1, 1_000_000);
+        assert!(cfg.cases >= 1);
+    }
+}

@@ -17,6 +17,8 @@
 //! * [`spmv`] — sparse matrix–vector multiplication (§VIII);
 //! * [`theory`] — closed-form predictors for every bound in Table I and the
 //!   section lemmas;
+//! * [`check`] — the in-tree property-testing harness (seeded cases,
+//!   reproducible failures, `Vec` shrinking) every crate's tests run on;
 //! * [`fit`] — log-log regression for empirical exponent estimation;
 //! * [`report`] — the paper-vs-measured tables printed by the benchmark
 //!   harness.
@@ -44,8 +46,11 @@ pub use sorting;
 pub use spatial_model as model;
 pub use spmv;
 
+pub mod check;
 pub mod fit;
 pub mod groupby;
 pub mod report;
 pub mod theory;
 pub mod topk;
+
+pub use spatial_rng as rng;

@@ -1,0 +1,84 @@
+//! Property-based tests for the composed primitives in `spatial-core`
+//! (top-k, group-by), on the crate's own `check` harness.
+
+use spatial_core::check::{check, Gen};
+use spatial_core::groupby::{group_by, group_counts};
+use spatial_core::topk::{bottom_k, top_k};
+use spatial_core::{prop_assert, prop_assert_eq};
+
+use collectives::zarray::place_z;
+use spatial_model::Machine;
+
+#[test]
+fn top_k_equals_sorted_tail() {
+    check("top_k_equals_sorted_tail", |g: &mut Gen| {
+        let vals = g.vec_i64(1..150, -500..=500);
+        let n = vals.len() as u64;
+        let k = g.int(1u64..=n);
+        let seed = g.int(0u64..100);
+        let mut expect = vals.clone();
+        expect.sort_unstable();
+        let expect: Vec<i64> = expect.split_off((n - k) as usize);
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, vals);
+        let got: Vec<i64> =
+            top_k(&mut m, 0, items, k, seed).into_iter().map(|t| t.into_value()).collect();
+        prop_assert_eq!(got, expect);
+        Ok(())
+    });
+}
+
+#[test]
+fn bottom_k_equals_sorted_head() {
+    check("bottom_k_equals_sorted_head", |g: &mut Gen| {
+        let vals = g.vec_i64(1..150, -500..=500);
+        let n = vals.len() as u64;
+        let k = g.int(1u64..=n);
+        let seed = g.int(0u64..100);
+        let mut expect = vals.clone();
+        expect.sort_unstable();
+        expect.truncate(k as usize);
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, vals);
+        let got: Vec<i64> =
+            bottom_k(&mut m, 0, items, k, seed).into_iter().map(|t| t.into_value()).collect();
+        prop_assert_eq!(got, expect);
+        Ok(())
+    });
+}
+
+#[test]
+fn group_by_matches_host_grouping() {
+    check("group_by_matches_host_grouping", |g: &mut Gen| {
+        let n = g.size(1..100);
+        let pairs: Vec<(u32, i64)> =
+            g.vec(n, |g| (g.int(0u32..8), g.int(-100i64..=100)));
+        let mut expect: std::collections::BTreeMap<u32, (i64, u64)> = Default::default();
+        for &(k, v) in &pairs {
+            let e = expect.entry(k).or_insert((0, 0));
+            e.0 += v;
+            e.1 += 1;
+        }
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, pairs);
+        let groups = group_by(&mut m, 0, items, |v| *v, |a, b| a + b);
+        let got: Vec<(u32, (i64, u64))> =
+            groups.into_iter().map(|gr| (gr.key, (gr.aggregate, gr.count))).collect();
+        prop_assert_eq!(got, expect.into_iter().collect::<Vec<_>>());
+        Ok(())
+    });
+}
+
+#[test]
+fn group_counts_sum_to_n() {
+    check("group_counts_sum_to_n", |g: &mut Gen| {
+        let keys = g.vec_i64(1..120, 0..=5);
+        let n = keys.len() as u64;
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, keys);
+        let counts = group_counts(&mut m, 0, items);
+        prop_assert_eq!(counts.iter().map(|&(_, c)| c).sum::<u64>(), n);
+        prop_assert!(counts.windows(2).all(|w| w[0].0 < w[1].0), "keys ascend");
+        Ok(())
+    });
+}

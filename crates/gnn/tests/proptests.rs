@@ -1,31 +1,34 @@
-//! Property-based tests for the GNN layers.
+//! Property-based tests for the GNN layers, on the in-tree harness
+//! (`spatial_core::check`).
 
-use proptest::prelude::*;
+use spatial_core::check::{check, Config, Gen};
+use spatial_core::{prop_assert, prop_assert_eq};
 
 use gnn::{reference_conv, Features, GraphConv, SortPooling};
 use spatial_model::Machine;
 use spmv::Coo;
 
-/// Strategy: a small graph (adjacency with unit-ish weights) + features.
-fn graph_and_features() -> impl Strategy<Value = (Coo<f64>, Vec<Vec<f64>>)> {
-    (2usize..16, 1usize..4).prop_flat_map(|(n, d)| {
-        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..3 * n);
-        let feats = prop::collection::vec(prop::collection::vec(-4.0f64..4.0, d), n);
-        (edges, feats).prop_map(move |(e, f)| {
-            let entries = e.into_iter().map(|(r, c)| (r, c, 0.5)).collect();
-            (Coo::new(n, n, entries), f)
-        })
-    })
+/// A small graph (adjacency with unit-ish weights) + features.
+fn graph_and_features(g: &mut Gen) -> (Coo<f64>, Vec<Vec<f64>>) {
+    let n = g.size(2..16);
+    let d = g.size(1..4);
+    let n_edges = g.size(0..3 * n);
+    let entries: Vec<(u32, u32, f64)> =
+        g.vec(n_edges, |g| (g.int(0u32..n as u32), g.int(0u32..n as u32), 0.5));
+    let feats: Vec<Vec<f64>> = g.vec(n, |g| g.vec(d, |g| g.f64_unit() * 8.0 - 4.0));
+    (Coo::new(n, n, entries), feats)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn conv_matches_reference((adj, feats) in graph_and_features()) {
+#[test]
+fn conv_matches_reference() {
+    let cfg = Config::scaled(1, 2);
+    spatial_core::check::check_cfg(&cfg, "conv_matches_reference", |g: &mut Gen| {
+        let (adj, feats) = graph_and_features(g);
         let d = feats[0].len();
         let layer = GraphConv::new(
-            (0..d).map(|i| (0..2).map(|o| 0.3 * (i as f64 + 1.0) - 0.2 * o as f64).collect()).collect(),
+            (0..d)
+                .map(|i| (0..2).map(|o| 0.3 * (i as f64 + 1.0) - 0.2 * o as f64).collect())
+                .collect(),
             vec![0.1, -0.1],
             true,
         );
@@ -38,15 +41,17 @@ proptest! {
                 prop_assert!((x - y).abs() < 1e-9, "{x} vs {y}");
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pooling_keeps_exactly_k(
-        scores in prop::collection::vec(-100i32..100, 4..64),
-        k_frac in 0.1f64..1.0,
-    ) {
+#[test]
+fn pooling_keeps_exactly_k() {
+    check("pooling_keeps_exactly_k", |g: &mut Gen| {
+        let n_scores = g.size(4..64);
+        let scores: Vec<i32> = g.vec(n_scores, |g| g.int(-100i32..100));
         let n = scores.len();
-        let k = ((n as f64 * k_frac) as u64).clamp(1, n as u64);
+        let k = ((n as f64 * (0.1 + 0.9 * g.f64_unit())) as u64).clamp(1, n as u64);
         let rows: Vec<Vec<f64>> = scores.iter().map(|&s| vec![f64::from(s)]).collect();
         let mut m = Machine::new();
         let h = Features::place(&mut m, 0, rows.clone());
@@ -62,5 +67,6 @@ proptest! {
         let min_kept = pooled[0][0];
         let strictly_above = rows.iter().filter(|r| r[0] > min_kept).count() as u64;
         prop_assert!(strictly_above < k);
-    }
+        Ok(())
+    });
 }

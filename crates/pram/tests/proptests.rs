@@ -1,0 +1,122 @@
+//! Property-based tests for the PRAM simulators, on the in-tree harness
+//! (`spatial_core::check`).
+
+use spatial_core::check::{check, Config, Gen};
+use spatial_core::{prop_assert, prop_assert_eq};
+
+use pram::programs::{Broadcast, CrcwMax, ListRanking, PrefixSums, TreeSum};
+use pram::{simulate_crcw, simulate_erew, PramLayout, PramProgram, Word};
+use spatial_model::Machine;
+
+fn layout_for<P: PramProgram>(prog: &P) -> PramLayout {
+    PramLayout::adjacent(prog.processors(), prog.memory_cells())
+}
+
+#[test]
+fn tree_sum_equals_host_sum() {
+    check("tree_sum_equals_host_sum", |g: &mut Gen| {
+        let n = 1usize << g.size(1..8); // 2..=128, power of two
+        let vals = g.vec_i64(n..n + 1, -1000..=1000);
+        let prog = TreeSum::new(vals.clone());
+        let mut m = Machine::new();
+        let mem = simulate_erew(&mut m, &prog, layout_for(&prog));
+        prop_assert_eq!(mem[0], vals.iter().sum::<Word>());
+        Ok(())
+    });
+}
+
+#[test]
+fn prefix_sums_equal_host_scan() {
+    check("prefix_sums_equal_host_scan", |g: &mut Gen| {
+        let n = 1usize << g.size(1..8);
+        let vals = g.vec_i64(n..n + 1, -500..=500);
+        let prog = PrefixSums::new(vals.clone());
+        let mut m = Machine::new();
+        let mem = simulate_erew(&mut m, &prog, layout_for(&prog));
+        let mut expect = vals;
+        for i in 1..n {
+            expect[i] += expect[i - 1];
+        }
+        prop_assert_eq!(mem, expect);
+        Ok(())
+    });
+}
+
+#[test]
+fn crcw_max_equals_host_max() {
+    // CRCW arbitrary-winner writes still produce the unique maximum.
+    let cfg = Config::scaled(1, 2);
+    spatial_core::check::check_cfg(&cfg, "crcw_max_equals_host_max", |g: &mut Gen| {
+        let vals = g.vec_i64(1..48, -1000..=1000);
+        let prog = CrcwMax::new(vals.clone());
+        let mut m = Machine::new();
+        let mem = simulate_crcw(&mut m, &prog, layout_for(&prog));
+        prop_assert_eq!(mem[prog.result_cell()], *vals.iter().max().unwrap());
+        Ok(())
+    });
+}
+
+#[test]
+fn crcw_broadcast_reaches_every_processor() {
+    let cfg = Config::scaled(1, 2);
+    spatial_core::check::check_cfg(&cfg, "crcw_broadcast_reaches_every_processor", |g: &mut Gen| {
+        let p = g.size(1..48);
+        let value = g.int(-10_000i64..=10_000);
+        let prog = Broadcast::new(value, p);
+        let mut m = Machine::new();
+        let mem = simulate_crcw(&mut m, &prog, layout_for(&prog));
+        for pid in 0..p {
+            prop_assert_eq!(mem[pid + 1], value, "processor {pid}");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn list_ranking_matches_reference() {
+    // Pointer-jumping on a random linked list (random permutation cycle cut
+    // into a path) must agree with the sequential walk. The jumps create
+    // concurrent reads, so this runs on the CRCW simulator (and is the
+    // costliest program here — keep the case count and sizes small).
+    let cfg = Config::scaled(1, 8);
+    spatial_core::check::check_cfg(&cfg, "list_ranking_matches_reference", |g: &mut Gen| {
+        let n = 1usize << g.size(1..5);
+        // Random path over n nodes: shuffle the visit order, then link it.
+        let mut order: Vec<usize> = (0..n).collect();
+        g.rng().shuffle(&mut order);
+        let mut next = vec![0usize; n];
+        for w in order.windows(2) {
+            next[w[0]] = w[1];
+        }
+        let last = *order.last().unwrap();
+        next[last] = last; // terminator points at itself
+        let prog = ListRanking::new(next);
+        let mut m = Machine::new();
+        let mem = simulate_crcw(&mut m, &prog, layout_for(&prog));
+        prop_assert_eq!(prog.ranks(&mem), prog.reference_ranks());
+        Ok(())
+    });
+}
+
+#[test]
+fn erew_step_costs_scale_with_processor_count() {
+    // Lemma VII.1: O(p(√p + √m)) energy and O(1) depth per step, so a full
+    // run stays within c·p·(√p + √m)·T and c·T depth for a fixed constant.
+    check("erew_step_costs_scale_with_processor_count", |g: &mut Gen| {
+        let n = 1usize << g.size(2..8);
+        let vals = g.vec_i64(n..n + 1, 0..=9);
+        let prog = TreeSum::new(vals);
+        let mut m = Machine::new();
+        let _ = simulate_erew(&mut m, &prog, layout_for(&prog));
+        let (p, mm, t) =
+            (prog.processors() as f64, prog.memory_cells() as f64, prog.steps() as f64);
+        let report = m.report();
+        prop_assert!(
+            (report.energy as f64) <= 8.0 * p * (p.sqrt() + mm.sqrt()) * t,
+            "energy {} at p={p} m={mm} t={t}",
+            report.energy
+        );
+        prop_assert!(report.depth <= 4 * t as u64 + 4, "depth {}", report.depth);
+        Ok(())
+    });
+}

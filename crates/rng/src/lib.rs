@@ -1,0 +1,350 @@
+//! # spatial-rng — deterministic, dependency-free pseudo-randomness
+//!
+//! Every randomized component of this workspace (workload generators, the
+//! §VI randomized rank selection, the property-test harness) draws its
+//! randomness from here, so the whole repository builds and tests hermetically
+//! with zero external crates and every run is bit-reproducible from a `u64`
+//! seed.
+//!
+//! The generator is **xoshiro256++** (Blackman & Vigna), seeded by expanding
+//! a single `u64` through **SplitMix64** — the standard pairing recommended
+//! by the xoshiro authors. Both algorithms are public-domain and a dozen
+//! lines each; statistical quality is far beyond what seeded simulations and
+//! property tests require.
+//!
+//! ```
+//! use spatial_rng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(7);
+//! let die = rng.gen_range(1..=6i64);
+//! assert!((1..=6).contains(&die));
+//! // Same seed, same sequence — always.
+//! assert_eq!(Rng::seed_from_u64(7).next_u64(), Rng::seed_from_u64(7).next_u64());
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: a tiny, fast generator with a simple 64-bit state.
+///
+/// Used to expand one `u64` seed into the 256-bit xoshiro state and to derive
+/// independent stream seeds; also usable standalone for throwaway jitter.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the generator at `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The workspace PRNG: xoshiro256++ with SplitMix64 seeding.
+///
+/// All methods are deterministic functions of the seed, independent of
+/// platform, word size and build profile — golden-seed tests rely on this.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seeds the full 256-bit state by running SplitMix64 from `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        // SplitMix64 is a bijection of a counter, so the state cannot be
+        // all-zero (the one state xoshiro must avoid) — but keep the guard
+        // explicit rather than rely on that argument.
+        debug_assert!(s.iter().any(|&w| w != 0));
+        Rng { s }
+    }
+
+    /// Derives the `i`-th independent sub-stream of this generator's seed.
+    ///
+    /// Streams with different indices are seeded through distinct SplitMix64
+    /// avalanches, so their outputs are uncorrelated for all practical
+    /// purposes; used for per-case property-test seeds and per-quantile
+    /// selection seeds.
+    pub fn stream(seed: u64, i: u64) -> Self {
+        // Mix the index through one SplitMix64 step before combining so
+        // (seed, i) and (seed+1, i-1) do not collide.
+        let salt = SplitMix64::new(i).next_u64();
+        Rng::seed_from_u64(seed ^ salt.rotate_left(17))
+    }
+
+    /// The next 64-bit output (xoshiro256++ scrambler).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32-bit output (upper bits, which are strongest).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            // Consume one draw regardless, so call sequences keep alignment.
+            let _ = self.next_u64();
+            return true;
+        }
+        self.gen_f64() < p.max(0.0)
+    }
+
+    /// A uniform integer below `span` (> 0), bias-free.
+    ///
+    /// Lemire's widening-multiply rejection method: a single 64×64→128
+    /// multiply per accepted draw, rejecting only the `2^64 mod span`
+    /// lowest fraction of raw outputs.
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (span as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform draw from an (half-open or inclusive) integer range.
+    ///
+    /// ```
+    /// # use spatial_rng::Rng;
+    /// let mut rng = Rng::seed_from_u64(1);
+    /// let x = rng.gen_range(-5i64..=5);
+    /// assert!((-5..=5).contains(&x));
+    /// let i = rng.gen_range(0usize..10);
+    /// assert!(i < 10);
+    /// ```
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// `k` distinct indices drawn uniformly from `0..n` (in random order).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct indices from 0..{n}");
+        // Partial Fisher–Yates over a lazily-materialized identity map.
+        let mut swapped = std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(k);
+        for i in 0..k {
+            let j = i + self.below((n - i) as u64) as usize;
+            let vi = *swapped.get(&i).unwrap_or(&i);
+            let vj = *swapped.get(&j).unwrap_or(&j);
+            out.push(vj);
+            swapped.insert(j, vi);
+        }
+        out
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from `self`.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full 64-bit domain.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_matches_reference_vector() {
+        // First outputs of the public-domain reference for state = 0.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn streams_are_independent_and_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = Rng::stream(9, 0);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let a2: Vec<u64> = {
+            let mut r = Rng::stream(9, 0);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::stream(9, 1);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds_and_hits_extremes() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let v = rng.gen_range(-2i64..=2);
+            assert!((-2..=2).contains(&v));
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 5, "all values of a tiny range appear");
+        for _ in 0..200 {
+            let v = rng.gen_range(10u64..11);
+            assert_eq!(v, 10, "singleton half-open range");
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut counts = [0u32; 8];
+        let draws = 80_000;
+        for _ in 0..draws {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        let expect = draws as f64 / 8.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.05, "bucket {i} deviates {dev:.3} from uniform");
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(8);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02, "mean far from 1/2");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = Rng::seed_from_u64(11);
+        let hits = (0..40_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 40_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_deterministic() {
+        let mut v: Vec<u32> = (0..100).collect();
+        let mut rng = Rng::seed_from_u64(13);
+        rng.shuffle(&mut v);
+        let mut w: Vec<u32> = (0..100).collect();
+        let mut rng2 = Rng::seed_from_u64(13);
+        rng2.shuffle(&mut w);
+        assert_eq!(v, w);
+        assert_ne!(v, (0..100).collect::<Vec<u32>>(), "100 elements virtually never fixed");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_and_in_range() {
+        let mut rng = Rng::seed_from_u64(17);
+        let idx = rng.sample_indices(50, 20);
+        assert_eq!(idx.len(), 20);
+        let set: std::collections::HashSet<_> = idx.iter().collect();
+        assert_eq!(set.len(), 20);
+        assert!(idx.iter().all(|&i| i < 50));
+        // Exhaustive draw is a permutation.
+        let all = rng.sample_indices(10, 10);
+        let mut s = all.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn signed_full_width_ranges_do_not_overflow() {
+        let mut rng = Rng::seed_from_u64(19);
+        for _ in 0..100 {
+            let v = rng.gen_range(i64::MIN..=i64::MAX);
+            let _ = v; // any value is valid; the point is no panic/overflow
+            let w = rng.gen_range(-1_000_000_000i64..=1_000_000_000);
+            assert!((-1_000_000_000..=1_000_000_000).contains(&w));
+        }
+    }
+}

@@ -19,8 +19,7 @@
 //! active-count trajectory, sample sizes and fallback count for the
 //! Lemma VI.2 experiments.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use spatial_rng::Rng;
 
 use spatial_model::{zorder, Machine, Tracked};
 
@@ -96,7 +95,15 @@ pub fn select_rank_cfg<T: Ord + Clone>(
     assert_eq!(lo % padded, 0, "segment must be aligned to its padded length");
 
     let c = cfg.c;
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Domain-separated stream: callers habitually reuse one seed for both
+    // the input generator and the algorithm. With the raw seed, this RNG
+    // would replay the exact draws that produced the data, and since
+    // `gen_bool` and `gen_range` both key off the high bits of `next_u64`,
+    // the Bernoulli "uniform" sample would degenerate to the ~p·n smallest
+    // elements — pivots then never bracket the target rank and every run
+    // takes the sort fallback. Salting decorrelates the streams while
+    // keeping the run deterministic in `cfg.seed`.
+    let mut rng = Rng::stream(cfg.seed, 0x5E1E_C7);
     let mut stats = SelectionStats::default();
 
     // Wrap keys with uids for a strict total order; `active[i]` mirrors the

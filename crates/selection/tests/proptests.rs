@@ -1,42 +1,47 @@
-//! Property-based tests for randomized rank selection.
+//! Property-based tests for randomized rank selection, on the in-tree
+//! harness (`spatial_core::check`).
 
-use proptest::prelude::*;
+use spatial_core::check::{check, Config, Gen};
+use spatial_core::{prop_assert, prop_assert_eq};
 
 use selection::select_rank_values;
 use spatial_model::Machine;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn selection_equals_order_statistic(
-        vals in prop::collection::vec(-10_000i64..10_000, 1..400),
-        k_frac in 0.0f64..1.0,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn selection_equals_order_statistic() {
+    check("selection_equals_order_statistic", |g: &mut Gen| {
+        let vals = g.vec_i64(1..400, -10_000..=10_000);
         let n = vals.len() as u64;
-        let k = ((n as f64 * k_frac) as u64).clamp(1, n);
+        let k = ((n as f64 * g.f64_unit()) as u64).clamp(1, n);
+        let seed = g.int(0u64..1000);
         let mut sorted = vals.clone();
         sorted.sort_unstable();
         let mut m = Machine::new();
         let (got, _) = select_rank_values(&mut m, 0, vals, k, seed);
         prop_assert_eq!(got, sorted[(k - 1) as usize]);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn selection_handles_constant_arrays(n in 1usize..300, k_frac in 0.0f64..1.0, seed in 0u64..100) {
+#[test]
+fn selection_handles_constant_arrays() {
+    check("selection_handles_constant_arrays", |g: &mut Gen| {
+        let n = g.size(1..300);
+        let k = ((n as f64 * g.f64_unit()) as u64).clamp(1, n as u64);
+        let seed = g.int(0u64..100);
         let vals = vec![42i64; n];
-        let k = ((n as f64 * k_frac) as u64).clamp(1, n as u64);
         let mut m = Machine::new();
         let (got, _) = select_rank_values(&mut m, 0, vals, k, seed);
         prop_assert_eq!(got, 42);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn selection_is_seed_deterministic(
-        vals in prop::collection::vec(-100i64..100, 8..200),
-        seed in 0u64..50,
-    ) {
+#[test]
+fn selection_is_seed_deterministic() {
+    check("selection_is_seed_deterministic", |g: &mut Gen| {
+        let vals = g.vec_i64(8..200, -100..=100);
+        let seed = g.int(0u64..50);
         let n = vals.len() as u64;
         let run = |vals: Vec<i64>| {
             let mut m = Machine::new();
@@ -44,12 +49,16 @@ proptest! {
             (v, m.report(), stats.iterations, stats.fallbacks)
         };
         prop_assert_eq!(run(vals.clone()), run(vals));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn stats_trajectory_is_decreasing_after_first_step(
-        seed in 0u64..200,
-    ) {
+#[test]
+fn stats_trajectory_is_decreasing_after_first_step() {
+    // Large fixed input, sweeping algorithm seeds: fewer cases suffice.
+    let cfg = Config::scaled(1, 2);
+    spatial_core::check::check_cfg(&cfg, "stats_trajectory_is_decreasing_after_first_step", |g: &mut Gen| {
+        let seed = g.int(0u64..200);
         let n = 4096usize;
         let vals: Vec<i64> = (0..n as i64).map(|i| (i * 48271) % 65521).collect();
         let mut m = Machine::new();
@@ -59,5 +68,6 @@ proptest! {
             prop_assert!(w[1] <= w[0], "{:?}", stats.active_trajectory);
         }
         prop_assert!(stats.iterations as u64 <= 10);
-    }
+        Ok(())
+    });
 }

@@ -128,11 +128,63 @@ impl Network {
     /// sorts every 0/1 input. Only feasible for small widths (`2^width`
     /// evaluations).
     pub fn sorts_all_01(&self) -> bool {
-        assert!(self.width <= 20, "0-1 check is exponential; use random testing beyond width 20");
+        assert!(
+            self.width <= 20,
+            "0-1 check is exponential; use `sorts_random_01` beyond width 20"
+        );
         for mask in 0u64..(1 << self.width) {
             let input: Vec<u8> = (0..self.width).map(|i| ((mask >> i) & 1) as u8).collect();
             let out = self.apply(&input);
             if out.windows(2).any(|w| w[0] > w[1]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Randomized 0-1 principle check for widths where [`Self::sorts_all_01`]
+    /// is infeasible: evaluates the network on `trials` seeded random 0/1
+    /// vectors plus the structured patterns most likely to expose a broken
+    /// comparator (every step function `0^i 1^{w-i}` and its reversal, a
+    /// single 1 / single 0 at each position).
+    ///
+    /// Probabilistic, not a proof — each random trial catches an unsorted
+    /// witness independently — but the deterministic step/impulse family
+    /// alone already kills most structural bugs (a missing comparator leaves
+    /// some reversed step pair unsorted). Deterministic given `seed`.
+    pub fn sorts_random_01(&self, trials: usize, seed: u64) -> bool {
+        let w = self.width;
+        let sorted_after = |input: &[u8]| -> bool {
+            let out = self.apply(input);
+            out.windows(2).all(|p| p[0] <= p[1])
+        };
+        // Structured family: steps, reversed steps, impulses.
+        for i in 0..=w {
+            let step: Vec<u8> = (0..w).map(|j| u8::from(j >= i)).collect();
+            let rev: Vec<u8> = step.iter().rev().copied().collect();
+            if !sorted_after(&step) || !sorted_after(&rev) {
+                return false;
+            }
+        }
+        for i in 0..w {
+            let mut one = vec![0u8; w];
+            one[i] = 1;
+            let mut zero = vec![1u8; w];
+            zero[i] = 0;
+            if !sorted_after(&one) || !sorted_after(&zero) {
+                return false;
+            }
+        }
+        // Random trials at mixed densities.
+        let mut rng = spatial_rng::Rng::seed_from_u64(seed);
+        for t in 0..trials {
+            let p = match t % 3 {
+                0 => 0.5,
+                1 => 0.1,
+                _ => 0.9,
+            };
+            let input: Vec<u8> = (0..w).map(|_| u8::from(rng.gen_bool(p))).collect();
+            if !sorted_after(&input) {
                 return false;
             }
         }

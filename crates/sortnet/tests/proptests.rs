@@ -1,0 +1,118 @@
+//! Property-based tests for comparator networks, on the in-tree harness
+//! (`spatial_core::check`).
+//!
+//! Widths ≤ 20 get exhaustive 0-1 verification (`sorts_all_01`); beyond
+//! that the randomized `sorts_random_01` check takes over, which is the
+//! regime the old width assert used to punt on.
+
+use spatial_core::check::{check, Config, Gen};
+use spatial_core::{prop_assert, prop_assert_eq};
+
+use sortnet::{bitonic_sort, odd_even_mergesort, odd_even_transposition, Comparator, Network};
+
+#[test]
+fn networks_sort_arbitrary_integers() {
+    check("networks_sort_arbitrary_integers", |g: &mut Gen| {
+        // Bitonic and odd-even mergesort need power-of-two widths; the
+        // transposition network takes any width.
+        let w = 1usize << g.size(0..7);
+        let input = g.vec_i64(w..w + 1, -1000..=1000);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        for (name, net) in [
+            ("bitonic", bitonic_sort(w)),
+            ("odd-even-merge", odd_even_mergesort(w)),
+        ] {
+            let got = net.apply(&input);
+            prop_assert_eq!(&got, &expect, "{name} width {w}");
+        }
+        let any_w = g.size(1..80);
+        let input = g.vec_i64(any_w..any_w + 1, -1000..=1000);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(
+            odd_even_transposition(any_w).apply(&input),
+            expect,
+            "odd-even-transposition width {any_w}"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn random_01_check_passes_beyond_exhaustive_widths() {
+    // The exhaustive 0-1 check refuses widths > 20; the randomized check is
+    // the supported path there. Power-of-two widths 32..=128 plus arbitrary
+    // transposition widths in 21..=96.
+    let cfg = Config::scaled(1, 4);
+    spatial_core::check::check_cfg(&cfg, "random_01_check_passes_beyond_exhaustive_widths", |g: &mut Gen| {
+        let w = 1usize << g.int(5u32..8);
+        let seed = g.case_seed();
+        prop_assert!(bitonic_sort(w).sorts_random_01(64, seed), "bitonic width {w}");
+        prop_assert!(odd_even_mergesort(w).sorts_random_01(64, seed), "oem width {w}");
+        let any_w = g.size(21..97);
+        prop_assert!(
+            odd_even_transposition(any_w).sorts_random_01(32, seed),
+            "transposition width {any_w}"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn random_01_check_rejects_damaged_networks() {
+    // Append one descending comparator after a correct wide network. That
+    // provably breaks sorting: for wires i < j some step input `0^k 1^{w-k}`
+    // leaves 0 on i and 1 on j after the sort, and the reversed comparator
+    // swaps them — so the structured step family in `sorts_random_01` must
+    // always catch it. (Merely *dropping* a comparator is not a valid
+    // mutation here: Batcher's network contains redundant comparators.)
+    check("random_01_check_rejects_damaged_networks", |g: &mut Gen| {
+        let w = 1usize << g.int(5u32..7); // 32 or 64
+        let i = g.size(0..w - 1);
+        let j = g.size(i + 1..w);
+        let mut broken = odd_even_mergesort(w);
+        broken.push_stage(vec![Comparator::new(j, i)]); // max to the lower wire
+        prop_assert!(
+            !broken.sorts_random_01(64, g.case_seed()),
+            "descending comparator ({j},{i}) went unnoticed at width {w}"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn random_01_agrees_with_exhaustive_on_small_widths() {
+    // Where both checks apply they must agree — on correct networks and on
+    // truncated (possibly non-sorting) prefixes of them.
+    check("random_01_agrees_with_exhaustive_on_small_widths", |g: &mut Gen| {
+        let w = 1usize << g.int(1u32..5); // 2, 4, 8, 16
+        let net = bitonic_sort(w);
+        prop_assert!(net.sorts_all_01() && net.sorts_random_01(32, g.case_seed()));
+        let mut partial = Network::new(w);
+        let cut = g.size(0..net.depth());
+        for stage in &net.stages()[..cut] {
+            partial.push_stage(stage.clone());
+        }
+        prop_assert_eq!(
+            partial.sorts_all_01(),
+            partial.sorts_random_01(256, g.case_seed()),
+            "width {w}, first {cut}/{} stages",
+            net.depth()
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn fusion_preserves_function_on_random_inputs() {
+    check("fusion_preserves_function_on_random_inputs", |g: &mut Gen| {
+        let w = 1usize << g.size(1..7);
+        let input = g.vec_i64(w..w + 1, -50..=50);
+        let net = odd_even_mergesort(w);
+        let fused = net.fused();
+        prop_assert_eq!(fused.apply(&input), net.apply(&input));
+        prop_assert!(fused.depth() <= net.depth());
+        Ok(())
+    });
+}

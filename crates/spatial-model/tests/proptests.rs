@@ -1,37 +1,53 @@
-//! Property-based tests for the simulator substrate.
+//! Property-based tests for the simulator substrate, on the in-tree
+//! harness (`spatial_core::check`).
 
-use proptest::prelude::*;
+use spatial_core::check::{check, Gen};
+use spatial_core::{prop_assert, prop_assert_eq};
 
 use spatial_model::{zorder, Coord, Machine, Path};
 
-proptest! {
-    #[test]
-    fn zorder_encode_decode_roundtrip(r in 0u64..(1 << 24), c in 0u64..(1 << 24)) {
+#[test]
+fn zorder_encode_decode_roundtrip() {
+    check("zorder_encode_decode_roundtrip", |g: &mut Gen| {
+        let r = g.int(0u64..(1 << 24));
+        let c = g.int(0u64..(1 << 24));
         let z = zorder::encode(r, c);
         prop_assert_eq!(zorder::decode(z), (r, c));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn zorder_decode_encode_roundtrip(z in 0u64..(1 << 48)) {
+#[test]
+fn zorder_decode_encode_roundtrip() {
+    check("zorder_decode_encode_roundtrip", |g: &mut Gen| {
+        let z = g.int(0u64..(1 << 48));
         let (r, c) = zorder::decode(z);
         prop_assert_eq!(zorder::encode(r, c), z);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn zorder_preserves_quadrant_order(a in 0u64..(1 << 20), b in 0u64..(1 << 20)) {
-        // If a < b as Z-indices, a's coordinate is visited earlier on the
-        // curve — and both live inside the smallest aligned square that
-        // contains them both.
-        prop_assume!(a < b);
+#[test]
+fn zorder_preserves_quadrant_order() {
+    check("zorder_preserves_quadrant_order", |g: &mut Gen| {
+        // If a < b as Z-indices, both coordinates live inside the smallest
+        // aligned square that contains them both.
+        let a = g.int(0u64..(1 << 20) - 1);
+        let b = g.int(a + 1..(1 << 20));
         let square = zorder::next_power_of_four(b + 1);
         let (ra, ca) = zorder::decode(a);
         let (rb, cb) = zorder::decode(b);
         let side = (square as f64).sqrt() as u64;
         prop_assert!(ra < side && ca < side && rb < side && cb < side);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn aligned_blocks_partition_any_range(lo in 0u64..5000, len in 1u64..5000) {
+#[test]
+fn aligned_blocks_partition_any_range() {
+    check("aligned_blocks_partition_any_range", |g: &mut Gen| {
+        let lo = g.int(0u64..5000);
+        let len = g.int(1u64..5000);
         let hi = lo + len;
         let blocks = zorder::aligned_blocks(lo, hi);
         let mut cur = lo;
@@ -42,53 +58,74 @@ proptest! {
             cur += l;
         }
         prop_assert_eq!(cur, hi);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn aligned_range_diameter_is_sqrt_len(block in 0u64..100, len in 1u64..10_000) {
+#[test]
+fn aligned_range_diameter_is_sqrt_len() {
+    check("aligned_range_diameter_is_sqrt_len", |g: &mut Gen| {
         // The O(√L) diameter holds for ranges contained in an aligned
         // square of comparable size — which is how every algorithm in this
         // workspace uses Z-segments. (A range crossing a high quadrant
         // boundary, e.g. the curve midpoint, can span the whole grid.)
+        let block = g.int(0u64..100);
+        let len = g.int(1u64..10_000);
         let p = zorder::next_power_of_four(len);
         let lo = block * p;
         let side = zorder::range_diameter_side(lo, lo + len);
         let bound = 2 * ((p as f64).sqrt() as u64);
         prop_assert!(side <= bound, "side {} > bound {}", side, bound);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn manhattan_triangle_inequality(
-        a in (-1000i64..1000, -1000i64..1000),
-        b in (-1000i64..1000, -1000i64..1000),
-        c in (-1000i64..1000, -1000i64..1000),
-    ) {
-        let (a, b, c) = (Coord::new(a.0, a.1), Coord::new(b.0, b.1), Coord::new(c.0, c.1));
+// Past `proptest` regression (shrunk to `lo = 29183, len = 3586`), kept as a
+// pinned case now that the random harness draws different inputs.
+#[test]
+fn aligned_range_diameter_regression_29183() {
+    let (lo, len) = (29183u64, 3586u64);
+    let p = zorder::next_power_of_four(len);
+    let lo = (lo / p) * p; // align as the property does via block * p
+    let side = zorder::range_diameter_side(lo, lo + len);
+    assert!(side <= 2 * ((p as f64).sqrt() as u64));
+}
+
+#[test]
+fn manhattan_triangle_inequality() {
+    check("manhattan_triangle_inequality", |g: &mut Gen| {
+        let pt = |g: &mut Gen| Coord::new(g.int(-1000i64..1000), g.int(-1000i64..1000));
+        let (a, b, c) = (pt(g), pt(g), pt(g));
         prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
         prop_assert_eq!(a.manhattan(b), b.manhattan(a));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn path_join_is_lattice_like(
-        d1 in 0u64..1000, x1 in 0u64..1000,
-        d2 in 0u64..1000, x2 in 0u64..1000,
-        d3 in 0u64..1000, x3 in 0u64..1000,
-    ) {
-        let (a, b, c) = (
-            Path { depth: d1, distance: x1 },
-            Path { depth: d2, distance: x2 },
-            Path { depth: d3, distance: x3 },
-        );
+#[test]
+fn path_join_is_lattice_like() {
+    check("path_join_is_lattice_like", |g: &mut Gen| {
+        let path = |g: &mut Gen| Path {
+            depth: g.int(0u64..1000),
+            distance: g.int(0u64..1000),
+        };
+        let (a, b, c) = (path(g), path(g), path(g));
         prop_assert_eq!(a.join(b), b.join(a));
         prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
         prop_assert_eq!(a.join(a), a);
         prop_assert_eq!(a.join(Path::ZERO), a);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn send_chain_accounting_is_exact(hops in prop::collection::vec((-50i64..50, -50i64..50), 1..20)) {
+#[test]
+fn send_chain_accounting_is_exact() {
+    check("send_chain_accounting_is_exact", |g: &mut Gen| {
         // A single chain of sends: energy = distance = sum of hop lengths,
         // depth = number of hops.
+        let n_hops = g.size(1..20);
+        let hops: Vec<(i64, i64)> =
+            g.vec(n_hops, |g| (g.int(-50i64..50), g.int(-50i64..50)));
         let mut m = Machine::new();
         let mut cur = m.place(Coord::ORIGIN, 0u8);
         let mut expect = 0u64;
@@ -102,11 +139,15 @@ proptest! {
         prop_assert_eq!(rep.distance, expect);
         prop_assert_eq!(rep.depth, hops.len() as u64);
         prop_assert_eq!(cur.path().distance, expect);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn parallel_sends_do_not_inflate_depth(fan in 1usize..50) {
+#[test]
+fn parallel_sends_do_not_inflate_depth() {
+    check("parallel_sends_do_not_inflate_depth", |g: &mut Gen| {
         // A 1-to-many fan from independent placements has depth exactly 1.
+        let fan = g.size(1..50);
         let mut m = Machine::new();
         for i in 0..fan {
             let v = m.place(Coord::new(i as i64 * 3, 0), i);
@@ -115,5 +156,6 @@ proptest! {
         prop_assert_eq!(m.report().depth, 1);
         prop_assert_eq!(m.report().distance, 7);
         prop_assert_eq!(m.report().energy, 7 * fan as u64);
-    }
+        Ok(())
+    });
 }

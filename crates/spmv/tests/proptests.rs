@@ -1,62 +1,79 @@
-//! Property-based tests for sparse matrix–vector multiplication.
+//! Property-based tests for sparse matrix–vector multiplication, on the
+//! in-tree harness (`spatial_core::check`).
 
-use proptest::prelude::*;
+use spatial_core::check::{check, Gen};
+use spatial_core::prop_assert_eq;
 
 use spatial_model::Machine;
 use spmv::pram_baseline::spmv_pram_baseline;
 use spmv::{spmv, Coo};
 
-/// Strategy: a random small COO matrix plus a matching vector.
-fn coo_and_x() -> impl Strategy<Value = (Coo<i64>, Vec<i64>)> {
-    (2usize..24).prop_flat_map(|n| {
-        let entries = prop::collection::vec(
-            (0..n as u32, 0..n as u32, -9i64..9),
-            0..(4 * n),
-        );
-        let x = prop::collection::vec(-9i64..9, n);
-        (entries, x).prop_map(move |(e, x)| (Coo::new(n, n, e), x))
-    })
+/// A random small COO matrix plus a matching vector.
+fn coo_and_x(g: &mut Gen) -> (Coo<i64>, Vec<i64>) {
+    let n = g.size(2..24);
+    let nnz = g.size(0..4 * n);
+    let entries: Vec<(u32, u32, i64)> = g.vec(nnz, |g| {
+        (g.int(0u32..n as u32), g.int(0u32..n as u32), g.int(-9i64..9))
+    });
+    let x = g.vec_i64(n..n + 1, -9..=8);
+    (Coo::new(n, n, entries), x)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn spmv_matches_dense_reference((a, x) in coo_and_x()) {
+#[test]
+fn spmv_matches_dense_reference() {
+    check("spmv_matches_dense_reference", |g: &mut Gen| {
+        let (a, x) = coo_and_x(g);
         let mut m = Machine::new();
         let out = spmv(&mut m, &a, &x);
         prop_assert_eq!(out.y, a.multiply_dense(&x));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pram_baseline_matches_dense_reference((a, x) in coo_and_x()) {
+#[test]
+fn pram_baseline_matches_dense_reference() {
+    check("pram_baseline_matches_dense_reference", |g: &mut Gen| {
+        let (a, x) = coo_and_x(g);
         let mut m = Machine::new();
         let (y, _) = spmv_pram_baseline(&mut m, &a, &x);
         prop_assert_eq!(y, a.multiply_dense(&x));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn csr_roundtrip_preserves_semantics((a, x) in coo_and_x()) {
+#[test]
+fn csr_roundtrip_preserves_semantics() {
+    check("csr_roundtrip_preserves_semantics", |g: &mut Gen| {
+        let (a, x) = coo_and_x(g);
         let csr = a.to_csr();
         prop_assert_eq!(csr.multiply_dense(&x), a.multiply_dense(&x));
         prop_assert_eq!(csr.to_coo().multiply_dense(&x), a.multiply_dense(&x));
         prop_assert_eq!(csr.nnz(), a.nnz());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn spmv_is_linear_in_x((a, x) in coo_and_x(), c in -5i64..5) {
+#[test]
+fn spmv_is_linear_in_x() {
+    check("spmv_is_linear_in_x", |g: &mut Gen| {
         // A(c·x) = c·(A·x) — catches summation/segmentation bugs.
+        let (a, x) = coo_and_x(g);
+        let c = g.int(-5i64..5);
         let mut m = Machine::new();
         let ax = spmv(&mut m, &a, &x).y;
         let cx: Vec<i64> = x.iter().map(|v| c * v).collect();
         let acx = spmv(&mut m, &a, &cx).y;
         let scaled: Vec<i64> = ax.iter().map(|v| c * v).collect();
         prop_assert_eq!(acx, scaled);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn permutation_matrices_permute(perm in prop::collection::vec(0usize..16, 16)) {
-        // Make `perm` a permutation by sorting-position trick.
+#[test]
+fn permutation_matrices_permute() {
+    check("permutation_matrices_permute", |g: &mut Gen| {
+        // Make a random permutation by the sorting-position trick.
+        let perm: Vec<usize> = g.vec(16, |g| g.size(0..16));
         let mut idx: Vec<usize> = (0..16).collect();
         idx.sort_by_key(|&i| (perm[i], i));
         let a: Coo<i64> = Coo::permutation(&idx);
@@ -65,5 +82,6 @@ proptest! {
         let out = spmv(&mut m, &a, &x);
         let expect: Vec<i64> = idx.iter().map(|&j| x[j]).collect();
         prop_assert_eq!(out.y, expect);
-    }
+        Ok(())
+    });
 }

@@ -1,8 +1,6 @@
 //! Array workloads for the scan / sort / selection experiments.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use spatial_rng::Rng;
 
 /// The array families used across the benchmarks.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -54,8 +52,8 @@ impl ArrayKind {
 
 /// `n` independent uniform values in `[-10⁹, 10⁹]`.
 pub fn uniform(n: usize, seed: u64) -> Vec<i64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(-1_000_000_000..=1_000_000_000)).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1_000_000_000i64..=1_000_000_000)).collect()
 }
 
 /// `0, 1, …, n-1`.
@@ -70,8 +68,8 @@ pub fn reversed(n: usize) -> Vec<i64> {
 
 /// Uniform over just 4 distinct values.
 pub fn duplicate_heavy(n: usize, seed: u64) -> Vec<i64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(0..4)).collect()
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0i64..4)).collect()
 }
 
 /// `0, n-1, 1, n-2, …` — adjacent extremes.
@@ -81,9 +79,9 @@ pub fn zigzag(n: usize) -> Vec<i64> {
 
 /// A uniformly random permutation of `0..n`.
 pub fn random_permutation(n: usize, seed: u64) -> Vec<u64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut perm: Vec<u64> = (0..n as u64).collect();
-    perm.shuffle(&mut rng);
+    rng.shuffle(&mut perm);
     perm
 }
 

@@ -4,8 +4,7 @@
 //! generators provide the adjacency structures the `pagerank` example and
 //! the SpMV benchmarks run on.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use spatial_rng::Rng;
 
 use spmv::Coo;
 
@@ -15,13 +14,13 @@ use spmv::Coo;
 /// towards low ids (hubs).
 pub fn powerlaw_graph(n: usize, edges_per_node: usize, seed: u64) -> Coo<f64> {
     assert!(n >= 2);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut adj: Vec<(u32, u32)> = Vec::new(); // (src, dst)
     for v in 1..n {
         let mut chosen = std::collections::BTreeSet::new();
         for _ in 0..edges_per_node.min(v) {
             // Quadratic bias towards small ids approximates a power law.
-            let r: f64 = rng.gen();
+            let r: f64 = rng.gen_f64();
             let target = ((r * r) * v as f64) as usize;
             chosen.insert(target.min(v - 1) as u32);
         }
@@ -57,14 +56,14 @@ pub fn powerlaw_graph(n: usize, edges_per_node: usize, seed: u64) -> Coo<f64> {
 pub fn rmat(scale: u32, edges: usize, seed: u64) -> Coo<i64> {
     let n = 1usize << scale;
     let (a, b, c) = (0.57, 0.19, 0.19);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut set = std::collections::BTreeSet::new();
     let mut attempts = 0;
     while set.len() < edges && attempts < edges * 20 {
         attempts += 1;
         let (mut r, mut cc) = (0usize, 0usize);
         for level in (0..scale).rev() {
-            let x: f64 = rng.gen();
+            let x: f64 = rng.gen_f64();
             let (dr, dc) = if x < a {
                 (0, 0)
             } else if x < a + b {

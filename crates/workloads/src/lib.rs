@@ -10,6 +10,12 @@ pub mod arrays;
 pub mod graphs;
 pub mod matrices;
 
+/// The in-tree deterministic PRNG every generator draws from
+/// (SplitMix64-seeded xoshiro256++; re-exported so downstream code has a
+/// single import point for seeded randomness).
+pub use spatial_rng as rng;
+pub use spatial_rng::Rng;
+
 pub use arrays::{duplicate_heavy, reversed, sorted, uniform, zigzag, ArrayKind};
 pub use graphs::{pagerank_reference, powerlaw_graph, rmat};
 pub use matrices::{banded, identity, permutation_matrix, poisson_2d, random_uniform, zipf_rows};

@@ -1,7 +1,6 @@
 //! Sparse-matrix workloads for the SpMV experiments.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use spatial_rng::Rng;
 
 use spmv::{Coo, Scalar};
 
@@ -33,13 +32,13 @@ pub fn poisson_2d(side: usize) -> Coo<f64> {
 
 /// A banded matrix with the given half-bandwidth (tridiagonal = 1).
 pub fn banded(n: usize, half_bandwidth: usize, seed: u64) -> Coo<i64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut entries = Vec::new();
     for r in 0..n {
         let lo = r.saturating_sub(half_bandwidth);
         let hi = (r + half_bandwidth).min(n - 1);
         for c in lo..=hi {
-            entries.push((r as u32, c as u32, rng.gen_range(-5..=5)));
+            entries.push((r as u32, c as u32, rng.gen_range(-5i64..=5)));
         }
     }
     Coo::new(n, n, entries)
@@ -48,11 +47,11 @@ pub fn banded(n: usize, half_bandwidth: usize, seed: u64) -> Coo<i64> {
 /// Uniformly random sparsity: `nnz_per_row` entries per row at uniform
 /// column positions.
 pub fn random_uniform(n: usize, nnz_per_row: usize, seed: u64) -> Coo<i64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut entries = Vec::with_capacity(n * nnz_per_row);
     for r in 0..n {
         for _ in 0..nnz_per_row {
-            entries.push((r as u32, rng.gen_range(0..n) as u32, rng.gen_range(-9..=9)));
+            entries.push((r as u32, rng.gen_range(0usize..n) as u32, rng.gen_range(-9i64..=9)));
         }
     }
     Coo::new(n, n, entries)
@@ -62,7 +61,7 @@ pub fn random_uniform(n: usize, nnz_per_row: usize, seed: u64) -> Coo<i64> {
 /// long tail of short rows — the irregular access pattern of graph /
 /// GNN adjacency matrices the paper's introduction motivates.
 pub fn zipf_rows(n: usize, avg_nnz_per_row: usize, seed: u64) -> Coo<i64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let total = n * avg_nnz_per_row;
     // Row r gets weight ∝ 1/(r+1); normalize to `total` entries.
     let harmonic: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
@@ -71,7 +70,7 @@ pub fn zipf_rows(n: usize, avg_nnz_per_row: usize, seed: u64) -> Coo<i64> {
         let want = ((total as f64) / ((r + 1) as f64 * harmonic)).round().max(1.0) as usize;
         let want = want.min(n);
         for _ in 0..want {
-            entries.push((r as u32, rng.gen_range(0..n) as u32, rng.gen_range(1..=9)));
+            entries.push((r as u32, rng.gen_range(0usize..n) as u32, rng.gen_range(1i64..=9)));
         }
     }
     Coo::new(n, n, entries)

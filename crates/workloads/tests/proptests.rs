@@ -1,0 +1,123 @@
+//! Property-based tests for the workload generators, on the in-tree
+//! harness (`spatial_core::check`). The generators feed every benchmark and
+//! differential test, so their invariants (permutation validity, stochastic
+//! columns, banded structure, seed determinism) are load-bearing.
+
+use spatial_core::check::{check, Gen};
+use spatial_core::{prop_assert, prop_assert_eq};
+
+use workloads::{arrays, graphs, matrices};
+
+#[test]
+fn random_permutation_is_a_permutation() {
+    check("random_permutation_is_a_permutation", |g: &mut Gen| {
+        let n = g.size(1..500);
+        let seed = g.case_seed();
+        let perm = arrays::random_permutation(n, seed);
+        let mut seen = vec![false; n];
+        for &p in &perm {
+            prop_assert!((p as usize) < n && !seen[p as usize], "duplicate or range {p}");
+            seen[p as usize] = true;
+        }
+        prop_assert_eq!(perm.len(), n);
+        Ok(())
+    });
+}
+
+#[test]
+fn array_generators_are_seed_deterministic() {
+    check("array_generators_are_seed_deterministic", |g: &mut Gen| {
+        let n = g.size(1..200);
+        let seed = g.case_seed();
+        prop_assert_eq!(arrays::uniform(n, seed), arrays::uniform(n, seed));
+        prop_assert_eq!(arrays::duplicate_heavy(n, seed), arrays::duplicate_heavy(n, seed));
+        prop_assert_eq!(arrays::random_permutation(n, seed), arrays::random_permutation(n, seed));
+        // And a different seed actually changes the stream (n big enough
+        // that a collision over the value range is vanishingly unlikely).
+        if n >= 32 {
+            prop_assert!(arrays::uniform(n, seed) != arrays::uniform(n, seed ^ 1));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn duplicate_heavy_draws_from_small_alphabet() {
+    check("duplicate_heavy_draws_from_small_alphabet", |g: &mut Gen| {
+        let vals = arrays::duplicate_heavy(g.size(1..300), g.case_seed());
+        prop_assert!(vals.iter().all(|&v| (0..4).contains(&v)));
+        Ok(())
+    });
+}
+
+#[test]
+fn powerlaw_transition_is_column_stochastic() {
+    check("powerlaw_transition_is_column_stochastic", |g: &mut Gen| {
+        let n = g.size(2..80);
+        let e = g.size(1..6);
+        let t = graphs::powerlaw_graph(n, e, g.case_seed());
+        prop_assert_eq!((t.n_rows, t.n_cols), (n, n));
+        let mut col_sums = vec![0.0f64; n];
+        for &(r, c, v) in &t.entries {
+            prop_assert!((r as usize) < n && (c as usize) < n && v > 0.0);
+            col_sums[c as usize] += v;
+        }
+        for (c, s) in col_sums.iter().enumerate() {
+            prop_assert!((s - 1.0).abs() < 1e-9, "column {c} sums to {s}");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn banded_matrix_stays_in_band() {
+    check("banded_matrix_stays_in_band", |g: &mut Gen| {
+        let n = g.size(1..80);
+        let hb = g.size(0..8);
+        let a = matrices::banded(n, hb, g.case_seed());
+        for &(r, c, _) in &a.entries {
+            let (r, c) = (r as i64, c as i64);
+            prop_assert!((r - c).unsigned_abs() as usize <= hb, "({r},{c}) outside band {hb}");
+        }
+        // Every in-band position present exactly once.
+        let expect: usize = (0..n)
+            .map(|r| (r + hb).min(n - 1) - r.saturating_sub(hb) + 1)
+            .sum();
+        prop_assert_eq!(a.nnz(), expect);
+        Ok(())
+    });
+}
+
+#[test]
+fn permutation_matrix_times_x_permutes_x() {
+    check("permutation_matrix_times_x_permutes_x", |g: &mut Gen| {
+        let n = g.size(1..100);
+        let seed = g.case_seed();
+        let a = matrices::permutation_matrix(n, seed);
+        prop_assert_eq!(a.nnz(), n);
+        let x: Vec<i64> = (0..n as i64).map(|i| 1000 + i).collect();
+        let y = a.multiply_dense(&x);
+        let mut sorted = y.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, x, "output must be a permutation of x");
+        Ok(())
+    });
+}
+
+#[test]
+fn rmat_respects_scale_and_edge_budget() {
+    check("rmat_respects_scale_and_edge_budget", |g: &mut Gen| {
+        let scale = g.int(2u32..6);
+        let n = 1usize << scale;
+        let edges = g.size(1..n * n / 2);
+        let a = graphs::rmat(scale, edges, g.case_seed());
+        prop_assert_eq!((a.n_rows, a.n_cols), (n, n));
+        prop_assert!(a.nnz() <= edges, "{} > {edges}", a.nnz());
+        // Deduplicated: entries are a set.
+        let mut coords: Vec<(u32, u32)> = a.entries.iter().map(|&(r, c, _)| (r, c)).collect();
+        coords.sort_unstable();
+        coords.dedup();
+        prop_assert_eq!(coords.len(), a.nnz());
+        Ok(())
+    });
+}

@@ -1,0 +1,126 @@
+//! Determinism regression tests: running any primitive twice on identical
+//! inputs must produce bit-identical results, bit-identical `Cost`
+//! snapshots, and an identical message trace. The simulator (and the
+//! in-tree RNG behind selection/workloads) has no hidden state, so any
+//! divergence here is a bug — typically a `HashMap` iteration order or an
+//! uninitialised seed sneaking into an algorithm.
+
+use spatial_dataflow::model::{Cost, Machine, MsgRecord};
+use spatial_dataflow::prelude::*;
+use spatial_dataflow::topk::top_k;
+
+const TRACE_CAP: usize = 1 << 20;
+
+/// Runs `f` on a traced machine; returns its value, the cost snapshot and
+/// the full message record.
+fn traced<T>(f: impl Fn(&mut Machine) -> T) -> (T, Cost, Vec<MsgRecord>, u64) {
+    let mut m = Machine::new();
+    m.enable_trace(TRACE_CAP);
+    let v = f(&mut m);
+    let trace = m.trace().expect("trace enabled");
+    (v, m.report(), trace.records().to_vec(), trace.dropped())
+}
+
+/// Asserts two runs of `f` agree on everything observable.
+fn assert_twice_identical<T: PartialEq + std::fmt::Debug>(
+    name: &str,
+    f: impl Fn(&mut Machine) -> T,
+) {
+    let (v1, c1, t1, d1) = traced(&f);
+    let (v2, c2, t2, d2) = traced(&f);
+    assert_eq!(v1, v2, "{name}: results differ between runs");
+    assert_eq!(c1, c2, "{name}: cost snapshots differ between runs");
+    assert_eq!(d1, d2, "{name}: trace drop counts differ");
+    assert_eq!(t1.len(), t2.len(), "{name}: trace lengths differ");
+    for (i, (a, b)) in t1.iter().zip(&t2).enumerate() {
+        assert_eq!(a, b, "{name}: trace record {i} differs");
+    }
+}
+
+fn vals(n: usize, seed: u64) -> Vec<i64> {
+    workloads::arrays::uniform(n, seed)
+}
+
+#[test]
+fn scan_is_deterministic() {
+    let v = vals(256, 3); // scan wants a power-of-four length
+    assert_twice_identical("scan", |m| {
+        let items = place_z(m, 0, v.clone());
+        read_values(scan(m, 0, items, &|a, b| a + b))
+    });
+}
+
+#[test]
+fn sort_is_deterministic() {
+    let v = vals(512, 4);
+    assert_twice_identical("sort_z", |m| {
+        let items = place_z(m, 0, v.clone());
+        sort_z_values(m, 0, items)
+    });
+}
+
+#[test]
+fn selection_is_deterministic() {
+    let v = vals(1024, 5);
+    assert_twice_identical("select_rank_values", |m| {
+        let (got, stats) = select_rank_values(m, 0, v.clone(), 300, 17);
+        (got, stats.iterations, stats.fallbacks, stats.active_trajectory.clone())
+    });
+}
+
+#[test]
+fn spmv_is_deterministic() {
+    let a = workloads::random_uniform(64, 4, 6);
+    let x: Vec<i64> = (0..64).collect();
+    assert_twice_identical("spmv", |m| spmv(m, &a, &x).y);
+}
+
+#[test]
+fn broadcast_is_deterministic() {
+    assert_twice_identical("broadcast", |m| {
+        let grid = SubGrid::square(Coord::ORIGIN, 16);
+        let root = m.place(grid.origin, 99i64);
+        let copies = broadcast(m, root, grid);
+        copies.into_iter().map(|t| (t.loc(), t.into_value())).collect::<Vec<_>>()
+    });
+}
+
+#[test]
+fn segmented_scan_is_deterministic() {
+    let v = vals(256, 7);
+    assert_twice_identical("segmented_scan", |m| {
+        let items: Vec<_> = v
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| SegItem { value: x, head: i % 17 == 0 })
+            .collect();
+        let placed = place_z(m, 0, items);
+        let out = segmented_scan(m, 0, placed, &|a, b| a + b);
+        read_values(out)
+    });
+}
+
+#[test]
+fn top_k_is_deterministic() {
+    let v = vals(512, 8);
+    assert_twice_identical("top_k", |m| {
+        let items = place_z(m, 0, v.clone());
+        top_k(m, 0, items, 40, 23).into_iter().map(|t| t.into_value()).collect::<Vec<_>>()
+    });
+}
+
+#[test]
+fn workload_generators_are_deterministic() {
+    // Generator determinism feeds every other test here.
+    for seed in 0..8u64 {
+        assert_eq!(workloads::arrays::uniform(100, seed), workloads::arrays::uniform(100, seed));
+        assert_eq!(
+            workloads::random_uniform(32, 3, seed).entries,
+            workloads::random_uniform(32, 3, seed).entries
+        );
+        assert_eq!(
+            workloads::graphs::rmat(4, 40, seed).entries,
+            workloads::graphs::rmat(4, 40, seed).entries
+        );
+    }
+}

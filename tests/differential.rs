@@ -1,0 +1,126 @@
+//! Differential oracle tests: every spatial primitive against a plain
+//! sequential reference implementation, swept over many RNG seeds through
+//! the in-tree property harness. A sweep of ≥25 seeds per primitive is the
+//! hermetic replacement for the old crates.io-powered fuzzing setup.
+
+use spatial_dataflow::check::{check_cfg, Config, Gen};
+use spatial_dataflow::collectives::scan_any;
+use spatial_dataflow::prelude::*;
+use spatial_dataflow::rng::Rng;
+use spatial_dataflow::{prop_assert, prop_assert_eq};
+
+/// At least 25 seeds per primitive regardless of `SPATIAL_CHECK_CASES`.
+fn cfg() -> Config {
+    let base = Config::from_env();
+    Config { cases: base.cases.max(25), seed: base.seed }
+}
+
+/// A fresh input vector drawn from the case's seeded stream.
+fn input(g: &mut Gen, max_len: usize) -> Vec<i64> {
+    g.vec_i64(1..max_len, -100_000..=100_000)
+}
+
+#[test]
+fn differential_scan() {
+    check_cfg(&cfg(), "differential_scan", |g: &mut Gen| {
+        let vals = input(g, 600);
+        // Sequential reference: inclusive prefix sum.
+        let mut expect = vals.clone();
+        for i in 1..expect.len() {
+            expect[i] += expect[i - 1];
+        }
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, vals);
+        // `scan_any` handles arbitrary lengths (pads to a power of four).
+        let got = read_values(scan_any(&mut m, 0, items, &|a, b| a + b));
+        prop_assert_eq!(got, expect);
+        Ok(())
+    });
+}
+
+#[test]
+fn differential_sort() {
+    check_cfg(&cfg(), "differential_sort", |g: &mut Gen| {
+        let vals = input(g, 600);
+        let mut expect = vals.clone();
+        expect.sort();
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, vals);
+        prop_assert_eq!(sort_z_values(&mut m, 0, items), expect);
+        Ok(())
+    });
+}
+
+#[test]
+fn differential_selection() {
+    check_cfg(&cfg(), "differential_selection", |g: &mut Gen| {
+        let vals = input(g, 600);
+        let n = vals.len() as u64;
+        let k = g.int(1u64..=n);
+        let algo_seed = g.int(0u64..1 << 32);
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        let mut m = Machine::new();
+        let (got, _) = select_rank_values(&mut m, 0, vals, k, algo_seed);
+        prop_assert_eq!(got, sorted[(k - 1) as usize], "k={k} seed={algo_seed}");
+        Ok(())
+    });
+}
+
+#[test]
+fn differential_spmv() {
+    check_cfg(&cfg(), "differential_spmv", |g: &mut Gen| {
+        let n = g.size(2..48);
+        let nnz = g.size(0..4 * n);
+        let entries: Vec<(u32, u32, i64)> = g.vec(nnz, |g| {
+            (g.int(0u32..n as u32), g.int(0u32..n as u32), g.int(-9i64..=9))
+        });
+        let a = Coo::new(n, n, entries.clone());
+        let x = g.vec_i64(n..n + 1, -9..=9);
+        // Sequential reference: accumulate entry-by-entry.
+        let mut expect = vec![0i64; n];
+        for &(r, c, v) in &entries {
+            expect[r as usize] += v * x[c as usize];
+        }
+        let mut m = Machine::new();
+        prop_assert_eq!(spmv(&mut m, &a, &x).y, expect);
+        Ok(())
+    });
+}
+
+#[test]
+fn differential_broadcast() {
+    check_cfg(&cfg(), "differential_broadcast", |g: &mut Gen| {
+        let side = 1u64 << g.int(0u32..6); // 1..=32
+        let value = g.int(i64::MIN..=i64::MAX);
+        let mut m = Machine::new();
+        let grid = SubGrid::square(Coord::ORIGIN, side);
+        let root = m.place(grid.origin, value);
+        let copies = broadcast(&mut m, root, grid);
+        prop_assert_eq!(copies.len() as u64, side * side);
+        for t in &copies {
+            prop_assert_eq!(*t.value(), value);
+            prop_assert!(grid.contains(t.loc()), "{:?} outside {side}x{side}", t.loc());
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn differential_rng_gen_range_is_in_bounds_and_unbiased_enough() {
+    // The RNG itself gets a differential check against its contract: bounds
+    // always hold and a long stream hits every bucket of a small range.
+    check_cfg(&cfg(), "differential_rng", |g: &mut Gen| {
+        let lo = g.int(-1000i64..1000);
+        let span = g.int(1i64..100);
+        let mut rng = Rng::seed_from_u64(g.case_seed());
+        let mut hit = vec![false; span as usize];
+        for _ in 0..2048 {
+            let v = rng.gen_range(lo..lo + span);
+            prop_assert!(v >= lo && v < lo + span, "{v} outside [{lo},{})", lo + span);
+            hit[(v - lo) as usize] = true;
+        }
+        prop_assert!(span > 64 || hit.iter().all(|&h| h), "missed a bucket in span {span}");
+        Ok(())
+    });
+}
