@@ -33,7 +33,9 @@ fn main() {
     let mut g = Group::new("selection-rank").samples(10);
     let n = 16384usize;
     let vals = pseudo(n, 4);
-    for (label, k) in [("min", 1u64), ("p25", n as u64 / 4), ("median", n as u64 / 2), ("max", n as u64)] {
+    for (label, k) in
+        [("min", 1u64), ("p25", n as u64 / 4), ("median", n as u64 / 2), ("max", n as u64)]
+    {
         g.bench(&format!("select/{label}"), || {
             let mut m = Machine::new();
             let (v, _) = select_rank_values(&mut m, 0, vals.clone(), k, 11);

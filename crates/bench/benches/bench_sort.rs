@@ -5,8 +5,8 @@ use bench::pseudo;
 use bench::timing::Group;
 use spatial_core::collectives::zarray::{place_row_major, place_z};
 use spatial_core::model::{Coord, Machine, SubGrid};
-use spatial_core::sortnet::{bitonic_sort, run_row_major};
 use spatial_core::sorting::sort_z;
+use spatial_core::sortnet::{bitonic_sort, run_row_major};
 
 fn main() {
     let mut g = Group::new("sort").samples(10);

@@ -4,8 +4,8 @@
 //! per-PE message-endpoint heatmaps and the per-phase cost split, showing
 //! the 4-ary summation tree laid out in Z-order.
 
-use spatial_core::collectives::zarray::{place_z, read_values};
 use spatial_core::collectives::scan;
+use spatial_core::collectives::zarray::{place_z, read_values};
 use spatial_core::model::{zorder, Machine};
 
 fn heat(counts: &[u32], side: usize) {
@@ -86,6 +86,12 @@ fn main() {
 
     let report = m.report();
     println!("\n  totals: {report}");
-    println!("  checks: energy {} <= 12n = {}; depth {} <= 8·log2(n)+8 = {}", report.energy, 12 * n, report.depth, 8 * 6 + 8);
+    println!(
+        "  checks: energy {} <= 12n = {}; depth {} <= 8·log2(n)+8 = {}",
+        report.energy,
+        12 * n,
+        report.depth,
+        8 * 6 + 8
+    );
     assert!(report.energy <= (12 * n) as u64);
 }

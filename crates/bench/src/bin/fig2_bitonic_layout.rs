@@ -56,10 +56,13 @@ fn main() {
         }
         // Cross-check the static stage sum against a live run.
         let mut m = Machine::new();
-        let items: Vec<_> = (0..n).map(|i| m.place(grid.rm_coord(i as u64), (n - i) as i64)).collect();
+        let items: Vec<_> =
+            (0..n).map(|i| m.place(grid.rm_coord(i as u64), (n - i) as i64)).collect();
         let _ = run_row_major(&mut m, &net, grid, items);
         assert_eq!(m.energy(), row_e + col_e, "static geometry must equal measured energy");
         println!("{:>8} {:>14} {:>14} {:>14}", n, row_e, col_e, row_e + col_e);
     }
-    println!("(both phases are Θ(n^{{3/2}}) for a single merge — Lemma V.3's h²w + w²h with h = w)");
+    println!(
+        "(both phases are Θ(n^{{3/2}}) for a single merge — Lemma V.3's h²w + w²h with h = w)"
+    );
 }

@@ -27,14 +27,20 @@ fn main() {
         let got: Vec<i64> = sorted.iter().map(|t| t.value().key).collect();
         assert_eq!(got, expect);
     });
-    print_sweep(&s, [
-        (Metric::Energy, theory::allpairs_bound(Metric::Energy)),
-        (Metric::Depth, theory::allpairs_bound(Metric::Depth)),
-        (Metric::Distance, theory::allpairs_bound(Metric::Distance)),
-    ]);
+    print_sweep(
+        &s,
+        [
+            (Metric::Energy, theory::allpairs_bound(Metric::Energy)),
+            (Metric::Depth, theory::allpairs_bound(Metric::Depth)),
+            (Metric::Distance, theory::allpairs_bound(Metric::Distance)),
+        ],
+    );
 
     print_section("comparison: where all-pairs loses to mergesort (energy) but wins on depth");
-    println!("{:>8} {:>16} {:>16} {:>10} {:>10}", "n", "allpairs E", "mergesort E", "ap depth", "ms depth");
+    println!(
+        "{:>8} {:>16} {:>16} {:>10} {:>10}",
+        "n", "allpairs E", "mergesort E", "ap depth", "ms depth"
+    );
     for &n in &[16u64, 64, 256] {
         let vals = pseudo(n as usize, 2);
         let ap = bench::measure(|m| {

@@ -13,8 +13,8 @@ use bench::{measure, pow4_sizes, pseudo};
 use spatial_core::collectives::zarray::{place_row_major, place_z};
 use spatial_core::model::{Coord, SubGrid};
 use spatial_core::report::{print_section, Sweep};
-use spatial_core::sortnet::{bitonic_merge, bitonic_sort, run_row_major};
 use spatial_core::sorting::sort_z;
+use spatial_core::sortnet::{bitonic_merge, bitonic_sort, run_row_major};
 use spatial_core::theory::{self, Metric};
 
 fn main() {
@@ -95,7 +95,14 @@ fn main() {
             assert!(out.windows(2).all(|x| x[0].value() <= x[1].value()));
         });
         let bound = (h * h * w + w * w * h) as f64;
-        println!("{:>8} {:>6} {:>14} {:>14.0} {:>8.3}", h, w, c.energy, bound, c.energy as f64 / bound);
+        println!(
+            "{:>8} {:>6} {:>14} {:>14.0} {:>8.3}",
+            h,
+            w,
+            c.energy,
+            bound,
+            c.energy as f64 / bound
+        );
     }
     println!("(the ratio column must stay bounded above AND below by constants — Θ, not just O)");
 }

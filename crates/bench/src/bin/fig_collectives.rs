@@ -18,7 +18,10 @@ fn main() {
     println!("Reproduction of Lemma IV.1 / Corollary IV.2 (and the §IV energy improvement).");
 
     print_section("(a) Square broadcast: optimal vs binary-tree baseline");
-    println!("{:>10} {:>14} {:>14} {:>8} {:>10} {:>10}", "n", "opt energy", "naive energy", "ratio", "opt depth", "naive dep");
+    println!(
+        "{:>10} {:>14} {:>14} {:>8} {:>10} {:>10}",
+        "n", "opt energy", "naive energy", "ratio", "opt depth", "naive dep"
+    );
     let mut opt_sweep = spatial_core::report::Sweep::new("broadcast-opt");
     let mut naive_sweep = spatial_core::report::Sweep::new("broadcast-naive");
     for &n in &pow4_sizes(3, 9) {
@@ -68,11 +71,14 @@ fn main() {
         let total = reduce(m, items, grid, &|a, b| a + b);
         assert_eq!(total.into_value(), (n * (n - 1) / 2) as i64);
     });
-    bench::print_sweep(&s, [
-        (Metric::Energy, theory::collective_bound(Metric::Energy)),
-        (Metric::Depth, theory::collective_bound(Metric::Depth)),
-        (Metric::Distance, theory::collective_bound(Metric::Distance)),
-    ]);
+    bench::print_sweep(
+        &s,
+        [
+            (Metric::Energy, theory::collective_bound(Metric::Energy)),
+            (Metric::Depth, theory::collective_bound(Metric::Depth)),
+            (Metric::Distance, theory::collective_bound(Metric::Distance)),
+        ],
+    );
     // Baseline comparison at one size for the record.
     let n = 4u64.pow(8);
     let side = (n as f64).sqrt() as u64;
@@ -85,14 +91,23 @@ fn main() {
 
     print_section("(c) Tall grids: energy O(hw + h log h)");
     println!("{:>8} {:>6} {:>14} {:>16} {:>10}", "h", "w", "energy", "hw + h·log2(h)", "ratio");
-    for &(h, w) in &[(64u64, 64u64), (256, 64), (1024, 64), (4096, 64), (4096, 16), (4096, 4), (4096, 1)] {
+    for &(h, w) in
+        &[(64u64, 64u64), (256, 64), (1024, 64), (4096, 64), (4096, 16), (4096, 4), (4096, 1)]
+    {
         let grid = SubGrid::new(Coord::ORIGIN, h, w);
         let c = measure(|m| {
             let root = m.place(grid.origin, 1i64);
             let _ = broadcast(m, root, grid);
         });
         let bound = (h * w) as f64 + h as f64 * (h as f64).log2();
-        println!("{:>8} {:>6} {:>14} {:>16.0} {:>10.2}", h, w, c.energy, bound, c.energy as f64 / bound);
+        println!(
+            "{:>8} {:>6} {:>14} {:>16.0} {:>10.2}",
+            h,
+            w,
+            c.energy,
+            bound,
+            c.energy as f64 / bound
+        );
     }
     println!("(the ratio column must stay bounded by a constant)");
 }

@@ -11,7 +11,8 @@ use spatial_core::theory::{self, Metric};
 
 fn run_merge(m: &mut Machine, na: usize, nb: usize, lo: u64) {
     let a: Vec<Keyed<i64>> = (0..na).map(|i| Keyed::new(2 * i as i64, i as u64)).collect();
-    let b: Vec<Keyed<i64>> = (0..nb).map(|i| Keyed::new(2 * i as i64 + 1, (na + i) as u64)).collect();
+    let b: Vec<Keyed<i64>> =
+        (0..nb).map(|i| Keyed::new(2 * i as i64 + 1, (na + i) as u64)).collect();
     let ai = place_z(m, lo, a);
     let bi = place_z(m, lo + na as u64, b);
     let out = merge_adjacent(m, ai, bi, lo);
@@ -25,11 +26,14 @@ fn main() {
     let s = sweep("merge2d", &[256, 1024, 4096, 16384, 65536], |m, n| {
         run_merge(m, (n / 2) as usize, (n / 2) as usize, 0);
     });
-    print_sweep(&s, [
-        (Metric::Energy, theory::merge_bound(Metric::Energy)),
-        (Metric::Depth, theory::merge_bound(Metric::Depth)),
-        (Metric::Distance, theory::merge_bound(Metric::Distance)),
-    ]);
+    print_sweep(
+        &s,
+        [
+            (Metric::Energy, theory::merge_bound(Metric::Energy)),
+            (Metric::Depth, theory::merge_bound(Metric::Depth)),
+            (Metric::Distance, theory::merge_bound(Metric::Distance)),
+        ],
+    );
 
     print_section("skew sweep at n = 16384: cost depends on the total, not the split");
     println!("{:>10} {:>10} {:>14} {:>8} {:>10}", "n_A", "n_B", "energy", "depth", "distance");

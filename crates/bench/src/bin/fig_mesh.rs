@@ -37,7 +37,11 @@ fn main() {
         expect.sort_unstable();
 
         let cm = measure(|m| {
-            let items: Vec<_> = vals.iter().enumerate().map(|(i, &v)| m.place(grid.rm_coord(i as u64), v)).collect();
+            let items: Vec<_> = vals
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| m.place(grid.rm_coord(i as u64), v))
+                .collect();
             let out = shearsort_row_major(m, grid, items);
             let got: Vec<i64> = out.iter().map(|t| *t.value()).collect();
             assert_eq!(got, expect);
@@ -63,8 +67,8 @@ fn main() {
 
     print_section("mesh scaling fits (K-round model: energy O(Kn), depth K, distance O(K))");
     for line in mesh.report_lines([
-        (Metric::Energy, shape(1.5, 1)),   // Θ(n^{3/2} log n) = K·n with K = √n·log n
-        (Metric::Depth, shape(0.5, 1)),    // K rounds
+        (Metric::Energy, shape(1.5, 1)), // Θ(n^{3/2} log n) = K·n with K = √n·log n
+        (Metric::Depth, shape(0.5, 1)),  // K rounds
         (Metric::Distance, shape(0.5, 1)), // O(K)
     ]) {
         println!("{line}");
@@ -76,26 +80,42 @@ fn main() {
     let grid = SubGrid::square(Coord::ORIGIN, side);
     let vals = pseudo(n, 9);
     let rows: Vec<(&str, spatial_core::model::Cost)> = vec![
-        ("shearsort (mesh)", measure(|m| {
-            let items: Vec<_> = vals.iter().enumerate().map(|(i, &v)| m.place(grid.rm_coord(i as u64), v)).collect();
-            let _ = shearsort_row_major(m, grid, items);
-        })),
-        ("bitonic network", measure(|m| {
-            let net = spatial_core::sortnet::bitonic_sort(n);
-            let items = place_row_major(m, grid, vals.clone());
-            let _ = spatial_core::sortnet::run_row_major(m, &net, grid, items);
-        })),
-        ("2D mergesort", measure(|m| {
-            let items = place_z(m, 0, vals.clone());
-            let _ = sort_z(m, 0, items);
-        })),
-        ("all-pairs", measure(|m| {
-            use spatial_core::sorting::allpairs::{allpairs_sort_to_z, scratch_for};
-            use spatial_core::sorting::keyed::attach_uids;
-            let items = attach_uids(place_z(m, 0, vals.clone()));
-            let bm = spatial_core::model::zorder::next_power_of_four(n as u64);
-            let _ = allpairs_sort_to_z(m, items, scratch_for(0, bm * bm), 0);
-        })),
+        (
+            "shearsort (mesh)",
+            measure(|m| {
+                let items: Vec<_> = vals
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| m.place(grid.rm_coord(i as u64), v))
+                    .collect();
+                let _ = shearsort_row_major(m, grid, items);
+            }),
+        ),
+        (
+            "bitonic network",
+            measure(|m| {
+                let net = spatial_core::sortnet::bitonic_sort(n);
+                let items = place_row_major(m, grid, vals.clone());
+                let _ = spatial_core::sortnet::run_row_major(m, &net, grid, items);
+            }),
+        ),
+        (
+            "2D mergesort",
+            measure(|m| {
+                let items = place_z(m, 0, vals.clone());
+                let _ = sort_z(m, 0, items);
+            }),
+        ),
+        (
+            "all-pairs",
+            measure(|m| {
+                use spatial_core::sorting::allpairs::{allpairs_sort_to_z, scratch_for};
+                use spatial_core::sorting::keyed::attach_uids;
+                let items = attach_uids(place_z(m, 0, vals.clone()));
+                let bm = spatial_core::model::zorder::next_power_of_four(n as u64);
+                let _ = allpairs_sort_to_z(m, items, scratch_for(0, bm * bm), 0);
+            }),
+        ),
     ];
     println!("{:>20} {:>16} {:>9} {:>10}", "algorithm", "energy", "depth", "distance");
     for (name, c) in rows {

@@ -14,13 +14,19 @@ use spatial_core::sorting::keyed::Keyed;
 use spatial_core::sorting::rank2::{multi_rank_split, rank_split};
 
 #[allow(clippy::type_complexity)]
-fn setup(m: &mut Machine, half: usize) -> (Vec<spatial_core::model::Tracked<Keyed<i64>>>, Vec<spatial_core::model::Tracked<Keyed<i64>>>) {
+fn setup(
+    m: &mut Machine,
+    half: usize,
+) -> (Vec<spatial_core::model::Tracked<Keyed<i64>>>, Vec<spatial_core::model::Tracked<Keyed<i64>>>)
+{
     let mut a: Vec<i64> = pseudo(half, 1);
     let mut b: Vec<i64> = pseudo(half, 2);
     a.sort_unstable();
     b.sort_unstable();
-    let ka: Vec<Keyed<i64>> = a.into_iter().enumerate().map(|(i, v)| Keyed::new(v, i as u64)).collect();
-    let kb: Vec<Keyed<i64>> = b.into_iter().enumerate().map(|(i, v)| Keyed::new(v, (half + i) as u64)).collect();
+    let ka: Vec<Keyed<i64>> =
+        a.into_iter().enumerate().map(|(i, v)| Keyed::new(v, i as u64)).collect();
+    let kb: Vec<Keyed<i64>> =
+        b.into_iter().enumerate().map(|(i, v)| Keyed::new(v, (half + i) as u64)).collect();
     let ai = place_z(m, 0, ka);
     let bi = place_z(m, half as u64, kb);
     (ai, bi)
@@ -44,7 +50,8 @@ fn main() {
 
         let mut ms = Machine::new();
         let (ai, bi) = setup(&mut ms, half);
-        let single: Vec<_> = ks.iter().map(|&k| rank_split(&mut ms, &ai, 0, &bi, half as u64, k)).collect();
+        let single: Vec<_> =
+            ks.iter().map(|&k| rank_split(&mut ms, &ai, 0, &bi, half as u64, k)).collect();
 
         assert_eq!(multi, single, "same answers");
         println!(

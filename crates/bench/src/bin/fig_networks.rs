@@ -11,7 +11,9 @@ use bench::{measure, pseudo};
 use spatial_core::collectives::zarray::place_row_major;
 use spatial_core::model::{Coord, SubGrid};
 use spatial_core::report::print_section;
-use spatial_core::sortnet::{bitonic_sort, odd_even_mergesort, odd_even_transposition, run_row_major, Network};
+use spatial_core::sortnet::{
+    bitonic_sort, odd_even_mergesort, odd_even_transposition, run_row_major, Network,
+};
 
 fn run(net: &Network, n: usize, side: u64) -> spatial_core::model::Cost {
     let grid = SubGrid::square(Coord::ORIGIN, side);
@@ -29,7 +31,15 @@ fn main() {
     print_section("costs per network");
     println!(
         "{:>8} {:>14} {:>12} {:>9} | {:>14} {:>12} {:>9} | {:>14} {:>9}",
-        "n", "bitonic E", "comparators", "depth", "odd-even E", "comparators", "depth", "transpose E", "depth"
+        "n",
+        "bitonic E",
+        "comparators",
+        "depth",
+        "odd-even E",
+        "comparators",
+        "depth",
+        "transpose E",
+        "depth"
     );
     for &n in &[64usize, 256, 1024, 4096] {
         let side = (n as f64).sqrt() as u64;

@@ -11,7 +11,9 @@
 use bench::measure;
 use spatial_core::model::{Coord, SubGrid};
 use spatial_core::report::{print_section, Sweep};
-use spatial_core::sorting::permute::{permutation_energy_lower_bound, permute_row_major, reversal_perm};
+use spatial_core::sorting::permute::{
+    permutation_energy_lower_bound, permute_row_major, reversal_perm,
+};
 use spatial_core::spmv::spmv;
 use spatial_core::theory::{self, Metric};
 
@@ -30,7 +32,13 @@ fn main() {
         });
         s.push(n, cost);
         let lb = permutation_energy_lower_bound(side, side);
-        println!("{:>10} {:>14} {:>14} {:>8.2}", n, cost.energy, lb, cost.energy as f64 / lb as f64);
+        println!(
+            "{:>10} {:>14} {:>14} {:>8.2}",
+            n,
+            cost.energy,
+            lb,
+            cost.energy as f64 / lb as f64
+        );
     }
     for line in s.report_lines([
         (Metric::Energy, theory::sorting_bound(Metric::Energy)),
@@ -48,7 +56,13 @@ fn main() {
         let _ = measure(|m| {
             cost = permute_row_major(m, grid, &reversal_perm(h * w));
         });
-        println!("{:>8} {:>8} {:>14} {:>16}", h, w, cost.energy, permutation_energy_lower_bound(h, w));
+        println!(
+            "{:>8} {:>8} {:>14} {:>16}",
+            h,
+            w,
+            cost.energy,
+            permutation_energy_lower_bound(h, w)
+        );
     }
     println!("(energy grows as the grid elongates — minimized at h = w, as the paper argues)");
 
@@ -67,7 +81,13 @@ fn main() {
         });
         s.push(n as u64, cost);
         let lb = permutation_energy_lower_bound(side, side);
-        println!("{:>10} {:>14} {:>16} {:>10.1}", n, cost.energy, lb, cost.energy as f64 / lb as f64);
+        println!(
+            "{:>10} {:>14} {:>16} {:>10.1}",
+            n,
+            cost.energy,
+            lb,
+            cost.energy as f64 / lb as f64
+        );
     }
     for line in s.report_lines([
         (Metric::Energy, theory::spmv_bound(Metric::Energy)),

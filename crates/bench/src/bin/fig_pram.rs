@@ -15,7 +15,10 @@ fn main() {
     println!("Reproduction of the §VII PRAM simulation bounds.");
 
     print_section("(a) Lemma VII.1 — EREW tree sum, p = m = n/2");
-    println!("{:>8} {:>6} {:>14} {:>14} {:>10} {:>10}", "n", "T_p", "energy", "E/step", "depth", "dep/step");
+    println!(
+        "{:>8} {:>6} {:>14} {:>14} {:>10} {:>10}",
+        "n", "T_p", "energy", "E/step", "depth", "dep/step"
+    );
     let mut erew_sweep = Sweep::new("erew-per-step");
     for k in 3..=8u32 {
         let n = 1i64 << (2 * k);
@@ -63,7 +66,13 @@ fn main() {
         });
         crcw_sweep.push(p as u64, c);
         let log = (p as f64).log2();
-        println!("{:>8} {:>14} {:>10} {:>14.3}", p, c.energy, c.depth, c.depth as f64 / (log * log * log));
+        println!(
+            "{:>8} {:>14} {:>10} {:>14.3}",
+            p,
+            c.energy,
+            c.depth,
+            c.depth as f64 / (log * log * log)
+        );
     }
     for line in crcw_sweep.report_lines([
         (Metric::Energy, shape(1.5, 0)),
@@ -74,7 +83,10 @@ fn main() {
     }
 
     print_section("(c) EREW vs CRCW on the same program (concurrency resolution overhead)");
-    println!("{:>8} {:>14} {:>14} {:>8} {:>10} {:>10}", "n", "erew E", "crcw E", "ratio", "erew dep", "crcw dep");
+    println!(
+        "{:>8} {:>14} {:>14} {:>8} {:>10} {:>10}",
+        "n", "erew E", "crcw E", "ratio", "erew dep", "crcw dep"
+    );
     for k in 3..=6u32 {
         let n = 1i64 << (2 * k);
         let prog = TreeSum::new((0..n).collect());

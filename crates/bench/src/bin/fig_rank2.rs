@@ -13,9 +13,11 @@ fn setup(
     m: &mut spatial_core::model::Machine,
     half: usize,
     lo: u64,
-) -> (Vec<spatial_core::model::Tracked<Keyed<i64>>>, Vec<spatial_core::model::Tracked<Keyed<i64>>>) {
+) -> (Vec<spatial_core::model::Tracked<Keyed<i64>>>, Vec<spatial_core::model::Tracked<Keyed<i64>>>)
+{
     let a: Vec<Keyed<i64>> = (0..half).map(|i| Keyed::new(3 * i as i64, i as u64)).collect();
-    let b: Vec<Keyed<i64>> = (0..half).map(|i| Keyed::new(3 * i as i64 + 1, (half + i) as u64)).collect();
+    let b: Vec<Keyed<i64>> =
+        (0..half).map(|i| Keyed::new(3 * i as i64 + 1, (half + i) as u64)).collect();
     let ai = place_z(m, lo, a);
     let bi = place_z(m, lo + half as u64, b);
     (ai, bi)
@@ -31,11 +33,14 @@ fn main() {
         let split = rank_split(m, &ai, 0, &bi, half as u64, n / 2);
         assert_eq!(split.ca + split.cb, n / 2);
     });
-    print_sweep(&s, [
-        (Metric::Energy, theory::rank2_bound(Metric::Energy)),
-        (Metric::Depth, theory::rank2_bound(Metric::Depth)),
-        (Metric::Distance, theory::rank2_bound(Metric::Distance)),
-    ]);
+    print_sweep(
+        &s,
+        [
+            (Metric::Energy, theory::rank2_bound(Metric::Energy)),
+            (Metric::Depth, theory::rank2_bound(Metric::Depth)),
+            (Metric::Distance, theory::rank2_bound(Metric::Distance)),
+        ],
+    );
 
     print_section("k-sweep at n = 16384 (cost must be stable across ranks)");
     println!("{:>10} {:>14} {:>8} {:>10}", "k", "energy", "depth", "distance");

@@ -7,8 +7,8 @@
 
 use bench::{measure, pow4_sizes, pseudo};
 use spatial_core::collectives::naive::naive_scan;
-use spatial_core::collectives::zarray::{place_row_major, place_z, read_values};
 use spatial_core::collectives::scan;
+use spatial_core::collectives::zarray::{place_row_major, place_z, read_values};
 use spatial_core::model::{Coord, SubGrid};
 use spatial_core::report::{print_section, Sweep};
 use spatial_core::theory::{self, Metric};
@@ -82,7 +82,11 @@ fn main() {
         let items = place_z(
             m,
             0,
-            pseudo(n as usize, 2).into_iter().enumerate().map(|(i, v)| SegItem::new(i % 37 == 0, v)).collect(),
+            pseudo(n as usize, 2)
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| SegItem::new(i % 37 == 0, v))
+                .collect(),
         );
         let _ = segmented_scan(m, 0, items, &|a, b| a + b);
     });

@@ -30,7 +30,14 @@ fn main() {
         });
         let bounds: Vec<String> = traj
             .windows(2)
-            .map(|w| format!("{} -> {} (bound {:.0})", w[0], w[1], (w[0] as f64).powf(0.75) * ln_n.sqrt() * 2.0))
+            .map(|w| {
+                format!(
+                    "{} -> {} (bound {:.0})",
+                    w[0],
+                    w[1],
+                    (w[0] as f64).powf(0.75) * ln_n.sqrt() * 2.0
+                )
+            })
             .collect();
         println!("  seed {seed}: {iters} iterations");
         for b in bounds {

@@ -33,7 +33,8 @@ fn main() {
         for seed in 0..seeds {
             let mut m = Machine::new();
             let items = place_z(&mut m, 0, vals.clone());
-            let (got, stats) = select_rank_cfg(&mut m, 0, items, n as u64 / 2, SelectionConfig { c, seed });
+            let (got, stats) =
+                select_rank_cfg(&mut m, 0, items, n as u64 / 2, SelectionConfig { c, seed });
             assert_eq!(got.into_value(), expect, "c={c} seed={seed}");
             tot_energy += m.energy();
             tot_iters += stats.iterations;

@@ -28,22 +28,28 @@ fn main() {
         let items = place_z(m, 0, pseudo(n as usize, 1));
         let _ = scan(m, 0, items, &|a, b| a + b);
     });
-    print_sweep(&s, [
-        (Metric::Energy, theory::scan_bound(Metric::Energy)),
-        (Metric::Depth, theory::scan_bound(Metric::Depth)),
-        (Metric::Distance, theory::scan_bound(Metric::Distance)),
-    ]);
+    print_sweep(
+        &s,
+        [
+            (Metric::Energy, theory::scan_bound(Metric::Energy)),
+            (Metric::Depth, theory::scan_bound(Metric::Depth)),
+            (Metric::Distance, theory::scan_bound(Metric::Distance)),
+        ],
+    );
 
     print_section("Table I row 2: Sorting / 2D Mergesort (Theorem V.8)");
     let s = sweep("mergesort", &pow4_sizes(3, 7), |m, n| {
         let items = place_z(m, 0, pseudo(n as usize, 2));
         let _ = sort_z(m, 0, items);
     });
-    print_sweep(&s, [
-        (Metric::Energy, theory::sorting_bound(Metric::Energy)),
-        (Metric::Depth, theory::sorting_bound(Metric::Depth)),
-        (Metric::Distance, theory::sorting_bound(Metric::Distance)),
-    ]);
+    print_sweep(
+        &s,
+        [
+            (Metric::Energy, theory::sorting_bound(Metric::Energy)),
+            (Metric::Depth, theory::sorting_bound(Metric::Depth)),
+            (Metric::Distance, theory::sorting_bound(Metric::Distance)),
+        ],
+    );
 
     print_section("Table I row 3: Rank Selection (Theorem VI.3; mean over 5 seeds)");
     // Averaging over seeds smooths the sampling variance; the sweep reaches
@@ -68,11 +74,14 @@ fn main() {
         }
         avg
     };
-    print_sweep(&s, [
-        (Metric::Energy, theory::selection_bound(Metric::Energy)),
-        (Metric::Depth, theory::selection_bound(Metric::Depth)),
-        (Metric::Distance, theory::selection_bound(Metric::Distance)),
-    ]);
+    print_sweep(
+        &s,
+        [
+            (Metric::Energy, theory::selection_bound(Metric::Energy)),
+            (Metric::Depth, theory::selection_bound(Metric::Depth)),
+            (Metric::Distance, theory::selection_bound(Metric::Distance)),
+        ],
+    );
 
     print_section("Table I row 4: SpMV (Theorem VIII.2; uniform random, m = 4n)");
     // Sizes chosen so the padded matrix segment is well filled.
@@ -83,11 +92,14 @@ fn main() {
         let out = spmv(m, &a, &x);
         assert_eq!(out.y, a.multiply_dense(&x));
     });
-    print_sweep(&s, [
-        (Metric::Energy, theory::spmv_bound(Metric::Energy)),
-        (Metric::Depth, theory::spmv_bound(Metric::Depth)),
-        (Metric::Distance, theory::spmv_bound(Metric::Distance)),
-    ]);
+    print_sweep(
+        &s,
+        [
+            (Metric::Energy, theory::spmv_bound(Metric::Energy)),
+            (Metric::Depth, theory::spmv_bound(Metric::Depth)),
+            (Metric::Distance, theory::spmv_bound(Metric::Distance)),
+        ],
+    );
 
     println!("\nDone. Record these tables in EXPERIMENTS.md.");
 }

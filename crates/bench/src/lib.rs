@@ -16,7 +16,11 @@ use spatial_core::report::Sweep;
 /// Deterministic pseudo-random array (no RNG state needed for sweeps whose
 /// exact values are irrelevant).
 pub fn pseudo(n: usize, seed: i64) -> Vec<i64> {
-    (0..n).map(|i| ((i as i64).wrapping_mul(2654435761).wrapping_add(seed * 40503)) % 1_000_003 - 500_000).collect()
+    (0..n)
+        .map(|i| {
+            ((i as i64).wrapping_mul(2654435761).wrapping_add(seed * 40503)) % 1_000_003 - 500_000
+        })
+        .collect()
 }
 
 /// Runs `f` on a fresh machine and returns the accumulated cost.
@@ -37,7 +41,10 @@ pub fn sweep(name: &str, sizes: &[u64], mut f: impl FnMut(&mut Machine, u64)) ->
 }
 
 /// Prints a sweep's raw rows and its paper-vs-measured verdict lines.
-pub fn print_sweep(s: &Sweep, claims: [(spatial_core::theory::Metric, spatial_core::theory::Shape); 3]) {
+pub fn print_sweep(
+    s: &Sweep,
+    claims: [(spatial_core::theory::Metric, spatial_core::theory::Shape); 3],
+) {
     for row in s.raw_rows() {
         println!("{row}");
     }

@@ -160,14 +160,13 @@ impl Group {
         // default against the shared workspace target dir, not a nested
         // `crates/bench/target/`.
         let dir = std::env::var("SPATIAL_BENCH_JSON").unwrap_or_else(|_| {
-            std::env::var("CARGO_TARGET_DIR")
-                .map(|t| format!("{t}/spatial-bench"))
-                .unwrap_or_else(|_| {
-                    concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/spatial-bench").to_string()
-                })
+            std::env::var("CARGO_TARGET_DIR").map(|t| format!("{t}/spatial-bench")).unwrap_or_else(
+                |_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/spatial-bench").to_string(),
+            )
         });
         let path = std::path::Path::new(&dir).join(format!("{}.json", self.name));
-        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, self.to_json()))
+        if let Err(e) =
+            std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, self.to_json()))
         {
             eprintln!("warning: could not write {}: {e}", path.display());
         } else {

@@ -6,9 +6,19 @@
 //! `O(w + h)` distance — a `Θ(log n)` energy improvement over binary-tree
 //! broadcasts in the logarithmic-depth regime.
 
-use spatial_model::{Coord, Machine, SubGrid, Tracked};
+use spatial_model::{Coord, Machine, SpatialError, SubGrid, Tracked};
 
 use crate::check_grid_len;
+
+/// Fallible [`broadcast`]: runs under the machine's active guard/fault layer
+/// and surfaces any violation as a typed [`SpatialError`].
+pub fn try_broadcast<T: Clone>(
+    machine: &mut Machine,
+    root: Tracked<T>,
+    grid: SubGrid,
+) -> Result<Vec<Tracked<T>>, SpatialError> {
+    machine.guarded(|m| broadcast(m, root, grid))
+}
 
 /// Broadcasts `root` (resident at `grid.origin`) to every PE of `grid`.
 ///
@@ -28,7 +38,11 @@ use crate::check_grid_len;
 ///
 /// # Panics
 /// Panics if `root` is not located at the grid origin.
-pub fn broadcast<T: Clone>(machine: &mut Machine, root: Tracked<T>, grid: SubGrid) -> Vec<Tracked<T>> {
+pub fn broadcast<T: Clone>(
+    machine: &mut Machine,
+    root: Tracked<T>,
+    grid: SubGrid,
+) -> Vec<Tracked<T>> {
     assert_eq!(root.loc(), grid.origin, "broadcast root must sit at the subgrid origin");
     let mut out: Vec<Option<Tracked<T>>> = (0..grid.len()).map(|_| None).collect();
     bcast_general(machine, root, grid, grid, &mut out);
@@ -42,7 +56,12 @@ pub fn broadcast<T: Clone>(machine: &mut Machine, root: Tracked<T>, grid: SubGri
 /// The paper's binary offset tree: the root has one child directly next to it
 /// and one child at offset `⌈len/2⌉`; both children recursively cover their
 /// halves. Energy `O(len log len)`, depth `O(log len)`, distance `O(len)`.
-pub fn broadcast_1d<T: Clone>(machine: &mut Machine, root: Tracked<T>, len: u64, vertical: bool) -> Vec<Tracked<T>> {
+pub fn broadcast_1d<T: Clone>(
+    machine: &mut Machine,
+    root: Tracked<T>,
+    len: u64,
+    vertical: bool,
+) -> Vec<Tracked<T>> {
     let origin = root.loc();
     let mut out: Vec<Option<Tracked<T>>> = (0..len).map(|_| None).collect();
     let place = |i: u64| -> Coord {
@@ -84,7 +103,11 @@ fn bcast_1d_rec<T: Clone>(
 /// 2D broadcast on a (near-)square subgrid by quadrant recursion: the root
 /// sends the value to the top-left corners of the other three quadrants, then
 /// all four quadrants recurse. Energy `O(w²)`, depth `O(log w)`, distance `O(w)`.
-pub fn broadcast_2d<T: Clone>(machine: &mut Machine, root: Tracked<T>, grid: SubGrid) -> Vec<Tracked<T>> {
+pub fn broadcast_2d<T: Clone>(
+    machine: &mut Machine,
+    root: Tracked<T>,
+    grid: SubGrid,
+) -> Vec<Tracked<T>> {
     assert_eq!(root.loc(), grid.origin);
     let mut out: Vec<Option<Tracked<T>>> = (0..grid.len()).map(|_| None).collect();
     bcast_2d_rec(machine, root, grid, grid, &mut out);
@@ -115,10 +138,15 @@ fn bcast_2d_rec<T: Clone>(
     if grid.h > rh {
         parts.push(SubGrid::new(grid.origin.offset(rh as i64, 0), grid.h - rh, rw));
         if grid.w > rw {
-            parts.push(SubGrid::new(grid.origin.offset(rh as i64, rw as i64), grid.h - rh, grid.w - rw));
+            parts.push(SubGrid::new(
+                grid.origin.offset(rh as i64, rw as i64),
+                grid.h - rh,
+                grid.w - rw,
+            ));
         }
     }
-    let copies: Vec<Tracked<T>> = parts[1..].iter().map(|p| machine.send(&root, p.origin)).collect();
+    let copies: Vec<Tracked<T>> =
+        parts[1..].iter().map(|p| machine.send(&root, p.origin)).collect();
     bcast_2d_rec(machine, root, parts[0], full, out);
     for (p, c) in parts[1..].iter().zip(copies) {
         bcast_2d_rec(machine, c, *p, full, out);
@@ -206,7 +234,19 @@ mod tests {
 
     #[test]
     fn every_pe_receives_the_value() {
-        for &(h, w) in &[(1, 1), (4, 4), (8, 8), (16, 4), (4, 16), (7, 3), (3, 7), (9, 9), (32, 1), (1, 32), (12, 5)] {
+        for &(h, w) in &[
+            (1, 1),
+            (4, 4),
+            (8, 8),
+            (16, 4),
+            (4, 16),
+            (7, 3),
+            (3, 7),
+            (9, 9),
+            (32, 1),
+            (1, 32),
+            (12, 5),
+        ] {
             let (_, vals) = run_broadcast(h, w);
             assert_eq!(vals.len() as u64, h * w);
             let g = SubGrid::new(Coord::ORIGIN, h, w);

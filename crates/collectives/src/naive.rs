@@ -20,7 +20,11 @@ use crate::check_grid_len;
 /// costs `Θ(min(s, √n)·n/s)` — `Θ(n)` per level for the `log √n` in-row
 /// levels — giving `Θ(n log n)` energy at `O(log n)` depth. This is the
 /// baseline the paper's §IV improves by a `Θ(log n)` factor.
-pub fn naive_broadcast<T: Clone>(machine: &mut Machine, root: Tracked<T>, grid: SubGrid) -> Vec<Tracked<T>> {
+pub fn naive_broadcast<T: Clone>(
+    machine: &mut Machine,
+    root: Tracked<T>,
+    grid: SubGrid,
+) -> Vec<Tracked<T>> {
     assert_eq!(root.loc(), grid.origin);
     let n = grid.len();
     assert!(n.is_power_of_two(), "naive broadcast requires a power-of-two grid");

@@ -33,7 +33,8 @@ pub fn reduce<T: Clone>(
 ) -> Tracked<T> {
     check_grid_len(&items, &grid);
     let mut slots: Vec<Option<Tracked<T>>> = items.into_iter().map(Some).collect();
-    reduce_general(machine, grid, grid, &mut slots, op).expect("non-empty grid always yields a result")
+    reduce_general(machine, grid, grid, &mut slots, op)
+        .expect("non-empty grid always yields a result")
 }
 
 /// Quadrant-tree reduce on a (near-)square subgrid.
@@ -45,7 +46,8 @@ pub fn reduce_2d<T: Clone>(
 ) -> Tracked<T> {
     check_grid_len(&items, &grid);
     let mut slots: Vec<Option<Tracked<T>>> = items.into_iter().map(Some).collect();
-    reduce_2d_rec(machine, grid, grid, &mut slots, op).expect("non-empty grid always yields a result")
+    reduce_2d_rec(machine, grid, grid, &mut slots, op)
+        .expect("non-empty grid always yields a result")
 }
 
 /// Reduce followed by broadcast: every PE ends up with the total.
@@ -59,7 +61,11 @@ pub fn all_reduce<T: Clone>(
     broadcast(machine, total, grid)
 }
 
-fn take_at<T>(slots: &mut [Option<Tracked<T>>], full: &SubGrid, loc: spatial_model::Coord) -> Option<Tracked<T>> {
+fn take_at<T>(
+    slots: &mut [Option<Tracked<T>>],
+    full: &SubGrid,
+    loc: spatial_model::Coord,
+) -> Option<Tracked<T>> {
     slots[full.rm_index(loc) as usize].take()
 }
 
@@ -93,7 +99,11 @@ fn reduce_2d_rec<T: Clone>(
     if grid.h > rh {
         parts.push(SubGrid::new(grid.origin.offset(rh as i64, 0), grid.h - rh, rw));
         if grid.w > rw {
-            parts.push(SubGrid::new(grid.origin.offset(rh as i64, rw as i64), grid.h - rh, grid.w - rw));
+            parts.push(SubGrid::new(
+                grid.origin.offset(rh as i64, rw as i64),
+                grid.h - rh,
+                grid.w - rw,
+            ));
         }
     }
     let mut acc: Option<Tracked<T>> = None;
@@ -146,7 +156,14 @@ fn reduce_general<T: Clone>(
             let mut line: Vec<Option<Tracked<T>>> = (0..grid.h)
                 .map(|i| take_at(slots, &full, grid.origin.offset(i as i64, 0)))
                 .collect();
-            return reduce_1d_rec(machine, 0, grid.h, &|i| grid.origin.offset(i as i64, 0), &mut line, op);
+            return reduce_1d_rec(
+                machine,
+                0,
+                grid.h,
+                &|i| grid.origin.offset(i as i64, 0),
+                &mut line,
+                op,
+            );
         }
         // Reduce each w-stripe block onto its corner, then combine the
         // corners up the first column with the reverse offset tree.
@@ -200,7 +217,9 @@ mod tests {
 
     #[test]
     fn reduce_computes_the_sum_on_many_shapes() {
-        for &(h, w) in &[(1, 1), (2, 2), (4, 4), (8, 8), (16, 4), (4, 16), (7, 3), (5, 11), (32, 1), (1, 32)] {
+        for &(h, w) in
+            &[(1, 1), (2, 2), (4, 4), (8, 8), (16, 4), (4, 16), (7, 3), (5, 11), (32, 1), (1, 32)]
+        {
             let n = (h * w) as i64;
             let (_, sum) = run_reduce(h, w);
             assert_eq!(sum, n * (n - 1) / 2, "({h},{w})");

@@ -29,7 +29,11 @@ pub fn route_to_z<T>(machine: &mut Machine, items: Vec<Tracked<T>>, lo: u64) -> 
 }
 
 /// Moves element `i` to row-major position `i` of `grid`.
-pub fn route_to_row_major<T>(machine: &mut Machine, items: Vec<Tracked<T>>, grid: SubGrid) -> Vec<Tracked<T>> {
+pub fn route_to_row_major<T>(
+    machine: &mut Machine,
+    items: Vec<Tracked<T>>,
+    grid: SubGrid,
+) -> Vec<Tracked<T>> {
     assert!(items.len() as u64 <= grid.len(), "grid too small for the array");
     route(machine, items, |i, _| grid.rm_coord(i as u64))
 }
@@ -38,7 +42,12 @@ pub fn route_to_row_major<T>(machine: &mut Machine, items: Vec<Tracked<T>>, grid
 ///
 /// Used for the Lemma V.1 permutation lower-bound experiments and the final
 /// Z-order → row-major rearrangement of the 2D mergesort.
-pub fn permute_z<T>(machine: &mut Machine, items: Vec<Tracked<T>>, lo: u64, perm: &[u64]) -> Vec<Tracked<T>> {
+pub fn permute_z<T>(
+    machine: &mut Machine,
+    items: Vec<Tracked<T>>,
+    lo: u64,
+    perm: &[u64],
+) -> Vec<Tracked<T>> {
     assert_eq!(items.len(), perm.len());
     route(machine, items, |i, _| zorder::coord_of(lo + perm[i]))
 }
@@ -47,7 +56,11 @@ pub fn permute_z<T>(machine: &mut Machine, items: Vec<Tracked<T>>, lo: u64, perm
 /// row-major order on the same square subgrid (`n` a power of four, `lo`
 /// aligned). Element `i` of the logical array keeps its logical index; only
 /// its physical cell changes.
-pub fn z_to_row_major<T>(machine: &mut Machine, items: Vec<Tracked<T>>, lo: u64) -> Vec<Tracked<T>> {
+pub fn z_to_row_major<T>(
+    machine: &mut Machine,
+    items: Vec<Tracked<T>>,
+    lo: u64,
+) -> Vec<Tracked<T>> {
     let n = items.len() as u64;
     assert!(zorder::is_power_of_four(n), "layout conversion needs a full square");
     assert_eq!(lo % n, 0, "segment must be square-aligned");
@@ -58,7 +71,11 @@ pub fn z_to_row_major<T>(machine: &mut Machine, items: Vec<Tracked<T>>, lo: u64)
 }
 
 /// Inverse of [`z_to_row_major`].
-pub fn row_major_to_z<T>(machine: &mut Machine, items: Vec<Tracked<T>>, lo: u64) -> Vec<Tracked<T>> {
+pub fn row_major_to_z<T>(
+    machine: &mut Machine,
+    items: Vec<Tracked<T>>,
+    lo: u64,
+) -> Vec<Tracked<T>> {
     let n = items.len() as u64;
     assert!(zorder::is_power_of_four(n));
     assert_eq!(lo % n, 0);

@@ -10,7 +10,7 @@
 //! The operator only needs to be associative; the inclusive scan never
 //! requires an identity element (the carried prefix is `Option`al).
 
-use spatial_model::{zorder, Machine, Tracked};
+use spatial_model::{zorder, Machine, SpatialError, Tracked};
 
 /// A node of the 4-ary summation tree built by the up-sweep.
 struct SumNode<T> {
@@ -158,6 +158,28 @@ pub fn scan_any<T: Clone>(
     out
 }
 
+/// Fallible [`scan`]: runs under the machine's active guard/fault layer and
+/// surfaces any violation (dead PE, memory cap, budget, bounds) as a typed
+/// [`SpatialError`] instead of relying on the machine's latched state.
+pub fn try_scan<T: Clone>(
+    machine: &mut Machine,
+    lo: u64,
+    items: Vec<Tracked<T>>,
+    op: &impl Fn(&T, &T) -> T,
+) -> Result<Vec<Tracked<T>>, SpatialError> {
+    machine.guarded(|m| scan(m, lo, items, op))
+}
+
+/// Fallible [`scan_any`] (see [`try_scan`]).
+pub fn try_scan_any<T: Clone>(
+    machine: &mut Machine,
+    lo: u64,
+    items: Vec<Tracked<T>>,
+    op: &impl Fn(&T, &T) -> T,
+) -> Result<Vec<Tracked<T>>, SpatialError> {
+    machine.guarded(|m| scan_any(m, lo, items, op))
+}
+
 /// Height of the subtree covering `len` leaves (`len = 4^h`).
 fn height(len: u64) -> u64 {
     (len.trailing_zeros() / 2) as u64
@@ -194,7 +216,12 @@ fn up_sweep<T: Clone>(
         let arrived = machine.send(&c.sum, cell);
         acc = Some(match acc {
             None => arrived,
-            Some(a) => a.zip_with(&arrived, |x, y| op(x, y)),
+            Some(a) => {
+                let next = a.zip_with(&arrived, |x, y| op(x, y));
+                machine.discard(a);
+                machine.discard(arrived);
+                next
+            }
         });
     }
     SumNode { sum: acc.expect("four children"), children: Some(Box::new(children)) }
@@ -383,12 +410,7 @@ mod tests {
         // Lemma IV.3: O(n) energy.
         for &n in &[64usize, 256, 1024, 4096] {
             let (m, _) = run_scan((0..n as i64).collect());
-            assert!(
-                m.energy() <= 12 * n as u64,
-                "n = {n}: energy {} > {}",
-                m.energy(),
-                12 * n
-            );
+            assert!(m.energy() <= 12 * n as u64, "n = {n}: energy {} > {}", m.energy(), 12 * n);
         }
     }
 
@@ -420,7 +442,12 @@ mod tests {
         let items = place_z(&mut m, 64, (1..=16i64).collect());
         let out = scan(&mut m, 64, items, &|a, b| a + b);
         let got = read_values(out);
-        let expect: Vec<i64> = (1..=16i64).scan(0, |s, x| { *s += x; Some(*s) }).collect();
+        let expect: Vec<i64> = (1..=16i64)
+            .scan(0, |s, x| {
+                *s += x;
+                Some(*s)
+            })
+            .collect();
         assert_eq!(got, expect);
     }
 
@@ -455,12 +482,12 @@ mod tests {
     #[test]
     fn scan_memory_stays_constant_per_pe() {
         // Paper: "each processor stores at most 2 values of the summation
-        // tree" — allow a small constant for carries in flight.
+        // tree" — plus one carry in flight. Must not grow with n.
         let mut m = Machine::new();
         m.enable_memory_meter();
         let items = place_z(&mut m, 0, (0..256i64).collect());
         let out = scan(&mut m, 0, items, &|a, b| a + b);
-        assert!(m.memory().unwrap().peak() <= 6, "peak {}", m.memory().unwrap().peak());
+        assert!(m.memory().unwrap().peak() <= 3, "peak {}", m.memory().unwrap().peak());
         for o in out {
             m.discard(o);
         }
@@ -516,10 +543,12 @@ mod tests {
     #[test]
     fn scan_any_with_non_commutative_operator() {
         let n = 21usize;
-        let letters: Vec<String> = (0..n).map(|i| ((b'a' + (i % 26) as u8) as char).to_string()).collect();
+        let letters: Vec<String> =
+            (0..n).map(|i| ((b'a' + (i % 26) as u8) as char).to_string()).collect();
         let mut m = Machine::new();
         let items = place_z(&mut m, 0, letters.clone());
-        let got = read_values(scan_any(&mut m, 0, items, &|a: &String, b: &String| format!("{a}{b}")));
+        let got =
+            read_values(scan_any(&mut m, 0, items, &|a: &String, b: &String| format!("{a}{b}")));
         assert_eq!(got[n - 1], letters.concat());
         assert_eq!(got[2], letters[..3].concat());
     }

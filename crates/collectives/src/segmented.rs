@@ -27,7 +27,9 @@ impl<T> SegItem<T> {
 }
 
 /// The segmented-operator construction: associative whenever `op` is.
-pub fn segmented_op<T: Clone>(op: &impl Fn(&T, &T) -> T) -> impl Fn(&SegItem<T>, &SegItem<T>) -> SegItem<T> + '_ {
+pub fn segmented_op<T: Clone>(
+    op: &impl Fn(&T, &T) -> T,
+) -> impl Fn(&SegItem<T>, &SegItem<T>) -> SegItem<T> + '_ {
     move |a, b| {
         if b.head {
             b.clone()
@@ -68,10 +70,7 @@ mod tests {
     use crate::zarray::{place_z, read_values};
 
     fn seg_input(vals: &[i64], heads: &[usize]) -> Vec<SegItem<i64>> {
-        vals.iter()
-            .enumerate()
-            .map(|(i, &v)| SegItem::new(heads.contains(&i), v))
-            .collect()
+        vals.iter().enumerate().map(|(i, &v)| SegItem::new(heads.contains(&i), v)).collect()
     }
 
     fn reference_segmented_sum(vals: &[i64], heads: &[usize]) -> Vec<i64> {

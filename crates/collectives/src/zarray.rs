@@ -18,11 +18,7 @@ pub fn place_z<T>(machine: &mut Machine, lo: u64, values: Vec<T>) -> Vec<Tracked
 /// Places `values[i]` at row-major index `i` of `grid`.
 pub fn place_row_major<T>(machine: &mut Machine, grid: SubGrid, values: Vec<T>) -> Vec<Tracked<T>> {
     assert_eq!(values.len() as u64, grid.len());
-    values
-        .into_iter()
-        .enumerate()
-        .map(|(i, v)| machine.place(grid.rm_coord(i as u64), v))
-        .collect()
+    values.into_iter().enumerate().map(|(i, v)| machine.place(grid.rm_coord(i as u64), v)).collect()
 }
 
 /// Extracts the plain values (consuming the tracked wrappers).

@@ -14,7 +14,12 @@ use spatial_model::{zorder, Machine, Tracked};
 /// Returns one value per cell, indexed by Z-offset (`out[i]` lives at
 /// Z-index `lo + i`). The root may start anywhere; it is first moved to
 /// `coord_of(lo)`.
-pub fn broadcast_z<T: Clone>(machine: &mut Machine, root: Tracked<T>, lo: u64, hi: u64) -> Vec<Tracked<T>> {
+pub fn broadcast_z<T: Clone>(
+    machine: &mut Machine,
+    root: Tracked<T>,
+    lo: u64,
+    hi: u64,
+) -> Vec<Tracked<T>> {
     assert!(lo < hi, "empty Z range");
     let mut out: Vec<Option<Tracked<T>>> = (0..(hi - lo)).map(|_| None).collect();
     let mut carrier = machine.move_to(root, zorder::coord_of(lo));
@@ -48,9 +53,8 @@ fn bcast_block<T: Clone>(
         return;
     }
     let q = len / 4;
-    let copies: Vec<Tracked<T>> = (1..4)
-        .map(|i| machine.send(&root, zorder::coord_of(start + i * q)))
-        .collect();
+    let copies: Vec<Tracked<T>> =
+        (1..4).map(|i| machine.send(&root, zorder::coord_of(start + i * q))).collect();
     bcast_block(machine, root, start, q, base, out);
     for (i, c) in copies.into_iter().enumerate() {
         bcast_block(machine, c, start + (i as u64 + 1) * q, q, base, out);
@@ -156,7 +160,11 @@ mod tests {
             let items = place_z(&mut m, lo, vals);
             let total = reduce_z(&mut m, items, lo, &|a, b| a + b);
             assert_eq!(total.loc(), zorder::coord_of(lo));
-            assert_eq!(total.into_value(), (len as i64) * (len as i64 - 1) / 2, "lo={lo} len={len}");
+            assert_eq!(
+                total.into_value(),
+                (len as i64) * (len as i64 - 1) / 2,
+                "lo={lo} len={len}"
+            );
         }
     }
 

@@ -32,8 +32,7 @@ fn scan_with_max_operator() {
     check("scan_with_max_operator", |g: &mut Gen| {
         let len = g.pow4_len(1..=4);
         let vals_seed = g.int(0i64..1000);
-        let vals: Vec<i64> =
-            (0..len as i64).map(|i| ((i * 67 + vals_seed) % 1009) - 500).collect();
+        let vals: Vec<i64> = (0..len as i64).map(|i| ((i * 67 + vals_seed) % 1009) - 500).collect();
         let mut expect = vals.clone();
         for i in 1..len {
             expect[i] = expect[i].max(expect[i - 1]);

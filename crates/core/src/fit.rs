@@ -46,10 +46,7 @@ pub fn fit_power(xs: &[f64], ys: &[f64]) -> PowerFit {
 
 /// The ratios `y / log₂(x)^k` — bounded iff `y ∈ O(log^k x)`.
 pub fn polylog_ratios(xs: &[f64], ys: &[f64], k: u32) -> Vec<f64> {
-    xs.iter()
-        .zip(ys)
-        .map(|(&x, &y)| y / x.log2().powi(k as i32))
-        .collect()
+    xs.iter().zip(ys).map(|(&x, &y)| y / x.log2().powi(k as i32)).collect()
 }
 
 /// Whether the tail of a ratio sequence is non-increasing up to `slack`

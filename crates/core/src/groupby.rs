@@ -109,13 +109,16 @@ where
         seg.push(machine.place(zorder::coord_of(lo + i), SegItem::new(true, None)));
     }
     // Scan over Option<(A, u64)> so the padding has an identity-free slot.
-    let scanned = segmented_scan(machine, lo, seg, &|x: &Option<(A, u64)>, y: &Option<(A, u64)>| {
-        match (x, y) {
+    let scanned = segmented_scan(
+        machine,
+        lo,
+        seg,
+        &|x: &Option<(A, u64)>, y: &Option<(A, u64)>| match (x, y) {
             (Some((ax, cx)), Some((ay, cy))) => Some((op(ax, ay), cx + cy)),
             (Some(v), None) | (None, Some(v)) => Some(v.clone()),
             (None, None) => None,
-        }
-    });
+        },
+    );
 
     // The last element of each run holds the group result.
     let mut out = Vec::new();
@@ -145,10 +148,7 @@ pub fn group_counts<K: Ord + Clone>(
     items: Vec<Tracked<K>>,
 ) -> Vec<(K, u64)> {
     let pairs: Vec<Tracked<(K, ())>> = items.into_iter().map(|t| t.map(|k| (k, ()))).collect();
-    group_by(machine, lo, pairs, |_| (), |_, _| ())
-        .into_iter()
-        .map(|g| (g.key, g.count))
-        .collect()
+    group_by(machine, lo, pairs, |_| (), |_, _| ()).into_iter().map(|g| (g.key, g.count)).collect()
 }
 
 #[cfg(test)]
@@ -162,7 +162,8 @@ mod tests {
         let data: Vec<(u32, i64)> = vec![(2, 10), (1, 1), (2, 20), (3, 7), (1, 2), (2, 30)];
         let items = place_z(&mut m, 0, data);
         let groups = group_by(&mut m, 0, items, |v| *v, |a, b| a + b);
-        let simple: Vec<(u32, i64, u64)> = groups.into_iter().map(|g| (g.key, g.aggregate, g.count)).collect();
+        let simple: Vec<(u32, i64, u64)> =
+            groups.into_iter().map(|g| (g.key, g.aggregate, g.count)).collect();
         assert_eq!(simple, vec![(1, 3, 2), (2, 60, 3), (3, 7, 1)]);
     }
 

@@ -19,6 +19,8 @@
 //!   section lemmas;
 //! * [`check`] — the in-tree property-testing harness (seeded cases,
 //!   reproducible failures, `Vec` shrinking) every crate's tests run on;
+//! * [`recovery`] — checksum-verified re-execution under injected hardware
+//!   faults (see [`model::FaultPlan`] and [`model::ModelGuard`]);
 //! * [`fit`] — log-log regression for empirical exponent estimation;
 //! * [`report`] — the paper-vs-measured tables printed by the benchmark
 //!   harness.
@@ -41,14 +43,15 @@
 pub use collectives;
 pub use pram;
 pub use selection;
-pub use sortnet;
 pub use sorting;
+pub use sortnet;
 pub use spatial_model as model;
 pub use spmv;
 
 pub mod check;
 pub mod fit;
 pub mod groupby;
+pub mod recovery;
 pub mod report;
 pub mod theory;
 pub mod topk;

@@ -1,0 +1,255 @@
+//! Checksum-verified re-execution under hardware faults.
+//!
+//! [`run_with_recovery`] is the harness that makes the fault-injection layer
+//! ([`spatial_model::FaultPlan`]) usable end to end: it executes an
+//! algorithm on a fault-enabled [`Machine`], detects a failed or corrupted
+//! run, and deterministically re-executes with a salted attempt seed up to a
+//! retry cap — accumulating cost across attempts so fault tolerance is
+//! *priced*, not assumed free.
+//!
+//! An attempt counts as failed when any of:
+//!
+//! * the run returned a typed [`SpatialError`] (e.g. a `try_` entry point
+//!   hit a dead PE or tripped a guard);
+//! * the machine latched a violation the infallible API absorbed;
+//! * the machine recorded fault hits ([`Machine::fault_hits`]) — the
+//!   simulator cannot flip bits inside arbitrary payloads, so a transient
+//!   message corruption is surfaced as a hit and treated exactly like an
+//!   end-to-end checksum mismatch on real hardware;
+//! * the caller's `verify` closure (the end-to-end checksum) rejected the
+//!   output.
+//!
+//! Retries run the *same* permanent defect pattern (re-executing does not
+//! repair the wafer) with the transient-corruption stream re-salted by the
+//! attempt index ([`FaultPlan::for_attempt`]), so the whole harness is a
+//! pure function of `(plan seed, retry cap, input)` — bit-deterministic,
+//! like everything else in the simulator.
+//!
+//! ## Cost accounting across attempts
+//!
+//! Energy and message counts add up over attempts (every re-execution sends
+//! real traffic). Depth and distance also *add* rather than max: a retry
+//! can only start after the previous attempt's checksum failed, so attempts
+//! compose sequentially along the critical path.
+
+use spatial_model::{Cost, FaultPlan, Machine, SpatialError};
+
+/// A successful [`run_with_recovery`] outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Recovered<T> {
+    /// The verified output of the final (successful) attempt.
+    pub value: T,
+    /// Number of attempts executed (1 = no retry was needed).
+    pub attempts: u32,
+    /// Total cost across all attempts (see the module docs for the
+    /// accumulation rules).
+    pub cost: Cost,
+    /// Per-attempt cost snapshots, in execution order.
+    pub attempt_costs: Vec<Cost>,
+    /// Fault-tolerance energy overhead of the final attempt: extra distance
+    /// charged for dead-row detours and degraded links.
+    pub detour_energy: u64,
+}
+
+/// All attempts failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryExhausted {
+    /// Number of attempts executed (retry cap + 1).
+    pub attempts: u32,
+    /// Total cost sunk across the failed attempts.
+    pub cost: Cost,
+    /// The typed error of the last attempt, if it failed with one (`None`
+    /// when the last attempt merely failed its checksum).
+    pub last_error: Option<SpatialError>,
+}
+
+impl std::fmt::Display for RecoveryExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "recovery exhausted after {} attempts", self.attempts)?;
+        match &self.last_error {
+            Some(e) => write!(f, " (last error: {e})"),
+            None => write!(f, " (last attempt failed its end-to-end checksum)"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryExhausted {}
+
+/// Process exit code for an exhausted recovery (the per-violation codes
+/// 4–7 belong to [`SpatialError::exit_code`]).
+pub const EXIT_RECOVERY_EXHAUSTED: i32 = 8;
+
+/// Runs `run` on a fresh fault-enabled [`Machine`] until an attempt passes
+/// the end-to-end `verify` checksum, retrying with salted attempt seeds up
+/// to `retry_cap` extra times (so at most `retry_cap + 1` attempts).
+///
+/// `run` receives the machine (faults already enabled; enable a guard
+/// inside if wanted) and the attempt index, which randomized algorithms
+/// should fold into their seed so a retry explores a different execution.
+///
+/// ```
+/// use spatial_core::model::{Coord, FaultPlan, Machine};
+/// use spatial_core::recovery::run_with_recovery;
+///
+/// let plan = FaultPlan::builder(7).dead_row(1).flaky(0.2).build();
+/// let out = run_with_recovery(&plan, 16, |m, _attempt| {
+///     let a = m.try_place(Coord::new(0, 0), 21i64)?;
+///     let b = m.try_send(&a, Coord::new(3, 0))?;
+///     Ok(*b.value() * 2)
+/// }, |v| *v == 42)
+/// .expect("recoverable");
+/// assert_eq!(out.value, 42);
+/// assert!(out.attempts >= 1);
+/// ```
+pub fn run_with_recovery<T>(
+    plan: &FaultPlan,
+    retry_cap: u32,
+    mut run: impl FnMut(&mut Machine, u32) -> Result<T, SpatialError>,
+    mut verify: impl FnMut(&T) -> bool,
+) -> Result<Recovered<T>, RecoveryExhausted> {
+    let mut total = Cost::default();
+    let mut attempt_costs = Vec::new();
+    let mut last_error = None;
+    for attempt in 0..=retry_cap {
+        let mut machine = Machine::new();
+        machine.enable_faults(plan.for_attempt(attempt));
+        let result = run(&mut machine, attempt);
+        let cost = machine.report();
+        attempt_costs.push(cost);
+        total = accumulate(total, cost);
+        let clean = machine.fault_hits() == 0 && machine.violation().is_none();
+        match result {
+            Ok(value) if clean && verify(&value) => {
+                return Ok(Recovered {
+                    value,
+                    attempts: attempt + 1,
+                    cost: total,
+                    attempt_costs,
+                    detour_energy: machine.detour_energy(),
+                });
+            }
+            Ok(_) => {
+                last_error = machine.take_violation();
+            }
+            Err(e) => {
+                last_error = Some(e);
+            }
+        }
+    }
+    Err(RecoveryExhausted { attempts: retry_cap + 1, cost: total, last_error })
+}
+
+/// Sequential composition of attempt costs (see the module docs).
+fn accumulate(total: Cost, attempt: Cost) -> Cost {
+    Cost {
+        energy: total.energy.saturating_add(attempt.energy),
+        depth: total.depth.saturating_add(attempt.depth),
+        distance: total.distance.saturating_add(attempt.distance),
+        messages: total.messages.saturating_add(attempt.messages),
+    }
+}
+
+/// FNV-1a checksum of a `u64` stream — the reference end-to-end checksum
+/// for recovery verification (cheap, deterministic, order-sensitive).
+pub fn checksum(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// [`checksum`] over a slice of `i64` values (the common output shape).
+pub fn checksum_i64(values: &[i64]) -> u64 {
+    checksum(values.iter().map(|&v| v as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spatial_model::{Coord, ModelGuard};
+
+    fn ping_pong(m: &mut Machine, hops: i64) -> Result<i64, SpatialError> {
+        let mut v = m.try_place(Coord::ORIGIN, 1i64)?;
+        for i in 1..=hops {
+            v = m.try_send_owned(v, Coord::new(i % 4, (i + 1) % 4))?;
+        }
+        Ok(*v.value())
+    }
+
+    #[test]
+    fn clean_plan_succeeds_first_try() {
+        let plan = FaultPlan::builder(1).build();
+        let out = run_with_recovery(&plan, 3, |m, _| ping_pong(m, 10), |&v| v == 1).unwrap();
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.detour_energy, 0);
+        assert_eq!(out.attempt_costs.len(), 1);
+        assert_eq!(out.cost, out.attempt_costs[0]);
+    }
+
+    #[test]
+    fn flaky_plan_retries_and_recovers_deterministically() {
+        // 30% per-message corruption over 10 messages: a clean attempt has
+        // probability ~0.03, so retries are essentially guaranteed.
+        let plan = FaultPlan::builder(5).flaky(0.3).build();
+        let go = || run_with_recovery(&plan, 200, |m, _| ping_pong(m, 10), |&v| v == 1);
+        let a = go().expect("should recover within 200 retries");
+        let b = go().expect("deterministic");
+        assert!(a.attempts > 1, "expected at least one retry, got {}", a.attempts);
+        assert_eq!(a, b, "recovery is bit-deterministic per seed");
+        assert_eq!(a.attempt_costs.len() as u32, a.attempts);
+        let energy_sum: u64 = a.attempt_costs.iter().map(|c| c.energy).sum();
+        assert_eq!(a.cost.energy, energy_sum, "retry cost is accumulated, not hidden");
+    }
+
+    #[test]
+    fn exhaustion_reports_sunk_cost() {
+        let plan = FaultPlan::builder(2).flaky(1.0).build();
+        let err = run_with_recovery(&plan, 4, |m, _| ping_pong(m, 3), |&v| v == 1).unwrap_err();
+        assert_eq!(err.attempts, 5);
+        assert!(err.cost.messages >= 5 * 3);
+        assert!(err.last_error.is_none(), "checksum failure, not a typed error");
+    }
+
+    #[test]
+    fn typed_errors_propagate_as_last_error() {
+        let plan = FaultPlan::builder(3).dead_pe(Coord::new(1, 2)).build();
+        let err = run_with_recovery(
+            &plan,
+            2,
+            |m, _| {
+                let v = m.try_place(Coord::ORIGIN, 1i64)?;
+                m.try_send(&v, Coord::new(1, 2)).map(|t| *t.value())
+            },
+            |_| true,
+        )
+        .unwrap_err();
+        assert!(matches!(err.last_error, Some(SpatialError::DeadPe { .. })));
+    }
+
+    #[test]
+    fn guard_violations_inside_run_fail_the_attempt() {
+        let plan = FaultPlan::builder(4).build();
+        let err = run_with_recovery(
+            &plan,
+            1,
+            |m, _| {
+                m.enable_guard(ModelGuard::new().max_energy(2));
+                ping_pong(m, 10)
+            },
+            |_| true,
+        )
+        .unwrap_err();
+        assert!(matches!(err.last_error, Some(SpatialError::BudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive_and_stable() {
+        assert_eq!(checksum_i64(&[1, 2, 3]), checksum_i64(&[1, 2, 3]));
+        assert_ne!(checksum_i64(&[1, 2, 3]), checksum_i64(&[3, 2, 1]));
+        assert_ne!(checksum_i64(&[]), checksum_i64(&[0]));
+    }
+}

@@ -70,7 +70,10 @@ impl Sweep {
     /// Fit over the larger-n half of the sweep (dodges small-n constants).
     pub fn tail_fit(&self, metric: Metric) -> PowerFit {
         let half = self.points.len() / 2;
-        let tail = Sweep { name: self.name.clone(), points: self.points[half.saturating_sub(1)..].to_vec() };
+        let tail = Sweep {
+            name: self.name.clone(),
+            points: self.points[half.saturating_sub(1)..].to_vec(),
+        };
         tail.fit(metric)
     }
 
@@ -93,7 +96,8 @@ impl Sweep {
     /// check): fitted exponent within `tol` of the claimed one.
     pub fn tight(&self, metric: Metric, claim: Shape, tol: f64) -> bool {
         claim.exponent > 0.0
-            && (self.tail_fit(metric).exponent - claim.exponent).abs() <= tol + claim.log_power as f64 * 0.15
+            && (self.tail_fit(metric).exponent - claim.exponent).abs()
+                <= tol + claim.log_power as f64 * 0.15
     }
 
     /// One formatted report line per metric, e.g. for table printing.
@@ -179,7 +183,12 @@ mod tests {
             let n = 1u64 << (2 * k);
             s.push(
                 n,
-                Cost { energy: f(n), depth: (n as f64).log2() as u64, distance: (n as f64).sqrt() as u64, messages: n },
+                Cost {
+                    energy: f(n),
+                    depth: (n as f64).log2() as u64,
+                    distance: (n as f64).sqrt() as u64,
+                    messages: n,
+                },
             );
         }
         s

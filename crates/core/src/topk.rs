@@ -124,7 +124,8 @@ pub fn bottom_k<T: Ord + Clone>(
         }
     }
     let wrapped: Vec<Tracked<Rev<T>>> = items.into_iter().map(|t| t.map(Rev)).collect();
-    let mut out: Vec<Tracked<T>> = top_k(machine, lo, wrapped, k, seed).into_iter().map(|t| t.map(|r| r.0)).collect();
+    let mut out: Vec<Tracked<T>> =
+        top_k(machine, lo, wrapped, k, seed).into_iter().map(|t| t.map(|r| r.0)).collect();
     out.reverse();
     out
 }

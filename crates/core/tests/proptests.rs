@@ -51,8 +51,7 @@ fn bottom_k_equals_sorted_head() {
 fn group_by_matches_host_grouping() {
     check("group_by_matches_host_grouping", |g: &mut Gen| {
         let n = g.size(1..100);
-        let pairs: Vec<(u32, i64)> =
-            g.vec(n, |g| (g.int(0u32..8), g.int(-100i64..=100)));
+        let pairs: Vec<(u32, i64)> = g.vec(n, |g| (g.int(0u32..8), g.int(-100i64..=100)));
         let mut expect: std::collections::BTreeMap<u32, (i64, u64)> = Default::default();
         for &(k, v) in &pairs {
             let e = expect.entry(k).or_insert((0, 0));

@@ -101,9 +101,8 @@ impl GraphConv {
 
         // Â·H in one multi-vector SpMV pass (citation [13]): the two sorts
         // and scans are shared across all d_in channels.
-        let xs: Vec<Vec<f64>> = (0..d_in)
-            .map(|c| h.rows.iter().map(|r| r.value()[c]).collect())
-            .collect();
+        let xs: Vec<Vec<f64>> =
+            (0..d_in).map(|c| h.rows.iter().map(|r| r.value()[c]).collect()).collect();
         let (ys, _) = spmv_multi(machine, adj, &xs);
         let mut agg: Vec<Vec<f64>> = vec![vec![0.0; d_in]; n];
         for c in 0..d_in {
@@ -349,7 +348,11 @@ mod tests {
         let h = input_features(n, 3);
         let net = SortPoolNet {
             layers: vec![
-                GraphConv::new(vec![vec![0.3, 0.7], vec![-0.2, 0.4], vec![0.5, -0.5]], vec![0.0, 0.0], true),
+                GraphConv::new(
+                    vec![vec![0.3, 0.7], vec![-0.2, 0.4], vec![0.5, -0.5]],
+                    vec![0.0, 0.0],
+                    true,
+                ),
                 GraphConv::new(vec![vec![1.0, 0.0], vec![0.0, 1.0]], vec![0.0, 0.5], false),
             ],
             pooling: SortPooling { k: 16, seed: 1 },
@@ -381,7 +384,10 @@ mod tests {
         let items = collectives::zarray::place_z(
             &mut m2,
             0,
-            rows.iter().enumerate().map(|(i, r)| Keyed::new(ordered::F64(r[0]), i as u64)).collect(),
+            rows.iter()
+                .enumerate()
+                .map(|(i, r)| Keyed::new(ordered::F64(r[0]), i as u64))
+                .collect(),
         );
         let _ = sort_z(&mut m2, 0, items);
         assert!(m1.energy() * 3 < m2.energy(), "pooling {} vs sort {}", m1.energy(), m2.energy());

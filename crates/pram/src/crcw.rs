@@ -27,7 +27,11 @@ use crate::{PramLayout, PramProgram, Word};
 
 /// Runs `prog` on the CRCW (arbitrary-write, lowest-pid-wins) simulator;
 /// returns the final shared memory.
-pub fn simulate_crcw<P: PramProgram>(machine: &mut Machine, prog: &P, layout: PramLayout) -> Vec<Word> {
+pub fn simulate_crcw<P: PramProgram>(
+    machine: &mut Machine,
+    prog: &P,
+    layout: PramLayout,
+) -> Vec<Word> {
     let p = prog.processors();
     let m = prog.memory_cells();
     let p_pad = zorder::next_power_of_four(p as u64);
@@ -39,11 +43,8 @@ pub fn simulate_crcw<P: PramProgram>(machine: &mut Machine, prog: &P, layout: Pr
 
     let init = prog.initial_memory();
     assert_eq!(init.len(), m, "initial memory must fill every cell");
-    let mut memory: Vec<Tracked<Word>> = init
-        .into_iter()
-        .enumerate()
-        .map(|(c, v)| machine.place(mem_loc(c), v))
-        .collect();
+    let mut memory: Vec<Tracked<Word>> =
+        init.into_iter().enumerate().map(|(c, v)| machine.place(mem_loc(c), v)).collect();
     let mut states: Vec<Tracked<P::State>> =
         (0..p).map(|pid| machine.place(proc_loc(pid), prog.init_state(pid))).collect();
 
@@ -103,10 +104,7 @@ pub fn simulate_crcw<P: PramProgram>(machine: &mut Machine, prog: &P, layout: Pr
             .iter()
             .enumerate()
             .map(|(j, tup)| match fetched[j].take() {
-                Some(v) => {
-                    
-                    v.map(|w| SegItem::new(true, w))
-                }
+                Some(v) => v.map(|w| SegItem::new(true, w)),
                 None => tup.with_value(SegItem::new(false, 0)),
             })
             .collect();

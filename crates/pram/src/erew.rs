@@ -29,7 +29,11 @@ use crate::{PramLayout, PramProgram, Word};
 /// assert_eq!(memory[0], 136); // the tree sum landed in cell 0
 /// ```
 #[allow(clippy::needless_range_loop)] // pid indexes several parallel arrays
-pub fn simulate_erew<P: PramProgram>(machine: &mut Machine, prog: &P, layout: PramLayout) -> Vec<Word> {
+pub fn simulate_erew<P: PramProgram>(
+    machine: &mut Machine,
+    prog: &P,
+    layout: PramLayout,
+) -> Vec<Word> {
     let p = prog.processors();
     let m = prog.memory_cells();
     let proc_loc = |pid: usize| -> Coord { zorder::coord_of(layout.proc_lo + pid as u64) };
@@ -37,12 +41,10 @@ pub fn simulate_erew<P: PramProgram>(machine: &mut Machine, prog: &P, layout: Pr
 
     let init = prog.initial_memory();
     assert_eq!(init.len(), m, "initial memory must fill every cell");
-    let mut memory: Vec<Tracked<Word>> = init
-        .into_iter()
-        .enumerate()
-        .map(|(c, v)| machine.place(mem_loc(c), v))
-        .collect();
-    let mut states: Vec<Tracked<P::State>> = (0..p).map(|pid| machine.place(proc_loc(pid), prog.init_state(pid))).collect();
+    let mut memory: Vec<Tracked<Word>> =
+        init.into_iter().enumerate().map(|(c, v)| machine.place(mem_loc(c), v)).collect();
+    let mut states: Vec<Tracked<P::State>> =
+        (0..p).map(|pid| machine.place(proc_loc(pid), prog.init_state(pid))).collect();
 
     for t in 0..prog.steps() {
         // Read phase.
@@ -112,7 +114,11 @@ mod tests {
         let vals: Vec<Word> = (1..=64).collect();
         let prog = TreeSum::new(vals.clone());
         let mut m = Machine::new();
-        let mem = simulate_erew(&mut m, &prog, PramLayout::adjacent(prog.processors(), prog.memory_cells()));
+        let mem = simulate_erew(
+            &mut m,
+            &prog,
+            PramLayout::adjacent(prog.processors(), prog.memory_cells()),
+        );
         assert_eq!(mem[0], vals.iter().sum::<Word>());
     }
 
@@ -121,7 +127,11 @@ mod tests {
         // Lemma VII.1: O(T_p) depth — each step adds O(1) to the chain.
         let prog = TreeSum::new((0..256).collect());
         let mut m = Machine::new();
-        let _ = simulate_erew(&mut m, &prog, PramLayout::adjacent(prog.processors(), prog.memory_cells()));
+        let _ = simulate_erew(
+            &mut m,
+            &prog,
+            PramLayout::adjacent(prog.processors(), prog.memory_cells()),
+        );
         let t = prog.steps() as u64;
         assert!(m.report().depth <= 4 * t + 4, "depth {} for {t} steps", m.report().depth);
     }
@@ -132,7 +142,11 @@ mod tests {
         let energy = |n: Word| {
             let prog = TreeSum::new((0..n).collect());
             let mut m = Machine::new();
-            let _ = simulate_erew(&mut m, &prog, PramLayout::adjacent(prog.processors(), prog.memory_cells()));
+            let _ = simulate_erew(
+                &mut m,
+                &prog,
+                PramLayout::adjacent(prog.processors(), prog.memory_cells()),
+            );
             (m.energy() as f64, prog.steps() as f64, prog.processors() as f64)
         };
         let (e, t, p) = energy(1024);
@@ -184,7 +198,11 @@ mod tests {
     fn copy_tree_broadcasts_without_concurrent_reads() {
         let prog = CopyTree::new(42, 32);
         let mut m = Machine::new();
-        let mem = simulate_erew(&mut m, &prog, PramLayout::adjacent(prog.processors(), prog.memory_cells()));
+        let mem = simulate_erew(
+            &mut m,
+            &prog,
+            PramLayout::adjacent(prog.processors(), prog.memory_cells()),
+        );
         assert!(mem.iter().all(|&v| v == 42), "{mem:?}");
     }
 
@@ -207,7 +225,13 @@ mod tests {
         fn read_addr(&self, _: usize, _: usize, _: &()) -> Option<usize> {
             Some(0) // both processors read cell 0
         }
-        fn execute(&self, _: usize, _: usize, _: &mut (), _: Option<Word>) -> Option<(usize, Word)> {
+        fn execute(
+            &self,
+            _: usize,
+            _: usize,
+            _: &mut (),
+            _: Option<Word>,
+        ) -> Option<(usize, Word)> {
             None
         }
     }

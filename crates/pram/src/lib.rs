@@ -47,8 +47,13 @@ pub trait PramProgram {
     fn read_addr(&self, t: usize, pid: usize, state: &Self::State) -> Option<usize>;
     /// Compute + write phase: update the state given the value read (if
     /// any); optionally write `(cell, value)`.
-    fn execute(&self, t: usize, pid: usize, state: &mut Self::State, read: Option<Word>)
-        -> Option<(usize, Word)>;
+    fn execute(
+        &self,
+        t: usize,
+        pid: usize,
+        state: &mut Self::State,
+        read: Option<Word>,
+    ) -> Option<(usize, Word)>;
 }
 
 /// Where the simulated PRAM lives on the grid: processors on the aligned

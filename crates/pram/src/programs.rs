@@ -54,7 +54,13 @@ impl PramProgram for TreeSum {
         }
         Some(if phase == 0 { base + stride } else { base })
     }
-    fn execute(&self, t: usize, pid: usize, state: &mut TreeSumState, read: Option<Word>) -> Option<(usize, Word)> {
+    fn execute(
+        &self,
+        t: usize,
+        pid: usize,
+        state: &mut TreeSumState,
+        read: Option<Word>,
+    ) -> Option<(usize, Word)> {
         let (level, phase) = (t / 2, t % 2);
         let stride = 1usize << level;
         let base = pid * (stride * 2);
@@ -110,7 +116,13 @@ impl PramProgram for CopyTree {
     fn read_addr(&self, t: usize, pid: usize, _s: &()) -> Option<usize> {
         (pid < (1 << t)).then_some(pid)
     }
-    fn execute(&self, t: usize, pid: usize, _s: &mut (), read: Option<Word>) -> Option<(usize, Word)> {
+    fn execute(
+        &self,
+        t: usize,
+        pid: usize,
+        _s: &mut (),
+        read: Option<Word>,
+    ) -> Option<(usize, Word)> {
         if pid < (1 << t) {
             Some((pid + (1 << t), read.expect("source cell")))
         } else {
@@ -155,7 +167,13 @@ impl PramProgram for Broadcast {
     fn read_addr(&self, _t: usize, _pid: usize, _s: &()) -> Option<usize> {
         Some(0)
     }
-    fn execute(&self, _t: usize, pid: usize, _s: &mut (), read: Option<Word>) -> Option<(usize, Word)> {
+    fn execute(
+        &self,
+        _t: usize,
+        pid: usize,
+        _s: &mut (),
+        read: Option<Word>,
+    ) -> Option<(usize, Word)> {
         Some((pid + 1, read.expect("broadcast source")))
     }
 }
@@ -216,13 +234,19 @@ impl PramProgram for CrcwMax {
         let n = self.n();
         let (i, j) = (pid / n, pid % n);
         match t {
-            0 => Some(i),                                  // v_i (concurrent)
-            1 => Some(j),                                  // v_j (concurrent)
-            2 => (j == 0).then_some(n + i),                // my knockout flag
+            0 => Some(i),                   // v_i (concurrent)
+            1 => Some(j),                   // v_j (concurrent)
+            2 => (j == 0).then_some(n + i), // my knockout flag
             _ => None,
         }
     }
-    fn execute(&self, t: usize, pid: usize, state: &mut CrcwMaxState, read: Option<Word>) -> Option<(usize, Word)> {
+    fn execute(
+        &self,
+        t: usize,
+        pid: usize,
+        state: &mut CrcwMaxState,
+        read: Option<Word>,
+    ) -> Option<(usize, Word)> {
         let n = self.n();
         let (i, j) = (pid / n, pid % n);
         match t {
@@ -333,7 +357,13 @@ impl PramProgram for PrefixSums {
         let pair = if up { self.up_pair(level, pid) } else { self.down_pair(level, pid) };
         pair.map(|(l, r)| if phase == 0 { l } else { r })
     }
-    fn execute(&self, t: usize, pid: usize, state: &mut PrefixState, read: Option<Word>) -> Option<(usize, Word)> {
+    fn execute(
+        &self,
+        t: usize,
+        pid: usize,
+        state: &mut PrefixState,
+        read: Option<Word>,
+    ) -> Option<(usize, Word)> {
         let (up, level, phase) = self.decode_step(t);
         let pair = if up { self.up_pair(level, pid) } else { self.down_pair(level, pid) };
         let (_, r) = pair?;
@@ -438,7 +468,13 @@ impl PramProgram for ListRanking {
             Some(n + state.next) // rank[next]
         }
     }
-    fn execute(&self, t: usize, pid: usize, state: &mut ListRankState, read: Option<Word>) -> Option<(usize, Word)> {
+    fn execute(
+        &self,
+        t: usize,
+        pid: usize,
+        state: &mut ListRankState,
+        read: Option<Word>,
+    ) -> Option<(usize, Word)> {
         let n = self.n();
         if t == 0 {
             state.next = read.expect("own next") as usize;

@@ -59,17 +59,21 @@ fn crcw_max_equals_host_max() {
 #[test]
 fn crcw_broadcast_reaches_every_processor() {
     let cfg = Config::scaled(1, 2);
-    spatial_core::check::check_cfg(&cfg, "crcw_broadcast_reaches_every_processor", |g: &mut Gen| {
-        let p = g.size(1..48);
-        let value = g.int(-10_000i64..=10_000);
-        let prog = Broadcast::new(value, p);
-        let mut m = Machine::new();
-        let mem = simulate_crcw(&mut m, &prog, layout_for(&prog));
-        for pid in 0..p {
-            prop_assert_eq!(mem[pid + 1], value, "processor {pid}");
-        }
-        Ok(())
-    });
+    spatial_core::check::check_cfg(
+        &cfg,
+        "crcw_broadcast_reaches_every_processor",
+        |g: &mut Gen| {
+            let p = g.size(1..48);
+            let value = g.int(-10_000i64..=10_000);
+            let prog = Broadcast::new(value, p);
+            let mut m = Machine::new();
+            let mem = simulate_crcw(&mut m, &prog, layout_for(&prog));
+            for pid in 0..p {
+                prop_assert_eq!(mem[pid + 1], value, "processor {pid}");
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]

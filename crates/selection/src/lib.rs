@@ -21,7 +21,7 @@
 
 use spatial_rng::Rng;
 
-use spatial_model::{zorder, Machine, Tracked};
+use spatial_model::{zorder, Machine, SpatialError, Tracked};
 
 use collectives::scan::scan_exclusive;
 use collectives::zarray::place_z;
@@ -79,6 +79,18 @@ pub fn select_rank<T: Ord + Clone>(
     select_rank_cfg(machine, lo, items, k, SelectionConfig { c: C, seed })
 }
 
+/// Fallible [`select_rank`]: runs under the machine's active guard/fault
+/// layer and surfaces any violation as a typed [`SpatialError`].
+pub fn try_select_rank<T: Ord + Clone>(
+    machine: &mut Machine,
+    lo: u64,
+    items: Vec<Tracked<T>>,
+    k: u64,
+    seed: u64,
+) -> Result<(Tracked<T>, SelectionStats), SpatialError> {
+    machine.guarded(|m| select_rank(m, lo, items, k, seed))
+}
+
 /// [`select_rank`] with explicit tuning (used by the `c`-ablation bench).
 pub fn select_rank_cfg<T: Ord + Clone>(
     machine: &mut Machine,
@@ -103,7 +115,7 @@ pub fn select_rank_cfg<T: Ord + Clone>(
     // elements — pivots then never bracket the target rank and every run
     // takes the sort fallback. Salting decorrelates the streams while
     // keeping the run deterministic in `cfg.seed`.
-    let mut rng = Rng::stream(cfg.seed, 0x5E1E_C7);
+    let mut rng = Rng::stream(cfg.seed, 0x005E_1EC7);
     let mut stats = SelectionStats::default();
 
     // Wrap keys with uids for a strict total order; `active[i]` mirrors the
@@ -143,11 +155,8 @@ pub fn select_rank_cfg<T: Ord + Clone>(
 
         // Step 2: scan assigns each sampled element its index; route the
         // sample into a compact aligned square next to the data.
-        let mut indicator: Vec<Tracked<u64>> = elems
-            .iter()
-            .enumerate()
-            .map(|(i, t)| t.with_value(u64::from(sampled[i])))
-            .collect();
+        let mut indicator: Vec<Tracked<u64>> =
+            elems.iter().enumerate().map(|(i, t)| t.with_value(u64::from(sampled[i]))).collect();
         for i in n..padded {
             indicator.push(machine.place(zorder::coord_of(lo + i), 0u64));
         }
@@ -317,7 +326,8 @@ fn bitonic_sort_z<T: Ord + Clone>(
 
     let len = sample.len();
     let padded = (len as u64).next_power_of_two();
-    let mut wires: Vec<Tracked<W<T>>> = sample.into_iter().map(|t| t.map(|kd| W::Val(flipped, kd))).collect();
+    let mut wires: Vec<Tracked<W<T>>> =
+        sample.into_iter().map(|t| t.map(|kd| W::Val(flipped, kd))).collect();
     for i in len as u64..padded {
         wires.push(machine.place(zorder::coord_of(lo + i), W::Inf(i)));
     }
@@ -530,12 +540,7 @@ mod tests {
         let ln_n = (n as f64).ln();
         for w in stats.active_trajectory.windows(2) {
             let bound = 2.0 * (w[0] as f64).powf(0.75) * ln_n.sqrt() + 2.0 * C * (n as f64).sqrt();
-            assert!(
-                (w[1] as f64) <= bound,
-                "N went {} -> {} exceeding {bound:.0}",
-                w[0],
-                w[1]
-            );
+            assert!((w[1] as f64) <= bound, "N went {} -> {} exceeding {bound:.0}", w[0], w[1]);
         }
     }
 

@@ -57,17 +57,21 @@ fn selection_is_seed_deterministic() {
 fn stats_trajectory_is_decreasing_after_first_step() {
     // Large fixed input, sweeping algorithm seeds: fewer cases suffice.
     let cfg = Config::scaled(1, 2);
-    spatial_core::check::check_cfg(&cfg, "stats_trajectory_is_decreasing_after_first_step", |g: &mut Gen| {
-        let seed = g.int(0u64..200);
-        let n = 4096usize;
-        let vals: Vec<i64> = (0..n as i64).map(|i| (i * 48271) % 65521).collect();
-        let mut m = Machine::new();
-        let (_, stats) = select_rank_values(&mut m, 0, vals, n as u64 / 2, seed);
-        // Active counts never grow.
-        for w in stats.active_trajectory.windows(2) {
-            prop_assert!(w[1] <= w[0], "{:?}", stats.active_trajectory);
-        }
-        prop_assert!(stats.iterations as u64 <= 10);
-        Ok(())
-    });
+    spatial_core::check::check_cfg(
+        &cfg,
+        "stats_trajectory_is_decreasing_after_first_step",
+        |g: &mut Gen| {
+            let seed = g.int(0u64..200);
+            let n = 4096usize;
+            let vals: Vec<i64> = (0..n as i64).map(|i| (i * 48271) % 65521).collect();
+            let mut m = Machine::new();
+            let (_, stats) = select_rank_values(&mut m, 0, vals, n as u64 / 2, seed);
+            // Active counts never grow.
+            for w in stats.active_trajectory.windows(2) {
+                prop_assert!(w[1] <= w[0], "{:?}", stats.active_trajectory);
+            }
+            prop_assert!(stats.iterations as u64 <= 10);
+            Ok(())
+        },
+    );
 }

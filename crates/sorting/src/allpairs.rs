@@ -177,7 +177,12 @@ fn copy_to_blocks<P: Clone>(
 
 /// Z-quadrant broadcast within one aligned block; returns one value per cell
 /// indexed by Z-offset.
-pub(crate) fn bcast_z_block<T: Clone>(machine: &mut Machine, root: Tracked<T>, lo: u64, len: u64) -> Vec<Tracked<T>> {
+pub(crate) fn bcast_z_block<T: Clone>(
+    machine: &mut Machine,
+    root: Tracked<T>,
+    lo: u64,
+    len: u64,
+) -> Vec<Tracked<T>> {
     debug_assert_eq!(root.loc(), zorder::coord_of(lo));
     let mut out: Vec<Option<Tracked<T>>> = (0..len).map(|_| None).collect();
     rec_bcast(machine, root, lo, len, lo, &mut out);
@@ -196,7 +201,8 @@ pub(crate) fn bcast_z_block<T: Clone>(machine: &mut Machine, root: Tracked<T>, l
             return;
         }
         let q = len / 4;
-        let copies: Vec<Tracked<T>> = (1..4).map(|i| machine.send(&root, zorder::coord_of(lo + i * q))).collect();
+        let copies: Vec<Tracked<T>> =
+            (1..4).map(|i| machine.send(&root, zorder::coord_of(lo + i * q))).collect();
         rec_bcast(machine, root, lo, q, base, out);
         for (i, c) in copies.into_iter().enumerate() {
             rec_bcast(machine, c, lo + (i as u64 + 1) * q, q, base, out);
@@ -206,7 +212,11 @@ pub(crate) fn bcast_z_block<T: Clone>(machine: &mut Machine, root: Tracked<T>, l
 
 /// Z-quadrant sum-reduce within one aligned block; result lands on the block
 /// corner.
-pub(crate) fn reduce_z_block(machine: &mut Machine, items: Vec<Tracked<u64>>, lo: u64) -> Tracked<u64> {
+pub(crate) fn reduce_z_block(
+    machine: &mut Machine,
+    items: Vec<Tracked<u64>>,
+    lo: u64,
+) -> Tracked<u64> {
     let len = items.len() as u64;
     let mut slots: Vec<Option<Tracked<u64>>> = items.into_iter().map(Some).collect();
     return rec_reduce(machine, lo, len, lo, &mut slots);

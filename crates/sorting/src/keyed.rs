@@ -24,16 +24,16 @@ impl<T> Keyed<T> {
 }
 
 /// Attaches `uid = i` to the `i`-th element (local, free).
-pub fn attach_uids<T>(items: Vec<spatial_model::Tracked<T>>) -> Vec<spatial_model::Tracked<Keyed<T>>> {
-    items
-        .into_iter()
-        .enumerate()
-        .map(|(i, t)| t.map(|key| Keyed::new(key, i as u64)))
-        .collect()
+pub fn attach_uids<T>(
+    items: Vec<spatial_model::Tracked<T>>,
+) -> Vec<spatial_model::Tracked<Keyed<T>>> {
+    items.into_iter().enumerate().map(|(i, t)| t.map(|key| Keyed::new(key, i as u64))).collect()
 }
 
 /// Drops the uids (local, free).
-pub fn detach_uids<T>(items: Vec<spatial_model::Tracked<Keyed<T>>>) -> Vec<spatial_model::Tracked<T>> {
+pub fn detach_uids<T>(
+    items: Vec<spatial_model::Tracked<Keyed<T>>>,
+) -> Vec<spatial_model::Tracked<T>> {
     items.into_iter().map(|t| t.map(|k| k.key)).collect()
 }
 
@@ -53,7 +53,8 @@ mod tests {
     #[test]
     fn attach_detach_roundtrip() {
         let mut m = spatial_model::Machine::new();
-        let items: Vec<_> = (0..4).map(|i| m.place(spatial_model::zorder::coord_of(i), i as i32)).collect();
+        let items: Vec<_> =
+            (0..4).map(|i| m.place(spatial_model::zorder::coord_of(i), i as i32)).collect();
         let keyed = attach_uids(items);
         assert_eq!(keyed[2].value().uid, 2);
         let back = detach_uids(keyed);

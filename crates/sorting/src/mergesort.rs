@@ -10,7 +10,7 @@
 //! performs the row-major conversions at the boundaries (the permutation of
 //! Fig. 3(d)), preserving all cost bounds.
 
-use spatial_model::{zorder, Machine, SubGrid, Tracked};
+use spatial_model::{zorder, Machine, SpatialError, SubGrid, Tracked};
 
 use collectives::route::{route, row_major_to_z};
 
@@ -36,7 +36,11 @@ const BASE: usize = 16;
 /// Arbitrary lengths are supported: inputs are padded internally with
 /// `+∞` sentinels up to the next power of four (paper §III assumes powers of
 /// four w.l.o.g.).
-pub fn sort_z<T: Ord + Clone>(machine: &mut Machine, lo: u64, items: Vec<Tracked<T>>) -> Vec<Tracked<T>> {
+pub fn sort_z<T: Ord + Clone>(
+    machine: &mut Machine,
+    lo: u64,
+    items: Vec<Tracked<T>>,
+) -> Vec<Tracked<T>> {
     let n = items.len() as u64;
     if n <= 1 {
         return items;
@@ -44,10 +48,8 @@ pub fn sort_z<T: Ord + Clone>(machine: &mut Machine, lo: u64, items: Vec<Tracked
     let padded = zorder::next_power_of_four(n);
     assert_eq!(lo % padded, 0, "segment must be aligned to its padded length");
     // Wrap keys so all elements are distinct (stability) and pad with +∞.
-    let mut keyed: Vec<Tracked<Pad<T>>> = attach_uids(items)
-        .into_iter()
-        .map(|t| t.map(Pad::Val))
-        .collect();
+    let mut keyed: Vec<Tracked<Pad<T>>> =
+        attach_uids(items).into_iter().map(|t| t.map(Pad::Val)).collect();
     for i in n..padded {
         keyed.push(machine.place(zorder::coord_of(lo + i), Pad::Inf(i)));
     }
@@ -66,9 +68,23 @@ pub fn sort_z<T: Ord + Clone>(machine: &mut Machine, lo: u64, items: Vec<Tracked
     out
 }
 
+/// Fallible [`sort_z`]: runs under the machine's active guard/fault layer
+/// and surfaces any violation as a typed [`SpatialError`].
+pub fn try_sort_z<T: Ord + Clone>(
+    machine: &mut Machine,
+    lo: u64,
+    items: Vec<Tracked<T>>,
+) -> Result<Vec<Tracked<T>>, SpatialError> {
+    machine.guarded(|m| sort_z(m, lo, items))
+}
+
 /// Like [`sort_z`] but returns the sorted plain values (reads the array out
 /// of the machine).
-pub fn sort_z_values<T: Ord + Clone>(machine: &mut Machine, lo: u64, items: Vec<Tracked<T>>) -> Vec<T> {
+pub fn sort_z_values<T: Ord + Clone>(
+    machine: &mut Machine,
+    lo: u64,
+    items: Vec<Tracked<T>>,
+) -> Vec<T> {
     sort_z(machine, lo, items).into_iter().map(Tracked::into_value).collect()
 }
 
@@ -80,9 +96,15 @@ pub fn sort_row_major<T: Ord + Clone>(
     grid: SubGrid,
     items: Vec<Tracked<T>>,
 ) -> Vec<Tracked<T>> {
-    assert!(grid.is_square() && grid.w.is_power_of_two(), "row-major sort needs a power-of-two square");
+    assert!(
+        grid.is_square() && grid.w.is_power_of_two(),
+        "row-major sort needs a power-of-two square"
+    );
     assert_eq!(items.len() as u64, grid.len());
-    assert!(grid.origin.row >= 0 && grid.origin.col >= 0, "grid must sit in the Z-indexed quadrant");
+    assert!(
+        grid.origin.row >= 0 && grid.origin.col >= 0,
+        "grid must sit in the Z-indexed quadrant"
+    );
     let lo = zorder::index_of(grid.origin);
     assert_eq!(lo % grid.len(), 0, "grid must be an aligned Z-square");
     let z_items = row_major_to_z(machine, items, lo);
@@ -98,7 +120,11 @@ enum Pad<T> {
     Inf(u64),
 }
 
-fn sort_pow4<T: Ord + Clone>(machine: &mut Machine, lo: u64, items: Vec<Tracked<Pad<T>>>) -> Vec<Tracked<Pad<T>>> {
+fn sort_pow4<T: Ord + Clone>(
+    machine: &mut Machine,
+    lo: u64,
+    items: Vec<Tracked<Pad<T>>>,
+) -> Vec<Tracked<Pad<T>>> {
     let n = items.len();
     debug_assert!(zorder::is_power_of_four(n as u64));
     if n <= BASE {
@@ -170,10 +196,10 @@ mod tests {
     fn sorts_adversarial_inputs() {
         let n = 256usize;
         let cases: Vec<Vec<i64>> = vec![
-            (0..n as i64).collect(),                     // already sorted
-            (0..n as i64).rev().collect(),               // reversed
-            vec![5; n],                                  // constant
-            (0..n as i64).map(|i| i % 4).collect(),      // few distinct
+            (0..n as i64).collect(),                // already sorted
+            (0..n as i64).rev().collect(),          // reversed
+            vec![5; n],                             // constant
+            (0..n as i64).map(|i| i % 4).collect(), // few distinct
             (0..n as i64).map(|i| if i % 2 == 0 { i } else { -i }).collect(), // zigzag
         ];
         for vals in cases {
@@ -253,11 +279,8 @@ mod tests {
         let grid = SubGrid::square(Coord::ORIGIN, side);
         let vals = pseudo(n, 23);
         let mut m = Machine::new();
-        let items: Vec<_> = vals
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| m.place(grid.rm_coord(i as u64), v))
-            .collect();
+        let items: Vec<_> =
+            vals.iter().enumerate().map(|(i, &v)| m.place(grid.rm_coord(i as u64), v)).collect();
         let out = sort_row_major(&mut m, grid, items);
         let mut expect = vals;
         expect.sort_unstable();

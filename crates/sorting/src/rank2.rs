@@ -175,7 +175,7 @@ pub fn rank_split<P: Ord + Clone>(
         (0, 0)
     } else {
         // Step 1: gather every stride-th element of each array into a sample.
-    let mut sample: Vec<Tracked<(P, u8)>> = Vec::new();
+        let mut sample: Vec<Tracked<(P, u8)>> = Vec::new();
         let mut i = 0;
         while i < na {
             sample.push(a[i as usize].duplicate().map(|kd| (kd, 0u8)));
@@ -315,7 +315,9 @@ fn count_leq_multi<P: Ord + Clone>(
             .zip(copies)
             .map(|(el, pv)| {
                 let ind = el.zip_with(&pv, |e, ps| {
-                    ps.iter().map(|p| u64::from(p.as_ref().is_some_and(|p| e <= p))).collect::<Vec<u64>>()
+                    ps.iter()
+                        .map(|p| u64::from(p.as_ref().is_some_and(|p| e <= p)))
+                        .collect::<Vec<u64>>()
                 });
                 machine.discard(pv);
                 ind
@@ -377,13 +379,11 @@ mod tests {
         b_vals: &[i64],
         lo: u64,
     ) -> (Vec<Tracked<Keyed<i64>>>, u64, Vec<Tracked<Keyed<i64>>>, u64) {
-        let a: Vec<Keyed<i64>> = a_vals.iter().enumerate().map(|(i, &v)| Keyed::new(v, i as u64)).collect();
+        let a: Vec<Keyed<i64>> =
+            a_vals.iter().enumerate().map(|(i, &v)| Keyed::new(v, i as u64)).collect();
         let off = a_vals.len() as u64;
-        let b: Vec<Keyed<i64>> = b_vals
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| Keyed::new(v, off + i as u64))
-            .collect();
+        let b: Vec<Keyed<i64>> =
+            b_vals.iter().enumerate().map(|(i, &v)| Keyed::new(v, off + i as u64)).collect();
         let a_items = place_z(m, lo, a);
         let b_items = place_z(m, lo + off, b);
         (a_items, lo, b_items, lo + off)
@@ -512,7 +512,8 @@ mod tests {
 
         let mut m2 = Machine::new();
         let (ai, alo, bi, blo) = setup(&mut m2, &a, &b, 0);
-        let single: Vec<Split> = ks.iter().map(|&k| rank_split(&mut m2, &ai, alo, &bi, blo, k)).collect();
+        let single: Vec<Split> =
+            ks.iter().map(|&k| rank_split(&mut m2, &ai, alo, &bi, blo, k)).collect();
 
         assert_eq!(multi, single);
         assert!(

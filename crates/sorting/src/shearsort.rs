@@ -139,10 +139,7 @@ mod tests {
     use spatial_model::Coord;
 
     fn place(m: &mut Machine, grid: SubGrid, vals: Vec<i64>) -> Vec<Tracked<i64>> {
-        vals.into_iter()
-            .enumerate()
-            .map(|(i, v)| m.place(grid.rm_coord(i as u64), v))
-            .collect()
+        vals.into_iter().enumerate().map(|(i, v)| m.place(grid.rm_coord(i as u64), v)).collect()
     }
 
     fn pseudo(n: usize) -> Vec<i64> {

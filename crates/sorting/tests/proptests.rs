@@ -162,8 +162,8 @@ fn rank_split_regression_duplicate_prefixes() {
         249, 213, -284, -356, 340, 110, -289, -195, -414, -32, 2, 265, 491, -384, 395, -428, 1,
         374, -372, -234, 471, -325, -377, -47, -73, -245, 255, 400, -70, 270, 144, 33, -104, -155,
         -287, -253, -275, 472, -445, 177, 423, 207, 99, 436, 75, 190, -169, 49, 139, -311, -476,
-        18, -61, 245, -12, -52, 133, 64, 381, -38, 208, -160, 477, 419, -163, -318, -451, -370,
-        62, 361, 190, 496, -42, -81, -369, -168, 283, -217, 291, -490, -344, -59, -75, 454, 284,
+        18, -61, 245, -12, -52, 133, 64, 381, -38, 208, -160, 477, 419, -163, -318, -451, -370, 62,
+        361, 190, 496, -42, -81, -369, -168, 283, -217, 291, -490, -344, -59, -75, 454, 284,
     ];
     a.sort_unstable();
     b.sort_unstable();

@@ -29,8 +29,10 @@ pub fn run_on_coords<T: Clone + Ord>(
             // message long.
             let to_high = machine.send(&wires[c.low], locs[c.high]);
             let to_low = machine.send(&wires[c.high], locs[c.low]);
-            let new_low = wires[c.low].zip_with(&to_low, |a, b| if a <= b { a.clone() } else { b.clone() });
-            let new_high = wires[c.high].zip_with(&to_high, |a, b| if a >= b { a.clone() } else { b.clone() });
+            let new_low =
+                wires[c.low].zip_with(&to_low, |a, b| if a <= b { a.clone() } else { b.clone() });
+            let new_high =
+                wires[c.high].zip_with(&to_high, |a, b| if a >= b { a.clone() } else { b.clone() });
             machine.discard(to_low);
             machine.discard(to_high);
             machine.discard(std::mem::replace(&mut wires[c.low], new_low));
@@ -62,10 +64,7 @@ mod tests {
     use crate::oddeven::odd_even_transposition;
 
     fn place_rm(m: &mut Machine, grid: SubGrid, vals: Vec<i64>) -> Vec<Tracked<i64>> {
-        vals.into_iter()
-            .enumerate()
-            .map(|(i, v)| m.place(grid.rm_coord(i as u64), v))
-            .collect()
+        vals.into_iter().enumerate().map(|(i, v)| m.place(grid.rm_coord(i as u64), v)).collect()
     }
 
     fn pseudo(n: usize) -> Vec<i64> {

@@ -90,11 +90,8 @@ impl Network {
         for stage in &self.stages {
             for &c in stage {
                 // Earliest stage after both operands' last uses.
-                let earliest = [c.low, c.high]
-                    .iter()
-                    .filter_map(|&w| last_use[w])
-                    .max()
-                    .map_or(0, |s| s + 1);
+                let earliest =
+                    [c.low, c.high].iter().filter_map(|&w| last_use[w]).max().map_or(0, |s| s + 1);
                 if earliest == stages.len() {
                     stages.push(Vec::new());
                 }

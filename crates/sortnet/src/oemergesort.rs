@@ -116,7 +116,8 @@ mod tests {
         let grid = SubGrid::square(Coord::ORIGIN, 8);
         let net = odd_even_mergesort(n);
         let mut m = Machine::new();
-        let items: Vec<_> = (0..n).map(|i| m.place(grid.rm_coord(i as u64), (n - i) as i64)).collect();
+        let items: Vec<_> =
+            (0..n).map(|i| m.place(grid.rm_coord(i as u64), (n - i) as i64)).collect();
         let out = crate::exec::run_row_major(&mut m, &net, grid, items);
         let got: Vec<i64> = out.iter().map(|t| *t.value()).collect();
         let mut expect = got.clone();

@@ -19,10 +19,8 @@ fn networks_sort_arbitrary_integers() {
         let input = g.vec_i64(w..w + 1, -1000..=1000);
         let mut expect = input.clone();
         expect.sort_unstable();
-        for (name, net) in [
-            ("bitonic", bitonic_sort(w)),
-            ("odd-even-merge", odd_even_mergesort(w)),
-        ] {
+        for (name, net) in [("bitonic", bitonic_sort(w)), ("odd-even-merge", odd_even_mergesort(w))]
+        {
             let got = net.apply(&input);
             prop_assert_eq!(&got, &expect, "{name} width {w}");
         }
@@ -45,18 +43,22 @@ fn random_01_check_passes_beyond_exhaustive_widths() {
     // the supported path there. Power-of-two widths 32..=128 plus arbitrary
     // transposition widths in 21..=96.
     let cfg = Config::scaled(1, 4);
-    spatial_core::check::check_cfg(&cfg, "random_01_check_passes_beyond_exhaustive_widths", |g: &mut Gen| {
-        let w = 1usize << g.int(5u32..8);
-        let seed = g.case_seed();
-        prop_assert!(bitonic_sort(w).sorts_random_01(64, seed), "bitonic width {w}");
-        prop_assert!(odd_even_mergesort(w).sorts_random_01(64, seed), "oem width {w}");
-        let any_w = g.size(21..97);
-        prop_assert!(
-            odd_even_transposition(any_w).sorts_random_01(32, seed),
-            "transposition width {any_w}"
-        );
-        Ok(())
-    });
+    spatial_core::check::check_cfg(
+        &cfg,
+        "random_01_check_passes_beyond_exhaustive_widths",
+        |g: &mut Gen| {
+            let w = 1usize << g.int(5u32..8);
+            let seed = g.case_seed();
+            prop_assert!(bitonic_sort(w).sorts_random_01(64, seed), "bitonic width {w}");
+            prop_assert!(odd_even_mergesort(w).sorts_random_01(64, seed), "oem width {w}");
+            let any_w = g.size(21..97);
+            prop_assert!(
+                odd_even_transposition(any_w).sorts_random_01(32, seed),
+                "transposition width {any_w}"
+            );
+            Ok(())
+        },
+    );
 }
 
 #[test]

@@ -73,12 +73,7 @@ mod tests {
 
     #[test]
     fn triangle_inequality_spot_checks() {
-        let pts = [
-            Coord::new(0, 0),
-            Coord::new(5, 5),
-            Coord::new(-3, 2),
-            Coord::new(100, -7),
-        ];
+        let pts = [Coord::new(0, 0), Coord::new(5, 5), Coord::new(-3, 2), Coord::new(100, -7)];
         for &a in &pts {
             for &b in &pts {
                 for &c in &pts {

@@ -106,7 +106,10 @@ impl SubGrid {
     /// The four quadrants in Z-order (top-left, top-right, bottom-left,
     /// bottom-right). Requires even `h` and `w`.
     pub fn quadrants(&self) -> [SubGrid; 4] {
-        assert!(self.h.is_multiple_of(2) && self.w.is_multiple_of(2), "quadrants need even dimensions");
+        assert!(
+            self.h.is_multiple_of(2) && self.w.is_multiple_of(2),
+            "quadrants need even dimensions"
+        );
         let (hh, hw) = (self.h / 2, self.w / 2);
         [
             SubGrid::new(self.origin, hh, hw),

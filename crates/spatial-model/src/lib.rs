@@ -42,7 +42,10 @@
 
 pub mod coord;
 pub mod cost;
+pub mod error;
+pub mod fault;
 pub mod grid;
+pub mod guard;
 pub mod machine;
 pub mod memory;
 pub mod path;
@@ -53,7 +56,10 @@ pub mod zorder;
 
 pub use coord::Coord;
 pub use cost::Cost;
+pub use error::{BudgetMetric, SpatialError};
+pub use fault::{FaultPlan, FaultPlanBuilder};
 pub use grid::SubGrid;
+pub use guard::ModelGuard;
 pub use machine::Machine;
 pub use memory::MemMeter;
 pub use path::Path;

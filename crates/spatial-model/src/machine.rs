@@ -1,11 +1,32 @@
-//! The machine: message accounting, placement, and instrumentation.
+//! The machine: message accounting, placement, instrumentation, and the
+//! fault/conformance layer.
+
+use spatial_rng::Rng;
 
 use crate::coord::Coord;
 use crate::cost::Cost;
+use crate::error::SpatialError;
+use crate::fault::FaultPlan;
+use crate::guard::ModelGuard;
 use crate::memory::MemMeter;
 use crate::path::Path;
 use crate::trace::Trace;
 use crate::value::Tracked;
+
+/// Live state of an active [`FaultPlan`].
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    /// Deterministic per-message transient-corruption stream.
+    rng: Rng,
+    /// Fault contacts: transiently corrupted messages plus (in the
+    /// infallible API) deliveries to dead PEs. Any non-zero count means the
+    /// run's output cannot be trusted end to end.
+    hits: u64,
+    /// Extra energy relative to the same run on a fault-free grid (dead-row
+    /// detours plus degraded-link penalties).
+    detour_energy: u64,
+}
 
 /// The Spatial Computer Model machine.
 ///
@@ -16,7 +37,26 @@ use crate::value::Tracked;
 /// [`Path`], and update the global depth/distance watermarks.
 ///
 /// The machine is deterministic and single-threaded: every cost reported is
-/// exactly reproducible.
+/// exactly reproducible — including under an active [`FaultPlan`], whose
+/// random draws are pure functions of its seed.
+///
+/// ## Faults and guards
+///
+/// [`Machine::enable_faults`] activates a hardware-defect pattern: dead rows
+/// are detoured around (logical coordinates are preserved; the longer
+/// physical routes are charged to energy/distance), dead PEs and transient
+/// message corruption are recorded. [`Machine::enable_guard`] activates
+/// conformance checks (grid extent, per-PE memory cap, cost budgets).
+///
+/// Violations surface in one of two ways:
+///
+/// * the fallible methods ([`Machine::try_place`], [`Machine::try_send`],
+///   [`Machine::try_send_owned`]) return `Err(`[`SpatialError`]`)`
+///   immediately and leave the simulation state untouched where possible;
+/// * the infallible methods keep their signatures, absorb the violation into
+///   the run (the delivery still happens so the simulation can continue) and
+///   **latch** the first error, retrievable via [`Machine::violation`] —
+///   they never panic on guard/fault violations.
 #[derive(Debug, Default)]
 pub struct Machine {
     energy: u64,
@@ -25,6 +65,9 @@ pub struct Machine {
     distance_watermark: u64,
     mem: Option<MemMeter>,
     trace: Option<Trace>,
+    faults: Option<FaultState>,
+    guard: Option<ModelGuard>,
+    violation: Option<SpatialError>,
 }
 
 impl Machine {
@@ -45,6 +88,26 @@ impl Machine {
         self.trace = Some(Trace::with_cap(cap));
     }
 
+    /// Activates a fault plan. Logical coordinates (what algorithms and
+    /// [`Tracked::loc`] see) are unchanged; message costs are computed
+    /// between the remapped *physical* PEs, so dead-row detours and
+    /// degraded links show up in energy/distance. Enable before placing the
+    /// input so placements are fault-checked too.
+    pub fn enable_faults(&mut self, plan: FaultPlan) {
+        let rng = plan.message_rng();
+        self.faults = Some(FaultState { plan, rng, hits: 0, detour_energy: 0 });
+    }
+
+    /// Activates conformance checks. A guard with a
+    /// [`ModelGuard::mem_cap`] auto-enables the memory meter (like
+    /// [`Machine::enable_memory_meter`], enable before placing the input).
+    pub fn enable_guard(&mut self, guard: ModelGuard) {
+        if guard.mem_cap.is_some() && self.mem.is_none() {
+            self.mem = Some(MemMeter::new());
+        }
+        self.guard = Some(guard);
+    }
+
     /// The active memory meter, if enabled.
     pub fn memory(&self) -> Option<&MemMeter> {
         self.mem.as_ref()
@@ -55,37 +118,115 @@ impl Machine {
         self.trace.as_ref()
     }
 
-    /// Places an input value at a PE (free: input placement is part of the
-    /// problem statement, not of the algorithm's cost).
-    pub fn place<T>(&mut self, loc: Coord, value: T) -> Tracked<T> {
-        if let Some(mem) = &mut self.mem {
-            mem.store(loc);
+    /// The active fault plan, if enabled.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| &f.plan)
+    }
+
+    /// The active guard, if enabled.
+    pub fn guard(&self) -> Option<&ModelGuard> {
+        self.guard.as_ref()
+    }
+
+    /// Number of fault contacts so far: transiently corrupted messages plus
+    /// infallible deliveries to dead PEs. A recovery harness treats any
+    /// non-zero count as an end-to-end checksum failure.
+    pub fn fault_hits(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.hits)
+    }
+
+    /// Extra energy charged relative to the same run on a fault-free grid
+    /// (dead-row detours plus degraded-link penalties) — the measured
+    /// fault-tolerance overhead.
+    pub fn detour_energy(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.detour_energy)
+    }
+
+    /// The first guard/fault violation absorbed by the infallible API, if
+    /// any. `None` means the run so far is model-conformant.
+    pub fn violation(&self) -> Option<&SpatialError> {
+        self.violation.as_ref()
+    }
+
+    /// Takes (and clears) the latched violation.
+    pub fn take_violation(&mut self) -> Option<SpatialError> {
+        self.violation.take()
+    }
+
+    /// Runs `f` and converts any violation it latches into a typed error:
+    /// `Err` if a violation was already latched before the call or if `f`
+    /// latches one, `Ok(f(self))` otherwise. This is the building block for
+    /// the `try_` entry points of the algorithm crates.
+    pub fn guarded<R>(&mut self, f: impl FnOnce(&mut Machine) -> R) -> Result<R, SpatialError> {
+        if let Some(e) = &self.violation {
+            return Err(e.clone());
         }
-        Tracked::raw(value, loc, Path::ZERO)
+        let out = f(self);
+        match &self.violation {
+            Some(e) => Err(e.clone()),
+            None => Ok(out),
+        }
+    }
+
+    /// Places an input value at a PE (free: input placement is part of the
+    /// problem statement, not of the algorithm's cost). Guard/fault
+    /// violations are latched (see [`Machine::violation`]).
+    pub fn place<T>(&mut self, loc: Coord, value: T) -> Tracked<T> {
+        match self.place_impl(loc, value, false) {
+            Ok(t) => t,
+            Err(_) => unreachable!("lax placement never fails"),
+        }
+    }
+
+    /// Fallible [`Machine::place`]: returns the violation instead of
+    /// latching it, and performs no placement on error.
+    pub fn try_place<T>(&mut self, loc: Coord, value: T) -> Result<Tracked<T>, SpatialError> {
+        self.place_impl(loc, value, true)
     }
 
     /// Sends a *copy* of `t` to `dst`, charging one message. The source copy
-    /// stays resident.
+    /// stays resident. Guard/fault violations are latched (see
+    /// [`Machine::violation`]).
     pub fn send<T: Clone>(&mut self, t: &Tracked<T>, dst: Coord) -> Tracked<T> {
-        let d = self.charge(t.loc(), dst, t.path());
-        if let Some(mem) = &mut self.mem {
-            mem.store(dst);
+        match self.send_impl(t.value().clone(), t.loc(), t.path(), dst, false, false) {
+            Ok(t) => t,
+            Err(_) => unreachable!("lax send never fails"),
         }
-        Tracked::raw(t.value().clone(), dst, t.path().step(d))
     }
 
-    /// Moves `t` to `dst`, charging one message. The source PE frees the slot.
+    /// Fallible [`Machine::send`]: returns the violation instead of latching
+    /// it. On `Err` for a dead/out-of-bounds target nothing is charged; on a
+    /// budget error the message *was* charged (it is the send that crossed
+    /// the budget) but nothing is delivered.
+    pub fn try_send<T: Clone>(
+        &mut self,
+        t: &Tracked<T>,
+        dst: Coord,
+    ) -> Result<Tracked<T>, SpatialError> {
+        self.send_impl(t.value().clone(), t.loc(), t.path(), dst, false, true)
+    }
+
+    /// Moves `t` to `dst`, charging one message. The source PE frees the
+    /// slot. Guard/fault violations are latched (see [`Machine::violation`]).
     pub fn send_owned<T>(&mut self, t: Tracked<T>, dst: Coord) -> Tracked<T> {
-        let d = self.charge(t.loc(), dst, t.path());
-        if let Some(mem) = &mut self.mem {
-            mem.free(t.loc());
-            mem.store(dst);
+        let (value, loc, path) = t.into_parts();
+        match self.send_impl(value, loc, path, dst, true, false) {
+            Ok(t) => t,
+            Err(_) => unreachable!("lax send never fails"),
         }
-        let path = t.path().step(d);
-        let loc = t.loc();
-        let _ = loc;
-        let value = t.into_value();
-        Tracked::raw(value, dst, path)
+    }
+
+    /// Fallible [`Machine::send_owned`]: returns the violation instead of
+    /// latching it. On `Err` the moved value is lost (the model has no
+    /// return channel for a failed delivery); use [`Machine::try_send`] and
+    /// an explicit [`Machine::discard`] to keep the source copy on failure.
+    pub fn try_send_owned<T>(
+        &mut self,
+        t: Tracked<T>,
+        dst: Coord,
+    ) -> Result<Tracked<T>, SpatialError> {
+        let (value, loc, path) = t.into_parts();
+        self.send_impl(value, loc, path, dst, true, true)
     }
 
     /// Discards a value, releasing its memory slot (free in the model).
@@ -105,9 +246,134 @@ impl Machine {
         }
     }
 
+    /// Latches the first absorbed violation.
+    fn latch(&mut self, e: SpatialError) {
+        if self.violation.is_none() {
+            self.violation = Some(e);
+        }
+    }
+
+    /// The dead-PE / out-of-bounds violation for targeting `dst`, if any.
+    fn target_violation(&self, dst: Coord) -> Option<SpatialError> {
+        if let Some(extent) = self.guard.as_ref().and_then(|g| g.extent) {
+            if !extent.contains(dst) {
+                return Some(SpatialError::OutOfBounds { loc: dst, extent });
+            }
+        }
+        if let Some(f) = &self.faults {
+            let physical = f.plan.physical(dst);
+            if f.plan.is_dead_physical(physical) {
+                return Some(SpatialError::DeadPe { logical: dst, physical });
+            }
+        }
+        None
+    }
+
+    /// The memory-cap violation a delivery to `dst` would cause, if any.
+    fn mem_violation(&self, dst: Coord) -> Option<SpatialError> {
+        let cap = self.guard.as_ref()?.mem_cap?;
+        let resident = self.mem.as_ref().map_or(0, |m| m.resident(dst));
+        if resident >= cap {
+            Some(SpatialError::MemoryExceeded { loc: dst, resident, cap })
+        } else {
+            None
+        }
+    }
+
+    fn place_impl<T>(
+        &mut self,
+        loc: Coord,
+        value: T,
+        strict: bool,
+    ) -> Result<Tracked<T>, SpatialError> {
+        if let Some(e) = self.target_violation(loc) {
+            if strict {
+                return Err(e);
+            }
+            if matches!(e, SpatialError::DeadPe { .. }) {
+                if let Some(f) = &mut self.faults {
+                    f.hits += 1;
+                }
+            }
+            self.latch(e);
+        }
+        if let Some(e) = self.mem_violation(loc) {
+            if strict {
+                return Err(e);
+            }
+            self.latch(e);
+        }
+        if let Some(mem) = &mut self.mem {
+            mem.store(loc);
+        }
+        Ok(Tracked::raw(value, loc, Path::ZERO))
+    }
+
+    fn send_impl<T>(
+        &mut self,
+        value: T,
+        src: Coord,
+        path: Path,
+        dst: Coord,
+        owned: bool,
+        strict: bool,
+    ) -> Result<Tracked<T>, SpatialError> {
+        if let Some(e) = self.target_violation(dst) {
+            if strict {
+                return Err(e);
+            }
+            if matches!(e, SpatialError::DeadPe { .. }) {
+                if let Some(f) = &mut self.faults {
+                    f.hits += 1;
+                }
+            }
+            self.latch(e);
+        }
+        // The memory cap is checked before the wire charge so a strict
+        // failure leaves the counters untouched. A move to the source's own
+        // PE frees the slot before re-storing, so it can never overflow.
+        let mem_err = if owned && src == dst { None } else { self.mem_violation(dst) };
+        if let Some(e) = mem_err {
+            if strict {
+                return Err(e);
+            }
+            self.latch(e);
+        }
+        let d = self.charge(src, dst, path);
+        if let Some(mem) = &mut self.mem {
+            if owned {
+                mem.free(src);
+            }
+            mem.store(dst);
+        }
+        if let Some(e) = self.guard.as_ref().and_then(|g| g.budget_violation(self.report())) {
+            if strict {
+                return Err(e);
+            }
+            self.latch(e);
+        }
+        Ok(Tracked::raw(value, dst, path.step(d)))
+    }
+
+    /// Charges one message from `src` to `dst`. Under an active fault plan
+    /// the charged distance is the *physical* route (dead-row detours plus
+    /// degraded-link penalties); the trace keeps logical endpoints so traces
+    /// of faulty and fault-free runs stay comparable.
     fn charge(&mut self, src: Coord, dst: Coord, path: Path) -> u64 {
-        let d = src.manhattan(dst);
-        self.energy += d;
+        let logical = src.manhattan(dst);
+        let d = match &mut self.faults {
+            None => logical,
+            Some(f) => {
+                let (ps, pd) = (f.plan.physical(src), f.plan.physical(dst));
+                let physical = ps.manhattan(pd) + f.plan.degraded_penalty(ps, pd);
+                f.detour_energy = f.detour_energy.saturating_add(physical.saturating_sub(logical));
+                if f.plan.has_transient_faults() && f.rng.gen_bool(f.plan.flaky()) {
+                    f.hits += 1;
+                }
+                physical
+            }
+        };
+        self.energy = self.energy.saturating_add(d);
         self.messages += 1;
         let p = path.step(d);
         self.depth_watermark = self.depth_watermark.max(p.depth);
@@ -142,6 +408,7 @@ impl Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::grid::SubGrid;
 
     #[test]
     fn send_charges_manhattan_distance() {
@@ -225,5 +492,142 @@ mod tests {
         let tr = m.trace().unwrap();
         assert_eq!(tr.records().len(), 1);
         assert_eq!(tr.records()[0].len, 2);
+    }
+
+    #[test]
+    fn dead_row_detours_are_charged_not_hidden() {
+        let mut m = Machine::new();
+        m.enable_faults(FaultPlan::builder(0).dead_row(1).build());
+        let a = m.place(Coord::new(0, 0), 1u8);
+        // Logical (0,0)→(2,0) is distance 2; the detour around dead row 1
+        // stretches it to physical (0,0)→(3,0) = 3.
+        let b = m.send(&a, Coord::new(2, 0));
+        assert_eq!(b.loc(), Coord::new(2, 0), "logical coordinates are preserved");
+        assert_eq!(m.energy(), 3);
+        assert_eq!(m.detour_energy(), 1);
+        assert_eq!(m.fault_hits(), 0);
+        assert!(m.violation().is_none());
+    }
+
+    #[test]
+    fn degraded_rows_add_link_penalties() {
+        let mut m = Machine::new();
+        m.enable_faults(FaultPlan::builder(0).degraded_row(1).build());
+        let a = m.place(Coord::new(0, 0), 1u8);
+        let b = m.send(&a, Coord::new(2, 0)); // crosses degraded row 1
+        assert_eq!(m.energy(), 3);
+        assert_eq!(m.detour_energy(), 1);
+        let _ = m.send(&b, Coord::new(2, 2)); // untouched rows: no penalty
+        assert_eq!(m.energy(), 5);
+    }
+
+    #[test]
+    fn try_send_to_dead_pe_fails_without_charging() {
+        let mut m = Machine::new();
+        m.enable_faults(FaultPlan::builder(0).dead_pe(Coord::new(0, 3)).build());
+        let a = m.place(Coord::ORIGIN, 1u8);
+        let err = m.try_send(&a, Coord::new(0, 3)).unwrap_err();
+        assert!(matches!(err, SpatialError::DeadPe { .. }));
+        assert_eq!(m.energy(), 0, "failed strict send charges nothing");
+        assert!(m.violation().is_none(), "strict errors are returned, not latched");
+    }
+
+    #[test]
+    fn infallible_send_to_dead_pe_latches_and_counts_a_hit() {
+        let mut m = Machine::new();
+        m.enable_faults(FaultPlan::builder(0).dead_pe(Coord::new(0, 3)).build());
+        let a = m.place(Coord::ORIGIN, 1u8);
+        let b = m.send(&a, Coord::new(0, 3)); // absorbed: simulation continues
+        assert_eq!(b.loc(), Coord::new(0, 3));
+        assert_eq!(m.fault_hits(), 1);
+        assert!(matches!(m.violation(), Some(SpatialError::DeadPe { .. })));
+    }
+
+    #[test]
+    fn guard_extent_rejects_out_of_bounds_traffic() {
+        let mut m = Machine::new();
+        m.enable_guard(ModelGuard::new().extent(SubGrid::square(Coord::ORIGIN, 4)));
+        assert!(m.try_place(Coord::new(4, 0), 1u8).is_err());
+        let a = m.try_place(Coord::new(3, 3), 1u8).unwrap();
+        let err = m.try_send(&a, Coord::new(0, 4)).unwrap_err();
+        assert!(matches!(err, SpatialError::OutOfBounds { .. }));
+        assert_eq!(m.energy(), 0);
+    }
+
+    #[test]
+    fn guard_mem_cap_is_a_hard_cap() {
+        let mut m = Machine::new();
+        m.enable_guard(ModelGuard::new().mem_cap(2));
+        let _a = m.try_place(Coord::ORIGIN, 1u8).unwrap();
+        let _b = m.try_place(Coord::ORIGIN, 2u8).unwrap();
+        let err = m.try_place(Coord::ORIGIN, 3u8).unwrap_err();
+        assert_eq!(err, SpatialError::MemoryExceeded { loc: Coord::ORIGIN, resident: 2, cap: 2 });
+        // The lax API absorbs and latches instead.
+        let _c = m.place(Coord::ORIGIN, 3u8);
+        assert!(matches!(m.violation(), Some(SpatialError::MemoryExceeded { .. })));
+    }
+
+    #[test]
+    fn guard_energy_budget_trips_on_the_crossing_send() {
+        let mut m = Machine::new();
+        m.enable_guard(ModelGuard::new().max_energy(5));
+        let a = m.place(Coord::ORIGIN, 1u8);
+        let b = m.try_send(&a, Coord::new(0, 4)).expect("within budget");
+        let err = m.try_send(&b, Coord::new(0, 8)).unwrap_err();
+        assert_eq!(
+            err,
+            SpatialError::BudgetExceeded {
+                metric: crate::BudgetMetric::Energy,
+                used: 8,
+                budget: 5
+            }
+        );
+    }
+
+    #[test]
+    fn guarded_converts_latched_violations_into_errors() {
+        let mut m = Machine::new();
+        m.enable_guard(ModelGuard::new().max_messages(1));
+        let res: Result<(), SpatialError> = m.guarded(|m| {
+            let a = m.place(Coord::ORIGIN, 1u8);
+            let b = m.send(&a, Coord::new(0, 1));
+            let _ = m.send(&b, Coord::new(0, 2)); // second message: over budget
+        });
+        assert!(matches!(res, Err(SpatialError::BudgetExceeded { .. })));
+        // A pre-latched violation short-circuits subsequent guarded calls.
+        assert!(m.guarded(|_| ()).is_err());
+        m.take_violation();
+        assert!(m.guarded(|_| ()).is_ok());
+    }
+
+    #[test]
+    fn fault_costs_are_bit_deterministic_per_seed() {
+        let run = |attempt: u32| {
+            let mut m = Machine::new();
+            let plan = FaultPlan::builder(42).dead_row(2).degraded_row(5).flaky(0.3).build();
+            m.enable_faults(plan.for_attempt(attempt));
+            let mut v = m.place(Coord::ORIGIN, 0i64);
+            for i in 1..32 {
+                v = m.send_owned(v, Coord::new(i % 7, i % 5));
+            }
+            (m.report(), m.fault_hits(), m.detour_energy())
+        };
+        assert_eq!(run(0), run(0));
+        assert_eq!(run(3), run(3));
+        let ((c0, h0, _), (c1, h1, _)) = (run(0), run(1));
+        assert_eq!(c0, c1, "attempt salt only re-rolls corruption, not routes");
+        assert_ne!(h0, h1, "expected different corruption draws across attempts");
+    }
+
+    #[test]
+    fn move_within_cap_at_same_pe_is_not_a_violation() {
+        let mut m = Machine::new();
+        m.enable_guard(ModelGuard::new().mem_cap(1));
+        let a = m.try_place(Coord::ORIGIN, 1u8).unwrap();
+        // A move frees the source before storing at the destination, so a
+        // full PE can still forward its word.
+        let b = m.try_send_owned(a, Coord::new(0, 1)).unwrap();
+        assert_eq!(m.memory().unwrap().resident(Coord::ORIGIN), 0);
+        let _ = b;
     }
 }

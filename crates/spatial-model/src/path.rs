@@ -25,19 +25,13 @@ impl Path {
     /// depends on both operands.
     #[inline]
     pub fn join(self, other: Path) -> Path {
-        Path {
-            depth: self.depth.max(other.depth),
-            distance: self.distance.max(other.distance),
-        }
+        Path { depth: self.depth.max(other.depth), distance: self.distance.max(other.distance) }
     }
 
     /// Extends the path by one message of length `d`.
     #[inline]
     pub fn step(self, d: u64) -> Path {
-        Path {
-            depth: self.depth + 1,
-            distance: self.distance + d,
-        }
+        Path { depth: self.depth + 1, distance: self.distance + d }
     }
 
     /// Joins an iterator of paths (identity: [`Path::ZERO`]).

@@ -36,6 +36,12 @@ impl<T> Tracked<T> {
         self.value
     }
 
+    /// Decomposes into `(value, loc, path)` for the machine's send path.
+    #[inline]
+    pub(crate) fn into_parts(self) -> (T, Coord, Path) {
+        (self.value, self.loc, self.path)
+    }
+
     /// The PE the value resides at.
     #[inline]
     pub fn loc(&self) -> Coord {
@@ -58,7 +64,11 @@ impl<T> Tracked<T> {
     /// # Panics
     /// Panics if the operands reside at different PEs — cross-PE data flow
     /// must go through [`crate::Machine::send`].
-    pub fn zip_with<U: Clone, R>(&self, other: &Tracked<U>, f: impl FnOnce(&T, &U) -> R) -> Tracked<R> {
+    pub fn zip_with<U: Clone, R>(
+        &self,
+        other: &Tracked<U>,
+        f: impl FnOnce(&T, &U) -> R,
+    ) -> Tracked<R> {
         assert_eq!(
             self.loc, other.loc,
             "local compute requires co-located operands ({} vs {})",

@@ -155,10 +155,22 @@ mod tests {
         // On a 4×4 grid, the paper's Z-order visits the top-left 2×2 quadrant
         // first (itself in Z-order), then top-right, bottom-left, bottom-right.
         let expect = [
-            (0, 0), (0, 1), (1, 0), (1, 1), // top-left quadrant
-            (0, 2), (0, 3), (1, 2), (1, 3), // top-right quadrant
-            (2, 0), (2, 1), (3, 0), (3, 1), // bottom-left quadrant
-            (2, 2), (2, 3), (3, 2), (3, 3), // bottom-right quadrant
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (1, 1), // top-left quadrant
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3), // top-right quadrant
+            (2, 0),
+            (2, 1),
+            (3, 0),
+            (3, 1), // bottom-left quadrant
+            (2, 2),
+            (2, 3),
+            (3, 2),
+            (3, 3), // bottom-right quadrant
         ];
         for (z, &(r, c)) in expect.iter().enumerate() {
             assert_eq!(decode(z as u64), (r, c), "z = {z}");

@@ -105,10 +105,7 @@ fn manhattan_triangle_inequality() {
 #[test]
 fn path_join_is_lattice_like() {
     check("path_join_is_lattice_like", |g: &mut Gen| {
-        let path = |g: &mut Gen| Path {
-            depth: g.int(0u64..1000),
-            distance: g.int(0u64..1000),
-        };
+        let path = |g: &mut Gen| Path { depth: g.int(0u64..1000), distance: g.int(0u64..1000) };
         let (a, b, c) = (path(g), path(g), path(g));
         prop_assert_eq!(a.join(b), b.join(a));
         prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
@@ -124,8 +121,7 @@ fn send_chain_accounting_is_exact() {
         // A single chain of sends: energy = distance = sum of hop lengths,
         // depth = number of hops.
         let n_hops = g.size(1..20);
-        let hops: Vec<(i64, i64)> =
-            g.vec(n_hops, |g| (g.int(-50i64..50), g.int(-50i64..50)));
+        let hops: Vec<(i64, i64)> = g.vec(n_hops, |g| (g.int(-50i64..50), g.int(-50i64..50)));
         let mut m = Machine::new();
         let mut cur = m.place(Coord::ORIGIN, 0u8);
         let mut expect = 0u64;

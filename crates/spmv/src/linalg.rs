@@ -80,12 +80,8 @@ impl SpatialVector {
     pub fn dot(&self, other: &SpatialVector, machine: &mut Machine) -> f64 {
         assert_eq!(self.lo, other.lo, "dot needs co-located vectors");
         assert_eq!(self.len(), other.len());
-        let prods: Vec<Tracked<f64>> = self
-            .items
-            .iter()
-            .zip(&other.items)
-            .map(|(a, b)| a.zip_with(b, |x, y| x * y))
-            .collect();
+        let prods: Vec<Tracked<f64>> =
+            self.items.iter().zip(&other.items).map(|(a, b)| a.zip_with(b, |x, y| x * y)).collect();
         let total = reduce_z(machine, prods, self.lo, &|x, y| x + y);
         let v = *total.value();
         let copies = broadcast_z(machine, total, self.lo, self.lo + self.len() as u64);

@@ -12,7 +12,7 @@
 //! Total: `O(m^{3/2})` energy, `O(log³ n)` depth, `O(√m)` distance —
 //! dominated by the two sorts (Theorem V.8) and the scans (Lemma IV.3).
 
-use spatial_model::{zorder, Cost, Machine, Tracked};
+use spatial_model::{zorder, Cost, Machine, SpatialError, Tracked};
 
 use collectives::segmented::{segmented_scan, SegItem};
 use sorting::mergesort::sort_z;
@@ -57,6 +57,16 @@ pub struct SpmvOutput<V> {
     pub cost: Cost,
 }
 
+/// Fallible [`spmv`]: runs under the machine's active guard/fault layer
+/// and surfaces any violation as a typed [`SpatialError`].
+pub fn try_spmv<V: Scalar>(
+    machine: &mut Machine,
+    a: &Coo<V>,
+    x: &[V],
+) -> Result<SpmvOutput<V>, SpatialError> {
+    machine.guarded(|m| spmv(m, a, x))
+}
+
 /// Computes `y = A·x` on the Spatial Computer Model.
 ///
 /// The `m` triples are placed on the Z-segment `[0, m̃)` (padded size) in
@@ -95,10 +105,8 @@ pub fn spmv<V: Scalar>(machine: &mut Machine, a: &Coo<V>, x: &[V]) -> SpmvOutput
         .iter()
         .enumerate()
         .map(|(i, &(row, col, val))| {
-            machine.place(
-                zorder::coord_of(i as u64),
-                Entry { key: col, row, col, val, uid: i as u64 },
-            )
+            machine
+                .place(zorder::coord_of(i as u64), Entry { key: col, row, col, val, uid: i as u64 })
         })
         .collect();
     let xs: Vec<Tracked<V>> = x
@@ -193,10 +201,8 @@ pub fn spmv<V: Scalar>(machine: &mut Machine, a: &Coo<V>, x: &[V]) -> SpmvOutput
         machine.discard(e);
     }
 
-    let y: Vec<V> = y_cells
-        .into_iter()
-        .map(|c| c.map_or(V::default(), |t| t.into_value()))
-        .collect();
+    let y: Vec<V> =
+        y_cells.into_iter().map(|c| c.map_or(V::default(), |t| t.into_value())).collect();
     let cost = machine.report() - before;
     SpmvOutput { y, cost }
 }
@@ -233,7 +239,11 @@ impl<V> PartialOrd for MultiEntry<V> {
 /// message (still O(1) for a constant channel count, e.g. GNN feature
 /// widths). Compared with `d` independent [`spmv`] calls this removes
 /// `d − 1` sorts; the `fig_spmm` benchmark quantifies the saving.
-pub fn spmv_multi<V: Scalar>(machine: &mut Machine, a: &Coo<V>, xs: &[Vec<V>]) -> (Vec<Vec<V>>, Cost) {
+pub fn spmv_multi<V: Scalar>(
+    machine: &mut Machine,
+    a: &Coo<V>,
+    xs: &[Vec<V>],
+) -> (Vec<Vec<V>>, Cost) {
     let d = xs.len();
     assert!(d >= 1, "at least one channel");
     for x in xs {
@@ -257,7 +267,8 @@ pub fn spmv_multi<V: Scalar>(machine: &mut Machine, a: &Coo<V>, xs: &[Vec<V>]) -
         .iter()
         .enumerate()
         .map(|(i, &(row, col, val))| {
-            machine.place(zorder::coord_of(i as u64), Entry { key: col, row, col, val, uid: i as u64 })
+            machine
+                .place(zorder::coord_of(i as u64), Entry { key: col, row, col, val, uid: i as u64 })
         })
         .collect();
     let xcells: Vec<Tracked<Vec<V>>> = (0..a.n_cols)
@@ -501,9 +512,8 @@ mod tests {
     fn multi_channel_matches_per_channel() {
         let n = 64usize;
         let a = pseudo_matrix(n, 4, 5);
-        let xs: Vec<Vec<i64>> = (0..3)
-            .map(|c| (0..n as i64).map(|i| (i * (c + 2)) % 11 - 5).collect())
-            .collect();
+        let xs: Vec<Vec<i64>> =
+            (0..3).map(|c| (0..n as i64).map(|i| (i * (c + 2)) % 11 - 5).collect()).collect();
         let mut m = Machine::new();
         let (ys, _) = spmv_multi(&mut m, &a, &xs);
         for (c, x) in xs.iter().enumerate() {

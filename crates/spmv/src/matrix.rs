@@ -19,7 +19,10 @@ impl<V: Scalar> Coo<V> {
     /// Builds a COO matrix, validating the coordinates.
     pub fn new(n_rows: usize, n_cols: usize, entries: Vec<(u32, u32, V)>) -> Self {
         for &(r, c, _) in &entries {
-            assert!((r as usize) < n_rows && (c as usize) < n_cols, "entry ({r},{c}) out of bounds");
+            assert!(
+                (r as usize) < n_rows && (c as usize) < n_cols,
+                "entry ({r},{c}) out of bounds"
+            );
         }
         Coo { n_rows, n_cols, entries }
     }
@@ -136,11 +139,7 @@ mod tests {
     use super::*;
 
     fn example() -> Coo<i64> {
-        Coo::new(
-            3,
-            4,
-            vec![(0, 0, 2), (0, 3, 1), (1, 1, -1), (2, 0, 5), (2, 2, 3), (2, 3, 4)],
-        )
+        Coo::new(3, 4, vec![(0, 0, 2), (0, 3, 1), (1, 1, -1), (2, 0, 5), (2, 2, 3), (2, 3, 4)])
     }
 
     #[test]

@@ -126,7 +126,13 @@ impl PramProgram for SpmvProgram {
         }
         None
     }
-    fn execute(&self, t: usize, pid: usize, state: &mut SpmvState, read: Option<Word>) -> Option<(usize, Word)> {
+    fn execute(
+        &self,
+        t: usize,
+        pid: usize,
+        state: &mut SpmvState,
+        read: Option<Word>,
+    ) -> Option<(usize, Word)> {
         if pid >= self.m() {
             return None;
         }
@@ -182,7 +188,13 @@ impl PramProgram for WithX<'_> {
     fn read_addr(&self, t: usize, pid: usize, s: &SpmvState) -> Option<usize> {
         self.inner.read_addr(t, pid, s)
     }
-    fn execute(&self, t: usize, pid: usize, s: &mut SpmvState, read: Option<Word>) -> Option<(usize, Word)> {
+    fn execute(
+        &self,
+        t: usize,
+        pid: usize,
+        s: &mut SpmvState,
+        read: Option<Word>,
+    ) -> Option<(usize, Word)> {
         self.inner.execute(t, pid, s, read)
     }
 }

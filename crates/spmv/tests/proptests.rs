@@ -12,9 +12,8 @@ use spmv::{spmv, Coo};
 fn coo_and_x(g: &mut Gen) -> (Coo<i64>, Vec<i64>) {
     let n = g.size(2..24);
     let nnz = g.size(0..4 * n);
-    let entries: Vec<(u32, u32, i64)> = g.vec(nnz, |g| {
-        (g.int(0u32..n as u32), g.int(0u32..n as u32), g.int(-9i64..9))
-    });
+    let entries: Vec<(u32, u32, i64)> =
+        g.vec(nnz, |g| (g.int(0u32..n as u32), g.int(0u32..n as u32), g.int(-9i64..9)));
     let x = g.vec_i64(n..n + 1, -9..=8);
     (Coo::new(n, n, entries), x)
 }

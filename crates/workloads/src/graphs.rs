@@ -40,10 +40,7 @@ pub fn powerlaw_graph(n: usize, edges_per_node: usize, seed: u64) -> Coo<f64> {
             outdeg[v] = 1;
         }
     }
-    let entries = adj
-        .into_iter()
-        .map(|(s, d)| (d, s, 1.0 / outdeg[s as usize] as f64))
-        .collect();
+    let entries = adj.into_iter().map(|(s, d)| (d, s, 1.0 / outdeg[s as usize] as f64)).collect();
     Coo::new(n, n, entries)
 }
 

@@ -122,7 +122,12 @@ mod tests {
     fn zipf_rows_are_skewed() {
         let a = zipf_rows(64, 8, 3);
         let count = |r: u32| a.entries.iter().filter(|e| e.0 == r).count();
-        assert!(count(0) > 4 * count(63).max(1), "hub row should dominate: {} vs {}", count(0), count(63));
+        assert!(
+            count(0) > 4 * count(63).max(1),
+            "hub row should dominate: {} vs {}",
+            count(0),
+            count(63)
+        );
     }
 
     #[test]

@@ -80,9 +80,7 @@ fn banded_matrix_stays_in_band() {
             prop_assert!((r - c).unsigned_abs() as usize <= hb, "({r},{c}) outside band {hb}");
         }
         // Every in-band position present exactly once.
-        let expect: usize = (0..n)
-            .map(|r| (r + hb).min(n - 1) - r.saturating_sub(hb) + 1)
-            .sum();
+        let expect: usize = (0..n).map(|r| (r + hb).min(n - 1) - r.saturating_sub(hb) + 1).sum();
         prop_assert_eq!(a.nnz(), expect);
         Ok(())
     });

@@ -15,6 +15,7 @@
 
 use spatial_dataflow::prelude::*;
 use spatial_dataflow::spmv::SpatialVector;
+use spatial_dataflow::verify::ensure;
 use workloads::poisson_2d;
 
 fn main() {
@@ -64,6 +65,6 @@ fn main() {
     let ax = a.multiply_dense(&x.values());
     let max_err = ax.iter().zip(&b).map(|(u, v)| (u - v).abs()).fold(0.0f64, f64::max);
     println!("\nconverged in {iters} iterations; max |A·x − b| = {max_err:.3e}");
-    assert!(max_err < 1e-5, "CG failed to solve the system");
+    ensure(max_err < 1e-5, format_args!("CG failed to solve the system (max err {max_err:.3e})"));
     println!("total model cost of the whole solve: {}", machine.report());
 }

@@ -11,6 +11,7 @@
 
 use spatial_dataflow::gnn::{Features, GraphConv, SortPoolNet, SortPooling};
 use spatial_dataflow::prelude::*;
+use spatial_dataflow::verify::ensure;
 use workloads::powerlaw_graph;
 
 fn main() {
@@ -23,9 +24,8 @@ fn main() {
     for &(dst, _, _) in &graph.entries {
         indeg[dst as usize] += 1.0;
     }
-    let input: Vec<Vec<f64>> = (0..n)
-        .map(|i| vec![1.0, indeg[i] / 4.0, ((i % 16) as f64) / 16.0])
-        .collect();
+    let input: Vec<Vec<f64>> =
+        (0..n).map(|i| vec![1.0, indeg[i] / 4.0, ((i % 16) as f64) / 16.0]).collect();
 
     let net = SortPoolNet {
         layers: vec![
@@ -57,13 +57,16 @@ fn main() {
     // The spatial SpMV sums rows in segmented-scan order, the host in COO
     // order — identical up to floating-point associativity.
     let mut max_err = 0.0f64;
-    assert_eq!(pooled.len(), expect.len());
+    ensure(pooled.len() == expect.len(), "pooled row count differs from host reference");
     for (a, b) in pooled.iter().zip(&expect) {
         for (x, y) in a.iter().zip(b) {
             max_err = max_err.max((x - y).abs());
         }
     }
-    assert!(max_err < 1e-9, "spatial forward pass deviates from host reference by {max_err}");
+    ensure(
+        max_err < 1e-9,
+        format_args!("spatial forward pass deviates from host reference by {max_err}"),
+    );
 
     println!("\npooled top-{} nodes (readout channel ascending):", pooled.len());
     for row in &pooled {

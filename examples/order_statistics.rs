@@ -12,6 +12,7 @@
 
 use spatial_dataflow::prelude::*;
 use spatial_dataflow::selection::quantiles;
+use spatial_dataflow::verify::ensure;
 
 fn main() {
     let n = 16384usize;
@@ -26,7 +27,8 @@ fn main() {
     let mut machine = Machine::new();
     let items = place_z(&mut machine, 0, data.clone());
     let summary = quantiles(&mut machine, 0, &items, &[0.25, 0.5, 0.75, 1.0], 9);
-    let (min, _) = spatial_dataflow::selection::select_rank_values(&mut machine, 0, data.clone(), 1, 11);
+    let (min, _) =
+        spatial_dataflow::selection::select_rank_values(&mut machine, 0, data.clone(), 1, 11);
     let select_cost = machine.report();
 
     println!("five-number summary of {n} skewed samples (selection, Θ(n) energy each):");
@@ -38,17 +40,20 @@ fn main() {
     // Verify against a host sort.
     let mut sorted = data.clone();
     sorted.sort_unstable();
-    assert_eq!(min, sorted[0]);
+    ensure(min == sorted[0], "minimum differs from host reference");
     for (q, v) in &summary {
         let k = ((q * n as f64).ceil() as usize).clamp(1, n);
-        assert_eq!(*v, sorted[k - 1], "quantile {q}");
+        ensure(*v == sorted[k - 1], format_args!("quantile {q} differs from host reference"));
     }
 
     // The skew shows up as mean >> median.
     let mean = data.iter().sum::<i64>() / n as i64;
     let median = summary[1].1;
-    println!("\n  mean = {mean} vs median = {median} (right-skew: mean/median = {:.2})", mean as f64 / median as f64);
-    assert!(mean > median);
+    println!(
+        "\n  mean = {mean} vs median = {median} (right-skew: mean/median = {:.2})",
+        mean as f64 / median as f64
+    );
+    ensure(mean > median, "skewed input: mean should exceed median");
 
     // Cost comparison vs the sort-everything alternative.
     let mut m_sort = Machine::new();
@@ -60,5 +65,5 @@ fn main() {
         "selection computed the summary with {:.1}x less energy",
         m_sort.energy() as f64 / select_cost.energy as f64
     );
-    assert!(select_cost.energy < m_sort.energy());
+    ensure(select_cost.energy < m_sort.energy(), "selection should beat a full sort on energy");
 }

@@ -10,6 +10,7 @@
 //! ```
 
 use spatial_dataflow::prelude::*;
+use spatial_dataflow::verify::ensure;
 use workloads::poisson_2d;
 
 fn main() {
@@ -38,10 +39,7 @@ fn main() {
         if sweep % 5 == 0 || sweep == sweeps - 1 {
             println!("sweep {sweep:3}: ‖b - Au‖₂ = {residual:.6e}   cost [{}]", au.cost);
         }
-        assert!(
-            residual < last_residual * 1.0001,
-            "Jacobi must not diverge on the Laplacian"
-        );
+        ensure(residual < last_residual * 1.0001, "Jacobi must not diverge on the Laplacian");
         last_residual = residual;
     }
 
@@ -54,7 +52,7 @@ fn main() {
         }
     }
     let max_err = u.iter().zip(&u_ref).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max);
-    assert!(max_err < 1e-12, "spatial Jacobi deviates from host Jacobi by {max_err}");
+    ensure(max_err < 1e-12, format_args!("spatial Jacobi deviates from host Jacobi by {max_err}"));
 
     println!("\nsolution peak u[center] = {:.6}", u[side * side / 2 + side / 2]);
     println!("verified against host Jacobi (max |Δ| = {max_err:.2e})");

@@ -7,6 +7,7 @@
 
 use spatial_dataflow::prelude::*;
 use spatial_dataflow::theory::{self, Metric};
+use spatial_dataflow::verify::ensure;
 
 fn show(name: &str, n: u64, cost: Cost, bound: impl Fn(Metric) -> theory::Shape) {
     println!("{name} (n = {n})");
@@ -29,21 +30,21 @@ fn main() {
     let items = place_z(&mut m, 0, vals.clone());
     let sums = scan(&mut m, 0, items, &|a, b| a + b);
     let expect: i64 = vals.iter().sum();
-    assert_eq!(*read_values(sums).last().unwrap(), expect);
+    ensure(*read_values(sums).last().unwrap() == expect, "scan total differs from host sum");
     show("Parallel scan", n as u64, m.report(), theory::scan_bound);
 
     // --- 2D Mergesort (§V.C) -----------------------------------------------
     let mut m = Machine::new();
     let items = place_z(&mut m, 0, vals.clone());
     let sorted = sort_z_values(&mut m, 0, items);
-    assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    ensure(sorted.windows(2).all(|w| w[0] <= w[1]), "sort output is not ascending");
     show("2D Mergesort", n as u64, m.report(), theory::sorting_bound);
 
     // --- Rank selection (§VI) ----------------------------------------------
     let mut m = Machine::new();
     let k = n as u64 / 2;
     let (median, stats) = select_rank_values(&mut m, 0, vals.clone(), k, 42);
-    assert_eq!(median, sorted[(k - 1) as usize]);
+    ensure(median == sorted[(k - 1) as usize], "selected median differs from host reference");
     show("Rank selection (median)", n as u64, m.report(), theory::selection_bound);
     println!(
         "  selection details: {} sampling iterations, active counts {:?}",
@@ -79,7 +80,7 @@ fn main() {
     let x: Vec<i64> = (0..a.n_cols as i64).map(|i| i % 13).collect();
     let mut m = Machine::new();
     let out = spmv(&mut m, &a, &x);
-    assert_eq!(out.y, a.multiply_dense(&x));
+    ensure(out.y == a.multiply_dense(&x), "SpMV product differs from the dense reference");
     show("SpMV (Poisson stencil)", a.nnz() as u64, out.cost, theory::spmv_bound);
 
     println!("All outputs verified against host references.");

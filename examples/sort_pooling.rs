@@ -17,6 +17,7 @@
 //! ```
 
 use spatial_dataflow::prelude::*;
+use spatial_dataflow::verify::ensure;
 
 fn main() {
     let n = 4096usize;
@@ -28,11 +29,12 @@ fn main() {
     // --- Fast path: selection + small sort ----------------------------------
     let mut machine = Machine::new();
     // k-th largest = rank n-k+1 smallest.
-    let (threshold, stats) = select_rank_values(&mut machine, 0, scores.clone(), (n - k + 1) as u64, 7);
+    let (threshold, stats) =
+        select_rank_values(&mut machine, 0, scores.clone(), (n - k + 1) as u64, 7);
     // Keep nodes at or above the threshold (exactly k of them for distinct
     // scores), then sort just those k.
     let selected: Vec<i64> = scores.iter().copied().filter(|&s| s >= threshold).collect();
-    assert_eq!(selected.len(), k, "distinct scores select exactly k nodes");
+    ensure(selected.len() == k, "distinct scores select exactly k nodes");
     let items = place_z(&mut machine, 0, selected);
     let pooled = sort_z_values(&mut machine, 0, items);
     let fast_cost = machine.report();
@@ -44,7 +46,7 @@ fn main() {
     let naive_pooled: Vec<i64> = all_sorted[n - k..].to_vec();
     let naive_cost = machine_naive.report();
 
-    assert_eq!(pooled, naive_pooled, "both paths must pool the same nodes");
+    ensure(pooled == naive_pooled, "both paths must pool the same nodes");
 
     println!("sort pooling over {n} nodes, keep top k = {k}");
     println!("  threshold score (rank selection, {} iterations): {threshold}", stats.iterations);
@@ -54,5 +56,5 @@ fn main() {
     println!("  full n-sort:        {naive_cost}");
     let saving = naive_cost.energy as f64 / fast_cost.energy as f64;
     println!("  energy saving: {saving:.1}x (paper: Θ(n^{{3/2}}) vs Θ(n) + Θ(k^{{3/2}}))");
-    assert!(saving > 2.0, "selection-based pooling should be substantially cheaper");
+    ensure(saving > 2.0, "selection-based pooling should be substantially cheaper");
 }

@@ -12,6 +12,7 @@
 
 use spatial_dataflow::model::{zorder, Coord, Machine, SubGrid};
 use spatial_dataflow::prelude::*;
+use spatial_dataflow::verify::ensure;
 
 fn main() {
     z_order_curve();
@@ -24,9 +25,7 @@ fn z_order_curve() {
     println!("Z-order curve on an 8x8 grid (cell = visit index):\n");
     let side = 8u64;
     for r in 0..side {
-        let row: Vec<String> = (0..side)
-            .map(|c| format!("{:3}", zorder::encode(r, c)))
-            .collect();
+        let row: Vec<String> = (0..side).map(|c| format!("{:3}", zorder::encode(r, c))).collect();
         println!("  {}", row.join(" "));
     }
     println!();
@@ -41,7 +40,10 @@ fn scan_trace() {
     m.enable_trace(1 << 20);
     let items = place_z(&mut m, 0, (1..=n as i64).collect());
     let out = scan(&mut m, 0, items, &|a, b| a + b);
-    assert_eq!(*read_values(out).last().unwrap(), (n * (n + 1) / 2) as i64);
+    ensure(
+        *read_values(out).last().unwrap() == (n * (n + 1) / 2) as i64,
+        "scan total differs from the closed form",
+    );
 
     let mut counts = vec![0u32; n];
     for rec in m.trace().unwrap().records() {

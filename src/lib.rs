@@ -22,16 +22,38 @@ pub use spatial_core::*;
 
 pub use gnn;
 
+/// End-to-end verification helper for examples and drivers: report the
+/// failed check on stderr and exit with code 3 (the same code the CLI uses
+/// for a failed host-reference verification) instead of panicking, so fault
+/// regressions are CI-visible as clean exit statuses.
+pub mod verify {
+    /// Exit code for a failed end-to-end verification.
+    pub const EXIT_VERIFY_FAILED: i32 = 3;
+
+    /// Checks a verification condition; on failure prints `msg` and exits 3.
+    pub fn ensure(cond: bool, msg: impl std::fmt::Display) {
+        if !cond {
+            eprintln!("verification FAILED: {msg}");
+            std::process::exit(EXIT_VERIFY_FAILED);
+        }
+    }
+}
+
 /// Convenient single-import surface for applications.
 pub mod prelude {
     pub use spatial_core::collectives::{
         all_reduce, broadcast, place_row_major, place_z, read_values, reduce, scan, scan_exclusive,
-        segmented_scan, SegItem,
+        segmented_scan, try_broadcast, try_scan, SegItem,
     };
-    pub use spatial_core::model::{Coord, Cost, Machine, Path, SubGrid, Tracked};
-    pub use spatial_core::selection::{select_median, select_rank, select_rank_values};
-    pub use spatial_core::sorting::{sort_row_major, sort_z, sort_z_values};
-    pub use spatial_core::spmv::{spmv, Coo, Csr};
+    pub use spatial_core::model::{
+        Coord, Cost, FaultPlan, Machine, ModelGuard, Path, SpatialError, SubGrid, Tracked,
+    };
+    pub use spatial_core::recovery::{checksum, checksum_i64, run_with_recovery, Recovered};
+    pub use spatial_core::selection::{
+        select_median, select_rank, select_rank_values, try_select_rank,
+    };
+    pub use spatial_core::sorting::{sort_row_major, sort_z, sort_z_values, try_sort_z};
+    pub use spatial_core::spmv::{spmv, try_spmv, Coo, Csr};
     pub use spatial_core::theory;
     pub use spatial_core::topk::{bottom_k, top_k};
 }

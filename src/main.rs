@@ -6,16 +6,37 @@
 //! cargo run --release -- select --n 65536 --k 100 --seed 7
 //! cargo run --release -- spmv   --n 1024 --nnz-per-row 4
 //! cargo run --release -- topk   --n 65536 --k 32
+//! cargo run --release -- sort   --n 4096 --faults 9:0.1
+//! cargo run --release -- scan   --n 4096 --budget 100000
 //! cargo run --release -- info
 //! ```
 //!
 //! Each subcommand runs the primitive on a generated workload, verifies the
 //! output against a host reference, and prints the exact Spatial Computer
 //! Model costs next to the paper's Table I bound.
+//!
+//! `--faults <seed>:<fraction>` injects a seeded hardware-fault plan (dead
+//! rows and degraded links over the input extent) and runs the primitive
+//! under checksum-verified recovery; `--budget <energy>` arms an energy
+//! budget guard. Violations exit with distinct codes instead of panicking:
+//!
+//! | code | meaning |
+//! |-----:|---------|
+//! | 0 | success |
+//! | 2 | usage error |
+//! | 3 | output failed host verification |
+//! | 4 | message targeted a dead PE |
+//! | 5 | message left the guard extent |
+//! | 6 | per-PE resident-word cap exceeded |
+//! | 7 | cost budget exceeded |
+//! | 8 | recovery retries exhausted |
 
 use spatial_dataflow::prelude::*;
+use spatial_dataflow::recovery::{run_with_recovery, EXIT_RECOVERY_EXHAUSTED};
 use spatial_dataflow::theory::{self, Metric, Shape};
 use workloads::ArrayKind;
+
+use spatial_dataflow::verify::EXIT_VERIFY_FAILED;
 
 fn usage() -> ! {
     eprintln!(
@@ -27,7 +48,13 @@ fn usage() -> ! {
            select  --n <int> [--k <rank>] [--kind ...] [--seed <int>]\n\
            topk    --n <int> [--k <count>] [--kind ...] [--seed <int>]\n\
            spmv    --n <int> [--nnz-per-row <int>] [--seed <int>]\n\
-           info    print the Table I bounds\n"
+           info    print the Table I bounds\n\
+         \n\
+         robustness options (any command):\n\
+           --faults <seed>:<fraction>  inject seeded dead/degraded rows over the input\n\
+                                       extent and run under checksum-verified recovery\n\
+           --budget <energy>           arm an energy budget guard (exit 7 on breach)\n\
+           --retries <int>             recovery retry cap (default 8)\n"
     );
     std::process::exit(2)
 }
@@ -38,11 +65,23 @@ struct Args {
     nnz_per_row: usize,
     seed: u64,
     kind: ArrayKind,
+    faults: Option<(u64, f64)>,
+    budget: Option<u64>,
+    retries: u32,
 }
 
 fn parse(mut argv: std::env::Args) -> (String, Args) {
     let cmd = argv.next().unwrap_or_else(|| usage());
-    let mut args = Args { n: 4096, k: 0, nnz_per_row: 4, seed: 1, kind: ArrayKind::Uniform };
+    let mut args = Args {
+        n: 4096,
+        k: 0,
+        nnz_per_row: 4,
+        seed: 1,
+        kind: ArrayKind::Uniform,
+        faults: None,
+        budget: None,
+        retries: 8,
+    };
     let mut it = argv.peekable();
     while let Some(flag) = it.next() {
         let mut val = || it.next().unwrap_or_else(|| usage());
@@ -53,26 +92,134 @@ fn parse(mut argv: std::env::Args) -> (String, Args) {
             "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
             "--kind" => {
                 let v = val();
-                args.kind = ArrayKind::ALL
-                    .into_iter()
-                    .find(|k| k.label() == v)
-                    .unwrap_or_else(|| usage());
+                args.kind =
+                    ArrayKind::ALL.into_iter().find(|k| k.label() == v).unwrap_or_else(|| usage());
             }
+            "--faults" => {
+                let v = val();
+                let (s, f) = v.split_once(':').unwrap_or_else(|| usage());
+                let seed = s.parse().unwrap_or_else(|_| usage());
+                let frac: f64 = f.parse().unwrap_or_else(|_| usage());
+                if !(0.0..=1.0).contains(&frac) {
+                    usage();
+                }
+                args.faults = Some((seed, frac));
+            }
+            "--budget" => args.budget = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--retries" => args.retries = val().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
     (cmd, args)
 }
 
-fn report(name: &str, n: u64, cost: Cost, bound: impl Fn(Metric) -> Shape) {
+/// Outcome of [`execute`]: the verified value plus run telemetry.
+struct Outcome<T> {
+    value: T,
+    cost: Cost,
+    attempts: u32,
+    detour_energy: u64,
+}
+
+/// Runs `run` under the robustness options in `a` (fault plan, budget guard,
+/// recovery retries), verifies with `verify`, and exits with the documented
+/// code on any failure. `extent_side` is the side of the Z-square the input
+/// occupies — the region the fault plan draws dead/degraded rows from.
+fn execute<T>(
+    a: &Args,
+    extent_side: u64,
+    mut run: impl FnMut(&mut Machine, u32) -> Result<T, SpatialError>,
+    mut verify: impl FnMut(&T) -> bool,
+) -> Outcome<T> {
+    let guard = a.budget.map(|e| ModelGuard::new().max_energy(e));
+    match a.faults {
+        None => {
+            let mut m = Machine::new();
+            if let Some(g) = guard {
+                m.enable_guard(g);
+            }
+            let value = match run(&mut m, 0) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(e.exit_code());
+                }
+            };
+            if let Some(e) = m.take_violation() {
+                eprintln!("error: {e}");
+                std::process::exit(e.exit_code());
+            }
+            if !verify(&value) {
+                eprintln!("error: output failed host verification");
+                std::process::exit(EXIT_VERIFY_FAILED);
+            }
+            Outcome { value, cost: m.report(), attempts: 1, detour_energy: 0 }
+        }
+        Some((fseed, frac)) => {
+            let extent = SubGrid::square(Coord::ORIGIN, extent_side.max(1));
+            let plan = spatial_dataflow::model::FaultPlan::builder(fseed)
+                .random_dead_rows(extent, frac)
+                .random_degraded_rows(extent, frac)
+                .build();
+            println!(
+                "fault plan (seed {fseed}): dead rows {:?}, degraded rows {:?}",
+                plan.dead_rows(),
+                plan.degraded_rows()
+            );
+            let result = run_with_recovery(
+                &plan,
+                a.retries,
+                |m, attempt| {
+                    if let Some(g) = guard {
+                        m.enable_guard(g);
+                    }
+                    run(m, attempt)
+                },
+                &mut verify,
+            );
+            match result {
+                Ok(rec) => Outcome {
+                    value: rec.value,
+                    cost: rec.cost,
+                    attempts: rec.attempts,
+                    detour_energy: rec.detour_energy,
+                },
+                Err(ex) => {
+                    eprintln!("error: {ex}");
+                    let code = match ex.last_error {
+                        Some(e) => e.exit_code(),
+                        None => EXIT_RECOVERY_EXHAUSTED,
+                    };
+                    std::process::exit(code);
+                }
+            }
+        }
+    }
+}
+
+fn report<T>(name: &str, n: u64, out: &Outcome<T>, bound: impl Fn(Metric) -> Shape) {
     println!("\n{name} (n = {n})");
-    println!("  measured: {cost}");
+    println!("  measured: {}", out.cost);
     println!(
         "  paper:    energy Θ({}), depth O({}), distance Θ({})",
         bound(Metric::Energy).label(),
         bound(Metric::Depth).label(),
         bound(Metric::Distance).label()
     );
+    if out.attempts > 1 || out.detour_energy > 0 {
+        println!(
+            "  faults:   {} attempt(s), detour energy {} ({:.2}% of total)",
+            out.attempts,
+            out.detour_energy,
+            100.0 * out.detour_energy as f64 / (out.cost.energy.max(1)) as f64
+        );
+    }
+}
+
+/// Side of the Z-order square holding `n` elements from index 0.
+fn z_side(n: u64) -> u64 {
+    let padded = spatial_dataflow::model::zorder::next_power_of_four(n.max(1));
+    (padded as f64).sqrt() as u64
 }
 
 fn main() {
@@ -86,24 +233,36 @@ fn main() {
             for i in 1..expect.len() {
                 expect[i] = expect[i].wrapping_add(expect[i - 1]);
             }
-            let mut m = Machine::new();
-            let items = place_z(&mut m, 0, vals);
-            let out = spatial_dataflow::collectives::scan::scan_any(&mut m, 0, items, &|x, y| {
-                x.wrapping_add(*y)
-            });
-            assert_eq!(read_values(out), expect, "scan output verified");
-            report("parallel scan", a.n as u64, m.report(), theory::scan_bound);
+            let out = execute(
+                &a,
+                z_side(a.n as u64),
+                |m, _| {
+                    let items = place_z(m, 0, vals.clone());
+                    spatial_dataflow::collectives::scan::try_scan_any(m, 0, items, &|x, y| {
+                        x.wrapping_add(*y)
+                    })
+                    .map(read_values)
+                },
+                |got| *got == expect,
+            );
+            report("parallel scan", a.n as u64, &out, theory::scan_bound);
             println!("  verified against the sequential prefix sum.");
         }
         "sort" => {
             let vals = a.kind.generate(a.n, a.seed);
             let mut expect = vals.clone();
             expect.sort_unstable();
-            let mut m = Machine::new();
-            let items = place_z(&mut m, 0, vals);
-            let got = sort_z_values(&mut m, 0, items);
-            assert_eq!(got, expect, "sort output verified");
-            report("2D mergesort", a.n as u64, m.report(), theory::sorting_bound);
+            let out = execute(
+                &a,
+                z_side(a.n as u64),
+                |m, _| {
+                    let items = place_z(m, 0, vals.clone());
+                    try_sort_z(m, 0, items)
+                        .map(|s| s.into_iter().map(Tracked::into_value).collect::<Vec<i64>>())
+                },
+                |got| *got == expect,
+            );
+            report("2D mergesort", a.n as u64, &out, theory::sorting_bound);
             println!("  verified against std sort ({} input).", a.kind.label());
         }
         "select" => {
@@ -111,10 +270,21 @@ fn main() {
             let vals = a.kind.generate(a.n, a.seed);
             let mut sorted = vals.clone();
             sorted.sort_unstable();
-            let mut m = Machine::new();
-            let (got, stats) = select_rank_values(&mut m, 0, vals, k, a.seed);
-            assert_eq!(got, sorted[(k - 1) as usize], "selection verified");
-            report("rank selection", a.n as u64, m.report(), theory::selection_bound);
+            let expect = sorted[(k - 1) as usize];
+            let out = execute(
+                &a,
+                z_side(a.n as u64),
+                |m, attempt| {
+                    let items = place_z(m, 0, vals.clone());
+                    // Fold the attempt index into the seed so a retry explores
+                    // a fresh pivot trajectory.
+                    let seed = a.seed ^ (u64::from(attempt) << 48);
+                    try_select_rank(m, 0, items, k, seed).map(|(t, stats)| (t.into_value(), stats))
+                },
+                |(got, _)| *got == expect,
+            );
+            report("rank selection", a.n as u64, &out, theory::selection_bound);
+            let (got, stats) = &out.value;
             println!(
                 "  rank {k} -> {got}; {} iterations, {} fallbacks, active counts {:?}",
                 stats.iterations, stats.fallbacks, stats.active_trajectory
@@ -126,26 +296,49 @@ fn main() {
             let mut sorted = vals.clone();
             sorted.sort_unstable();
             let expect: Vec<i64> = sorted[a.n - k as usize..].to_vec();
-            let mut m = Machine::new();
-            let items = place_z(&mut m, 0, vals);
-            let got: Vec<i64> = top_k(&mut m, 0, items, k, a.seed)
-                .into_iter()
-                .map(|t| t.into_value())
-                .collect();
-            assert_eq!(got, expect, "top-k verified");
-            println!("\ntop-{k} of {} elements: {:?}{}", a.n, &got[..got.len().min(8)], if got.len() > 8 { " …" } else { "" });
-            println!("  measured: {}", m.report());
+            let out = execute(
+                &a,
+                z_side(a.n as u64),
+                |m, attempt| {
+                    let items = place_z(m, 0, vals.clone());
+                    let seed = a.seed ^ (u64::from(attempt) << 48);
+                    m.guarded(|m| {
+                        top_k(m, 0, items, k, seed)
+                            .into_iter()
+                            .map(Tracked::into_value)
+                            .collect::<Vec<i64>>()
+                    })
+                },
+                |got| *got == expect,
+            );
+            println!(
+                "\ntop-{k} of {} elements: {:?}{}",
+                a.n,
+                &out.value[..out.value.len().min(8)],
+                if out.value.len() > 8 { " …" } else { "" }
+            );
+            println!("  measured: {}", out.cost);
+            if out.attempts > 1 || out.detour_energy > 0 {
+                println!(
+                    "  faults:   {} attempt(s), detour energy {}",
+                    out.attempts, out.detour_energy
+                );
+            }
             println!("  composition: Θ(n) selection + Θ(k^1.5) sort (vs Θ(n^1.5) for sorting everything)");
         }
         "spmv" => {
             let mat = workloads::random_uniform(a.n, a.nnz_per_row, a.seed);
             let x: Vec<i64> = (0..a.n as i64).map(|i| (i % 7) - 3).collect();
             let expect = mat.multiply_dense(&x);
-            let mut m = Machine::new();
-            let out = spmv(&mut m, &mat, &x);
-            assert_eq!(out.y, expect, "spmv verified");
-            report("sparse matrix-vector multiply", mat.nnz() as u64, out.cost, theory::spmv_bound);
-            println!("  verified against the dense reference (m = {} non-zeros).", mat.nnz());
+            let nnz = mat.nnz() as u64;
+            let out = execute(
+                &a,
+                z_side(nnz),
+                |m, _| try_spmv(m, &mat, &x).map(|o| o.y),
+                |y| *y == expect,
+            );
+            report("sparse matrix-vector multiply", nnz, &out, theory::spmv_bound);
+            println!("  verified against the dense reference (m = {nnz} non-zeros).");
         }
         "info" => {
             println!("Table I — Spatial Computer Model bounds (Gianinazzi et al., IPDPS 2025):");

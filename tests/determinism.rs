@@ -89,11 +89,8 @@ fn broadcast_is_deterministic() {
 fn segmented_scan_is_deterministic() {
     let v = vals(256, 7);
     assert_twice_identical("segmented_scan", |m| {
-        let items: Vec<_> = v
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| SegItem { value: x, head: i % 17 == 0 })
-            .collect();
+        let items: Vec<_> =
+            v.iter().enumerate().map(|(i, &x)| SegItem { value: x, head: i % 17 == 0 }).collect();
         let placed = place_z(m, 0, items);
         let out = segmented_scan(m, 0, placed, &|a, b| a + b);
         read_values(out)
@@ -123,4 +120,63 @@ fn workload_generators_are_deterministic() {
             workloads::graphs::rmat(4, 40, seed).entries
         );
     }
+}
+
+#[test]
+fn faulted_run_is_deterministic() {
+    // Same FaultPlan seed → bit-identical results, costs, detour meter,
+    // fault hits, and message trace. The fault layer adds two RNG-driven
+    // mechanisms (plan sampling at build time, per-message corruption at
+    // run time); both must be pure functions of the seed.
+    use spatial_dataflow::model::{Coord, FaultPlan, SubGrid};
+    let v = vals(256, 9);
+    let plan = || {
+        FaultPlan::builder(41)
+            .random_dead_rows(SubGrid::square(Coord::ORIGIN, 16), 0.15)
+            .random_degraded_rows(SubGrid::square(Coord::ORIGIN, 16), 0.1)
+            .flaky(0.001)
+            .build()
+    };
+    assert_eq!(plan(), plan(), "plan sampling must be deterministic");
+    assert_twice_identical("faulted sort_z", |m| {
+        m.enable_faults(plan());
+        let items = place_z(m, 0, v.clone());
+        let out = sort_z_values(m, 0, items);
+        (out, m.fault_hits(), m.detour_energy())
+    });
+}
+
+#[test]
+fn recovery_retry_counts_are_deterministic() {
+    // Two invocations of the full recovery harness with the same plan seed
+    // must agree on the retry count and every per-attempt cost snapshot.
+    use spatial_dataflow::model::FaultPlan;
+    use spatial_dataflow::recovery::run_with_recovery;
+    let v = vals(64, 10);
+    let expect: Vec<i64> = v
+        .iter()
+        .scan(0i64, |acc, &x| {
+            *acc = acc.wrapping_add(x);
+            Some(*acc)
+        })
+        .collect();
+    let go = || {
+        let plan = FaultPlan::builder(13).flaky(0.01).build();
+        run_with_recovery(
+            &plan,
+            100,
+            |m, _| {
+                let items = place_z(m, 0, v.clone());
+                spatial_dataflow::collectives::scan::try_scan_any(m, 0, items, &|a, b| {
+                    a.wrapping_add(*b)
+                })
+                .map(read_values)
+            },
+            |got| *got == expect,
+        )
+        .expect("recoverable")
+    };
+    let a = go();
+    let b = go();
+    assert_eq!(a, b, "recovery (value, attempts, costs, detour) must replay bit-for-bit");
 }

@@ -72,9 +72,8 @@ fn differential_spmv() {
     check_cfg(&cfg(), "differential_spmv", |g: &mut Gen| {
         let n = g.size(2..48);
         let nnz = g.size(0..4 * n);
-        let entries: Vec<(u32, u32, i64)> = g.vec(nnz, |g| {
-            (g.int(0u32..n as u32), g.int(0u32..n as u32), g.int(-9i64..=9))
-        });
+        let entries: Vec<(u32, u32, i64)> =
+            g.vec(nnz, |g| (g.int(0u32..n as u32), g.int(0u32..n as u32), g.int(-9i64..=9)));
         let a = Coo::new(n, n, entries.clone());
         let x = g.vec_i64(n..n + 1, -9..=9);
         // Sequential reference: accumulate entry-by-entry.

@@ -101,10 +101,7 @@ fn pram_simulation_runs_library_programs() {
     let layout = PramLayout::adjacent(prog.processors(), prog.memory_cells());
     let mut m1 = Machine::new();
     let mut m2 = Machine::new();
-    assert_eq!(
-        simulate_erew(&mut m1, &prog, layout)[0],
-        simulate_crcw(&mut m2, &prog, layout)[0]
-    );
+    assert_eq!(simulate_erew(&mut m1, &prog, layout)[0], simulate_crcw(&mut m2, &prog, layout)[0]);
     // CRCW pays for generality: more energy, more depth.
     assert!(m2.energy() > m1.energy());
     assert!(m2.report().depth > m1.report().depth);
