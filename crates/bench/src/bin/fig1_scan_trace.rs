@@ -27,7 +27,13 @@ fn main() {
     let sums = read_values(out);
     assert_eq!(*sums.last().unwrap(), (n * (n + 1) / 2) as i64);
 
-    let records = m.trace().unwrap().records().to_vec();
+    let records = match m.require_trace() {
+        Ok(t) => t.records().to_vec(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code());
+        }
+    };
     // The up-sweep happens first; it sends 4 messages per internal tree node
     // (total (n-1)/3 * 4 = 84 for n = 64). Everything after is down-sweep.
     let up_msgs = (n - 1) / 3 * 4;

@@ -6,7 +6,8 @@
 //! (b) Tall-grid sweep (`h × w`, fixed `w`): energy follows
 //!     `O(hw + h log h)`.
 
-use bench::{measure, pow4_sizes, sweep};
+use bench::{measure, pow4_sizes};
+use runner::{run_supervised, sweep_supervised, PoolConfig, Task, TaskOutcome};
 use spatial_core::collectives::naive::{naive_broadcast, naive_reduce};
 use spatial_core::collectives::zarray::place_row_major;
 use spatial_core::collectives::{broadcast, reduce};
@@ -15,26 +16,45 @@ use spatial_core::report::print_section;
 use spatial_core::theory::{self, Metric};
 
 fn main() {
+    let jobs = runner::default_workers();
     println!("Reproduction of Lemma IV.1 / Corollary IV.2 (and the §IV energy improvement).");
+    println!("(sweeps run on {jobs} supervised workers; override with SPATIAL_JOBS)");
 
     print_section("(a) Square broadcast: optimal vs binary-tree baseline");
     println!(
         "{:>10} {:>14} {:>14} {:>8} {:>10} {:>10}",
         "n", "opt energy", "naive energy", "ratio", "opt depth", "naive dep"
     );
+    // Both variants of one size form a single supervised task; the sizes
+    // fan out across the pool and come back in submission order.
+    let sizes = pow4_sizes(3, 9);
+    let tasks: Vec<Task<'_, _>> = sizes
+        .iter()
+        .map(|&n| Task {
+            deadline_ms: None,
+            run: Box::new(move |_| {
+                let side = (n as f64).sqrt() as u64;
+                let grid = SubGrid::square(Coord::ORIGIN, side);
+                let opt = measure(|m| {
+                    let root = m.place(grid.origin, 1i64);
+                    let _ = broadcast(m, root, grid);
+                });
+                let naive = measure(|m| {
+                    let root = m.place(grid.origin, 1i64);
+                    let _ = naive_broadcast(m, root, grid);
+                });
+                (opt, naive)
+            }),
+        })
+        .collect();
+    let cfg = PoolConfig { workers: jobs, ..Default::default() };
     let mut opt_sweep = spatial_core::report::Sweep::new("broadcast-opt");
     let mut naive_sweep = spatial_core::report::Sweep::new("broadcast-naive");
-    for &n in &pow4_sizes(3, 9) {
-        let side = (n as f64).sqrt() as u64;
-        let grid = SubGrid::square(Coord::ORIGIN, side);
-        let opt = measure(|m| {
-            let root = m.place(grid.origin, 1i64);
-            let _ = broadcast(m, root, grid);
-        });
-        let naive = measure(|m| {
-            let root = m.place(grid.origin, 1i64);
-            let _ = naive_broadcast(m, root, grid);
-        });
+    for (&n, outcome) in sizes.iter().zip(run_supervised(&cfg, tasks)) {
+        let (opt, naive) = match outcome {
+            TaskOutcome::Done(pair) => pair,
+            other => panic!("broadcast measurement at n = {n} failed: {other:?}"),
+        };
         opt_sweep.push(n, opt);
         naive_sweep.push(n, naive);
         println!(
@@ -64,7 +84,7 @@ fn main() {
     }
 
     print_section("(b) Reduce mirrors broadcast (reverse pattern)");
-    let s = sweep("reduce", &pow4_sizes(3, 9), |m, n| {
+    let s = sweep_supervised("reduce", jobs, &pow4_sizes(3, 9), |m, n| {
         let side = (n as f64).sqrt() as u64;
         let grid = SubGrid::square(Coord::ORIGIN, side);
         let items = place_row_major(m, grid, (0..n as i64).collect());

@@ -11,7 +11,8 @@
 //! | Rank Selection | Θ(n)       | O(log² n) | Θ(√n)    |
 //! | SpMV           | Θ(m^{3/2}) | O(log³ n) | Θ(√m)    |
 
-use bench::{pow4_sizes, print_sweep, pseudo, sweep};
+use bench::{pow4_sizes, print_sweep, pseudo};
+use runner::sweep_supervised;
 use spatial_core::collectives::{place_z, scan};
 use spatial_core::report::print_section;
 use spatial_core::selection::select_rank_values;
@@ -20,11 +21,17 @@ use spatial_core::spmv::spmv;
 use spatial_core::theory::{self, Metric};
 
 fn main() {
+    // Each sweep point runs on its own independent machine, so the sizes
+    // fan out across the supervised worker pool: identical measured costs,
+    // a fraction of the wall time, and a panicking measurement is contained
+    // and named instead of killing the whole table.
+    let jobs = runner::default_workers();
     println!("Reproduction of Table I: fitted scaling exponents vs paper bounds.");
     println!("(energy/distance: log-log fit; depth: metric / log^k n ratios must stay bounded)");
+    println!("(sweeps run on {jobs} supervised workers; override with SPATIAL_JOBS)");
 
     print_section("Table I row 1: Parallel Scan (Lemma IV.3)");
-    let s = sweep("scan", &pow4_sizes(4, 9), |m, n| {
+    let s = sweep_supervised("scan", jobs, &pow4_sizes(4, 9), |m, n| {
         let items = place_z(m, 0, pseudo(n as usize, 1));
         let _ = scan(m, 0, items, &|a, b| a + b);
     });
@@ -38,7 +45,7 @@ fn main() {
     );
 
     print_section("Table I row 2: Sorting / 2D Mergesort (Theorem V.8)");
-    let s = sweep("mergesort", &pow4_sizes(3, 7), |m, n| {
+    let s = sweep_supervised("mergesort", jobs, &pow4_sizes(3, 7), |m, n| {
         let items = place_z(m, 0, pseudo(n as usize, 2));
         let _ = sort_z(m, 0, items);
     });
@@ -55,7 +62,7 @@ fn main() {
     // Averaging over seeds smooths the sampling variance; the sweep reaches
     // 4^9 so the linear-energy regime dominates the fit.
     let seeds = 5u64;
-    let s = sweep("selection", &pow4_sizes(4, 9), |m, n| {
+    let s = sweep_supervised("selection", jobs, &pow4_sizes(4, 9), |m, n| {
         for seed in 0..seeds {
             let vals = pseudo(n as usize, 3);
             let (_, stats) = select_rank_values(m, 0, vals, n / 2, seed);
@@ -85,7 +92,7 @@ fn main() {
 
     print_section("Table I row 4: SpMV (Theorem VIII.2; uniform random, m = 4n)");
     // Sizes chosen so the padded matrix segment is well filled.
-    let s = sweep("spmv", &[920, 3900, 15800, 63800], |m, nnz| {
+    let s = sweep_supervised("spmv", jobs, &[920, 3900, 15800, 63800], |m, nnz| {
         let n = (nnz / 4) as usize;
         let a = workloads::random_uniform(n, 4, 5);
         let x: Vec<i64> = pseudo(n, 6);

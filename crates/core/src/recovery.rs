@@ -33,6 +33,7 @@
 //! compose sequentially along the critical path.
 
 use spatial_model::{Cost, FaultPlan, Machine, SpatialError};
+use spatial_rng::Rng;
 
 /// A successful [`run_with_recovery`] outcome.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -49,18 +50,33 @@ pub struct Recovered<T> {
     /// Fault-tolerance energy overhead of the final attempt: extra distance
     /// charged for dead-row detours and degraded links.
     pub detour_energy: u64,
+    /// Total milliseconds of backoff delay scheduled between attempts
+    /// (deterministically computed from the [`BackoffPolicy`]; 0 without
+    /// one).
+    pub backoff_ms: u64,
 }
 
 /// All attempts failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RecoveryExhausted {
-    /// Number of attempts executed (retry cap + 1).
+    /// Number of attempts executed (retry cap + 1, or fewer when the run
+    /// was cancelled — cancellation aborts the retry loop immediately).
     pub attempts: u32,
     /// Total cost sunk across the failed attempts.
     pub cost: Cost,
     /// The typed error of the last attempt, if it failed with one (`None`
     /// when the last attempt merely failed its checksum).
     pub last_error: Option<SpatialError>,
+    /// Total milliseconds of backoff delay scheduled between attempts.
+    pub backoff_ms: u64,
+}
+
+impl RecoveryExhausted {
+    /// Whether the retry loop stopped because the run's cancel token was
+    /// tripped (deadline exceeded) rather than because retries ran out.
+    pub fn cancelled(&self) -> bool {
+        matches!(self.last_error, Some(SpatialError::Cancelled))
+    }
 }
 
 impl std::fmt::Display for RecoveryExhausted {
@@ -76,8 +92,67 @@ impl std::fmt::Display for RecoveryExhausted {
 impl std::error::Error for RecoveryExhausted {}
 
 /// Process exit code for an exhausted recovery (the per-violation codes
-/// 4–7 belong to [`SpatialError::exit_code`]).
+/// 4–7 and the cancellation code 9 belong to [`SpatialError::exit_code`];
+/// 10 is the batch runner's load-shed code).
 pub const EXIT_RECOVERY_EXHAUSTED: i32 = 8;
+
+/// Exponential backoff with seeded jitter, applied between recovery
+/// attempts.
+///
+/// The delay before retry `attempt` (1-based; attempt 0 is the initial
+/// execution and never waits) is
+/// `min(base_ms · factor^(attempt-1), max_ms)`, scaled by a jitter factor
+/// drawn uniformly from `[1 - jitter, 1 + jitter]`. The jitter draw comes
+/// from [`spatial_rng`] seeded by `(backoff seed, attempt)`, so the
+/// *scheduled* delays — reported in [`Recovered::backoff_ms`] — are a pure
+/// function of the seed and bit-reproducible, even though the wall-clock
+/// sleep they drive is not. Jitter de-synchronizes retry storms when many
+/// jobs hit the same transient fault burst at once.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry, in milliseconds (0 disables waiting).
+    pub base_ms: u64,
+    /// Multiplier applied per further retry.
+    pub factor: u32,
+    /// Upper bound on a single delay, in milliseconds.
+    pub max_ms: u64,
+    /// Jitter half-width as a fraction of the delay, in `[0, 1]`.
+    pub jitter: f64,
+}
+
+impl BackoffPolicy {
+    /// No waiting between attempts (the [`run_with_recovery`] behaviour).
+    pub const NONE: BackoffPolicy = BackoffPolicy { base_ms: 0, factor: 2, max_ms: 0, jitter: 0.0 };
+
+    /// A production-shaped default: 5 ms doubling to a 200 ms cap, ±50%
+    /// jitter.
+    pub const DEFAULT: BackoffPolicy =
+        BackoffPolicy { base_ms: 5, factor: 2, max_ms: 200, jitter: 0.5 };
+
+    /// The deterministic scheduled delay before `attempt` (1-based), in
+    /// milliseconds.
+    pub fn delay_ms(&self, seed: u64, attempt: u32) -> u64 {
+        if self.base_ms == 0 || attempt == 0 {
+            return 0;
+        }
+        let mut delay = self.base_ms;
+        for _ in 1..attempt {
+            delay = delay.saturating_mul(u64::from(self.factor.max(1)));
+            if delay >= self.max_ms {
+                break;
+            }
+        }
+        delay = delay.min(self.max_ms.max(self.base_ms));
+        if self.jitter > 0.0 {
+            // One uniform draw per (seed, attempt): fixed-point arithmetic
+            // on a plain product keeps this reproducible across platforms.
+            let u = Rng::stream(seed ^ 0xBAC0_FF5E, u64::from(attempt)).gen_f64();
+            let scale = 1.0 - self.jitter.clamp(0.0, 1.0) * (1.0 - 2.0 * u);
+            delay = ((delay as f64) * scale).round() as u64;
+        }
+        delay
+    }
+}
 
 /// Runs `run` on a fresh fault-enabled [`Machine`] until an attempt passes
 /// the end-to-end `verify` checksum, retrying with salted attempt seeds up
@@ -104,13 +179,42 @@ pub const EXIT_RECOVERY_EXHAUSTED: i32 = 8;
 pub fn run_with_recovery<T>(
     plan: &FaultPlan,
     retry_cap: u32,
+    run: impl FnMut(&mut Machine, u32) -> Result<T, SpatialError>,
+    verify: impl FnMut(&T) -> bool,
+) -> Result<Recovered<T>, RecoveryExhausted> {
+    run_with_recovery_policy(plan, retry_cap, &BackoffPolicy::NONE, 0, run, verify)
+}
+
+/// [`run_with_recovery`] with exponential backoff between attempts.
+///
+/// `backoff_seed` seeds the jitter draws (see [`BackoffPolicy`]); the total
+/// *scheduled* delay is reported in `backoff_ms` of either result, so the
+/// supervision layer can price waiting as well as re-execution. The thread
+/// actually sleeps the scheduled delay before each retry.
+///
+/// One condition aborts the retry loop early rather than burning the
+/// remaining budget: an attempt failing with [`SpatialError::Cancelled`].
+/// The run's deadline is gone, so further attempts cannot help. Every other
+/// failure is worth re-salting and retrying, because the
+/// transient-corruption stream differs per attempt.
+pub fn run_with_recovery_policy<T>(
+    plan: &FaultPlan,
+    retry_cap: u32,
+    policy: &BackoffPolicy,
+    backoff_seed: u64,
     mut run: impl FnMut(&mut Machine, u32) -> Result<T, SpatialError>,
     mut verify: impl FnMut(&T) -> bool,
 ) -> Result<Recovered<T>, RecoveryExhausted> {
     let mut total = Cost::default();
     let mut attempt_costs = Vec::new();
     let mut last_error = None;
+    let mut backoff_ms = 0u64;
     for attempt in 0..=retry_cap {
+        let delay = policy.delay_ms(backoff_seed, attempt);
+        if delay > 0 {
+            backoff_ms += delay;
+            std::thread::sleep(std::time::Duration::from_millis(delay));
+        }
         let mut machine = Machine::new();
         machine.enable_faults(plan.for_attempt(attempt));
         let result = run(&mut machine, attempt);
@@ -126,6 +230,7 @@ pub fn run_with_recovery<T>(
                     cost: total,
                     attempt_costs,
                     detour_energy: machine.detour_energy(),
+                    backoff_ms,
                 });
             }
             Ok(_) => {
@@ -135,8 +240,16 @@ pub fn run_with_recovery<T>(
                 last_error = Some(e);
             }
         }
+        if matches!(last_error, Some(SpatialError::Cancelled)) {
+            return Err(RecoveryExhausted {
+                attempts: attempt + 1,
+                cost: total,
+                last_error,
+                backoff_ms,
+            });
+        }
     }
-    Err(RecoveryExhausted { attempts: retry_cap + 1, cost: total, last_error })
+    Err(RecoveryExhausted { attempts: retry_cap + 1, cost: total, last_error, backoff_ms })
 }
 
 /// Sequential composition of attempt costs (see the module docs).
@@ -244,6 +357,58 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err.last_error, Some(SpatialError::BudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn backoff_delays_are_deterministic_bounded_and_jittered() {
+        let p = BackoffPolicy { base_ms: 10, factor: 2, max_ms: 100, jitter: 0.5 };
+        assert_eq!(p.delay_ms(7, 0), 0, "the initial attempt never waits");
+        for attempt in 1..12 {
+            let d = p.delay_ms(7, attempt);
+            assert_eq!(d, p.delay_ms(7, attempt), "delay must be a pure function of the seed");
+            // Exponential core 10·2^(a-1) capped at 100, jitter within ±50%.
+            let core = (10u64 << (attempt - 1).min(20)).min(100);
+            assert!(d >= core / 2 && d <= core + core / 2, "attempt {attempt}: {d} vs {core}");
+        }
+        // Different seeds explore different jitter.
+        let spread: std::collections::HashSet<u64> = (0..32).map(|s| p.delay_ms(s, 3)).collect();
+        assert!(spread.len() > 8, "jitter should spread delays, got {spread:?}");
+        assert_eq!(BackoffPolicy::NONE.delay_ms(1, 5), 0);
+    }
+
+    #[test]
+    fn policy_recovery_reports_scheduled_backoff() {
+        let plan = FaultPlan::builder(5).flaky(0.3).build();
+        let policy = BackoffPolicy { base_ms: 1, factor: 2, max_ms: 4, jitter: 0.0 };
+        let go = || {
+            run_with_recovery_policy(&plan, 200, &policy, 77, |m, _| ping_pong(m, 10), |&v| v == 1)
+        };
+        let a = go().expect("recoverable");
+        let b = go().expect("deterministic");
+        assert_eq!(a, b, "backoff accounting must replay bit-for-bit");
+        assert!(a.attempts > 1);
+        let expect: u64 = (1..a.attempts).map(|i| policy.delay_ms(77, i)).sum();
+        assert_eq!(a.backoff_ms, expect, "scheduled delay sums over retries");
+    }
+
+    #[test]
+    fn cancellation_aborts_the_retry_loop() {
+        use spatial_model::CancelToken;
+        let plan = FaultPlan::builder(2).flaky(1.0).build();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = run_with_recovery(
+            &plan,
+            50,
+            |m, _| {
+                m.set_cancel_token(token.clone());
+                ping_pong(m, 3)
+            },
+            |&v| v == 1,
+        )
+        .unwrap_err();
+        assert_eq!(err.attempts, 1, "no point retrying past a dead deadline");
+        assert!(err.cancelled());
     }
 
     #[test]

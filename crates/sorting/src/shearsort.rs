@@ -111,14 +111,21 @@ pub fn shearsort_row_major<T: Ord + Clone>(
 ) -> Vec<Tracked<T>> {
     let snake = shearsort_snake(machine, grid, items);
     let w = grid.w as usize;
-    let mut out: Vec<Option<Tracked<T>>> = (0..snake.len()).map(|_| None).collect();
-    for (i, t) in snake.into_iter().enumerate() {
-        let (r, c) = (i / w, i % w);
-        let dst_c = if r % 2 == 1 { w - 1 - c } else { c };
-        let dst = r * w + dst_c;
-        out[dst] = Some(machine.move_to(t, grid.rm_coord(dst as u64)));
-    }
-    out.into_iter().map(|o| o.expect("row reversal is a permutation")).collect()
+    // The row reversal is a bijection on indices, so tagging each element
+    // with its destination and sorting by it fills every slot by
+    // construction — no placeholder vector, no panic path.
+    let mut placed: Vec<(usize, Tracked<T>)> = snake
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let (r, c) = (i / w, i % w);
+            let dst_c = if r % 2 == 1 { w - 1 - c } else { c };
+            let dst = r * w + dst_c;
+            (dst, machine.move_to(t, grid.rm_coord(dst as u64)))
+        })
+        .collect();
+    placed.sort_by_key(|&(dst, _)| dst);
+    placed.into_iter().map(|(_, t)| t).collect()
 }
 
 /// Snake-order index of row-major position `i` on a width-`w` grid

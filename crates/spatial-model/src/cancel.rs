@@ -1,0 +1,72 @@
+//! Cooperative cancellation of in-flight simulations.
+//!
+//! A [`CancelToken`] is a cheap, clonable flag shared between a simulation
+//! and its supervisor (a deadline watchdog, a batch runner shutting down, an
+//! interactive user). The [`crate::Machine`] checks the token on every
+//! placement and send — the points where a spatial algorithm necessarily
+//! returns to the simulator — so a runaway or over-deadline run surfaces as
+//! a typed [`crate::SpatialError::Cancelled`] at its next message instead of
+//! holding its worker thread hostage.
+//!
+//! Cancellation is *cooperative*: pure host-side compute between machine
+//! calls cannot be interrupted (Rust has no safe thread kill), so
+//! long-running host loops should poll [`CancelToken::is_cancelled`]
+//! themselves. Every algorithm in this workspace goes through the machine
+//! frequently enough that the cooperative check bounds the overshoot to a
+//! single local step.
+//!
+//! The token carries no deadline of its own — *when* to cancel is the
+//! supervisor's policy (see the `runner` crate's watchdog). This keeps the
+//! simulator free of wall-clock reads, which is what makes fault runs and
+//! batch reports bit-reproducible.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag (see the module docs).
+///
+/// Clones observe the same flag. The flag is one-way: once cancelled, a
+/// token never becomes live again — re-running requires a fresh token.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, live token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Trips the flag. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether the flag has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_crosses_threads() {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        std::thread::spawn(move || remote.cancel()).join().unwrap();
+        assert!(token.is_cancelled());
+    }
+}

@@ -87,18 +87,35 @@ pub enum SpatialError {
         /// The configured budget.
         budget: u64,
     },
+    /// The run's [`crate::CancelToken`] was tripped (deadline watchdog,
+    /// batch shutdown, user interrupt) and the simulation observed it at its
+    /// next placement or send.
+    Cancelled,
+    /// An instrumentation accessor was used on a machine that never enabled
+    /// that instrument (e.g. reading the trace without
+    /// [`crate::Machine::enable_trace`]) — a usage error, reported instead
+    /// of panicking.
+    InstrumentationDisabled {
+        /// Which instrument is missing and how to enable it.
+        what: &'static str,
+    },
 }
 
 impl SpatialError {
     /// A distinct process exit code per error variant, used by the CLI so
     /// fault regressions are distinguishable in scripts and CI:
-    /// dead PE → 4, out of bounds → 5, memory cap → 6, budget → 7.
+    /// dead PE → 4, out of bounds → 5, memory cap → 6, budget → 7,
+    /// cancelled/deadline → 9 (8 is the recovery-exhausted code of
+    /// `spatial_core::recovery`, 10 is the batch runner's shed code).
+    /// A disabled instrument is a usage error and shares the usage code 2.
     pub fn exit_code(&self) -> i32 {
         match self {
+            SpatialError::InstrumentationDisabled { .. } => 2,
             SpatialError::DeadPe { .. } => 4,
             SpatialError::OutOfBounds { .. } => 5,
             SpatialError::MemoryExceeded { .. } => 6,
             SpatialError::BudgetExceeded { .. } => 7,
+            SpatialError::Cancelled => 9,
         }
     }
 }
@@ -125,6 +142,12 @@ impl fmt::Display for SpatialError {
             SpatialError::BudgetExceeded { metric, used, budget } => {
                 write!(f, "budget exceeded: {metric} reached {used} (budget {budget})")
             }
+            SpatialError::Cancelled => {
+                write!(f, "cancelled: the run's cancel token was tripped (deadline exceeded)")
+            }
+            SpatialError::InstrumentationDisabled { what } => {
+                write!(f, "instrumentation disabled: {what}")
+            }
         }
     }
 }
@@ -145,10 +168,16 @@ mod tests {
             },
             SpatialError::MemoryExceeded { loc: Coord::ORIGIN, resident: 3, cap: 3 },
             SpatialError::BudgetExceeded { metric: BudgetMetric::Energy, used: 10, budget: 9 },
+            SpatialError::Cancelled,
         ];
         let codes: std::collections::HashSet<i32> = errs.iter().map(|e| e.exit_code()).collect();
         assert_eq!(codes.len(), errs.len());
         assert!(codes.iter().all(|&c| c > 2), "0-2 are reserved for ok/usage");
+        assert!(!codes.contains(&8), "8 belongs to recovery exhaustion");
+        assert!(!codes.contains(&10), "10 belongs to batch load shedding");
+        // A disabled instrument is a plain usage error, not a run failure.
+        let usage = SpatialError::InstrumentationDisabled { what: "trace" };
+        assert_eq!(usage.exit_code(), 2);
     }
 
     #[test]

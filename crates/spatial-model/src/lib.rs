@@ -40,6 +40,7 @@
 //! assert_eq!(sum.path().distance, 7);
 //! ```
 
+pub mod cancel;
 pub mod coord;
 pub mod cost;
 pub mod error;
@@ -54,6 +55,7 @@ pub mod trace;
 pub mod value;
 pub mod zorder;
 
+pub use cancel::CancelToken;
 pub use coord::Coord;
 pub use cost::Cost;
 pub use error::{BudgetMetric, SpatialError};
@@ -65,3 +67,28 @@ pub use memory::MemMeter;
 pub use path::Path;
 pub use trace::{MsgRecord, Trace};
 pub use value::Tracked;
+
+/// Compile-time thread-safety audit.
+///
+/// The supervised batch runner moves whole simulations across worker
+/// threads: a [`Machine`] (with its fault state, guard, meters and trace)
+/// is constructed on one thread, driven there, and its results shipped
+/// back. These assertions make that soundness a property checked by the
+/// compiler on every build — adding a non-`Send` field (an `Rc`, a raw
+/// pointer, a thread-local handle) to any of these types fails compilation
+/// here, not at 2 a.m. in a runner deadlock.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<Machine>();
+    assert_send::<Cost>();
+    assert_send::<FaultPlan>();
+    assert_send::<SpatialError>();
+    assert_send::<ModelGuard>();
+    assert_send::<MemMeter>();
+    assert_send::<Trace>();
+    assert_send::<Tracked<i64>>();
+    // The token crosses threads by design (watchdog on one side, machine on
+    // the other), so it must be fully shareable.
+    assert_send_sync::<CancelToken>();
+};

@@ -3,6 +3,7 @@
 
 use spatial_rng::Rng;
 
+use crate::cancel::CancelToken;
 use crate::coord::Coord;
 use crate::cost::Cost;
 use crate::error::SpatialError;
@@ -68,6 +69,7 @@ pub struct Machine {
     faults: Option<FaultState>,
     guard: Option<ModelGuard>,
     violation: Option<SpatialError>,
+    cancel: Option<CancelToken>,
 }
 
 impl Machine {
@@ -108,14 +110,48 @@ impl Machine {
         self.guard = Some(guard);
     }
 
+    /// Attaches a cooperative cancellation token (see [`CancelToken`]).
+    /// Once the token is tripped, every subsequent placement or send
+    /// surfaces [`SpatialError::Cancelled`] — returned by the fallible
+    /// `try_*` methods, latched by the infallible ones — so a supervisor's
+    /// deadline watchdog can stop a runaway simulation at its next message.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
     /// The active memory meter, if enabled.
     pub fn memory(&self) -> Option<&MemMeter> {
         self.mem.as_ref()
     }
 
+    /// The active memory meter, or a typed
+    /// [`SpatialError::InstrumentationDisabled`] usage error when
+    /// [`Machine::enable_memory_meter`] was never called — for drivers that
+    /// must report a misconfiguration instead of panicking on `unwrap`.
+    pub fn require_memory(&self) -> Result<&MemMeter, SpatialError> {
+        self.mem.as_ref().ok_or(SpatialError::InstrumentationDisabled {
+            what: "memory meter (call Machine::enable_memory_meter before placing the input)",
+        })
+    }
+
     /// The active trace, if enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    /// The active trace, or a typed
+    /// [`SpatialError::InstrumentationDisabled`] usage error when
+    /// [`Machine::enable_trace`] was never called — for drivers that must
+    /// report a misconfiguration instead of panicking on `unwrap`.
+    pub fn require_trace(&self) -> Result<&Trace, SpatialError> {
+        self.trace.as_ref().ok_or(SpatialError::InstrumentationDisabled {
+            what: "message trace (call Machine::enable_trace before running the algorithm)",
+        })
     }
 
     /// The active fault plan, if enabled.
@@ -253,6 +289,14 @@ impl Machine {
         }
     }
 
+    /// The cancellation violation, if the attached token has been tripped.
+    fn cancel_violation(&self) -> Option<SpatialError> {
+        match &self.cancel {
+            Some(token) if token.is_cancelled() => Some(SpatialError::Cancelled),
+            _ => None,
+        }
+    }
+
     /// The dead-PE / out-of-bounds violation for targeting `dst`, if any.
     fn target_violation(&self, dst: Coord) -> Option<SpatialError> {
         if let Some(extent) = self.guard.as_ref().and_then(|g| g.extent) {
@@ -286,6 +330,12 @@ impl Machine {
         value: T,
         strict: bool,
     ) -> Result<Tracked<T>, SpatialError> {
+        if let Some(e) = self.cancel_violation() {
+            if strict {
+                return Err(e);
+            }
+            self.latch(e);
+        }
         if let Some(e) = self.target_violation(loc) {
             if strict {
                 return Err(e);
@@ -318,6 +368,14 @@ impl Machine {
         owned: bool,
         strict: bool,
     ) -> Result<Tracked<T>, SpatialError> {
+        // The cancellation check comes first: a cancelled run should stop at
+        // its next message without charging further traffic.
+        if let Some(e) = self.cancel_violation() {
+            if strict {
+                return Err(e);
+            }
+            self.latch(e);
+        }
         if let Some(e) = self.target_violation(dst) {
             if strict {
                 return Err(e);
@@ -617,6 +675,39 @@ mod tests {
         let ((c0, h0, _), (c1, h1, _)) = (run(0), run(1));
         assert_eq!(c0, c1, "attempt salt only re-rolls corruption, not routes");
         assert_ne!(h0, h1, "expected different corruption draws across attempts");
+    }
+
+    #[test]
+    fn tripped_token_fails_strict_sends_and_latches_lax_ones() {
+        let mut m = Machine::new();
+        let token = CancelToken::new();
+        m.set_cancel_token(token.clone());
+        let a = m.try_place(Coord::ORIGIN, 1u8).expect("live token: placement succeeds");
+        let b = m.try_send(&a, Coord::new(0, 1)).expect("live token: send succeeds");
+        token.cancel();
+        // Strict paths return the typed error without charging the wire.
+        let energy_before = m.energy();
+        assert_eq!(m.try_send(&b, Coord::new(0, 2)).unwrap_err(), SpatialError::Cancelled);
+        assert_eq!(m.try_place(Coord::new(5, 5), 2u8).unwrap_err(), SpatialError::Cancelled);
+        assert_eq!(m.energy(), energy_before, "cancelled strict send charges nothing");
+        // Lax paths latch and continue, so guarded() converts at the end.
+        let res = m.guarded(|m| {
+            let c = m.place(Coord::new(1, 1), 3u8);
+            let _ = m.send(&c, Coord::new(1, 2));
+        });
+        assert!(matches!(res, Err(SpatialError::Cancelled)));
+    }
+
+    #[test]
+    fn require_trace_and_memory_report_instead_of_panicking() {
+        let m = Machine::new();
+        assert!(matches!(m.require_trace(), Err(SpatialError::InstrumentationDisabled { .. })));
+        assert!(matches!(m.require_memory(), Err(SpatialError::InstrumentationDisabled { .. })));
+        let mut m = Machine::new();
+        m.enable_trace(4);
+        m.enable_memory_meter();
+        assert!(m.require_trace().is_ok());
+        assert!(m.require_memory().is_ok());
     }
 
     #[test]

@@ -45,8 +45,15 @@ fn scan_trace() {
         "scan total differs from the closed form",
     );
 
+    let trace = match m.require_trace() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code());
+        }
+    };
     let mut counts = vec![0u32; n];
-    for rec in m.trace().unwrap().records() {
+    for rec in trace.records() {
         for c in [rec.src, rec.dst] {
             let idx = (c.row * 8 + c.col) as usize;
             counts[idx] += 1;

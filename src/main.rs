@@ -8,6 +8,8 @@
 //! cargo run --release -- topk   --n 65536 --k 32
 //! cargo run --release -- sort   --n 4096 --faults 9:0.1
 //! cargo run --release -- scan   --n 4096 --budget 100000
+//! cargo run --release -- batch  experiments/jobspecs/smoke.json --jobs 4
+//! cargo run --release -- chaos  --mode spin --timeout 200
 //! cargo run --release -- info
 //! ```
 //!
@@ -17,19 +19,31 @@
 //!
 //! `--faults <seed>:<fraction>` injects a seeded hardware-fault plan (dead
 //! rows and degraded links over the input extent) and runs the primitive
-//! under checksum-verified recovery; `--budget <energy>` arms an energy
-//! budget guard. Violations exit with distinct codes instead of panicking:
+//! under checksum-verified recovery; `--flaky <p>` adds per-message
+//! transient corruption; `--budget <energy>` arms an energy budget guard;
+//! `--timeout <ms>` arms a watchdog that cancels the run cooperatively.
+//!
+//! `batch <jobspec.json>` runs a whole batch of jobs through the supervised
+//! runtime (`crates/runner`): bounded worker pool, per-job panic isolation,
+//! deadlines, exponential backoff with seeded jitter, and graceful
+//! degradation to a host oracle. The JSON report lands under
+//! `target/spatial-bench/`.
+//!
+//! Violations exit with distinct codes instead of panicking:
 //!
 //! | code | meaning |
 //! |-----:|---------|
 //! | 0 | success |
+//! | 1 | a batch job panicked (contained; see the report) |
 //! | 2 | usage error |
 //! | 3 | output failed host verification |
 //! | 4 | message targeted a dead PE |
 //! | 5 | message left the guard extent |
 //! | 6 | per-PE resident-word cap exceeded |
 //! | 7 | cost budget exceeded |
-//! | 8 | recovery retries exhausted |
+//! | 8 | recovery retries exhausted (or batch job degraded) |
+//! | 9 | deadline exceeded (run cancelled) |
+//! | 10 | job shed: submission queue past saturation threshold |
 
 use spatial_dataflow::prelude::*;
 use spatial_dataflow::recovery::{run_with_recovery, EXIT_RECOVERY_EXHAUSTED};
@@ -48,13 +62,27 @@ fn usage() -> ! {
            select  --n <int> [--k <rank>] [--kind ...] [--seed <int>]\n\
            topk    --n <int> [--k <count>] [--kind ...] [--seed <int>]\n\
            spmv    --n <int> [--nnz-per-row <int>] [--seed <int>]\n\
+           batch   <jobspec.json>  run a job batch through the supervised runtime\n\
+           chaos   --mode panic|spin|badverify  deliberately misbehaving job\n\
            info    print the Table I bounds\n\
          \n\
          robustness options (any command):\n\
            --faults <seed>:<fraction>  inject seeded dead/degraded rows over the input\n\
                                        extent and run under checksum-verified recovery\n\
+           --flaky <p>                 per-message transient corruption probability\n\
            --budget <energy>           arm an energy budget guard (exit 7 on breach)\n\
-           --retries <int>             recovery retry cap (default 8)\n"
+           --retries <int>             recovery retry cap (default 8)\n\
+           --timeout <ms>              watchdog deadline; cancelled runs exit 9\n\
+         \n\
+         batch options:\n\
+           --jobs <int>                worker threads (overrides the jobspec config)\n\
+           --timeout <ms>              default per-job deadline (overrides the jobspec)\n\
+           --best-effort               exit 0 even when jobs fail (report still\n\
+                                       records every outcome)\n\
+         \n\
+         exit codes: 0 ok | 1 job panicked | 2 usage | 3 verify failed | 4 dead PE |\n\
+                     5 out of extent | 6 memory cap | 7 budget | 8 recovery exhausted /\n\
+                     degraded | 9 deadline exceeded | 10 job shed (overload)\n"
     );
     std::process::exit(2)
 }
@@ -66,8 +94,15 @@ struct Args {
     seed: u64,
     kind: ArrayKind,
     faults: Option<(u64, f64)>,
+    flaky: f64,
     budget: Option<u64>,
     retries: u32,
+    timeout_ms: Option<u64>,
+    jobs: Option<usize>,
+    best_effort: bool,
+    mode: Option<String>,
+    /// First positional argument (the jobspec path for `batch`).
+    path: Option<String>,
 }
 
 fn parse(mut argv: std::env::Args) -> (String, Args) {
@@ -79,8 +114,14 @@ fn parse(mut argv: std::env::Args) -> (String, Args) {
         seed: 1,
         kind: ArrayKind::Uniform,
         faults: None,
+        flaky: 0.0,
         budget: None,
         retries: 8,
+        timeout_ms: None,
+        jobs: None,
+        best_effort: false,
+        mode: None,
+        path: None,
     };
     let mut it = argv.peekable();
     while let Some(flag) = it.next() {
@@ -105,8 +146,24 @@ fn parse(mut argv: std::env::Args) -> (String, Args) {
                 }
                 args.faults = Some((seed, frac));
             }
+            "--flaky" => {
+                args.flaky = val().parse().unwrap_or_else(|_| usage());
+                if !(0.0..=1.0).contains(&args.flaky) {
+                    usage();
+                }
+            }
             "--budget" => args.budget = Some(val().parse().unwrap_or_else(|_| usage())),
             "--retries" => args.retries = val().parse().unwrap_or_else(|_| usage()),
+            "--timeout" => args.timeout_ms = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--jobs" => {
+                args.jobs = Some(val().parse().unwrap_or_else(|_| usage()));
+                if args.jobs == Some(0) {
+                    usage();
+                }
+            }
+            "--best-effort" => args.best_effort = true,
+            "--mode" => args.mode = Some(val()),
+            f if !f.starts_with("--") && args.path.is_none() => args.path = Some(f.to_string()),
             _ => usage(),
         }
     }
@@ -121,10 +178,27 @@ struct Outcome<T> {
     detour_energy: u64,
 }
 
-/// Runs `run` under the robustness options in `a` (fault plan, budget guard,
-/// recovery retries), verifies with `verify`, and exits with the documented
-/// code on any failure. `extent_side` is the side of the Z-square the input
-/// occupies — the region the fault plan draws dead/degraded rows from.
+/// Arms the wall-clock watchdog for `--timeout`: a detached thread that
+/// trips the returned token after the deadline. The simulator checks the
+/// token cooperatively on every place/send, so a cancelled run surfaces
+/// [`SpatialError::Cancelled`] (exit 9) instead of hanging.
+fn arm_watchdog(timeout_ms: Option<u64>) -> Option<CancelToken> {
+    timeout_ms.map(|ms| {
+        let token = CancelToken::new();
+        let t = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            t.cancel();
+        });
+        token
+    })
+}
+
+/// Runs `run` under the robustness options in `a` (fault plan, flaky
+/// messages, budget guard, recovery retries, watchdog deadline), verifies
+/// with `verify`, and exits with the documented code on any failure.
+/// `extent_side` is the side of the Z-square the input occupies — the
+/// region the fault plan draws dead/degraded rows from.
 fn execute<T>(
     a: &Args,
     extent_side: u64,
@@ -132,66 +206,71 @@ fn execute<T>(
     mut verify: impl FnMut(&T) -> bool,
 ) -> Outcome<T> {
     let guard = a.budget.map(|e| ModelGuard::new().max_energy(e));
-    match a.faults {
-        None => {
-            let mut m = Machine::new();
-            if let Some(g) = guard {
-                m.enable_guard(g);
-            }
-            let value = match run(&mut m, 0) {
-                Ok(v) => v,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    std::process::exit(e.exit_code());
-                }
-            };
-            if let Some(e) = m.take_violation() {
+    let cancel = arm_watchdog(a.timeout_ms);
+    let prepare = |m: &mut Machine| {
+        if let Some(g) = guard {
+            m.enable_guard(g);
+        }
+        if let Some(t) = &cancel {
+            m.set_cancel_token(t.clone());
+        }
+    };
+    if a.faults.is_none() && a.flaky == 0.0 {
+        let mut m = Machine::new();
+        prepare(&mut m);
+        let value = match run(&mut m, 0) {
+            Ok(v) => v,
+            Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(e.exit_code());
             }
-            if !verify(&value) {
-                eprintln!("error: output failed host verification");
-                std::process::exit(EXIT_VERIFY_FAILED);
-            }
-            Outcome { value, cost: m.report(), attempts: 1, detour_energy: 0 }
+        };
+        if let Some(e) = m.take_violation() {
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code());
         }
-        Some((fseed, frac)) => {
-            let extent = SubGrid::square(Coord::ORIGIN, extent_side.max(1));
-            let plan = spatial_dataflow::model::FaultPlan::builder(fseed)
-                .random_dead_rows(extent, frac)
-                .random_degraded_rows(extent, frac)
-                .build();
-            println!(
-                "fault plan (seed {fseed}): dead rows {:?}, degraded rows {:?}",
-                plan.dead_rows(),
-                plan.degraded_rows()
-            );
-            let result = run_with_recovery(
-                &plan,
-                a.retries,
-                |m, attempt| {
-                    if let Some(g) = guard {
-                        m.enable_guard(g);
-                    }
-                    run(m, attempt)
-                },
-                &mut verify,
-            );
-            match result {
-                Ok(rec) => Outcome {
-                    value: rec.value,
-                    cost: rec.cost,
-                    attempts: rec.attempts,
-                    detour_energy: rec.detour_energy,
-                },
-                Err(ex) => {
-                    eprintln!("error: {ex}");
-                    let code = match ex.last_error {
-                        Some(e) => e.exit_code(),
-                        None => EXIT_RECOVERY_EXHAUSTED,
-                    };
-                    std::process::exit(code);
-                }
+        if !verify(&value) {
+            eprintln!("error: output failed host verification");
+            std::process::exit(EXIT_VERIFY_FAILED);
+        }
+        Outcome { value, cost: m.report(), attempts: 1, detour_energy: 0 }
+    } else {
+        let (fseed, frac) = a.faults.unwrap_or((a.seed, 0.0));
+        let extent = SubGrid::square(Coord::ORIGIN, extent_side.max(1));
+        let plan = spatial_dataflow::model::FaultPlan::builder(fseed)
+            .random_dead_rows(extent, frac)
+            .random_degraded_rows(extent, frac)
+            .flaky(a.flaky)
+            .build();
+        println!(
+            "fault plan (seed {fseed}): dead rows {:?}, degraded rows {:?}, flaky {}",
+            plan.dead_rows(),
+            plan.degraded_rows(),
+            a.flaky
+        );
+        let result = run_with_recovery(
+            &plan,
+            a.retries,
+            |m, attempt| {
+                prepare(m);
+                run(m, attempt)
+            },
+            &mut verify,
+        );
+        match result {
+            Ok(rec) => Outcome {
+                value: rec.value,
+                cost: rec.cost,
+                attempts: rec.attempts,
+                detour_energy: rec.detour_energy,
+            },
+            Err(ex) => {
+                eprintln!("error: {ex}");
+                let code = match ex.last_error {
+                    Some(e) => e.exit_code(),
+                    None => EXIT_RECOVERY_EXHAUSTED,
+                };
+                std::process::exit(code);
             }
         }
     }
@@ -220,6 +299,130 @@ fn report<T>(name: &str, n: u64, out: &Outcome<T>, bound: impl Fn(Metric) -> Sha
 fn z_side(n: u64) -> u64 {
     let padded = spatial_dataflow::model::zorder::next_power_of_four(n.max(1));
     (padded as f64).sqrt() as u64
+}
+
+/// `batch <jobspec.json>` — runs a whole job batch through the supervised
+/// runtime and exits with the batch's aggregate code (0 under
+/// `--best-effort`).
+/// Replaces the default panic hook with a one-liner. Job panics inside the
+/// supervised runtime are *contained by design*, so a full backtrace per
+/// induced panic is noise (especially with `RUST_BACKTRACE=1` in CI); the
+/// panic message still reaches the report and the summary.
+fn quiet_contained_panics() {
+    std::panic::set_hook(Box::new(|info| {
+        eprintln!("[contained] {info}");
+    }));
+}
+
+fn run_batch_command(a: &Args) -> ! {
+    quiet_contained_panics();
+    let path = a.path.clone().unwrap_or_else(|| usage());
+    let doc = match std::fs::read_to_string(&path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: cannot read jobspec {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut batch = match runner::Batch::parse(&doc) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: invalid jobspec {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    // CLI flags override the jobspec's config block.
+    if let Some(jobs) = a.jobs {
+        batch.config.workers = jobs;
+    }
+    if let Some(ms) = a.timeout_ms {
+        batch.config.default_deadline_ms = Some(ms);
+    }
+    if a.best_effort {
+        batch.config.best_effort = true;
+    }
+    println!(
+        "batch {:?}: {} job(s) on {} worker(s){}",
+        batch.name,
+        batch.jobs.len(),
+        batch.config.workers,
+        if batch.config.best_effort { ", best-effort" } else { "" }
+    );
+    let report = runner::run_batch(&batch.name, &batch.config, &batch.jobs);
+    for job in &report.jobs {
+        let detail = match (&job.cost, &job.error) {
+            (Some(c), _) => format!("{} attempt(s), energy {}", job.attempts, c.energy),
+            (None, Some(e)) => e.clone(),
+            (None, None) => String::new(),
+        };
+        println!("  {:<16} {:<18} {detail}", job.id, job.outcome.label());
+    }
+    println!(
+        "  => {} ok, {} degraded, {} panicked, {} deadline-exceeded, {} shed in {} ms",
+        report.count(runner::Outcome::Ok),
+        report.count(runner::Outcome::Degraded),
+        report.count(runner::Outcome::Panicked),
+        report.count(runner::Outcome::DeadlineExceeded),
+        report.count(runner::Outcome::Shed),
+        report.wall_ms
+    );
+    match runner::write_report(&report) {
+        Ok(p) => println!("  report: {}", p.display()),
+        Err(e) => eprintln!("warning: could not write batch report: {e}"),
+    }
+    std::process::exit(report.exit_code(batch.config.best_effort));
+}
+
+/// `chaos --mode panic|spin|badverify` — one deliberately misbehaving job,
+/// for exercising the supervision machinery from the command line.
+///
+/// `panic` and `spin` run through the supervised runtime (panic isolation
+/// and watchdog deadlines live there); `badverify` runs a scan whose host
+/// verification is forced to fail, exercising the plain exit-3 path.
+fn run_chaos_command(a: &Args) -> ! {
+    quiet_contained_panics();
+    let mode = a.mode.as_deref().unwrap_or_else(|| usage());
+    if mode == "badverify" {
+        let vals = a.kind.generate(a.n, a.seed);
+        execute(
+            a,
+            z_side(a.n as u64),
+            |m, _| {
+                let items = place_z(m, 0, vals.clone());
+                spatial_dataflow::collectives::scan::try_scan_any(m, 0, items, &|x, y| {
+                    x.wrapping_add(*y)
+                })
+                .map(read_values)
+            },
+            |_| false,
+        );
+        unreachable!("a failed verification always exits");
+    }
+    let kind = match mode {
+        "panic" => runner::JobKind::ChaosPanic,
+        "spin" => runner::JobKind::ChaosSpin,
+        _ => usage(),
+    };
+    if kind == runner::JobKind::ChaosSpin && a.timeout_ms.is_none() {
+        eprintln!("error: chaos --mode spin never terminates; give it --timeout <ms>");
+        std::process::exit(2);
+    }
+    let mut spec = runner::JobSpec::new(format!("chaos-{mode}"), kind);
+    spec.n = a.n as u64;
+    spec.seed = a.seed;
+    spec.deadline_ms = a.timeout_ms;
+    let config = runner::BatchConfig {
+        workers: a.jobs.unwrap_or(1),
+        best_effort: a.best_effort,
+        ..Default::default()
+    };
+    let report = runner::run_batch("chaos", &config, std::slice::from_ref(&spec));
+    let job = &report.jobs[0];
+    println!("chaos job {:?}: {}", job.id, job.outcome.label());
+    if let Some(e) = &job.error {
+        println!("  {e}");
+    }
+    std::process::exit(report.exit_code(config.best_effort));
 }
 
 fn main() {
@@ -340,6 +543,8 @@ fn main() {
             report("sparse matrix-vector multiply", nnz, &out, theory::spmv_bound);
             println!("  verified against the dense reference (m = {nnz} non-zeros).");
         }
+        "batch" => run_batch_command(&a),
+        "chaos" => run_chaos_command(&a),
         "info" => {
             println!("Table I — Spatial Computer Model bounds (Gianinazzi et al., IPDPS 2025):");
             for (name, f) in [

@@ -147,6 +147,36 @@ fn faulted_run_is_deterministic() {
 }
 
 #[test]
+fn batch_report_is_byte_deterministic() {
+    // The committed smoke jobspec exercises every outcome class (clean runs,
+    // recovered faults, degradation to the host oracle, a contained panic,
+    // a deadline cancellation). Its canonical report — everything except the
+    // wall-clock fields — must come back byte-identical across runs and
+    // worker counts: job costs, attempt counts, scheduled backoff delays,
+    // checksums, and aggregate percentiles are all pure functions of
+    // (jobspec, seed), never of scheduling.
+    let doc = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/experiments/jobspecs/smoke.json"
+    ))
+    .expect("read smoke jobspec");
+    let go = |workers: usize| {
+        let mut batch = runner::Batch::parse(&doc).expect("parse smoke jobspec");
+        batch.config.workers = workers; // the CLI's `--jobs` override
+        runner::run_batch(&batch.name, &batch.config, &batch.jobs).to_json(false)
+    };
+    let first = go(4);
+    assert_eq!(first, go(4), "same worker count must replay bit-for-bit");
+    // Across worker counts only the header's `workers` echo may differ:
+    // every job row and aggregate must be schedule-independent.
+    let strip =
+        |s: &str| s.lines().filter(|l| !l.contains("\"workers\"")).collect::<Vec<_>>().join("\n");
+    assert_eq!(strip(&first), strip(&go(1)), "scheduling must not leak into the canonical report");
+    assert!(first.contains("\"outcome\": \"degraded\""), "smoke batch must degrade a job");
+    assert!(first.contains("\"outcome\": \"deadline-exceeded\""), "smoke batch must cancel a job");
+}
+
+#[test]
 fn recovery_retry_counts_are_deterministic() {
     // Two invocations of the full recovery harness with the same plan seed
     // must agree on the retry count and every per-attempt cost snapshot.

@@ -189,3 +189,115 @@ fn zorder_segment_is_where_the_values_live() {
         assert_eq!(t.loc(), zorder::coord_of(64 + i as u64));
     }
 }
+
+/// The documented exit-code taxonomy, checked against the real binary: every
+/// failure class the CLI promises a distinct code for actually produces it.
+mod cli_exit_codes {
+    use std::process::{Command, Output};
+
+    fn run(args: &[&str]) -> Output {
+        Command::new(env!("CARGO_BIN_EXE_spatial-dataflow"))
+            .args(args)
+            .output()
+            .expect("spawn spatial-dataflow")
+    }
+
+    fn assert_exit(args: &[&str], want: i32) -> Output {
+        let out = run(args);
+        assert_eq!(
+            out.status.code(),
+            Some(want),
+            "`spatial-dataflow {}` should exit {want}\nstdout:\n{}\nstderr:\n{}",
+            args.join(" "),
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+        out
+    }
+
+    #[test]
+    fn usage_errors_exit_2() {
+        assert_exit(&["frobnicate"], 2);
+        assert_exit(&["scan", "--n", "not-a-number"], 2);
+        // `chaos --mode spin` without a deadline would never terminate; the
+        // CLI must refuse it rather than hang.
+        assert_exit(&["chaos", "--mode", "spin"], 2);
+        assert_exit(&["batch"], 2);
+    }
+
+    #[test]
+    fn failed_verification_exits_3() {
+        let out = assert_exit(&["chaos", "--mode", "badverify", "--n", "64"], 3);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("verification"), "stderr: {stderr}");
+    }
+
+    #[test]
+    fn budget_breach_exits_7() {
+        assert_exit(&["scan", "--n", "256", "--budget", "10"], 7);
+    }
+
+    #[test]
+    fn exhausted_recovery_exits_8() {
+        // Corrupting every message makes the checksum verification fail on
+        // every attempt; once the retry cap is hit the run exits 8.
+        assert_exit(&["scan", "--n", "64", "--flaky", "1.0", "--retries", "1"], 8);
+    }
+
+    #[test]
+    fn deadline_cancellation_exits_9() {
+        let out = assert_exit(&["chaos", "--mode", "spin", "--timeout", "150"], 9);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("deadline-exceeded"), "stdout: {stdout}");
+    }
+
+    #[test]
+    fn load_shedding_exits_10() {
+        // A saturation threshold of 0.5 over a queue of 2 admits a single
+        // job; the other three are shed deterministically, and the batch
+        // (not best-effort) reports the overload with exit 10.
+        let spec = r#"{
+            "name": "shed-exit",
+            "config": {"workers": 1, "queue_cap": 2, "shed_threshold": 0.5},
+            "jobs": [
+                {"id": "a", "kind": "scan", "n": 64, "seed": 1},
+                {"id": "b", "kind": "scan", "n": 64, "seed": 2},
+                {"id": "c", "kind": "scan", "n": 64, "seed": 3},
+                {"id": "d", "kind": "scan", "n": 64, "seed": 4}
+            ]
+        }"#;
+        let path = std::env::temp_dir().join(format!("spatial-shed-{}.json", std::process::id()));
+        std::fs::write(&path, spec).unwrap();
+        let out = assert_exit(&["batch", path.to_str().unwrap()], 10);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("3 shed"), "stdout: {stdout}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn best_effort_batch_contains_every_failure_class() {
+        // The acceptance scenario: a batch holding panicking, deadline-
+        // exceeding, and unrecoverable jobs still completes with exit 0
+        // under --best-effort, classifying each failure correctly.
+        let spec = concat!(env!("CARGO_MANIFEST_DIR"), "/experiments/jobspecs/smoke.json");
+        let out = assert_exit(&["batch", spec, "--best-effort", "--jobs", "4"], 0);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        for needle in [
+            "deliberate-panic   panicked",
+            "deliberate-timeout deadline-exceeded",
+            "scan-unrecoverable degraded",
+            "scan-clean       ok",
+        ] {
+            assert!(
+                stdout
+                    .split_whitespace()
+                    .collect::<Vec<_>>()
+                    .join(" ")
+                    .contains(&needle.split_whitespace().collect::<Vec<_>>().join(" ")),
+                "expected {needle:?} in batch summary:\n{stdout}"
+            );
+        }
+        assert!(stdout.contains("1 panicked"), "stdout: {stdout}");
+        assert!(stdout.contains("1 deadline-exceeded"), "stdout: {stdout}");
+    }
+}
