@@ -12,12 +12,19 @@
 
 use spatial_model::{zorder, Machine, SpatialError, Tracked};
 
-/// A node of the 4-ary summation tree built by the up-sweep.
-struct SumNode<T> {
-    /// Partial sum of this subtree, resident at Z-position `lo + height`.
-    sum: Tracked<T>,
-    /// Children in Z-order (leaves have none).
-    children: Option<Box<[SumNode<T>; 4]>>,
+/// The 4-ary summation tree in arena form: `levels[l]` holds the subtree
+/// sums of every block of `4^l` leaves, in block order (`levels[h]` is the
+/// root sum; `levels[0]` stays empty — the one-element subtree sums *are*
+/// the leaves, which both sweeps read in place). The slots are `Option` so
+/// the down-sweep can consume each sum exactly once.
+///
+/// Compared to a boxed node-per-subtree tree this allocates one `Vec` per
+/// *level* instead of a `Box` plus scratch `Vec`s per *node* (~`n/3` heap
+/// allocations saved), which is what makes the sweep allocation-free on its
+/// hot path. The message DAG is unchanged — same sends, same dependencies —
+/// so every reported cost is bit-identical to the recursive form.
+struct SumLevels<T> {
+    levels: Vec<Vec<Option<Tracked<T>>>>,
 }
 
 /// Inclusive scan of `items` (element `i` at global Z-index `lo + i`) under
@@ -47,15 +54,20 @@ pub fn scan<T: Clone>(
     let n = items.len() as u64;
     assert!(zorder::is_power_of_four(n), "scan input must be a power of 4 (pad if needed)");
     assert_eq!(lo % n, 0, "scan segment must be aligned so quadrants are square subgrids");
-    for (i, it) in items.iter().enumerate() {
-        assert_eq!(it.loc(), zorder::coord_of(lo + i as u64), "item {i} off its Z-position");
+    // Per-item placement validation is a debug assertion: it is O(n) pure
+    // overhead on the hot path, and the test profile keeps debug assertions
+    // on, so misplaced inputs still fail loudly everywhere it matters.
+    if cfg!(debug_assertions) {
+        for (i, it) in items.iter().enumerate() {
+            debug_assert_eq!(
+                it.loc(),
+                zorder::coord_of(lo + i as u64),
+                "item {i} off its Z-position"
+            );
+        }
     }
-    let mut leaves: Vec<Option<Tracked<T>>> = items.into_iter().map(Some).collect();
-    let tree = up_sweep(machine, lo, n, &mut leaves, lo, op);
-    let mut out: Vec<Option<Tracked<T>>> = (0..n).map(|_| None).collect();
-    let mut leaves: Vec<Option<Tracked<T>>> = leaves;
-    down_sweep(machine, lo, n, tree, None, &mut leaves, &mut out, lo, op);
-    out.into_iter().map(|o| o.expect("down-sweep missed a leaf")).collect()
+    let sums = up_sweep(machine, lo, n, &items, op);
+    down_sweep(machine, lo, n, sums, None, items, op)
 }
 
 /// Exclusive scan: result `i` is `identity ∘ A_0 ∘ … ∘ A_{i-1}`; result `0`
@@ -72,11 +84,8 @@ pub fn scan_exclusive<T: Clone>(
     let n = items.len() as u64;
     assert!(zorder::is_power_of_four(n));
     assert_eq!(lo % n, 0);
-    let mut leaves: Vec<Option<Tracked<T>>> = items.into_iter().map(Some).collect();
-    let tree = up_sweep(machine, lo, n, &mut leaves, lo, op);
-    let mut out: Vec<Option<Tracked<T>>> = (0..n).map(|_| None).collect();
-    down_sweep_exclusive(machine, lo, n, tree, None, &identity, &mut leaves, &mut out, lo, op);
-    out.into_iter().map(|o| o.expect("down-sweep missed a leaf")).collect()
+    let sums = up_sweep(machine, lo, n, &items, op);
+    down_sweep(machine, lo, n, sums, Some(&identity), items, op)
 }
 
 /// Inclusive scan over a Z-segment of **arbitrary** length (extension
@@ -112,13 +121,10 @@ pub fn scan_any<T: Clone>(
     // Gather the block totals at the segment's first cell and form the
     // exclusive block carries locally.
     let hub = zorder::coord_of(lo);
-    let totals: Vec<Tracked<T>> = scanned
-        .iter()
-        .map(|blk| {
-            let last = blk.last().expect("non-empty block");
-            machine.send(last, hub)
-        })
-        .collect();
+    let gathers: Vec<(&Tracked<T>, spatial_model::Coord)> =
+        scanned.iter().map(|blk| (blk.last().expect("non-empty block"), hub)).collect();
+    let totals: Vec<Tracked<T>> = machine.send_batch_copy(&gathers);
+    drop(gathers);
     let mut carries: Vec<Option<Tracked<T>>> = vec![None];
     let mut running: Option<Tracked<T>> = None;
     for t in &totals[..totals.len() - 1] {
@@ -185,186 +191,136 @@ fn height(len: u64) -> u64 {
     (len.trailing_zeros() / 2) as u64
 }
 
+/// Builds the summation tree level by level (bottom-up). Each internal node
+/// gathers its four child sums at its storage cell — Z-position
+/// `block_lo + level` of its block — folding as they arrive so at most two
+/// tree words are ever resident at the cell, exactly as in the recursive
+/// formulation.
 fn up_sweep<T: Clone>(
     machine: &mut Machine,
     lo: u64,
-    len: u64,
-    leaves: &mut [Option<Tracked<T>>],
-    base: u64,
+    n: u64,
+    leaves: &[Tracked<T>],
     op: &impl Fn(&T, &T) -> T,
-) -> SumNode<T> {
-    if len == 1 {
-        // Height 0: the element itself is the subtree sum (duplicated
-        // locally, which is free — the leaf keeps its copy for the
-        // down-sweep).
-        let leaf = leaves[(lo - base) as usize].as_ref().expect("leaf present");
-        return SumNode { sum: leaf.duplicate(), children: None };
+) -> SumLevels<T> {
+    let h = height(n);
+    let mut levels: Vec<Vec<Option<Tracked<T>>>> = Vec::with_capacity(h as usize + 1);
+    // Level 0 is the leaves themselves (the subtree sum of one element is
+    // the element); both sweeps read them in place, so the level stays
+    // empty rather than holding n redundant duplicates.
+    levels.push(Vec::new());
+    for l in 1..=h {
+        let blk = 1u64 << (2 * l); // 4^l leaves per block at this level
+        let groups = (n / blk) as usize;
+        let mut cur: Vec<Option<Tracked<T>>> = Vec::with_capacity(groups);
+        let prev = &levels[(l - 1) as usize];
+        for g in 0..groups {
+            let cell = zorder::coord_of(lo + g as u64 * blk + l);
+            let child = |i: usize| -> &Tracked<T> {
+                if l == 1 {
+                    &leaves[4 * g + i]
+                } else {
+                    prev[4 * g + i].as_ref().expect("child sum")
+                }
+            };
+            let srcs = [child(0), child(1), child(2), child(3)];
+            cur.push(Some(machine.gather_copy(&srcs, cell, |x, y| op(x, y))));
+        }
+        levels.push(cur);
     }
-    let q = len / 4;
-    let children: [SumNode<T>; 4] = [
-        up_sweep(machine, lo, q, leaves, base, op),
-        up_sweep(machine, lo + q, q, leaves, base, op),
-        up_sweep(machine, lo + 2 * q, q, leaves, base, op),
-        up_sweep(machine, lo + 3 * q, q, leaves, base, op),
-    ];
-    // Gather the four child sums at this node's storage cell: Z-position
-    // `lo + height` of the current subgrid.
-    let h = height(len);
-    let cell = zorder::coord_of(lo + h);
-    let mut acc: Option<Tracked<T>> = None;
-    for c in &children {
-        let arrived = machine.send(&c.sum, cell);
-        acc = Some(match acc {
-            None => arrived,
-            Some(a) => {
-                let next = a.zip_with(&arrived, |x, y| op(x, y));
-                machine.discard(a);
-                machine.discard(arrived);
-                next
-            }
-        });
-    }
-    SumNode { sum: acc.expect("four children"), children: Some(Box::new(children)) }
+    SumLevels { levels }
 }
 
-/// Passes the exclusive prefix `carry` down the tree; each leaf stores
-/// `carry ∘ A` (inclusive scan).
-#[allow(clippy::too_many_arguments)]
+/// Passes exclusive prefixes down the tree, level by level (top-down).
+///
+/// For each node: the incoming carry was already delivered to the block's
+/// top-left processor by the parent's prefix distribution; one
+/// [`Machine::fold_scatter`] gathers the first three child sums there, forms
+/// the running prefixes, and ships prefix `i` to child block `i`'s top-left
+/// processor (prefix 0 stays put — a self-move is free, as in the recursive
+/// formulation's `move_to`).
+///
+/// With `exclusive: None` each leaf stores `carry ∘ A` (inclusive scan);
+/// with `Some(identity)` the leaf emits the carry (or identity) itself.
+/// Consumes the leaves and returns the scan results in leaf order.
 fn down_sweep<T: Clone>(
     machine: &mut Machine,
     lo: u64,
-    len: u64,
-    node: SumNode<T>,
-    carry: Option<Tracked<T>>,
-    leaves: &mut [Option<Tracked<T>>],
-    out: &mut [Option<Tracked<T>>],
-    base: u64,
+    n: u64,
+    mut sums: SumLevels<T>,
+    exclusive: Option<&T>,
+    leaves: Vec<Tracked<T>>,
     op: &impl Fn(&T, &T) -> T,
-) {
-    if len == 1 {
-        let a = leaves[(lo - base) as usize].take().expect("leaf present");
-        machine.discard(node.sum);
-        let res = match carry {
-            None => a,
-            Some(x) => {
-                // The carry was sent to this subgrid's only processor.
-                debug_assert_eq!(x.loc(), a.loc());
-                let r = x.zip_with(&a, |p, v| op(p, v));
-                machine.discard(x);
+) -> Vec<Tracked<T>> {
+    let h = height(n);
+    // carries[g]: the exclusive prefix of the g-th block of the current
+    // level, resident at that block's top-left processor.
+    let mut carries: Vec<Option<Tracked<T>>> = vec![None];
+    for l in (1..=h).rev() {
+        let blk = 1u64 << (2 * l);
+        let q = blk / 4;
+        let groups = (n / blk) as usize;
+        debug_assert_eq!(carries.len(), groups);
+        let mut next: Vec<Option<Tracked<T>>> = (0..groups * 4).map(|_| None).collect();
+        for (g, carry) in carries.drain(..).enumerate() {
+            let block_lo = lo + g as u64 * blk;
+            let node_sum = sums.levels[l as usize][g].take().expect("node sum");
+            machine.discard(node_sum);
+            let top_left = zorder::coord_of(block_lo);
+            // Level-1 nodes read their children (the leaves) in place.
+            let child = |i: usize| -> &Tracked<T> {
+                if l == 1 {
+                    &leaves[4 * g + i]
+                } else {
+                    sums.levels[(l - 1) as usize][4 * g + i].as_ref().expect("child sum")
+                }
+            };
+            let children = [child(0), child(1), child(2)];
+            let dsts = [
+                zorder::coord_of(block_lo),
+                zorder::coord_of(block_lo + q),
+                zorder::coord_of(block_lo + 2 * q),
+                zorder::coord_of(block_lo + 3 * q),
+            ];
+            let prefixes = machine.fold_scatter(carry, &children, top_left, &dsts, |x, y| op(x, y));
+            for (i, p) in prefixes.into_iter().enumerate() {
+                next[4 * g + i] = p;
+            }
+        }
+        carries = next;
+    }
+    // Level 0: combine each leaf with its carry, emitting results in leaf
+    // order (level-1 prefixes were scattered in leaf order, so `carries[j]`
+    // is leaf `j`'s exclusive prefix).
+    debug_assert_eq!(carries.len(), leaves.len());
+    leaves
+        .into_iter()
+        .zip(carries)
+        .map(|(a, carry)| match exclusive {
+            None => match carry {
+                None => a,
+                Some(x) => {
+                    // The carry was sent to this leaf's own processor.
+                    debug_assert_eq!(x.loc(), a.loc());
+                    let r = x.zip_with(&a, |p, v| op(p, v));
+                    machine.discard(x);
+                    machine.discard(a);
+                    r
+                }
+            },
+            Some(identity) => {
+                let res = match carry {
+                    None => a.with_value(identity.clone()),
+                    Some(x) => {
+                        debug_assert_eq!(x.loc(), a.loc());
+                        x
+                    }
+                };
                 machine.discard(a);
-                r
+                res
             }
-        };
-        out[(lo - base) as usize] = Some(res);
-        return;
-    }
-    let q = len / 4;
-    let top_left = zorder::coord_of(lo);
-    // Bring the incoming carry to the subgrid's top-left processor, gather
-    // the three needed child sums there, and form the running prefixes.
-    let carry = carry.map(|x| machine.move_to(x, top_left));
-    let children = *node.children.expect("internal node");
-    machine.discard(node.sum);
-    let mut prefixes: Vec<Option<Tracked<T>>> = Vec::with_capacity(4);
-    let mut running: Option<Tracked<T>> = carry.inspect(|c| {
-        prefixes.push(Some(c.duplicate()));
-    });
-    if running.is_none() {
-        prefixes.push(None);
-    }
-    let mut child_nodes = Vec::with_capacity(4);
-    for (i, c) in children.into_iter().enumerate() {
-        if i < 3 {
-            let s = machine.send(&c.sum, top_left);
-            running = Some(match running.take() {
-                None => s,
-                Some(r) => {
-                    let nr = r.zip_with(&s, |x, y| op(x, y));
-                    machine.discard(r);
-                    machine.discard(s);
-                    nr
-                }
-            });
-            prefixes.push(Some(running.as_ref().expect("just set").duplicate()));
-        }
-        child_nodes.push(c);
-    }
-    if let Some(r) = running {
-        machine.discard(r);
-    }
-    // Send prefix i to quadrant i's top-left processor and recurse.
-    for (i, (c, p)) in child_nodes.into_iter().zip(prefixes).enumerate() {
-        let qlo = lo + i as u64 * q;
-        let carried = p.map(|p| machine.move_to(p, zorder::coord_of(qlo)));
-        down_sweep(machine, qlo, q, c, carried, leaves, out, base, op);
-    }
-}
-
-/// Exclusive-scan down-sweep: leaves emit the carry (or identity) itself.
-#[allow(clippy::too_many_arguments)]
-fn down_sweep_exclusive<T: Clone>(
-    machine: &mut Machine,
-    lo: u64,
-    len: u64,
-    node: SumNode<T>,
-    carry: Option<Tracked<T>>,
-    identity: &T,
-    leaves: &mut [Option<Tracked<T>>],
-    out: &mut [Option<Tracked<T>>],
-    base: u64,
-    op: &impl Fn(&T, &T) -> T,
-) {
-    if len == 1 {
-        let a = leaves[(lo - base) as usize].take().expect("leaf present");
-        machine.discard(node.sum);
-        let res = match carry {
-            None => a.with_value(identity.clone()),
-            Some(x) => {
-                debug_assert_eq!(x.loc(), a.loc());
-                x
-            }
-        };
-        machine.discard(a);
-        out[(lo - base) as usize] = Some(res);
-        return;
-    }
-    let q = len / 4;
-    let top_left = zorder::coord_of(lo);
-    let carry = carry.map(|x| machine.move_to(x, top_left));
-    let children = *node.children.expect("internal node");
-    machine.discard(node.sum);
-    let mut prefixes: Vec<Option<Tracked<T>>> = Vec::with_capacity(4);
-    let mut running: Option<Tracked<T>> = carry.inspect(|c| {
-        prefixes.push(Some(c.duplicate()));
-    });
-    if running.is_none() {
-        prefixes.push(None);
-    }
-    let mut child_nodes = Vec::with_capacity(4);
-    for (i, c) in children.into_iter().enumerate() {
-        if i < 3 {
-            let s = machine.send(&c.sum, top_left);
-            running = Some(match running.take() {
-                None => s,
-                Some(r) => {
-                    let nr = r.zip_with(&s, |x, y| op(x, y));
-                    machine.discard(r);
-                    machine.discard(s);
-                    nr
-                }
-            });
-            prefixes.push(Some(running.as_ref().expect("just set").duplicate()));
-        }
-        child_nodes.push(c);
-    }
-    if let Some(r) = running {
-        machine.discard(r);
-    }
-    for (i, (c, p)) in child_nodes.into_iter().zip(prefixes).enumerate() {
-        let qlo = lo + i as u64 * q;
-        let carried = p.map(|p| machine.move_to(p, zorder::coord_of(qlo)));
-        down_sweep_exclusive(machine, qlo, q, c, carried, identity, leaves, out, base, op);
-    }
+        })
+        .collect()
 }
 
 #[cfg(test)]

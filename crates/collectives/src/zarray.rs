@@ -8,17 +8,13 @@ use spatial_model::{zorder, Machine, SubGrid, Tracked};
 /// a contiguous segment of the grid-wide Z-order curve, so any aligned
 /// power-of-four sub-segment is a square subgrid.
 pub fn place_z<T>(machine: &mut Machine, lo: u64, values: Vec<T>) -> Vec<Tracked<T>> {
-    values
-        .into_iter()
-        .enumerate()
-        .map(|(i, v)| machine.place(zorder::coord_of(lo + i as u64), v))
-        .collect()
+    machine.place_batch(values, |i| zorder::coord_of(lo + i as u64))
 }
 
 /// Places `values[i]` at row-major index `i` of `grid`.
 pub fn place_row_major<T>(machine: &mut Machine, grid: SubGrid, values: Vec<T>) -> Vec<Tracked<T>> {
     assert_eq!(values.len() as u64, grid.len());
-    values.into_iter().enumerate().map(|(i, v)| machine.place(grid.rm_coord(i as u64), v)).collect()
+    machine.place_batch(values, |i| grid.rm_coord(i as u64))
 }
 
 /// Extracts the plain values (consuming the tracked wrappers).

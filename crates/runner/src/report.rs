@@ -109,7 +109,13 @@ impl BatchReport {
         s.push_str(&format!("    \"energy_p99\": {}", json_opt(percentile(&energies, 99))));
         if include_wall {
             s.push_str(&format!(",\n    \"wall_ms_p50\": {}", json_opt(percentile(&walls, 50))));
-            s.push_str(&format!(",\n    \"wall_ms_p99\": {}\n", json_opt(percentile(&walls, 99))));
+            s.push_str(&format!(",\n    \"wall_ms_p99\": {}", json_opt(percentile(&walls, 99))));
+            let messages: u64 = self.jobs.iter().filter_map(|j| j.cost.map(|c| c.messages)).sum();
+            let busy: u64 = self.jobs.iter().filter(|j| j.cost.is_some()).map(|j| j.wall_ms).sum();
+            s.push_str(&format!(
+                ",\n    \"msgs_per_sec\": {}\n",
+                json_opt(msgs_per_sec(messages, busy))
+            ));
         } else {
             s.push('\n');
         }
@@ -141,7 +147,11 @@ fn job_json(j: &JobResult, include_wall: bool) -> String {
         None => s.push_str("      \"error\": null"),
     }
     if include_wall {
-        s.push_str(&format!(",\n      \"wall_ms\": {}\n", j.wall_ms));
+        s.push_str(&format!(",\n      \"wall_ms\": {},\n", j.wall_ms));
+        // Simulator throughput on this job — wall-derived, so it lives
+        // outside the canonical (bit-deterministic) form.
+        let rate = j.cost.and_then(|c| msgs_per_sec(c.messages, j.wall_ms));
+        s.push_str(&format!("      \"msgs_per_sec\": {}\n", json_opt(rate)));
     } else {
         s.push('\n');
     }
@@ -158,6 +168,15 @@ fn cost_json(c: Cost) -> String {
 
 fn json_opt(v: Option<u64>) -> String {
     v.map(|x| x.to_string()).unwrap_or_else(|| "null".into())
+}
+
+/// Simulated messages per wall-clock second; `None` when the interval is too
+/// short to measure (sub-millisecond jobs round to 0 ms).
+fn msgs_per_sec(messages: u64, wall_ms: u64) -> Option<u64> {
+    if wall_ms == 0 {
+        return None;
+    }
+    Some(messages.saturating_mul(1000) / wall_ms)
 }
 
 /// Nearest-rank percentile (`p` in 0..=100) of `values`; `None` on empty
@@ -211,6 +230,15 @@ mod tests {
             assert_eq!(doc.get("wall_ms").is_some(), include_wall);
             assert_eq!(jobs[0].get("wall_ms").is_some(), include_wall);
             assert_eq!(agg.get("wall_ms_p50").is_some(), include_wall);
+            // Throughput is wall-derived and only present alongside wall_ms.
+            assert_eq!(jobs[0].get("msgs_per_sec").is_some(), include_wall);
+            assert_eq!(agg.get("msgs_per_sec").is_some(), include_wall);
+            if include_wall {
+                // 40 messages over 17 ms → 2352 msgs/sec (integer floor).
+                assert_eq!(jobs[0].get("msgs_per_sec").and_then(Json::as_u64), Some(2352));
+                assert!(jobs[1].get("msgs_per_sec").unwrap().is_null(), "shed job has no cost");
+                assert_eq!(agg.get("msgs_per_sec").and_then(Json::as_u64), Some(2352));
+            }
         }
     }
 

@@ -71,21 +71,37 @@ pub fn merge_adjacent<P: Ord + Clone>(
     }
 
     // Step 2: route each element straight to its quarter (A-part first).
-    let mut quarter_a: [Vec<Tracked<P>>; 4] = Default::default();
-    let mut quarter_b: [Vec<Tracked<P>>; 4] = Default::default();
+    // The whole permutation is one batch of moves; `which` remembers each
+    // element's quarter (0..4 for A-parts, 4..8 for B-parts).
+    let (na, nb) = (a.len(), b.len());
+    let mut moves: Vec<(Tracked<P>, spatial_model::Coord)> = Vec::with_capacity(n);
+    let mut which: Vec<usize> = Vec::with_capacity(n);
     for (j, el) in a.into_iter().enumerate() {
         let j = j as u64;
         let i = (0..4).find(|&i| j < ca[i + 1]).expect("within bounds");
         let dst = lo + ks[i] + (j - ca[i]);
-        quarter_a[i].push(machine.move_to(el, zorder::coord_of(dst)));
+        moves.push((el, zorder::coord_of(dst)));
+        which.push(i);
     }
     for (j, el) in b.into_iter().enumerate() {
         let j = j as u64;
         let i = (0..4).find(|&i| j < cb[i + 1]).expect("within bounds");
         let a_part = ca[i + 1] - ca[i];
         let dst = lo + ks[i] + a_part + (j - cb[i]);
-        quarter_b[i].push(machine.move_to(el, zorder::coord_of(dst)));
+        moves.push((el, zorder::coord_of(dst)));
+        which.push(4 + i);
     }
+    let mut quarter_a: [Vec<Tracked<P>>; 4] = Default::default();
+    let mut quarter_b: [Vec<Tracked<P>>; 4] = Default::default();
+    for (q, el) in which.into_iter().zip(machine.send_batch(moves)) {
+        if q < 4 {
+            quarter_a[q].push(el);
+        } else {
+            quarter_b[q - 4].push(el);
+        }
+    }
+    debug_assert_eq!(quarter_a.iter().map(Vec::len).sum::<usize>(), na);
+    debug_assert_eq!(quarter_b.iter().map(Vec::len).sum::<usize>(), nb);
 
     // Step 3: recurse; concatenating the sorted quarters sorts the segment.
     let mut out = Vec::with_capacity(n);

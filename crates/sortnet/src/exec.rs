@@ -23,20 +23,27 @@ pub fn run_on_coords<T: Clone + Ord>(
     let locs: Vec<Coord> = items.iter().map(|t| t.loc()).collect();
     let mut wires: Vec<Tracked<T>> = items;
     for stage in net.stages() {
-        for c in stage {
-            // Exchange: each endpoint sends its value to the other; both then
-            // locally keep min/max, so the chain through a comparator is one
-            // message long.
-            let to_high = machine.send(&wires[c.low], locs[c.high]);
-            let to_low = machine.send(&wires[c.high], locs[c.low]);
+        // Exchange: each endpoint sends its value to the other; both then
+        // locally keep min/max, so the chain through a comparator is one
+        // message long. A stage's comparators touch disjoint wires, so the
+        // whole stage's exchanges charge as one batch.
+        let sends: Vec<(&Tracked<T>, Coord)> = stage
+            .iter()
+            .flat_map(|c| [(&wires[c.low], locs[c.high]), (&wires[c.high], locs[c.low])])
+            .collect();
+        let arrived = machine.send_batch_copy(&sends);
+        drop(sends);
+        for (c, pair) in stage.iter().zip(arrived.chunks_exact(2)) {
+            let (to_high, to_low) = (&pair[0], &pair[1]);
             let new_low =
-                wires[c.low].zip_with(&to_low, |a, b| if a <= b { a.clone() } else { b.clone() });
+                wires[c.low].zip_with(to_low, |a, b| if a <= b { a.clone() } else { b.clone() });
             let new_high =
-                wires[c.high].zip_with(&to_high, |a, b| if a >= b { a.clone() } else { b.clone() });
-            machine.discard(to_low);
-            machine.discard(to_high);
+                wires[c.high].zip_with(to_high, |a, b| if a >= b { a.clone() } else { b.clone() });
             machine.discard(std::mem::replace(&mut wires[c.low], new_low));
             machine.discard(std::mem::replace(&mut wires[c.high], new_high));
+        }
+        for t in arrived {
+            machine.discard(t);
         }
     }
     wires

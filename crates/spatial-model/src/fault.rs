@@ -165,6 +165,89 @@ impl FaultPlan {
     pub(crate) fn has_transient_faults(&self) -> bool {
         self.flaky_millis > 0
     }
+
+    /// Whether the plan has individual hard-dead PEs (the only way a
+    /// remapped physical coordinate can be dead — [`FaultPlan::physical`]
+    /// never lands on a dead *row*).
+    pub(crate) fn has_dead_pes(&self) -> bool {
+        !self.dead_pes.is_empty()
+    }
+
+    /// Whether the individual physical PE `c` is hard-dead.
+    pub(crate) fn dead_pe_at(&self, c: Coord) -> bool {
+        self.dead_pes.contains(&c)
+    }
+
+    /// Precomputes the dead-row remap as a flat lookup (see [`RowRemap`]).
+    /// Returns `None` when the dead rows span too wide a window to tabulate,
+    /// in which case callers fall back to [`FaultPlan::physical`].
+    pub(crate) fn row_remap(&self) -> Option<RowRemap> {
+        RowRemap::build(self)
+    }
+}
+
+/// Flat-table form of the dead-row remap of [`FaultPlan::physical`].
+///
+/// Outside the window spanned by the dead rows the remap is a constant
+/// shift (all dead rows on that side have been skipped), so only the rows
+/// inside the window need a table entry. `row()` is then a bounds check and
+/// an index — the per-message cost of fault-aware routing drops from
+/// `O(dead rows)` to `O(1)`.
+#[derive(Debug)]
+pub(crate) struct RowRemap {
+    /// Physical rows for logical rows `0, 1, …, pos.len()-1`.
+    pos: Vec<i64>,
+    /// Physical rows for logical rows `-1, -2, …, -neg.len()`.
+    neg: Vec<i64>,
+    /// Shift applied to logical rows at or beyond `pos.len()`.
+    pos_shift: i64,
+    /// Shift applied to logical rows below `-neg.len()`.
+    neg_shift: i64,
+}
+
+/// Refuse to tabulate remaps spanning more rows than this (a plan with dead
+/// rows billions apart would allocate absurdly; such plans keep the exact
+/// per-call computation instead).
+const REMAP_CAP: i64 = 1 << 22;
+
+impl RowRemap {
+    fn build(plan: &FaultPlan) -> Option<RowRemap> {
+        let pos_dead = plan.dead_rows.iter().filter(|&&d| d >= 0).count() as i64;
+        let neg_dead = plan.dead_rows.len() as i64 - pos_dead;
+        // Window: up to the outermost dead row on each side; beyond it the
+        // shift is the full dead-row count of that side.
+        let pos_hi = plan.dead_rows.last().copied().filter(|&d| d >= 0).map_or(0, |d| d + 1);
+        let neg_lo = plan.dead_rows.first().copied().filter(|&d| d < 0).unwrap_or(0);
+        if pos_hi > REMAP_CAP || -neg_lo > REMAP_CAP {
+            return None;
+        }
+        let pos = (0..pos_hi).map(|r| plan.physical(Coord::new(r, 0)).row).collect();
+        let neg = (1..=-neg_lo).map(|i| plan.physical(Coord::new(-i, 0)).row).collect();
+        Some(RowRemap { pos, neg, pos_shift: pos_dead, neg_shift: neg_dead })
+    }
+
+    /// The physical row for logical row `r` (equals
+    /// [`FaultPlan::physical`]`.row`).
+    #[inline]
+    pub(crate) fn row(&self, r: i64) -> i64 {
+        if r >= 0 {
+            match self.pos.get(r as usize) {
+                Some(&p) => p,
+                None => r + self.pos_shift,
+            }
+        } else {
+            match self.neg.get((-1 - r) as usize) {
+                Some(&p) => p,
+                None => r - self.neg_shift,
+            }
+        }
+    }
+
+    /// The physical PE for logical coordinate `c`.
+    #[inline]
+    pub(crate) fn physical(&self, c: Coord) -> Coord {
+        Coord::new(self.row(c.row), c.col)
+    }
 }
 
 /// Builder for [`FaultPlan`] (see [`FaultPlan::builder`]).
@@ -336,6 +419,29 @@ mod tests {
         assert_ne!(mk(7), mk(8));
         assert!(!mk(7).dead_rows().is_empty());
         assert!((mk(7).dead_rows().len() as u64) < extent.h);
+    }
+
+    #[test]
+    fn row_remap_table_matches_exact_computation() {
+        let plans = [
+            FaultPlan::builder(0).build(),
+            FaultPlan::builder(0).dead_row(0).build(),
+            FaultPlan::builder(0).dead_row(1).dead_row(3).build(),
+            FaultPlan::builder(0).dead_row(-2).dead_row(1).build(),
+            FaultPlan::builder(0).dead_row(-5).dead_row(-1).dead_row(0).dead_row(7).build(),
+        ];
+        for plan in &plans {
+            let remap = plan.row_remap().expect("small plans tabulate");
+            for r in -64..64 {
+                for c in [-3, 0, 17] {
+                    let l = Coord::new(r, c);
+                    assert_eq!(remap.physical(l), plan.physical(l), "{plan:?} at {l}");
+                }
+            }
+        }
+        // A pathologically wide plan refuses to tabulate.
+        let wide = FaultPlan::builder(0).dead_row(1 << 40).build();
+        assert!(wide.row_remap().is_none());
     }
 
     #[test]

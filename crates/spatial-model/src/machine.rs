@@ -7,7 +7,7 @@ use crate::cancel::CancelToken;
 use crate::coord::Coord;
 use crate::cost::Cost;
 use crate::error::SpatialError;
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, RowRemap};
 use crate::guard::ModelGuard;
 use crate::memory::MemMeter;
 use crate::path::Path;
@@ -18,6 +18,14 @@ use crate::value::Tracked;
 #[derive(Debug)]
 struct FaultState {
     plan: FaultPlan,
+    /// Flat dead-row remap table, precomputed at [`Machine::enable_faults`]
+    /// so per-message routing is O(1) instead of O(dead rows). `None` when
+    /// the plan's dead rows span too wide a window to tabulate.
+    remap: Option<RowRemap>,
+    /// Whether the plan has individual hard-dead PEs — when it does not, the
+    /// dead-target check is skipped entirely (remapped coordinates never
+    /// land on a dead row).
+    has_dead_pes: bool,
     /// Deterministic per-message transient-corruption stream.
     rng: Rng,
     /// Fault contacts: transiently corrupted messages plus (in the
@@ -27,6 +35,17 @@ struct FaultState {
     /// Extra energy relative to the same run on a fault-free grid (dead-row
     /// detours plus degraded-link penalties).
     detour_energy: u64,
+}
+
+impl FaultState {
+    /// The physical PE for logical `c`, via the flat table when available.
+    #[inline]
+    fn physical(&self, c: Coord) -> Coord {
+        match &self.remap {
+            Some(r) => r.physical(c),
+            None => self.plan.physical(c),
+        }
+    }
 }
 
 /// The Spatial Computer Model machine.
@@ -80,9 +99,20 @@ impl Machine {
 
     /// Enables per-PE memory metering (see [`MemMeter`]). Only values placed
     /// or moved after this call are metered, so enable it before placing the
-    /// input.
+    /// input. When a guard with a declared extent is already active, the
+    /// meter uses flat (dense) counters over that extent instead of a hash
+    /// map — same observations, cheaper per-message bookkeeping.
     pub fn enable_memory_meter(&mut self) {
-        self.mem = Some(MemMeter::new());
+        self.mem = Some(match self.guard.as_ref().and_then(|g| g.extent) {
+            Some(extent) => MemMeter::with_extent(extent),
+            None => MemMeter::new(),
+        });
+    }
+
+    /// Enables per-PE memory metering with dense counters over `extent`
+    /// (see [`MemMeter::with_extent`]) without requiring a guard.
+    pub fn enable_memory_meter_bounded(&mut self, extent: crate::grid::SubGrid) {
+        self.mem = Some(MemMeter::with_extent(extent));
     }
 
     /// Enables message tracing with the given record cap.
@@ -97,15 +127,23 @@ impl Machine {
     /// input so placements are fault-checked too.
     pub fn enable_faults(&mut self, plan: FaultPlan) {
         let rng = plan.message_rng();
-        self.faults = Some(FaultState { plan, rng, hits: 0, detour_energy: 0 });
+        let remap = plan.row_remap();
+        let has_dead_pes = plan.has_dead_pes();
+        self.faults =
+            Some(FaultState { plan, remap, has_dead_pes, rng, hits: 0, detour_energy: 0 });
     }
 
     /// Activates conformance checks. A guard with a
     /// [`ModelGuard::mem_cap`] auto-enables the memory meter (like
-    /// [`Machine::enable_memory_meter`], enable before placing the input).
+    /// [`Machine::enable_memory_meter`], enable before placing the input);
+    /// when the guard also declares an extent the auto-enabled meter uses
+    /// flat counters over it.
     pub fn enable_guard(&mut self, guard: ModelGuard) {
         if guard.mem_cap.is_some() && self.mem.is_none() {
-            self.mem = Some(MemMeter::new());
+            self.mem = Some(match guard.extent {
+                Some(extent) => MemMeter::with_extent(extent),
+                None => MemMeter::new(),
+            });
         }
         self.guard = Some(guard);
     }
@@ -220,6 +258,26 @@ impl Machine {
         self.place_impl(loc, value, true)
     }
 
+    /// Places `values[i]` at `loc_of(i)` — [`Machine::place`] over a whole
+    /// input array. Placement is free either way; on an uninstrumented
+    /// machine this skips the per-item guard/fault/meter checks entirely,
+    /// while any active instrumentation sees the identical per-item
+    /// placement stream.
+    pub fn place_batch<T>(
+        &mut self,
+        values: Vec<T>,
+        loc_of: impl Fn(usize) -> Coord,
+    ) -> Vec<Tracked<T>> {
+        if !self.is_bare() {
+            return values.into_iter().enumerate().map(|(i, v)| self.place(loc_of(i), v)).collect();
+        }
+        values
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| Tracked::raw(v, loc_of(i), Path::ZERO))
+            .collect()
+    }
+
     /// Sends a *copy* of `t` to `dst`, charging one message. The source copy
     /// stays resident. Guard/fault violations are latched (see
     /// [`Machine::violation`]).
@@ -282,7 +340,303 @@ impl Machine {
         }
     }
 
+    /// True when no instrumentation can observe or veto a send — every
+    /// message reduces to pure counter arithmetic, and the batch APIs may
+    /// hoist all per-message checks out of their inner loops.
+    #[inline]
+    fn is_bare(&self) -> bool {
+        self.mem.is_none()
+            && self.trace.is_none()
+            && self.faults.is_none()
+            && self.guard.is_none()
+            && self.cancel.is_none()
+    }
+
+    /// Moves a batch of values, each to its own destination, charging the
+    /// same costs as [`Machine::move_to`] on every pair (self-messages are
+    /// skipped, all others charge one message).
+    ///
+    /// On an uninstrumented machine the whole batch is charged in one pass
+    /// of pure arithmetic — no per-message instrumentation checks. With any
+    /// instrumentation active (meter, trace, faults, guard, cancellation)
+    /// each pair goes through the ordinary `move_to` path, so batching
+    /// never changes what instruments observe.
+    pub fn send_batch<T>(&mut self, items: Vec<(Tracked<T>, Coord)>) -> Vec<Tracked<T>> {
+        if !self.is_bare() {
+            return items.into_iter().map(|(t, dst)| self.move_to(t, dst)).collect();
+        }
+        let mut energy = self.energy;
+        let mut messages = self.messages;
+        let mut depth = self.depth_watermark;
+        let mut distance = self.distance_watermark;
+        let out = items
+            .into_iter()
+            .map(|(t, dst)| {
+                let (value, src, path) = t.into_parts();
+                if src == dst {
+                    return Tracked::raw(value, src, path);
+                }
+                let d = src.manhattan(dst);
+                energy = energy.saturating_add(d);
+                messages += 1;
+                let p = path.step(d);
+                depth = depth.max(p.depth);
+                distance = distance.max(p.distance);
+                Tracked::raw(value, dst, p)
+            })
+            .collect();
+        self.energy = energy;
+        self.messages = messages;
+        self.depth_watermark = depth;
+        self.distance_watermark = distance;
+        out
+    }
+
+    /// Sends a *copy* of each value to its destination, charging the same
+    /// costs as [`Machine::send`] on every pair (unlike [`Machine::send_batch`]
+    /// nothing is skipped: a copy to the source's own PE still charges one
+    /// zero-length message, exactly as `send` does).
+    ///
+    /// Fast path and instrumentation behavior as in [`Machine::send_batch`].
+    pub fn send_batch_copy<T: Clone>(&mut self, items: &[(&Tracked<T>, Coord)]) -> Vec<Tracked<T>> {
+        if !self.is_bare() {
+            return items.iter().map(|&(t, dst)| self.send(t, dst)).collect();
+        }
+        let mut energy = self.energy;
+        let mut messages = self.messages;
+        let mut depth = self.depth_watermark;
+        let mut distance = self.distance_watermark;
+        let out = items
+            .iter()
+            .map(|&(t, dst)| {
+                let d = t.loc().manhattan(dst);
+                energy = energy.saturating_add(d);
+                messages += 1;
+                let p = t.path().step(d);
+                depth = depth.max(p.depth);
+                distance = distance.max(p.distance);
+                Tracked::raw(t.value().clone(), dst, p)
+            })
+            .collect();
+        self.energy = energy;
+        self.messages = messages;
+        self.depth_watermark = depth;
+        self.distance_watermark = distance;
+        out
+    }
+
+    /// Gathers copies of `srcs` at `dst` and folds them pairwise in arrival
+    /// order: the first arrival seeds the accumulator, every later arrival
+    /// is combined via `op` and both operands are discarded. Exactly
+    /// equivalent — in charged costs, in the result's critical path, and in
+    /// the per-PE event stream instruments observe — to the open-coded
+    ///
+    /// ```text
+    /// acc = send(srcs[0], dst);
+    /// for s in &srcs[1..] {
+    ///     arrived = send(s, dst);
+    ///     next = acc.zip_with(&arrived, op); discard(acc); discard(arrived);
+    ///     acc = next;
+    /// }
+    /// ```
+    ///
+    /// On an uninstrumented machine the whole gather runs as one pass of
+    /// counter arithmetic folding plain `&T` values — no intermediate
+    /// `Tracked` is built or torn down per arrival.
+    ///
+    /// # Panics
+    /// Panics if `srcs` is empty (a usage bug, not a model violation).
+    pub fn gather_copy<T: Clone>(
+        &mut self,
+        srcs: &[&Tracked<T>],
+        dst: Coord,
+        op: impl Fn(&T, &T) -> T,
+    ) -> Tracked<T> {
+        assert!(!srcs.is_empty(), "gather_copy requires at least one source");
+        if !self.is_bare() {
+            let mut acc = self.send(srcs[0], dst);
+            for s in &srcs[1..] {
+                let arrived = self.send(s, dst);
+                let next = acc.zip_with(&arrived, &op);
+                self.discard(acc);
+                self.discard(arrived);
+                acc = next;
+            }
+            return acc;
+        }
+        let mut energy = self.energy;
+        let mut depth = self.depth_watermark;
+        let mut distance = self.distance_watermark;
+        let first = srcs[0];
+        let d = first.loc().manhattan(dst);
+        energy = energy.saturating_add(d);
+        let mut path = first.path().step(d);
+        depth = depth.max(path.depth);
+        distance = distance.max(path.distance);
+        let mut value = first.value().clone();
+        for s in &srcs[1..] {
+            let d = s.loc().manhattan(dst);
+            energy = energy.saturating_add(d);
+            let p = s.path().step(d);
+            depth = depth.max(p.depth);
+            distance = distance.max(p.distance);
+            value = op(&value, s.value());
+            path = path.join(p);
+        }
+        self.energy = energy;
+        self.messages += srcs.len() as u64;
+        self.depth_watermark = depth;
+        self.distance_watermark = distance;
+        Tracked::raw(value, dst, path)
+    }
+
+    /// The fold-and-scatter step of a multi-ary down-sweep in one call:
+    /// starting from an optional exclusive prefix `carry` (resident at
+    /// `hub`), gathers a copy of each of the `N-1` `children` at `hub`,
+    /// forms the running prefixes `carry, carry∘c₀, carry∘c₀∘c₁, …`, and
+    /// delivers prefix `i` to `dsts[i]` with move semantics (a delivery to
+    /// the PE it is already on is free, as in [`Machine::move_to`]).
+    /// Returns the delivered prefixes; slot 0 is `None` when `carry` was.
+    ///
+    /// Charges exactly what the open-coded gather/duplicate/`move_to` loop
+    /// charges. On an uninstrumented machine the whole step is one pass of
+    /// counter arithmetic with one value clone per emitted prefix; with any
+    /// instrumentation active it replays the open-coded sequence so
+    /// instruments observe the identical per-PE event stream.
+    pub fn fold_scatter<T: Clone, const N: usize>(
+        &mut self,
+        carry: Option<Tracked<T>>,
+        children: &[&Tracked<T>],
+        hub: Coord,
+        dsts: &[Coord; N],
+        op: impl Fn(&T, &T) -> T,
+    ) -> [Option<Tracked<T>>; N] {
+        assert_eq!(children.len() + 1, N, "one destination per running prefix");
+        debug_assert!(carry.as_ref().is_none_or(|c| c.loc() == hub), "carry must reside at hub");
+        if !self.is_bare() {
+            let mut prefixes: [Option<Tracked<T>>; N] = std::array::from_fn(|_| None);
+            let mut running: Option<Tracked<T>> = carry;
+            if let Some(c) = &running {
+                prefixes[0] = Some(c.duplicate());
+            }
+            for (i, child) in children.iter().enumerate() {
+                let s = self.send(child, hub);
+                running = Some(match running.take() {
+                    None => s,
+                    Some(r) => {
+                        let nr = r.zip_with(&s, &op);
+                        self.discard(r);
+                        self.discard(s);
+                        nr
+                    }
+                });
+                prefixes[i + 1] = Some(running.as_ref().expect("just set").duplicate());
+            }
+            if let Some(r) = running {
+                self.discard(r);
+            }
+            let mut out: [Option<Tracked<T>>; N] = std::array::from_fn(|_| None);
+            for (i, p) in prefixes.into_iter().enumerate() {
+                out[i] = p.map(|p| self.move_to(p, dsts[i]));
+            }
+            return out;
+        }
+        let mut out: [Option<Tracked<T>>; N] = std::array::from_fn(|_| None);
+        let mut running: Option<(T, Path)> = carry.map(|c| {
+            let (v, _, p) = c.into_parts();
+            (v, p)
+        });
+        if let Some((v, p)) = &running {
+            out[0] = Some(self.deliver_bare(v.clone(), *p, hub, dsts[0]));
+        }
+        for (i, child) in children.iter().enumerate() {
+            let d = child.loc().manhattan(hub);
+            self.energy = self.energy.saturating_add(d);
+            self.messages += 1;
+            let p = child.path().step(d);
+            self.depth_watermark = self.depth_watermark.max(p.depth);
+            self.distance_watermark = self.distance_watermark.max(p.distance);
+            running = Some(match running.take() {
+                None => (child.value().clone(), p),
+                Some((rv, rp)) => (op(&rv, child.value()), rp.join(p)),
+            });
+            let (rv, rp) = running.as_ref().expect("just set");
+            out[i + 1] = Some(self.deliver_bare(rv.clone(), *rp, hub, dsts[i + 1]));
+        }
+        out
+    }
+
+    /// Move-semantics delivery on the bare fast path: charges one message
+    /// unless `src == dst` (free, like [`Machine::move_to`]).
+    #[inline]
+    fn deliver_bare<T>(&mut self, value: T, path: Path, src: Coord, dst: Coord) -> Tracked<T> {
+        if src == dst {
+            return Tracked::raw(value, src, path);
+        }
+        let d = src.manhattan(dst);
+        self.energy = self.energy.saturating_add(d);
+        self.messages += 1;
+        let p = path.step(d);
+        self.depth_watermark = self.depth_watermark.max(p.depth);
+        self.distance_watermark = self.distance_watermark.max(p.distance);
+        Tracked::raw(value, dst, p)
+    }
+
+    /// Local fold of co-located values (the machine-aware form of
+    /// [`Tracked::combine`]): non-co-located operands latch a typed
+    /// [`SpatialError::NotCoLocated`] instead of panicking, and the fold
+    /// continues at the first operand's PE so guarded runs can surface the
+    /// violation through [`Machine::guarded`] / [`Machine::violation`].
+    ///
+    /// # Panics
+    /// Panics if `items` is empty (a usage bug, not a model violation).
+    pub fn combine<T, R>(
+        &mut self,
+        items: &[Tracked<T>],
+        f: impl FnOnce(&[&T]) -> R,
+    ) -> Tracked<R> {
+        match self.combine_impl(items, f, false) {
+            Ok(t) => t,
+            Err(_) => unreachable!("lax combine never fails"),
+        }
+    }
+
+    /// Fallible [`Machine::combine`]: returns [`SpatialError::NotCoLocated`]
+    /// on the first operand residing at a different PE than the first,
+    /// without latching and without running `f`.
+    pub fn try_combine<T, R>(
+        &mut self,
+        items: &[Tracked<T>],
+        f: impl FnOnce(&[&T]) -> R,
+    ) -> Result<Tracked<R>, SpatialError> {
+        self.combine_impl(items, f, true)
+    }
+
+    fn combine_impl<T, R>(
+        &mut self,
+        items: &[Tracked<T>],
+        f: impl FnOnce(&[&T]) -> R,
+        strict: bool,
+    ) -> Result<Tracked<R>, SpatialError> {
+        assert!(!items.is_empty(), "combine requires at least one operand");
+        let loc = items[0].loc();
+        let mut path = Path::ZERO;
+        for it in items {
+            if it.loc() != loc {
+                let e = SpatialError::NotCoLocated { expected: loc, found: it.loc() };
+                if strict {
+                    return Err(e);
+                }
+                self.latch(e);
+            }
+            path = path.join(it.path());
+        }
+        let refs: Vec<&T> = items.iter().map(|t| t.value()).collect();
+        Ok(Tracked::raw(f(&refs), loc, path))
+    }
+
     /// Latches the first absorbed violation.
+    #[inline]
     fn latch(&mut self, e: SpatialError) {
         if self.violation.is_none() {
             self.violation = Some(e);
@@ -290,6 +644,7 @@ impl Machine {
     }
 
     /// The cancellation violation, if the attached token has been tripped.
+    #[inline]
     fn cancel_violation(&self) -> Option<SpatialError> {
         match &self.cancel {
             Some(token) if token.is_cancelled() => Some(SpatialError::Cancelled),
@@ -298,6 +653,7 @@ impl Machine {
     }
 
     /// The dead-PE / out-of-bounds violation for targeting `dst`, if any.
+    #[inline]
     fn target_violation(&self, dst: Coord) -> Option<SpatialError> {
         if let Some(extent) = self.guard.as_ref().and_then(|g| g.extent) {
             if !extent.contains(dst) {
@@ -305,15 +661,21 @@ impl Machine {
             }
         }
         if let Some(f) = &self.faults {
-            let physical = f.plan.physical(dst);
-            if f.plan.is_dead_physical(physical) {
-                return Some(SpatialError::DeadPe { logical: dst, physical });
+            // A remapped coordinate never lands on a dead *row*, so the only
+            // possible dead target is an individual hard-dead PE — skip the
+            // remap entirely when the plan has none.
+            if f.has_dead_pes {
+                let physical = f.physical(dst);
+                if f.plan.dead_pe_at(physical) {
+                    return Some(SpatialError::DeadPe { logical: dst, physical });
+                }
             }
         }
         None
     }
 
     /// The memory-cap violation a delivery to `dst` would cause, if any.
+    #[inline]
     fn mem_violation(&self, dst: Coord) -> Option<SpatialError> {
         let cap = self.guard.as_ref()?.mem_cap?;
         let resident = self.mem.as_ref().map_or(0, |m| m.resident(dst));
@@ -417,12 +779,13 @@ impl Machine {
     /// the charged distance is the *physical* route (dead-row detours plus
     /// degraded-link penalties); the trace keeps logical endpoints so traces
     /// of faulty and fault-free runs stay comparable.
+    #[inline]
     fn charge(&mut self, src: Coord, dst: Coord, path: Path) -> u64 {
         let logical = src.manhattan(dst);
         let d = match &mut self.faults {
             None => logical,
             Some(f) => {
-                let (ps, pd) = (f.plan.physical(src), f.plan.physical(dst));
+                let (ps, pd) = (f.physical(src), f.physical(dst));
                 let physical = ps.manhattan(pd) + f.plan.degraded_penalty(ps, pd);
                 f.detour_energy = f.detour_energy.saturating_add(physical.saturating_sub(logical));
                 if f.plan.has_transient_faults() && f.rng.gen_bool(f.plan.flaky()) {
@@ -443,6 +806,7 @@ impl Machine {
     }
 
     /// Snapshot of the accumulated costs.
+    #[inline]
     pub fn report(&self) -> Cost {
         Cost {
             energy: self.energy,
@@ -453,11 +817,13 @@ impl Machine {
     }
 
     /// Total energy so far.
+    #[inline]
     pub fn energy(&self) -> u64 {
         self.energy
     }
 
     /// Number of messages so far.
+    #[inline]
     pub fn messages(&self) -> u64 {
         self.messages
     }
@@ -708,6 +1074,105 @@ mod tests {
         m.enable_memory_meter();
         assert!(m.require_trace().is_ok());
         assert!(m.require_memory().is_ok());
+    }
+
+    #[test]
+    fn send_batch_matches_per_message_costs_and_skips_self_messages() {
+        // The batched fast path must charge exactly what a move_to loop
+        // charges, including the self-message skip.
+        let pairs = |m: &mut Machine| {
+            (0..32)
+                .map(|i| {
+                    let t = m.place(Coord::new(i % 5, i % 7), i);
+                    (t, Coord::new(i % 7, i % 5)) // some pairs are self-moves
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut a = Machine::new();
+        let pa = pairs(&mut a);
+        let batched = a.send_batch(pa);
+        let mut b = Machine::new();
+        let pb = pairs(&mut b);
+        let looped: Vec<_> = pb.into_iter().map(|(t, dst)| b.move_to(t, dst)).collect();
+        assert_eq!(a.report(), b.report());
+        for (x, y) in batched.iter().zip(&looped) {
+            assert_eq!((x.value(), x.loc(), x.path()), (y.value(), y.loc(), y.path()));
+        }
+        assert!(a.messages() > 0 && a.messages() < 32, "some self-moves must be skipped");
+    }
+
+    #[test]
+    fn send_batch_under_instrumentation_matches_move_to() {
+        // With a meter + trace active the batch must delegate so instruments
+        // observe the identical event stream.
+        let run = |batch: bool| {
+            let mut m = Machine::new();
+            m.enable_memory_meter();
+            m.enable_trace(64);
+            let items: Vec<_> =
+                (0..8).map(|i| (m.place(Coord::new(0, i), i), Coord::new(1, i))).collect();
+            let out = if batch {
+                m.send_batch(items)
+            } else {
+                items.into_iter().map(|(t, dst)| m.move_to(t, dst)).collect()
+            };
+            let records = m.trace().unwrap().records().to_vec();
+            let resident: Vec<u32> =
+                (0..8).map(|i| m.memory().unwrap().resident(Coord::new(1, i))).collect();
+            (m.report(), records, resident, out.len())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn send_batch_copy_matches_send_including_zero_length_messages() {
+        let mut a = Machine::new();
+        let t0 = a.place(Coord::ORIGIN, 1u8);
+        let t1 = a.place(Coord::new(2, 2), 2u8);
+        let batched = a.send_batch_copy(&[
+            (&t0, Coord::new(0, 3)),
+            (&t1, Coord::new(2, 2)), // copy-to-self still charges a message
+        ]);
+        let mut b = Machine::new();
+        let s0 = b.place(Coord::ORIGIN, 1u8);
+        let s1 = b.place(Coord::new(2, 2), 2u8);
+        let l0 = b.send(&s0, Coord::new(0, 3));
+        let l1 = b.send(&s1, Coord::new(2, 2));
+        assert_eq!(a.report(), b.report());
+        assert_eq!(a.messages(), 2);
+        assert_eq!(batched[0].path(), l0.path());
+        assert_eq!(batched[1].path(), l1.path());
+    }
+
+    #[test]
+    fn combine_latches_not_co_located_instead_of_panicking() {
+        let mut m = Machine::new();
+        let a = m.place(Coord::ORIGIN, 1i64);
+        let b = m.place(Coord::new(0, 5), 2i64);
+        let folded = m.combine(&[a, b], |xs| xs.iter().map(|x| **x).sum::<i64>());
+        assert_eq!(*folded.value(), 3, "the lax fold still runs");
+        assert_eq!(folded.loc(), Coord::ORIGIN);
+        assert!(matches!(m.violation(), Some(SpatialError::NotCoLocated { .. })));
+        // guarded() surfaces it as a typed error downstream.
+        assert!(matches!(m.guarded(|_| ()), Err(SpatialError::NotCoLocated { .. })));
+    }
+
+    #[test]
+    fn try_combine_is_strict_and_co_located_combine_is_clean() {
+        let mut m = Machine::new();
+        let a = m.place(Coord::ORIGIN, 1i64);
+        let b = m.place(Coord::new(0, 5), 2i64);
+        let err = m.try_combine(&[a, b], |_| 0).unwrap_err();
+        assert_eq!(
+            err,
+            SpatialError::NotCoLocated { expected: Coord::ORIGIN, found: Coord::new(0, 5) }
+        );
+        assert!(m.violation().is_none(), "strict errors are returned, not latched");
+        let c = m.place(Coord::new(3, 3), 10i64);
+        let d = m.send(&c, Coord::new(3, 3));
+        let sum = m.try_combine(&[c, d], |xs| xs.iter().map(|x| **x).sum::<i64>()).unwrap();
+        assert_eq!(*sum.value(), 20);
+        assert_eq!(sum.path().depth, 1, "combine joins operand paths");
     }
 
     #[test]

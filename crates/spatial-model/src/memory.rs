@@ -3,30 +3,78 @@
 //! The Spatial Computer Model gives every PE only `O(1)` memory. The meter
 //! lets tests verify that an algorithm's peak residency per PE stays bounded
 //! by a small constant on concrete instances. It is opt-in because the
-//! bookkeeping uses a hash map over touched PEs, which would dominate the
-//! simulator's runtime at large scales.
+//! bookkeeping costs a counter update per delivery, which the uninstrumented
+//! fast path avoids entirely.
+//!
+//! Two storage strategies back the counters:
+//!
+//! * **flat** — when the run's grid extent is known up front (a
+//!   [`crate::ModelGuard`] with an extent, or
+//!   [`MemMeter::with_extent`] directly), counts live in a dense `Vec`
+//!   indexed by row-major position, so `store`/`free` are an index and an
+//!   add — no hashing on the hot path;
+//! * **hashed** — without an extent the meter falls back to a
+//!   `HashMap<Coord, u32>` over touched PEs, and a flat meter spills any
+//!   traffic *outside* its extent into the same map, so metering never
+//!   loses counts even for out-of-bounds deliveries (which the guard layer
+//!   reports separately).
 
 use std::collections::HashMap;
 
 use crate::coord::Coord;
+use crate::grid::SubGrid;
+
+/// Flat meters refuse extents larger than this many PEs (256 MiB of `u32`
+/// counters) and fall back to the hash map instead.
+const FLAT_CAP: u64 = 1 << 26;
 
 /// Tracks how many tracked words are resident at each touched PE.
 #[derive(Debug, Default)]
 pub struct MemMeter {
+    /// Dense counters over `extent`, when bounded.
+    flat: Option<FlatCounts>,
+    /// Counters for PEs outside the flat extent (all PEs when unbounded).
     current: HashMap<Coord, u32>,
     peak: u32,
     peak_loc: Option<Coord>,
 }
 
+#[derive(Debug)]
+struct FlatCounts {
+    extent: SubGrid,
+    counts: Vec<u32>,
+}
+
 impl MemMeter {
-    /// Creates an empty meter.
+    /// Creates an empty, unbounded (hash-backed) meter.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates a meter with dense counters over `extent` (hash fallback for
+    /// any traffic outside it). Counts and peaks are identical to the
+    /// unbounded meter's; only the bookkeeping cost differs.
+    pub fn with_extent(extent: SubGrid) -> Self {
+        if extent.len() > FLAT_CAP {
+            return Self::new();
+        }
+        MemMeter {
+            flat: Some(FlatCounts { extent, counts: vec![0; extent.len() as usize] }),
+            ..Self::default()
+        }
+    }
+
+    /// The extent backing the dense counters, if bounded.
+    pub fn extent(&self) -> Option<SubGrid> {
+        self.flat.as_ref().map(|f| f.extent)
+    }
+
     /// Registers a word becoming resident at `loc`.
     pub fn store(&mut self, loc: Coord) {
-        let e = self.current.entry(loc).or_insert(0);
+        let e = match &mut self.flat {
+            Some(f) if f.extent.contains(loc) => &mut f.counts[f.extent.rm_index(loc) as usize],
+            _ => self.current.entry(loc).or_insert(0),
+        };
         *e += 1;
         if *e > self.peak {
             self.peak = *e;
@@ -40,8 +88,16 @@ impl MemMeter {
     /// minus releases*. This is always an upper bound on true residency,
     /// which is what the O(1)-memory assertions need.
     pub fn free(&mut self, loc: Coord) {
-        if let Some(e) = self.current.get_mut(&loc) {
-            *e = e.saturating_sub(1);
+        match &mut self.flat {
+            Some(f) if f.extent.contains(loc) => {
+                let e = &mut f.counts[f.extent.rm_index(loc) as usize];
+                *e = e.saturating_sub(1);
+            }
+            _ => {
+                if let Some(e) = self.current.get_mut(&loc) {
+                    *e = e.saturating_sub(1);
+                }
+            }
         }
     }
 
@@ -57,7 +113,10 @@ impl MemMeter {
 
     /// Current residency at `loc`.
     pub fn resident(&self, loc: Coord) -> u32 {
-        self.current.get(&loc).copied().unwrap_or(0)
+        match &self.flat {
+            Some(f) if f.extent.contains(loc) => f.counts[f.extent.rm_index(loc) as usize],
+            _ => self.current.get(&loc).copied().unwrap_or(0),
+        }
     }
 }
 
@@ -89,5 +148,40 @@ mod tests {
         m.free(Coord::ORIGIN);
         assert_eq!(m.resident(Coord::ORIGIN), 0);
         assert_eq!(m.peak(), 1);
+    }
+
+    #[test]
+    fn flat_meter_agrees_with_hashed_meter() {
+        // Drive both backends through the same event stream, including
+        // traffic outside the flat extent, and demand identical observations.
+        let extent = SubGrid::new(Coord::new(-2, -2), 8, 8);
+        let mut flat = MemMeter::with_extent(extent);
+        let mut hashed = MemMeter::new();
+        assert_eq!(flat.extent(), Some(extent));
+        let events: Vec<(i64, i64, bool)> =
+            (0..200).map(|i: i64| ((i * 7) % 11 - 3, (i * 13) % 9 - 3, i % 3 != 0)).collect();
+        for &(r, c, is_store) in &events {
+            let loc = Coord::new(r, c);
+            if is_store {
+                flat.store(loc);
+                hashed.store(loc);
+            } else {
+                flat.free(loc);
+                hashed.free(loc);
+            }
+            assert_eq!(flat.resident(loc), hashed.resident(loc));
+        }
+        assert_eq!(flat.peak(), hashed.peak());
+        assert_eq!(flat.peak_loc(), hashed.peak_loc());
+        for &(r, c, _) in &events {
+            assert_eq!(flat.resident(Coord::new(r, c)), hashed.resident(Coord::new(r, c)));
+        }
+    }
+
+    #[test]
+    fn oversized_extent_falls_back_to_hashing() {
+        let huge = SubGrid::new(Coord::ORIGIN, 1 << 14, 1 << 14);
+        let m = MemMeter::with_extent(huge);
+        assert_eq!(m.extent(), None, "a {FLAT_CAP}+-PE extent must not allocate densely");
     }
 }

@@ -79,6 +79,11 @@ impl<T> Tracked<T> {
 
     /// Local computation folding many co-located values.
     ///
+    /// Guarded runs should prefer [`crate::Machine::combine`] /
+    /// [`crate::Machine::try_combine`], which surface a non-co-located
+    /// operand as a typed [`crate::SpatialError::NotCoLocated`] instead of
+    /// panicking.
+    ///
     /// # Panics
     /// Panics if the operands are not all at the same PE or `items` is empty.
     pub fn combine<R>(items: &[Tracked<T>], f: impl FnOnce(&[&T]) -> R) -> Tracked<R> {

@@ -4,7 +4,7 @@
 use spatial_core::check::{check, Gen};
 use spatial_core::{prop_assert, prop_assert_eq};
 
-use spatial_model::{zorder, Coord, Machine, Path};
+use spatial_model::{zorder, Coord, Cost, Machine, Path};
 
 #[test]
 fn zorder_encode_decode_roundtrip() {
@@ -135,6 +135,120 @@ fn send_chain_accounting_is_exact() {
         prop_assert_eq!(rep.distance, expect);
         prop_assert_eq!(rep.depth, hops.len() as u64);
         prop_assert_eq!(cur.path().distance, expect);
+        Ok(())
+    });
+}
+
+#[test]
+fn path_recurrence_matches_shadow_dag() {
+    check("path_recurrence_matches_shadow_dag", |g: &mut Gen| {
+        // Random message DAG: each step either sends a random live value to
+        // a random cell or zips two live values at a common cell. A shadow
+        // interpreter maintains every value's expected Path by the model
+        // recurrence (send: join-free `step`; zip: elementwise-max `join`);
+        // the machine must agree value-by-value, and its depth/distance
+        // watermarks must equal the max over everything ever produced.
+        let steps = g.size(5..40);
+        let mut m = Machine::new();
+        let cell = |g: &mut Gen| Coord::new(g.int(-40i64..40), g.int(-40i64..40));
+        let mut live: Vec<(spatial_model::Tracked<u8>, Path)> = (0..4)
+            .map(|i| {
+                let c = cell(g);
+                (m.place(c, i), Path::ZERO)
+            })
+            .collect();
+        let mut water = Path::ZERO;
+        for _ in 0..steps {
+            if g.int(0u32..3) == 0 && live.len() >= 2 {
+                // Local zip: bring b to a's cell first (a send, also shadowed).
+                let bi = g.size(1..live.len());
+                let (b, pb) = live.remove(bi);
+                let (a, pa) = &live[0];
+                let hop = b.loc().manhattan(a.loc());
+                let b = m.send_owned(b, a.loc());
+                let pb = pb.step(hop);
+                water = water.join(pb);
+                let z = a.zip_with(&b, |x, y| x.wrapping_add(*y));
+                let pz = pa.join(pb);
+                prop_assert_eq!(z.path(), pz);
+                m.discard(b);
+                live.push((z, pz));
+            } else {
+                let i = g.size(0..live.len());
+                let (v, p) = live.remove(i);
+                let dst = cell(g);
+                let hop = v.loc().manhattan(dst);
+                let v = m.send_owned(v, dst);
+                let p = p.step(hop);
+                water = water.join(p);
+                prop_assert_eq!(v.path(), p);
+                live.push((v, p));
+            }
+        }
+        let rep = m.report();
+        prop_assert_eq!(rep.depth, water.depth);
+        prop_assert_eq!(rep.distance, water.distance);
+        Ok(())
+    });
+}
+
+#[test]
+fn costs_are_translation_invariant() {
+    check("costs_are_translation_invariant", |g: &mut Gen| {
+        // The model has no distinguished origin: replaying the same message
+        // pattern shifted by an arbitrary grid offset reports the identical
+        // Cost. (Manhattan distance depends only on coordinate differences.)
+        let n_msgs = g.size(1..30);
+        let script: Vec<(i64, i64, i64, i64)> = g.vec(n_msgs, |g| {
+            (g.int(-100i64..100), g.int(-100i64..100), g.int(-100i64..100), g.int(-100i64..100))
+        });
+        let run = |offset: Coord| {
+            let mut m = Machine::new();
+            let mut prev: Option<spatial_model::Tracked<u8>> = None;
+            for &(r, c, dr, dc) in &script {
+                let src = Coord::new(r + offset.row, c + offset.col);
+                let v = match prev.take() {
+                    // Alternate fresh placements with chained sends so both
+                    // watermarks and sums are exercised.
+                    None => m.place(src, 0u8),
+                    Some(p) => m.send_owned(p, src),
+                };
+                prev = Some(m.send_owned(v, src.offset(dr, dc)));
+            }
+            m.report()
+        };
+        let base = run(Coord::ORIGIN);
+        let shifted = run(Coord::new(g.int(-10_000i64..10_000), g.int(-10_000i64..10_000)));
+        prop_assert_eq!(base, shifted);
+        Ok(())
+    });
+}
+
+#[test]
+fn cost_delta_round_trips_against_counters() {
+    check("cost_delta_round_trips_against_counters", |g: &mut Gen| {
+        // delta subtracts the monotone counters exactly (adding the earlier
+        // snapshot back restores them) and keeps the later watermarks.
+        let snap = |g: &mut Gen| {
+            let energy = g.int(0u64..1 << 40);
+            let messages = g.int(0u64..1 << 30);
+            Cost { energy, depth: g.int(0u64..1 << 20), distance: g.int(0u64..=energy), messages }
+        };
+        let early = snap(g);
+        let later = Cost {
+            energy: early.energy + g.int(0u64..1 << 40),
+            depth: early.depth + g.int(0u64..1 << 20),
+            distance: early.distance + g.int(0u64..1 << 20),
+            messages: early.messages + g.int(0u64..1 << 30),
+        };
+        let d = later.delta(early);
+        prop_assert_eq!(d, later - early, "operator form agrees");
+        prop_assert_eq!(d.energy + early.energy, later.energy);
+        prop_assert_eq!(d.messages + early.messages, later.messages);
+        prop_assert_eq!(d.depth, later.depth);
+        prop_assert_eq!(d.distance, later.distance);
+        prop_assert_eq!(later.delta(later).energy, 0);
+        prop_assert_eq!(later.delta(later).messages, 0);
         Ok(())
     });
 }

@@ -4,9 +4,10 @@
 //! hermetic replacement for the old crates.io-powered fuzzing setup.
 
 use spatial_dataflow::check::{check_cfg, Config, Gen};
-use spatial_dataflow::collectives::scan_any;
+use spatial_dataflow::collectives::{place_row_major, scan_any};
 use spatial_dataflow::prelude::*;
 use spatial_dataflow::rng::Rng;
+use spatial_dataflow::sorting::{merge_adjacent, shearsort_snake, Keyed};
 use spatial_dataflow::{prop_assert, prop_assert_eq};
 
 /// At least 25 seeds per primitive regardless of `SPATIAL_CHECK_CASES`.
@@ -101,6 +102,99 @@ fn differential_broadcast() {
             prop_assert_eq!(*t.value(), value);
             prop_assert!(grid.contains(t.loc()), "{:?} outside {side}x{side}", t.loc());
         }
+        Ok(())
+    });
+}
+
+#[test]
+fn differential_merge2d() {
+    check_cfg(&cfg(), "differential_merge2d", |g: &mut Gen| {
+        // Two independently sorted runs on adjacent Z-segments, arbitrary
+        // (possibly zero) lengths, duplicate values allowed — `Keyed` breaks
+        // ties so Lemma V.7's distinctness precondition holds.
+        let mut a = g.vec_i64(0..300, -500..=500);
+        let mut b = g.vec_i64(0..300, -500..=500);
+        a.sort_unstable();
+        b.sort_unstable();
+        let mut expect: Vec<i64> = a.iter().chain(b.iter()).copied().collect();
+        expect.sort_unstable();
+        let lo = 4 * g.int(0u64..64); // exercise offset segments too
+        let mut m = Machine::new();
+        let ka: Vec<Keyed<i64>> =
+            a.iter().enumerate().map(|(i, &v)| Keyed::new(v, i as u64)).collect();
+        let kb: Vec<Keyed<i64>> =
+            b.iter().enumerate().map(|(i, &v)| Keyed::new(v, (a.len() + i) as u64)).collect();
+        let ia = place_z(&mut m, lo, ka);
+        let ib = place_z(&mut m, lo + a.len() as u64, kb);
+        let out = merge_adjacent(&mut m, ia, ib, lo);
+        for (i, t) in out.iter().enumerate() {
+            prop_assert_eq!(
+                t.loc(),
+                spatial_dataflow::model::zorder::coord_of(lo + i as u64),
+                "output {i} off its Z-cell"
+            );
+        }
+        let got: Vec<i64> = out.iter().map(|t| t.value().key).collect();
+        prop_assert_eq!(got, expect);
+        Ok(())
+    });
+}
+
+#[test]
+fn differential_shearsort() {
+    check_cfg(&cfg(), "differential_shearsort", |g: &mut Gen| {
+        let side = g.int(1u64..=12);
+        let n = (side * side) as usize;
+        let vals = g.vec_i64(n..n + 1, -100_000..=100_000);
+        let mut expect = vals.clone();
+        expect.sort_unstable();
+        let mut m = Machine::new();
+        let grid = SubGrid::square(Coord::ORIGIN, side);
+        let items = place_row_major(&mut m, grid, vals);
+        let out = shearsort_snake(&mut m, grid, items);
+        // Un-snake: odd rows are stored right-to-left.
+        let w = side as usize;
+        let mut got = Vec::with_capacity(n);
+        for r in 0..w {
+            let row = &out[r * w..(r + 1) * w];
+            if r % 2 == 0 {
+                got.extend(row.iter().map(|t| *t.value()));
+            } else {
+                got.extend(row.iter().rev().map(|t| *t.value()));
+            }
+        }
+        prop_assert_eq!(got, expect, "side={side}");
+        Ok(())
+    });
+}
+
+#[test]
+fn differential_segmented_scan() {
+    check_cfg(&cfg(), "differential_segmented_scan", |g: &mut Gen| {
+        let vals = input(g, 400);
+        let heads: Vec<bool> = (0..vals.len()).map(|_| g.int(0u32..4) == 0).collect();
+        // Sequential reference: restart the running sum at every head.
+        let mut expect = Vec::with_capacity(vals.len());
+        let mut acc = 0i64;
+        for (i, &v) in vals.iter().enumerate() {
+            acc = if i == 0 || heads[i] { v } else { acc + v };
+            expect.push(acc);
+        }
+        let mut m = Machine::new();
+        let seg: Vec<SegItem<i64>> =
+            vals.iter().zip(&heads).map(|(&v, &h)| SegItem::new(h, v)).collect();
+        // `segmented_scan` requires a power-of-four length; pad with fresh
+        // single-element segments and drop the padding afterwards.
+        let n = vals.len();
+        let mut padded = 1usize;
+        while padded < n {
+            padded *= 4;
+        }
+        let mut seg = seg;
+        seg.resize(padded, SegItem::new(true, 0));
+        let items = place_z(&mut m, 0, seg);
+        let got = read_values(segmented_scan(&mut m, 0, items, &|a, b| a + b));
+        prop_assert_eq!(&got[..n], &expect[..]);
         Ok(())
     });
 }

@@ -1,0 +1,165 @@
+//! Golden-cost corpus: exact `(energy, depth, distance, messages)` tuples
+//! for every user-facing primitive at small sizes, pinned against the
+//! committed snapshot in `experiments/golden/costs.json`.
+//!
+//! The Spatial Computer Model simulator reports *exact* model costs, so any
+//! change to these numbers is a change to the model itself — a routing
+//! tweak, an extra message, a different tree shape — and must be a conscious
+//! decision, never a silent side effect of a performance refactor. The
+//! fast-path rework of the simulator core (batch sends, flat meters, arena
+//! sweeps) was landed under exactly this pin: the corpus passed bit-identical
+//! before and after.
+//!
+//! To regenerate after an *intentional* model change:
+//!
+//! ```bash
+//! SPATIAL_BLESS=1 cargo test --test golden_costs
+//! git diff experiments/golden/costs.json   # drift is a reviewable diff
+//! ```
+
+use spatial_dataflow::model::{Coord, Cost, Machine, SubGrid};
+use spatial_dataflow::prelude::*;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/experiments/golden/costs.json");
+
+/// The corpus sizes. All primitives here accept powers of four, which keeps
+/// the layouts canonical (a `√n × √n` square at the origin).
+const SIZES: [usize; 3] = [16, 64, 256];
+
+/// Deterministic input data shared by every entry (values are irrelevant to
+/// the costs of data-oblivious primitives, but selection's pivot draws and
+/// spmv's sparsity pattern make them part of the pin).
+fn vals(n: usize) -> Vec<i64> {
+    (0..n).map(|i| ((i as i64).wrapping_mul(2654435761) % 1009) - 500).collect()
+}
+
+fn measure(f: impl FnOnce(&mut Machine)) -> Cost {
+    let mut m = Machine::new();
+    f(&mut m);
+    m.report()
+}
+
+/// Every pinned primitive at one size, in corpus order.
+fn entries_for(n: usize) -> Vec<(String, Cost)> {
+    let side = (n as f64).sqrt() as u64;
+    let grid = SubGrid::square(Coord::ORIGIN, side);
+    let mut out = Vec::new();
+
+    out.push((
+        format!("scan/{n}"),
+        measure(|m| {
+            let items = place_z(m, 0, vals(n));
+            let _ = scan(m, 0, items, &|a, b| a + b);
+        }),
+    ));
+    out.push((
+        format!("broadcast/{n}"),
+        measure(|m| {
+            let root = m.place(grid.origin, 7i64);
+            let _ = broadcast(m, root, grid);
+        }),
+    ));
+    out.push((
+        format!("reduce/{n}"),
+        measure(|m| {
+            let items = place_row_major(m, grid, vals(n));
+            let _ = reduce(m, items, grid, &|a, b| a + b);
+        }),
+    ));
+    out.push((
+        format!("sort_z_mergesort/{n}"),
+        measure(|m| {
+            let items = place_z(m, 0, vals(n));
+            let _ = sort_z(m, 0, items);
+        }),
+    ));
+    out.push((
+        format!("sort_bitonic/{n}"),
+        measure(|m| {
+            let items = place_row_major(m, grid, vals(n));
+            let net = spatial_dataflow::sortnet::bitonic_sort(n);
+            let _ = spatial_dataflow::sortnet::run_row_major(m, &net, grid, items);
+        }),
+    ));
+    out.push((
+        format!("select_rank/{n}"),
+        measure(|m| {
+            let _ = select_rank_values(m, 0, vals(n), n as u64 / 2, 42);
+        }),
+    ));
+    out.push((
+        format!("spmv/{n}"),
+        measure(|m| {
+            let a = workloads::random_uniform(n, 3, 9);
+            let x = vals(n);
+            let _ = spmv(m, &a, &x);
+        }),
+    ));
+    out
+}
+
+/// Canonical text form of the corpus: one line per entry so any drift is a
+/// one-line diff in review.
+fn render(entries: &[(String, Cost)]) -> String {
+    let mut s = String::from("{\n  \"format\": \"spatial-golden/v1\",\n  \"entries\": [\n");
+    for (i, (id, c)) in entries.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"id\": \"{id}\", \"energy\": {}, \"depth\": {}, \"distance\": {}, \"messages\": {}}}{}\n",
+            c.energy,
+            c.depth,
+            c.distance,
+            c.messages,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[test]
+fn golden_costs_match_committed_corpus() {
+    let mut entries = Vec::new();
+    for &n in &SIZES {
+        entries.extend(entries_for(n));
+    }
+    let rendered = render(&entries);
+
+    if std::env::var("SPATIAL_BLESS").map(|v| v == "1").unwrap_or(false) {
+        std::fs::create_dir_all(std::path::Path::new(GOLDEN_PATH).parent().unwrap())
+            .expect("create experiments/golden");
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden corpus");
+        eprintln!("blessed {} entries into {GOLDEN_PATH}", entries.len());
+        return;
+    }
+
+    let committed = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!(
+            "missing golden corpus {GOLDEN_PATH}: {e}\n\
+             generate it with SPATIAL_BLESS=1 cargo test --test golden_costs"
+        )
+    });
+    if committed != rendered {
+        let diff: Vec<String> = committed
+            .lines()
+            .zip(rendered.lines())
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| format!("  committed: {a}\n  measured:  {b}"))
+            .collect();
+        panic!(
+            "golden costs drifted from {GOLDEN_PATH} ({} line(s)):\n{}\n\
+             If this change to the model is intentional, re-bless with \
+             SPATIAL_BLESS=1 cargo test --test golden_costs",
+            diff.len(),
+            diff.join("\n")
+        );
+    }
+}
+
+/// The corpus generator itself must be deterministic, otherwise the pin
+/// would flap without any model change.
+#[test]
+fn golden_corpus_generation_is_deterministic() {
+    let a = entries_for(64);
+    let b = entries_for(64);
+    assert_eq!(a, b);
+}
