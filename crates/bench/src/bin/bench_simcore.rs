@@ -16,7 +16,13 @@
 //! * `--smoke` — CI-sized run (scan 2^14, sort 2^12), writes under
 //!   `target/spatial-bench/`, and when a committed `BENCH_simcore.json` is
 //!   present compares messages/sec per benchmark id, **failing (exit 1) on a
-//!   regression of more than 25%**.
+//!   regression of more than 25%** — against the committed `serial` section
+//!   when the run is pinned to `SPATIAL_SIM_THREADS=1`, the `benchmarks`
+//!   section otherwise. An id with no reference entry fails the gate too.
+//!
+//! Full runs additionally record a `serial` section (every id but the 2^20
+//! mergesort, re-measured with one shard) and a `scaling` section (the
+//! sort_z/65536 messages/sec at 1, 2, 4 and all available workers).
 //!
 //! Environment:
 //!
@@ -32,7 +38,7 @@ use std::time::Instant;
 use bench::pseudo;
 use runner::json::Json;
 use spatial_core::collectives::{place_z, scan};
-use spatial_core::model::Machine;
+use spatial_core::model::{set_sim_threads, sim_threads, Machine};
 use spatial_core::sorting::sort_z;
 
 /// One measured benchmark: wall time and message count of a full primitive
@@ -105,9 +111,16 @@ fn sort_bench(n: usize, huge: bool) -> Throughput {
     })
 }
 
-fn render(results: &[Throughput], baseline: Option<&str>) -> String {
-    let mut s = String::from("{\n  \"format\": \"spatial-bench/v1\",\n  \"group\": \"simcore\",\n");
-    s.push_str("  \"unit\": \"messages_per_second\",\n  \"benchmarks\": [\n");
+/// One point of the thread-scaling curve: a benchmark re-run with the
+/// sharded bare path pinned to a fixed worker count.
+struct ScalePoint {
+    id: String,
+    threads: usize,
+    msgs_per_sec: u64,
+}
+
+fn rows(results: &[Throughput]) -> String {
+    let mut s = String::new();
     for (i, r) in results.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"id\": \"{}\", \"messages\": {}, \"median_ns\": {}, \"msgs_per_sec\": {}}}{}\n",
@@ -118,7 +131,37 @@ fn render(results: &[Throughput], baseline: Option<&str>) -> String {
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
+    s
+}
+
+fn render(
+    results: &[Throughput],
+    serial: &[Throughput],
+    scaling: &[ScalePoint],
+    baseline: Option<&str>,
+) -> String {
+    let mut s = String::from("{\n  \"format\": \"spatial-bench/v1\",\n  \"group\": \"simcore\",\n");
+    s.push_str("  \"unit\": \"messages_per_second\",\n  \"benchmarks\": [\n");
+    s.push_str(&rows(results));
     s.push_str("  ]");
+    if !serial.is_empty() {
+        s.push_str(",\n  \"serial\": [\n");
+        s.push_str(&rows(serial));
+        s.push_str("  ]");
+    }
+    if !scaling.is_empty() {
+        s.push_str(",\n  \"scaling\": [\n");
+        for (i, p) in scaling.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": \"{}\", \"threads\": {}, \"msgs_per_sec\": {}}}{}\n",
+                p.id,
+                p.threads,
+                p.msgs_per_sec,
+                if i + 1 < scaling.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]");
+    }
     if let Some(b) = baseline {
         s.push_str(",\n  \"baseline\": ");
         s.push_str(b.trim_end());
@@ -149,11 +192,19 @@ fn baseline_section(doc: &Json) -> Option<String> {
     Some(s)
 }
 
-/// Compares this run against the committed reference; returns the ids that
-/// regressed by more than `max_loss_pct` percent.
-fn regressions(results: &[Throughput], committed: &Json, max_loss_pct: f64) -> Vec<String> {
+/// Compares this run against the committed reference section; returns the
+/// ids that regressed by more than `max_loss_pct` percent. A benchmark id
+/// with no reference entry is itself reported as a failure — a silently
+/// skipped gate is how a renamed benchmark loses its regression cover.
+fn regressions(
+    results: &[Throughput],
+    committed: &Json,
+    section: &str,
+    max_loss_pct: f64,
+) -> Vec<String> {
     let mut bad = Vec::new();
-    let Some(benches) = committed.get("benchmarks").and_then(Json::as_array) else {
+    let Some(benches) = committed.get(section).and_then(Json::as_array) else {
+        bad.push(format!("committed reference has no \"{section}\" section"));
         return bad;
     };
     for r in results {
@@ -164,14 +215,16 @@ fn regressions(results: &[Throughput], committed: &Json, max_loss_pct: f64) -> V
                 None
             }
         });
-        if let Some(reference) = reference {
-            let floor = reference * (1.0 - max_loss_pct / 100.0);
-            if (r.msgs_per_sec as f64) < floor {
-                bad.push(format!(
-                    "{}: {} msgs/s vs committed {} (floor {:.0})",
-                    r.id, r.msgs_per_sec, reference as u64, floor
-                ));
-            }
+        let Some(reference) = reference else {
+            bad.push(format!("{}: no entry in the committed \"{section}\" section", r.id));
+            continue;
+        };
+        let floor = reference * (1.0 - max_loss_pct / 100.0);
+        if (r.msgs_per_sec as f64) < floor {
+            bad.push(format!(
+                "{}: {} msgs/s vs committed {} (floor {:.0})",
+                r.id, r.msgs_per_sec, reference as u64, floor
+            ));
         }
     }
     bad
@@ -204,23 +257,87 @@ fn main() {
         p
     };
     plan.retain(|(id, _)| want(id));
-    let results: Vec<Throughput> = plan
-        .into_iter()
-        .map(|(id, huge)| {
-            let n: usize = id.split('/').nth(1).expect("id is kind/n").parse().expect("n parses");
-            if id.starts_with("scan/") {
-                scan_bench(n)
-            } else {
-                sort_bench(n, huge)
+    let run_plan = |plan: &[(String, bool)]| -> Vec<Throughput> {
+        plan.iter()
+            .map(|(id, huge)| {
+                let n: usize =
+                    id.split('/').nth(1).expect("id is kind/n").parse().expect("n parses");
+                if id.starts_with("scan/") {
+                    scan_bench(n)
+                } else {
+                    sort_bench(n, *huge)
+                }
+            })
+            .collect()
+    };
+    let results = run_plan(&plan);
+
+    // Full runs also record the serial (1-shard) numbers for every id but
+    // the 2^20 mergesort, so a `SPATIAL_SIM_THREADS=1` smoke run gates
+    // against like-for-like figures, plus the per-thread scaling curve of
+    // the sharded bare path on sort_z/65536.
+    let mut serial: Vec<Throughput> = Vec::new();
+    let mut scaling: Vec<ScalePoint> = Vec::new();
+    if !smoke {
+        let serial_plan: Vec<(String, bool)> =
+            plan.iter().filter(|(id, _)| id != "sort_z/1048576").cloned().collect();
+        if sim_threads() == 1 {
+            // Already serial: the main section is the serial section.
+            serial = results
+                .iter()
+                .filter(|r| r.id != "sort_z/1048576")
+                .map(|r| Throughput {
+                    id: r.id.clone(),
+                    messages: r.messages,
+                    median_ns: r.median_ns,
+                    msgs_per_sec: r.msgs_per_sec,
+                })
+                .collect();
+        } else {
+            println!("-- serial reference (1 shard) --");
+            set_sim_threads(1);
+            serial = run_plan(&serial_plan);
+            set_sim_threads(0);
+        }
+        let curve_id = "sort_z/65536";
+        if want(curve_id) {
+            println!("-- thread scaling ({curve_id}) --");
+            let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+            let mut counts = vec![1usize, 2, 4, avail];
+            counts.sort_unstable();
+            counts.dedup();
+            for threads in counts {
+                set_sim_threads(threads);
+                let r = sort_bench(65536, true);
+                scaling.push(ScalePoint {
+                    id: curve_id.into(),
+                    threads,
+                    msgs_per_sec: r.msgs_per_sec,
+                });
             }
-        })
-        .collect();
+            set_sim_threads(0);
+        }
+    }
 
     let baseline = std::env::var("SPATIAL_BENCH_BASELINE").ok().and_then(|p| {
         let doc = std::fs::read_to_string(&p).ok()?;
         baseline_section(&Json::parse(&doc).ok()?)
     });
-    let rendered = render(&results, baseline.as_deref());
+    // A benchmark id absent from the embedded baseline can never be gated —
+    // exactly how sort_z/1048576 once shipped without a reference. Refuse to
+    // write such a file.
+    if let Some(b) = &baseline {
+        let missing: Vec<&str> = results
+            .iter()
+            .map(|r| r.id.as_str())
+            .filter(|id| !b.contains(&format!("\"{id}\"")))
+            .collect();
+        if !missing.is_empty() {
+            eprintln!("baseline/benchmark id mismatch: no baseline entry for {missing:?}");
+            std::process::exit(1);
+        }
+    }
+    let rendered = render(&results, &serial, &scaling, baseline.as_deref());
 
     if smoke {
         let dir = std::env::var("SPATIAL_BENCH_JSON")
@@ -229,7 +346,9 @@ fn main() {
         std::fs::create_dir_all(&dir).ok();
         std::fs::write(&path, &rendered).expect("write smoke results");
         println!("  -> {}", path.display());
-        // Gate: compare against the committed reference when present.
+        // Gate: compare against the committed reference when present. A
+        // serial run (SPATIAL_SIM_THREADS=1) gates against the committed
+        // serial numbers, not the default-thread ones.
         match std::fs::read_to_string("BENCH_simcore.json") {
             Err(_) => println!("no committed BENCH_simcore.json; skipping regression gate"),
             Ok(doc) => {
@@ -239,15 +358,20 @@ fn main() {
                     Some("spatial-bench/v1"),
                     "committed BENCH_simcore.json must be spatial-bench/v1"
                 );
-                let bad = regressions(&results, &committed, 25.0);
+                let section = if sim_threads() == 1 && committed.get("serial").is_some() {
+                    "serial"
+                } else {
+                    "benchmarks"
+                };
+                let bad = regressions(&results, &committed, section, 25.0);
                 if !bad.is_empty() {
-                    eprintln!("messages/sec regression (>25%):");
+                    eprintln!("messages/sec regression (>25%) vs \"{section}\":");
                     for b in &bad {
                         eprintln!("  {b}");
                     }
                     std::process::exit(1);
                 }
-                println!("regression gate passed (within 25% of committed baseline)");
+                println!("regression gate passed (within 25% of committed \"{section}\")");
             }
         }
     } else {

@@ -7,14 +7,14 @@
 //! and the per-block quadrant trees give `O(L)` total energy at `O(log L)`
 //! depth — the same bounds as the square-subgrid collectives.
 
-use spatial_model::{zorder, Machine, Tracked};
+use spatial_model::{zorder, Coord, Machine, Tracked};
 
 /// Broadcasts `root` to every cell of the Z-range `[lo, hi)`.
 ///
 /// Returns one value per cell, indexed by Z-offset (`out[i]` lives at
 /// Z-index `lo + i`). The root may start anywhere; it is first moved to
 /// `coord_of(lo)`.
-pub fn broadcast_z<T: Clone>(
+pub fn broadcast_z<T: Clone + Send + Sync>(
     machine: &mut Machine,
     root: Tracked<T>,
     lo: u64,
@@ -39,7 +39,13 @@ pub fn broadcast_z<T: Clone>(
     out.into_iter().map(|o| o.expect("broadcast_z missed a cell")).collect()
 }
 
-fn bcast_block<T: Clone>(
+/// Quadrant broadcast within one aligned block, level by level. At each
+/// level the filled corners (offsets `k·span`) each copy to their three
+/// sibling corners `k·span + i·q`; because the block is aligned, the
+/// displacement is `decode(i·q)` for every `k`, so each `(level, i)` is one
+/// [`spatial_model::BatchPattern::Uniform`] batch. Charges exactly what the
+/// depth-first recursion charges.
+fn bcast_block<T: Clone + Send + Sync>(
     machine: &mut Machine,
     root: Tracked<T>,
     start: u64,
@@ -48,22 +54,38 @@ fn bcast_block<T: Clone>(
     out: &mut [Option<Tracked<T>>],
 ) {
     debug_assert_eq!(root.loc(), zorder::coord_of(start));
-    if len == 1 {
-        out[(start - base) as usize] = Some(root);
-        return;
-    }
-    let q = len / 4;
-    let copies: Vec<Tracked<T>> =
-        (1..4).map(|i| machine.send(&root, zorder::coord_of(start + i * q))).collect();
-    bcast_block(machine, root, start, q, base, out);
-    for (i, c) in copies.into_iter().enumerate() {
-        bcast_block(machine, c, start + (i as u64 + 1) * q, q, base, out);
+    out[(start - base) as usize] = Some(root);
+    let mut filled: Vec<u64> = vec![0];
+    let mut span = len;
+    while span > 1 {
+        let q = span / 4;
+        for i in 1..4 {
+            let sends: Vec<(&Tracked<T>, Coord)> = filled
+                .iter()
+                .map(|&off| {
+                    let src = out[(start - base + off) as usize].as_ref().expect("filled corner");
+                    (src, zorder::coord_of(start + off + i * q))
+                })
+                .collect();
+            let arrived = machine.send_batch_copy(&sends);
+            drop(sends);
+            for (&off, got) in filled.iter().zip(arrived) {
+                out[(start - base + off + i * q) as usize] = Some(got);
+            }
+        }
+        let mut next = Vec::with_capacity(filled.len() * 4);
+        for i in 0..4 {
+            next.extend(filled.iter().map(|&off| off + i * q));
+        }
+        next.sort_unstable();
+        filled = next;
+        span = q;
     }
 }
 
 /// Reduces one value per cell of the Z-range `[lo, hi)` (indexed by
 /// Z-offset) onto the range's first cell.
-pub fn reduce_z<T: Clone>(
+pub fn reduce_z<T: Clone + Send + Sync>(
     machine: &mut Machine,
     items: Vec<Tracked<T>>,
     lo: u64,
@@ -100,7 +122,12 @@ pub fn reduce_z<T: Clone>(
     machine.move_to(res, zorder::coord_of(lo))
 }
 
-fn reduce_block<T: Clone>(
+/// Quadrant sum-reduce within one aligned block, bottom-up level by level.
+/// Each level's group of four partials folds onto the group corner; the
+/// three travelling siblings share displacement `−decode(i·stride)` across
+/// every group, so each `(level, i)` is one uniform batch. Siblings fold in
+/// ascending quadrant order, exactly as the depth-first recursion does.
+fn reduce_block<T: Clone + Send + Sync>(
     machine: &mut Machine,
     start: u64,
     len: u64,
@@ -108,19 +135,39 @@ fn reduce_block<T: Clone>(
     slots: &mut [Option<Tracked<T>>],
     op: &impl Fn(&T, &T) -> T,
 ) -> Tracked<T> {
-    if len == 1 {
-        return slots[(start - base) as usize].take().expect("cell populated");
+    let mut vals: Vec<Tracked<T>> = (0..len)
+        .map(|off| slots[(start - base + off) as usize].take().expect("cell populated"))
+        .collect();
+    let mut stride = 1u64;
+    while vals.len() > 1 {
+        let groups = vals.len() / 4;
+        let mut keep: Vec<Tracked<T>> = Vec::with_capacity(groups);
+        let mut sib_sends: [Vec<(Tracked<T>, Coord)>; 3] =
+            std::array::from_fn(|_| Vec::with_capacity(groups));
+        let mut it = vals.into_iter();
+        for g in 0..groups {
+            let corner = zorder::coord_of(start + 4 * g as u64 * stride);
+            keep.push(it.next().expect("corner partial"));
+            for s in &mut sib_sends {
+                s.push((it.next().expect("sibling partial"), corner));
+            }
+        }
+        let mut arrived: Vec<std::vec::IntoIter<Tracked<T>>> =
+            sib_sends.into_iter().map(|s| machine.send_batch(s).into_iter()).collect();
+        let mut next = Vec::with_capacity(groups);
+        for mut acc in keep {
+            for a in &mut arrived {
+                let arr = a.next().expect("one arrival per group");
+                let combined = acc.zip_with(&arr, |x, y| op(x, y));
+                machine.discard(arr);
+                machine.discard(std::mem::replace(&mut acc, combined));
+            }
+            next.push(acc);
+        }
+        vals = next;
+        stride *= 4;
     }
-    let q = len / 4;
-    let mut acc = reduce_block(machine, start, q, base, slots, op);
-    for i in 1..4 {
-        let partial = reduce_block(machine, start + i * q, q, base, slots, op);
-        let arrived = machine.send_owned(partial, zorder::coord_of(start));
-        let combined = acc.zip_with(&arrived, |x, y| op(x, y));
-        machine.discard(arrived);
-        machine.discard(std::mem::replace(&mut acc, combined));
-    }
-    acc
+    vals.pop().expect("non-empty block")
 }
 
 #[cfg(test)]

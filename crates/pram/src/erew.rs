@@ -47,31 +47,47 @@ pub fn simulate_erew<P: PramProgram>(
         (0..p).map(|pid| machine.place(proc_loc(pid), prog.init_state(pid))).collect();
 
     for t in 0..prog.steps() {
-        // Read phase.
+        // Read phase, in three batched waves: every reading processor's
+        // request travels to its cell, the cells answer locally, and every
+        // response travels back. Exclusivity makes the per-processor chains
+        // independent, so the waves charge exactly what the per-processor
+        // loop charges.
         let mut read_cells: HashMap<usize, usize> = HashMap::new();
-        let mut reads: Vec<Option<Tracked<Word>>> = Vec::with_capacity(p);
+        let mut readers: Vec<(usize, usize)> = Vec::new(); // (pid, cell)
         for pid in 0..p {
-            let addr = prog.read_addr(t, pid, states[pid].value());
-            match addr {
-                None => reads.push(None),
-                Some(cell) => {
-                    assert!(cell < m, "read address {cell} out of bounds");
-                    if let Some(other) = read_cells.insert(cell, pid) {
-                        panic!("EREW violation: processors {other} and {pid} both read cell {cell} at step {t}");
-                    }
-                    // Request: processor -> cell (depends on the state).
-                    let request = states[pid].with_value(cell);
-                    let request = machine.send_owned(request, mem_loc(cell));
-                    // Response: cell -> processor (depends on request + cell).
-                    let response = memory[cell].zip_with(&request, |v, _| *v);
-                    machine.discard(request);
-                    let response = machine.send_owned(response, proc_loc(pid));
-                    reads.push(Some(response));
+            if let Some(cell) = prog.read_addr(t, pid, states[pid].value()) {
+                assert!(cell < m, "read address {cell} out of bounds");
+                if let Some(other) = read_cells.insert(cell, pid) {
+                    panic!("EREW violation: processors {other} and {pid} both read cell {cell} at step {t}");
                 }
+                readers.push((pid, cell));
             }
         }
-        // Compute + write phase.
+        // Requests: processor -> cell (depend on the state).
+        let requests = send_all(
+            machine,
+            readers
+                .iter()
+                .map(|&(pid, cell)| (states[pid].with_value(cell), mem_loc(cell)))
+                .collect(),
+        );
+        // Responses: cell -> processor (depend on request + cell).
+        let mut outgoing: Vec<(Tracked<Word>, Coord)> = Vec::with_capacity(readers.len());
+        for (&(pid, cell), request) in readers.iter().zip(requests) {
+            let response = memory[cell].zip_with(&request, |v, _| *v);
+            machine.discard(request);
+            outgoing.push((response, proc_loc(pid)));
+        }
+        let responses = send_all(machine, outgoing);
+        let mut reads: Vec<Option<Tracked<Word>>> = (0..p).map(|_| None).collect();
+        for (&(pid, _), response) in readers.iter().zip(responses) {
+            reads[pid] = Some(response);
+        }
+        // Compute + write phase: states advance locally, then all writes
+        // travel in one wave.
         let mut write_cells: HashMap<usize, usize> = HashMap::new();
+        let mut writers: Vec<(usize, usize)> = Vec::new(); // (pid, cell)
+        let mut write_vals: Vec<Word> = Vec::new();
         for pid in 0..p {
             let read_val = reads[pid].as_ref().map(|r| *r.value());
             let mut state = states[pid].value().clone();
@@ -91,10 +107,20 @@ pub fn simulate_erew<P: PramProgram>(
                 if let Some(other) = write_cells.insert(cell, pid) {
                     panic!("EREW violation: processors {other} and {pid} both write cell {cell} at step {t}");
                 }
-                let outgoing = states[pid].with_value(value);
-                let arrived = machine.send_owned(outgoing, mem_loc(cell));
-                machine.discard(std::mem::replace(&mut memory[cell], arrived));
+                writers.push((pid, cell));
+                write_vals.push(value);
             }
+        }
+        let arrived = send_all(
+            machine,
+            writers
+                .iter()
+                .zip(write_vals)
+                .map(|(&(pid, cell), value)| (states[pid].with_value(value), mem_loc(cell)))
+                .collect(),
+        );
+        for (&(_, cell), new_val) in writers.iter().zip(arrived) {
+            machine.discard(std::mem::replace(&mut memory[cell], new_val));
         }
     }
 
@@ -102,6 +128,18 @@ pub fn simulate_erew<P: PramProgram>(
         machine.discard(s);
     }
     memory.into_iter().map(Tracked::into_value).collect()
+}
+
+/// Moves every item to its destination. Batched when no item is already at
+/// its destination; otherwise falls back to per-item [`Machine::send_owned`],
+/// which (unlike the batch API) charges a zero-distance message for a
+/// self-send — so the cost never depends on which path ran.
+fn send_all<T: Send>(machine: &mut Machine, sends: Vec<(Tracked<T>, Coord)>) -> Vec<Tracked<T>> {
+    if sends.iter().any(|(t, dst)| t.loc() == *dst) {
+        sends.into_iter().map(|(t, dst)| machine.send_owned(t, dst)).collect()
+    } else {
+        machine.send_batch(sends)
+    }
 }
 
 #[cfg(test)]

@@ -69,7 +69,7 @@ impl Default for SelectionConfig {
 ///
 /// Returns the selected element (resident wherever the final gather placed
 /// it) together with run telemetry.
-pub fn select_rank<T: Ord + Clone>(
+pub fn select_rank<T: Ord + Clone + Send + Sync>(
     machine: &mut Machine,
     lo: u64,
     items: Vec<Tracked<T>>,
@@ -81,7 +81,7 @@ pub fn select_rank<T: Ord + Clone>(
 
 /// Fallible [`select_rank`]: runs under the machine's active guard/fault
 /// layer and surfaces any violation as a typed [`SpatialError`].
-pub fn try_select_rank<T: Ord + Clone>(
+pub fn try_select_rank<T: Ord + Clone + Send + Sync>(
     machine: &mut Machine,
     lo: u64,
     items: Vec<Tracked<T>>,
@@ -92,7 +92,7 @@ pub fn try_select_rank<T: Ord + Clone>(
 }
 
 /// [`select_rank`] with explicit tuning (used by the `c`-ablation bench).
-pub fn select_rank_cfg<T: Ord + Clone>(
+pub fn select_rank_cfg<T: Ord + Clone + Send + Sync>(
     machine: &mut Machine,
     lo: u64,
     items: Vec<Tracked<T>>,
@@ -157,21 +157,22 @@ pub fn select_rank_cfg<T: Ord + Clone>(
         // sample into a compact aligned square next to the data.
         let mut indicator: Vec<Tracked<u64>> =
             elems.iter().enumerate().map(|(i, t)| t.with_value(u64::from(sampled[i]))).collect();
-        for i in n..padded {
-            indicator.push(machine.place(zorder::coord_of(lo + i), 0u64));
-        }
+        indicator.extend(machine.place_batch(vec![0u64; (padded - n) as usize], |i| {
+            zorder::coord_of(lo + n + i as u64)
+        }));
         let idx = scan_exclusive(machine, lo, indicator, 0, &|a, b| a + b);
         let s_pad = zorder::next_power_of_four(s_len);
         let g_lo = sorting::allpairs::scratch_for(lo, s_pad);
-        let mut sample: Vec<Tracked<Keyed<T>>> = Vec::with_capacity(s_len as usize);
+        let mut sample_sends: Vec<(Tracked<Keyed<T>>, spatial_model::Coord)> =
+            Vec::with_capacity(s_len as usize);
         for (i, ix) in idx.into_iter().enumerate() {
             if i < n as usize && sampled[i] {
                 let slot = *ix.value();
-                let copy = elems[i].duplicate();
-                sample.push(machine.move_to(copy, zorder::coord_of(g_lo + slot)));
+                sample_sends.push((elems[i].duplicate(), zorder::coord_of(g_lo + slot)));
             }
             machine.discard(ix);
         }
+        let sample = machine.send_batch(sample_sends);
 
         // Step 3: Bitonic-sort the sample under the effective order and read
         // off the two pivots by rank.
@@ -289,7 +290,7 @@ fn pivot_ranks(big_n: u64, k: u64, s_len: u64, ln_n: f64, c: f64) -> (u64, Optio
 /// Bitonic sort of a sample resident on the Z-segment `[lo, lo+len)` under
 /// the (possibly flipped) effective order. Pads to a power of two with
 /// effective `+∞` sentinels.
-fn bitonic_sort_z<T: Ord + Clone>(
+fn bitonic_sort_z<T: Ord + Clone + Send + Sync>(
     machine: &mut Machine,
     lo: u64,
     sample: Vec<Tracked<Keyed<T>>>,
@@ -328,9 +329,9 @@ fn bitonic_sort_z<T: Ord + Clone>(
     let padded = (len as u64).next_power_of_two();
     let mut wires: Vec<Tracked<W<T>>> =
         sample.into_iter().map(|t| t.map(|kd| W::Val(flipped, kd))).collect();
-    for i in len as u64..padded {
-        wires.push(machine.place(zorder::coord_of(lo + i), W::Inf(i)));
-    }
+    wires.extend(machine.place_batch((len as u64..padded).map(W::Inf).collect(), |i| {
+        zorder::coord_of(lo + len as u64 + i as u64)
+    }));
     let net = sortnet::bitonic_sort(padded as usize);
     let out = sortnet::run_on_coords(machine, &net, wires);
     let mut res = Vec::with_capacity(len);
@@ -349,7 +350,7 @@ fn bitonic_sort_z<T: Ord + Clone>(
 /// Terminal phase (and pivot-failure fallback): gather the active elements
 /// into a compact segment, 2D-mergesort them, and pick the k-th under the
 /// effective order.
-fn finish_by_sorting<T: Ord + Clone>(
+fn finish_by_sorting<T: Ord + Clone + Send + Sync>(
     machine: &mut Machine,
     lo: u64,
     elems: Vec<Tracked<Keyed<T>>>,
@@ -370,11 +371,16 @@ fn finish_by_sorting<T: Ord + Clone>(
     // Compact into an aligned segment near the data, then sort (normal
     // order) and convert the flipped rank.
     let g_lo = sorting::allpairs::scratch_for(lo, zorder::next_power_of_four(m));
-    let compact: Vec<Tracked<Keyed<T>>> = survivors
-        .into_iter()
-        .enumerate()
-        .map(|(i, t)| machine.move_to(t, zorder::coord_of(g_lo + i as u64)))
-        .collect();
+    let compact: Vec<Tracked<Keyed<T>>> = machine.send_batch(
+        survivors
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let dst = zorder::coord_of(g_lo + i as u64);
+                (t, dst)
+            })
+            .collect(),
+    );
     let sorted = sort_z(machine, g_lo, compact);
     let idx = if flipped { m - k } else { k - 1 };
     let mut res = None;
@@ -395,7 +401,7 @@ fn finish_by_sorting<T: Ord + Clone>(
 /// Each quantile runs one (independent) §VI selection over duplicated
 /// inputs, so the total energy is `O(|qs|·n)` — still polynomially below
 /// one full sort for constant `|qs|`.
-pub fn quantiles<T: Ord + Clone>(
+pub fn quantiles<T: Ord + Clone + Send + Sync>(
     machine: &mut Machine,
     lo: u64,
     items: &[Tracked<T>],
@@ -417,7 +423,7 @@ pub fn quantiles<T: Ord + Clone>(
 }
 
 /// Convenience wrapper: selects the median (upper median for even `n`).
-pub fn select_median<T: Ord + Clone>(
+pub fn select_median<T: Ord + Clone + Send + Sync>(
     machine: &mut Machine,
     lo: u64,
     items: Vec<Tracked<T>>,
@@ -440,7 +446,7 @@ pub fn select_median<T: Ord + Clone>(
 /// assert_eq!(third_smallest, 2);
 /// assert_eq!(stats.fallbacks, 0);
 /// ```
-pub fn select_rank_values<T: Ord + Clone>(
+pub fn select_rank_values<T: Ord + Clone + Send + Sync>(
     machine: &mut Machine,
     lo: u64,
     values: Vec<T>,

@@ -12,7 +12,7 @@
 //! [`scratch_for`]); the scratch square may overlap resident data — each PE
 //! holds O(1) extra words during the sort, which the model allows.
 
-use spatial_model::{zorder, Machine, Tracked};
+use spatial_model::{zorder, Coord, Machine, Tracked};
 
 /// The aligned Z-offset of a scratch square of at least `cells` cells that
 /// contains (or sits next to) Z-index `near`.
@@ -36,10 +36,22 @@ pub fn scratch_for(near: u64, cells: u64) -> u64 {
 /// Panics if two elements compare equal (wrap inputs in
 /// [`crate::Keyed`] to guarantee distinctness) or if `scratch_lo` is
 /// misaligned.
-pub fn allpairs_rank<P: Ord + Clone>(
+pub fn allpairs_rank<P: Ord + Clone + Send + Sync>(
     machine: &mut Machine,
     items: Vec<Tracked<P>>,
     scratch_lo: u64,
+) -> Vec<Tracked<(P, u64)>> {
+    allpairs_rank_inner(machine, items, scratch_lo, false)
+}
+
+/// [`allpairs_rank`] with an escape hatch forcing the materializing per-item
+/// phases even on a bare machine — the reference the closed-form kernel is
+/// tested against.
+fn allpairs_rank_inner<P: Ord + Clone + Send + Sync>(
+    machine: &mut Machine,
+    items: Vec<Tracked<P>>,
+    scratch_lo: u64,
+    force_replay: bool,
 ) -> Vec<Tracked<(P, u64)>> {
     let m = items.len() as u64;
     assert!(m > 0, "all-pairs rank of an empty array");
@@ -48,70 +60,116 @@ pub fn allpairs_rank<P: Ord + Clone>(
     assert_eq!(scratch_lo % total, 0, "scratch offset must be aligned to the scratch size");
 
     // Step 0 (input staging): bring the array into block 0, element j at the
-    // block's j-th Z-cell.
-    let staged: Vec<Tracked<P>> = items
-        .into_iter()
-        .enumerate()
-        .map(|(j, t)| machine.move_to(t, zorder::coord_of(scratch_lo + j as u64)))
-        .collect();
+    // block's j-th Z-cell — one batched move.
+    let staged: Vec<Tracked<P>> = machine.send_batch(
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(j, t)| (t, zorder::coord_of(scratch_lo + j as u64)))
+            .collect(),
+    );
 
     // Step 1 (scatter): element i also goes to the corner of block i.
-    let corners: Vec<Tracked<P>> = staged
+    // Element 0 is already at block 0's corner (a free duplicate, as in the
+    // open-coded loop); the rest are one batched copy.
+    let scatter: Vec<(&Tracked<P>, Coord)> = staged
         .iter()
         .enumerate()
-        .map(|(i, t)| {
-            let dst = zorder::coord_of(scratch_lo + i as u64 * bm);
-            if i == 0 {
-                t.duplicate()
-            } else {
-                machine.send(t, dst)
-            }
-        })
+        .skip(1)
+        .map(|(i, t)| (t, zorder::coord_of(scratch_lo + i as u64 * bm)))
         .collect();
+    let mut corners: Vec<Tracked<P>> = Vec::with_capacity(m as usize);
+    corners.push(staged[0].duplicate());
+    corners.extend(machine.send_batch_copy(&scatter));
+    drop(scatter);
+
+    // On a bare machine the three remaining phases (replicate, broadcast,
+    // compare, reduce) are charged in closed form: their message DAG is
+    // data-independent, so the ranks resolve host-side and the machine
+    // charges the exact aggregate Cost and output paths without
+    // materializing the O(m·bm) intermediate copies. Any armed instrument
+    // takes the materializing path below and observes the per-item stream.
+    if !force_replay && machine.is_bare() && m > 1 {
+        let mut order: Vec<usize> = (0..m as usize).collect();
+        order.sort_unstable_by(|&x, &y| staged[x].value().cmp(staged[y].value()));
+        for w in order.windows(2) {
+            assert!(
+                staged[w[0]].value() != staged[w[1]].value(),
+                "all-pairs rank requires distinct elements"
+            );
+        }
+        let mut ranks = vec![0u64; m as usize];
+        for (r, &i) in order.iter().enumerate() {
+            ranks[i] = r as u64;
+        }
+        let staged_paths: Vec<spatial_model::Path> = staged.iter().map(|t| t.path()).collect();
+        for t in staged {
+            machine.discard(t);
+        }
+        return machine.allpairs_square_finish(&staged_paths, corners, &ranks, scratch_lo, bm);
+    }
 
     // Step 3 (array copy): replicate the whole array into every block that
     // hosts an element, treating blocks as units of a Z-quadrant broadcast.
-    let mut block_copies: Vec<Option<Vec<Tracked<P>>>> = (0..bm).map(|_| None).collect();
-    copy_to_blocks(machine, staged, 0, bm, m, scratch_lo, bm, &mut block_copies);
+    // Level order: every level's cross-block replication is one uniform
+    // batch per target quadrant, because aligned blocks put corresponding
+    // cells at one common displacement.
+    let block_copies: Vec<Vec<Tracked<P>>> = copy_to_blocks(machine, staged, bm, m, scratch_lo);
 
-    // Steps 2+4+5: broadcast A_i inside block i, compare, reduce the rank.
-    let mut out = Vec::with_capacity(m as usize);
-    for (i, corner) in corners.into_iter().enumerate() {
-        let block_lo = scratch_lo + i as u64 * bm;
-        let copy = block_copies[i].take().expect("block hosts the array copy");
-        // Broadcast A_i over the block's cells (Z-quadrant tree).
-        let mine = bcast_z_block(machine, corner.duplicate(), block_lo, bm);
-        // Per-cell comparison: 1 if the resident copy element precedes A_i.
+    // Step 2 (per-block broadcast): element i floods block i. All blocks
+    // advance level by level, so each level's sends are uniform batches too.
+    let bcasts: Vec<Vec<Tracked<P>>> = bcast_all_blocks(
+        machine,
+        corners.iter().map(|c| c.duplicate()).collect(),
+        scratch_lo,
+        bm,
+        bm,
+    );
+
+    // Step 4 (compare): local, free. 1 if the resident copy element precedes
+    // A_i under the total order.
+    let mut per_block_indicators: Vec<Vec<Tracked<u64>>> = Vec::with_capacity(m as usize);
+    for (i, (mine, copy)) in bcasts.into_iter().zip(&block_copies).enumerate() {
         let mut indicators: Vec<Tracked<u64>> = Vec::with_capacity(bm as usize);
         for (j, b) in mine.into_iter().enumerate() {
             let ind = if j < copy.len() {
-                let v = copy[j].zip_with(&b, |a_j, a_i| {
+                copy[j].zip_with(&b, |a_j, a_i| {
                     assert!(a_j != a_i || j == i, "all-pairs rank requires distinct elements");
                     u64::from(a_j < a_i)
-                });
-                v
+                })
             } else {
                 b.with_value(0u64)
             };
             machine.discard(b);
             indicators.push(ind);
         }
+        per_block_indicators.push(indicators);
+    }
+    for copy in block_copies {
         for c in copy {
             machine.discard(c);
         }
-        // Rank = sum of indicators, reduced onto the block corner.
-        let rank = reduce_z_block(machine, indicators, block_lo);
-        let ranked = corner.zip_with(&rank, |p, r| (p.clone(), *r));
-        machine.discard(corner);
-        machine.discard(rank);
-        out.push(ranked);
     }
-    out
+
+    // Step 5 (reduce): rank = sum of indicators onto each block corner,
+    // again level by level across all blocks at once.
+    let ranks = reduce_all_blocks(machine, per_block_indicators, scratch_lo, bm);
+
+    corners
+        .into_iter()
+        .zip(ranks)
+        .map(|(corner, rank)| {
+            let ranked = corner.zip_with(&rank, |p, r| (p.clone(), *r));
+            machine.discard(corner);
+            machine.discard(rank);
+            ranked
+        })
+        .collect()
 }
 
 /// All-Pairs Sort: ranks the elements and routes each to Z-index
 /// `out_lo + rank`. Returns the sorted array indexed by rank.
-pub fn allpairs_sort_to_z<P: Ord + Clone>(
+pub fn allpairs_sort_to_z<P: Ord + Clone + Send + Sync>(
     machine: &mut Machine,
     items: Vec<Tracked<P>>,
     scratch_lo: u64,
@@ -119,11 +177,18 @@ pub fn allpairs_sort_to_z<P: Ord + Clone>(
 ) -> Vec<Tracked<P>> {
     let m = items.len();
     let ranked = allpairs_rank(machine, items, scratch_lo);
+    let routed = machine.send_batch(
+        ranked
+            .into_iter()
+            .map(|t| {
+                let dst = zorder::coord_of(out_lo + t.value().1);
+                (t, dst)
+            })
+            .collect(),
+    );
     let mut out: Vec<Option<Tracked<P>>> = (0..m).map(|_| None).collect();
-    for t in ranked {
-        let rank = t.value().1;
-        let dst = zorder::coord_of(out_lo + rank);
-        let moved = machine.move_to(t, dst);
+    for moved in routed {
+        let rank = moved.value().1;
         let slot = &mut out[rank as usize];
         assert!(slot.is_none(), "duplicate rank {rank}");
         *slot = Some(moved.map(|(p, _)| p));
@@ -131,117 +196,182 @@ pub fn allpairs_sort_to_z<P: Ord + Clone>(
     out.into_iter().map(|o| o.expect("ranks form a permutation")).collect()
 }
 
-/// Replicates the array held by the block at Z-block-index `b0` into every
-/// block with index in `[b0, b0 + span)` that hosts an element (`< m_used`),
-/// recursing over block-index quadrants.
-#[allow(clippy::too_many_arguments)]
-fn copy_to_blocks<P: Clone>(
+/// Replicates the array held by block 0 into every block that hosts an
+/// element (block index `< m_used`), level by level over the block-index
+/// quadtree. At each level every holder block copies its `m_used` elements
+/// into up to three target blocks; aligned blocks keep corresponding cells
+/// at one common displacement per `(level, quadrant)`, so each of those
+/// copies is a single [`spatial_model::BatchPattern::Uniform`] batch.
+/// Charges exactly what the depth-first per-element recursion charges.
+/// Returns one array copy per hosting block, in block order.
+fn copy_to_blocks<P: Clone + Send + Sync>(
     machine: &mut Machine,
     holder: Vec<Tracked<P>>,
-    b0: u64,
-    span: u64,
+    bm: u64,
     m_used: u64,
     scratch_lo: u64,
+) -> Vec<Vec<Tracked<P>>> {
+    // Frontier of (block index, that block's array copy), kept in ascending
+    // block order.
+    let mut frontier: Vec<(u64, Vec<Tracked<P>>)> = vec![(0, holder)];
+    let mut span = bm;
+    while span > 1 {
+        let q = span / 4;
+        let mut added: Vec<(u64, Vec<Tracked<P>>)> = Vec::new();
+        for t in 1..4 {
+            // One uniform cross-block batch per target quadrant: block b
+            // replicates to block b + t·q, for every frontier block b that
+            // has a target hosting an element. Blocks created at this level
+            // join the frontier only once the level completes.
+            let sends: Vec<(&Tracked<P>, Coord)> = frontier
+                .iter()
+                .filter(|(b, _)| b + t * q < m_used)
+                .flat_map(|(b, copy)| {
+                    let target_lo = scratch_lo + (b + t * q) * bm;
+                    copy.iter()
+                        .enumerate()
+                        .map(move |(j, el)| (el, zorder::coord_of(target_lo + j as u64)))
+                })
+                .collect();
+            if sends.is_empty() {
+                continue;
+            }
+            let mut arrived = machine.send_batch_copy(&sends).into_iter();
+            drop(sends);
+            added.extend(
+                frontier
+                    .iter()
+                    .filter(|(b, _)| b + t * q < m_used)
+                    .map(|(b, copy)| (b + t * q, arrived.by_ref().take(copy.len()).collect())),
+            );
+        }
+        frontier.extend(added);
+        frontier.sort_by_key(|(b, _)| *b);
+        span = q;
+    }
+    debug_assert!(frontier.iter().enumerate().all(|(i, (b, _))| i as u64 == *b));
+    frontier.into_iter().map(|(_, copy)| copy).collect()
+}
+
+/// Z-quadrant broadcast inside every block at once, level by level: each
+/// level's sends across all blocks share one displacement per quadrant and
+/// are charged as uniform batches. `roots[i]` floods the block at
+/// `scratch_lo + i·bm`; returns, per block, one value per cell indexed by
+/// Z-offset. Charges exactly what the per-block recursive broadcast charges.
+fn bcast_all_blocks<T: Clone + Send + Sync>(
+    machine: &mut Machine,
+    roots: Vec<Tracked<T>>,
+    scratch_lo: u64,
     bm: u64,
-    out: &mut [Option<Vec<Tracked<P>>>],
-) {
-    if b0 >= m_used {
-        for t in holder {
-            machine.discard(t);
-        }
-        return;
-    }
-    if span == 1 {
-        out[b0 as usize] = Some(holder);
-        return;
-    }
-    let q = span / 4;
-    let mut copies: Vec<(u64, Vec<Tracked<P>>)> = Vec::with_capacity(3);
-    for t in 1..4 {
-        let target = b0 + t * q;
-        if target >= m_used {
-            break;
-        }
-        let copy: Vec<Tracked<P>> = holder
-            .iter()
-            .enumerate()
-            .map(|(j, el)| machine.send(el, zorder::coord_of(scratch_lo + target * bm + j as u64)))
-            .collect();
-        copies.push((target, copy));
-    }
-    copy_to_blocks(machine, holder, b0, q, m_used, scratch_lo, bm, out);
-    for (target, copy) in copies {
-        copy_to_blocks(machine, copy, target, q, m_used, scratch_lo, bm, out);
-    }
-}
-
-/// Z-quadrant broadcast within one aligned block; returns one value per cell
-/// indexed by Z-offset.
-pub(crate) fn bcast_z_block<T: Clone>(
-    machine: &mut Machine,
-    root: Tracked<T>,
-    lo: u64,
     len: u64,
-) -> Vec<Tracked<T>> {
-    debug_assert_eq!(root.loc(), zorder::coord_of(lo));
-    let mut out: Vec<Option<Tracked<T>>> = (0..len).map(|_| None).collect();
-    rec_bcast(machine, root, lo, len, lo, &mut out);
-    return out.into_iter().map(|o| o.expect("covered")).collect();
-
-    fn rec_bcast<T: Clone>(
-        machine: &mut Machine,
-        root: Tracked<T>,
-        lo: u64,
-        len: u64,
-        base: u64,
-        out: &mut [Option<Tracked<T>>],
-    ) {
-        if len == 1 {
-            out[(lo - base) as usize] = Some(root);
-            return;
-        }
-        let q = len / 4;
-        let copies: Vec<Tracked<T>> =
-            (1..4).map(|i| machine.send(&root, zorder::coord_of(lo + i * q))).collect();
-        rec_bcast(machine, root, lo, q, base, out);
-        for (i, c) in copies.into_iter().enumerate() {
-            rec_bcast(machine, c, lo + (i as u64 + 1) * q, q, base, out);
-        }
+) -> Vec<Vec<Tracked<T>>> {
+    let n_blocks = roots.len();
+    let mut slots: Vec<Vec<Option<Tracked<T>>>> =
+        (0..n_blocks).map(|_| (0..len).map(|_| None).collect()).collect();
+    for (b, root) in roots.into_iter().enumerate() {
+        debug_assert_eq!(root.loc(), zorder::coord_of(scratch_lo + b as u64 * bm));
+        slots[b][0] = Some(root);
     }
+    // Offsets filled so far (identical in every block); each level copies
+    // all of them one quadrant over, tripling the set.
+    let mut filled: Vec<u64> = vec![0];
+    let mut span = len;
+    while span > 1 {
+        let q = span / 4;
+        for i in 1..4 {
+            let sends: Vec<(&Tracked<T>, Coord)> = slots
+                .iter()
+                .enumerate()
+                .flat_map(|(b, block)| {
+                    let block_lo = scratch_lo + b as u64 * bm;
+                    filled.iter().map(move |&off| {
+                        let src = block[off as usize].as_ref().expect("filled offset");
+                        (src, zorder::coord_of(block_lo + off + i * q))
+                    })
+                })
+                .collect();
+            let mut arrived = machine.send_batch_copy(&sends).into_iter();
+            drop(sends);
+            for block in &mut slots {
+                for &off in &filled {
+                    block[(off + i * q) as usize] = Some(arrived.next().expect("one per send"));
+                }
+            }
+        }
+        let mut next_filled = Vec::with_capacity(filled.len() * 4);
+        for i in 0..4 {
+            next_filled.extend(filled.iter().map(|&off| off + i * q));
+        }
+        next_filled.sort_unstable();
+        filled = next_filled;
+        span = q;
+    }
+    slots
+        .into_iter()
+        .map(|block| block.into_iter().map(|o| o.expect("covered")).collect())
+        .collect()
 }
 
-/// Z-quadrant sum-reduce within one aligned block; result lands on the block
-/// corner.
-pub(crate) fn reduce_z_block(
+/// Z-quadrant sum-reduce inside every block at once, bottom-up level by
+/// level; block `b`'s result lands on its corner. Sibling partials are
+/// folded in ascending quadrant order, exactly as the per-block recursion
+/// does. `per_block[b]` holds the leaf values of the block at
+/// `scratch_lo + b·bm`, indexed by Z-offset.
+fn reduce_all_blocks(
     machine: &mut Machine,
-    items: Vec<Tracked<u64>>,
-    lo: u64,
-) -> Tracked<u64> {
-    let len = items.len() as u64;
-    let mut slots: Vec<Option<Tracked<u64>>> = items.into_iter().map(Some).collect();
-    return rec_reduce(machine, lo, len, lo, &mut slots);
-
-    fn rec_reduce(
-        machine: &mut Machine,
-        lo: u64,
-        len: u64,
-        base: u64,
-        slots: &mut [Option<Tracked<u64>>],
-    ) -> Tracked<u64> {
-        if len == 1 {
-            return slots[(lo - base) as usize].take().expect("populated");
+    per_block: Vec<Vec<Tracked<u64>>>,
+    scratch_lo: u64,
+    bm: u64,
+) -> Vec<Tracked<u64>> {
+    // vals[b][k] is the partial sum of the k-th aligned sub-square of the
+    // current level, resident at that sub-square's corner (Z-offset
+    // k·stride within the block).
+    let mut vals: Vec<Vec<Tracked<u64>>> = per_block;
+    let mut stride = 1u64;
+    while vals.first().is_some_and(|v| v.len() > 1) {
+        let groups = vals[0].len() / 4;
+        // Decompose each group of 4 siblings: the corner partial seeds the
+        // accumulator, the three high siblings travel to the corner — one
+        // uniform batch per sibling index (displacement −decode(i·stride)
+        // for every group of every block).
+        let mut keep: Vec<Vec<Tracked<u64>>> = Vec::with_capacity(vals.len());
+        let mut sib_sends: [Vec<(Tracked<u64>, Coord)>; 3] =
+            std::array::from_fn(|_| Vec::with_capacity(vals.len() * groups));
+        for (b, block) in vals.into_iter().enumerate() {
+            let block_lo = scratch_lo + b as u64 * bm;
+            let mut it = block.into_iter();
+            let mut corners = Vec::with_capacity(groups);
+            for g in 0..groups {
+                let corner = zorder::coord_of(block_lo + 4 * g as u64 * stride);
+                corners.push(it.next().expect("corner partial"));
+                for s in &mut sib_sends {
+                    s.push((it.next().expect("sibling partial"), corner));
+                }
+            }
+            keep.push(corners);
         }
-        let q = len / 4;
-        let mut acc = rec_reduce(machine, lo, q, base, slots);
-        for i in 1..4 {
-            let part = rec_reduce(machine, lo + i * q, q, base, slots);
-            let arrived = machine.send_owned(part, zorder::coord_of(lo));
-            let combined = acc.zip_with(&arrived, |a, b| a + b);
-            machine.discard(arrived);
-            machine.discard(std::mem::replace(&mut acc, combined));
+        let mut arrived: Vec<std::vec::IntoIter<Tracked<u64>>> =
+            sib_sends.into_iter().map(|s| machine.send_batch(s).into_iter()).collect();
+        // Fold arrivals into the corner accumulators in ascending sibling
+        // order, exactly as the per-block recursion does.
+        let mut next: Vec<Vec<Tracked<u64>>> = Vec::with_capacity(keep.len());
+        for corners in keep {
+            let mut level: Vec<Tracked<u64>> = Vec::with_capacity(groups);
+            for mut acc in corners {
+                for it in &mut arrived {
+                    let arr = it.next().expect("one arrival per group");
+                    let combined = acc.zip_with(&arr, |x, y| x + y);
+                    machine.discard(arr);
+                    machine.discard(std::mem::replace(&mut acc, combined));
+                }
+                level.push(acc);
+            }
+            next.push(level);
         }
-        acc
+        vals = next;
+        stride *= 4;
     }
+    vals.into_iter().map(|mut v| v.pop().expect("one partial per block")).collect()
 }
 
 #[cfg(test)]
@@ -325,6 +455,55 @@ mod tests {
                 m.report().distance
             );
         }
+    }
+
+    #[test]
+    fn closed_form_kernel_matches_materialized_replay() {
+        // The closed-form charge must be bit-identical to the per-item
+        // level-order phases: same Cost report, same output values, ranks,
+        // locations and critical paths — for every size class (power of
+        // four, just above, just below, tiny).
+        for n in [2usize, 3, 4, 5, 7, 13, 16, 17, 29, 40, 64, 65] {
+            let vals: Vec<i64> = (0..n as i64).map(|i| (i * 131) % 257 - 60).collect();
+            let run = |force: bool| {
+                let mut m = Machine::new();
+                // Pre-route the inputs so staged paths are heterogeneous.
+                let placed = place_z(&mut m, 0, vals.clone());
+                let items: Vec<_> = placed
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        if i % 3 == 0 {
+                            let loc = t.loc();
+                            let away = m.send_owned(t, zorder::coord_of(4096 + i as u64));
+                            m.send_owned(away, loc)
+                        } else {
+                            t
+                        }
+                    })
+                    .collect();
+                let items = attach_uids(items);
+                let bm = zorder::next_power_of_four(n as u64);
+                let ranked = allpairs_rank_inner(&mut m, items, scratch_for(0, bm * bm), force);
+                let outs: Vec<(i64, u64, u64, spatial_model::Coord, spatial_model::Path)> = ranked
+                    .iter()
+                    .map(|t| (t.value().0.key, t.value().0.uid, t.value().1, t.loc(), t.path()))
+                    .collect();
+                (m.report(), outs)
+            };
+            let (fast_cost, fast_out) = run(false);
+            let (ref_cost, ref_out) = run(true);
+            assert_eq!(fast_cost, ref_cost, "Cost diverges at n = {n}");
+            assert_eq!(fast_out, ref_out, "outputs diverge at n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-pairs rank requires distinct elements")]
+    fn closed_form_kernel_rejects_duplicates() {
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, vec![5i64, 5, 1, 2]);
+        let _ = allpairs_rank(&mut m, items, 0);
     }
 
     #[test]

@@ -28,7 +28,7 @@ const BASE: usize = 16;
 /// Any combined length is supported (quarters are uneven by at most one
 /// element when it is not divisible by four). Elements must be pairwise
 /// distinct ([`crate::keyed::Keyed`] guarantees this).
-pub fn merge_adjacent<P: Ord + Clone>(
+pub fn merge_adjacent<P: Ord + Clone + Send + Sync>(
     machine: &mut Machine,
     a: Vec<Tracked<P>>,
     b: Vec<Tracked<P>>,
@@ -112,7 +112,7 @@ pub fn merge_adjacent<P: Ord + Clone>(
 }
 
 /// Constant-size base case: odd-even transposition over the segment cells.
-fn base_merge<P: Ord + Clone>(
+fn base_merge<P: Ord + Clone + Send + Sync>(
     machine: &mut Machine,
     a: Vec<Tracked<P>>,
     b: Vec<Tracked<P>>,

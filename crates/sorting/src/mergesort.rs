@@ -36,7 +36,7 @@ const BASE: usize = 16;
 /// Arbitrary lengths are supported: inputs are padded internally with
 /// `+∞` sentinels up to the next power of four (paper §III assumes powers of
 /// four w.l.o.g.).
-pub fn sort_z<T: Ord + Clone>(
+pub fn sort_z<T: Ord + Clone + Send + Sync>(
     machine: &mut Machine,
     lo: u64,
     items: Vec<Tracked<T>>,
@@ -50,9 +50,11 @@ pub fn sort_z<T: Ord + Clone>(
     // Wrap keys so all elements are distinct (stability) and pad with +∞.
     let mut keyed: Vec<Tracked<Pad<T>>> =
         attach_uids(items).into_iter().map(|t| t.map(Pad::Val)).collect();
-    for i in n..padded {
-        keyed.push(machine.place(zorder::coord_of(lo + i), Pad::Inf(i)));
-    }
+    keyed.extend(
+        machine.place_batch((n..padded).map(Pad::Inf).collect(), |i| {
+            zorder::coord_of(lo + n + i as u64)
+        }),
+    );
     let sorted = sort_pow4(machine, lo, keyed);
     // Strip sentinels (they sorted to the tail) and unwrap.
     let mut out = Vec::with_capacity(n as usize);
@@ -70,7 +72,7 @@ pub fn sort_z<T: Ord + Clone>(
 
 /// Fallible [`sort_z`]: runs under the machine's active guard/fault layer
 /// and surfaces any violation as a typed [`SpatialError`].
-pub fn try_sort_z<T: Ord + Clone>(
+pub fn try_sort_z<T: Ord + Clone + Send + Sync>(
     machine: &mut Machine,
     lo: u64,
     items: Vec<Tracked<T>>,
@@ -80,7 +82,7 @@ pub fn try_sort_z<T: Ord + Clone>(
 
 /// Like [`sort_z`] but returns the sorted plain values (reads the array out
 /// of the machine).
-pub fn sort_z_values<T: Ord + Clone>(
+pub fn sort_z_values<T: Ord + Clone + Send + Sync>(
     machine: &mut Machine,
     lo: u64,
     items: Vec<Tracked<T>>,
@@ -91,7 +93,7 @@ pub fn sort_z_values<T: Ord + Clone>(
 /// Sorts an array stored **row-major** on a square subgrid, returning it
 /// sorted in row-major order (the paper's input/output convention): convert
 /// to Z-order, run [`sort_z`], permute back (Fig. 3(d)).
-pub fn sort_row_major<T: Ord + Clone>(
+pub fn sort_row_major<T: Ord + Clone + Send + Sync>(
     machine: &mut Machine,
     grid: SubGrid,
     items: Vec<Tracked<T>>,
@@ -120,7 +122,7 @@ enum Pad<T> {
     Inf(u64),
 }
 
-fn sort_pow4<T: Ord + Clone>(
+fn sort_pow4<T: Ord + Clone + Send + Sync>(
     machine: &mut Machine,
     lo: u64,
     items: Vec<Tracked<Pad<T>>>,

@@ -1,0 +1,466 @@
+//! Batch-pattern classification and deterministic sharded execution for the
+//! bare (uninstrumented) fast path of the machine's batch APIs.
+//!
+//! The bulk of the messages in a large run come from *regular* batches:
+//! whole Z-blocks exchanging values at one common displacement (block
+//! replication, in-block broadcast levels, quarter shifts) or at an affinely
+//! strided one. For those, the aggregate energy is an arithmetic series and
+//! the message count is exact arithmetic — no per-item Manhattan distance or
+//! saturating add is needed. [`classify`] recognizes the two closed-form
+//! shapes; anything else is [`BatchPattern::Irregular`] and pays the ordinary
+//! per-item loop.
+//!
+//! The remaining per-item work (constructing each delivered value and
+//! extending its [`Path`]) is embarrassingly parallel, so `shard_map`
+//! partitions it into contiguous chunks across `std::thread::scope` workers.
+//! Each worker accumulates into a private `ShardAcc`; the partials are
+//! merged **in fixed shard order** (lowest item index first). Every merged
+//! quantity is either an exact sum (`messages`), a saturating sum of
+//! non-negative terms (`energy` — see below), or a max (`depth`,
+//! `distance`), all of which are independent of the partition, so the
+//! reported [`crate::Cost`] is bit-identical at any thread count.
+//!
+//! *Saturation note.* A serial left fold of `saturating_add` over
+//! non-negative terms equals `min(true_sum, u64::MAX)`: partial sums are
+//! monotone, so the fold clamps exactly when the true sum exceeds `u64::MAX`
+//! and is exact otherwise. Per-shard partials merged with `saturating_add`
+//! compute the same function, as do the `u128` closed forms — so all three
+//! evaluation orders agree bit-for-bit even at the saturation boundary.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::coord::Coord;
+use crate::path::Path;
+
+/// The displacement structure of a batch of point-to-point messages.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BatchPattern {
+    /// No items.
+    Empty,
+    /// Every message has the same `(drow, dcol)` displacement — e.g. a whole
+    /// aligned Z-block shifting to a sibling block. Translation invariance
+    /// of the Manhattan metric makes every per-message cost identical, so
+    /// the batch is charged in O(1): `energy = count · (|drow| + |dcol|)`.
+    Uniform {
+        /// Common row displacement (`dst.row - src.row`).
+        drow: i64,
+        /// Common column displacement.
+        dcol: i64,
+    },
+    /// Message `i` has displacement `(drow + i·srow, dcol + i·scol)` with
+    /// `(srow, scol) ≠ (0, 0)` — e.g. a strided compaction. The energy sum
+    /// is an arithmetic series split at the (at most one) sign change per
+    /// axis, still O(1).
+    Affine {
+        /// Row displacement of item 0.
+        drow: i64,
+        /// Column displacement of item 0.
+        dcol: i64,
+        /// Per-item row stride.
+        srow: i64,
+        /// Per-item column stride.
+        scol: i64,
+    },
+    /// Anything else: charged by the ordinary per-item loop (sharded when
+    /// large).
+    Irregular,
+}
+
+/// Classifies a batch of `(src, dst)` pairs in one pass of comparisons.
+pub fn classify(mut pairs: impl Iterator<Item = (Coord, Coord)>) -> BatchPattern {
+    let Some((s0, d0)) = pairs.next() else {
+        return BatchPattern::Empty;
+    };
+    let base = (d0.row - s0.row, d0.col - s0.col);
+    let Some((s1, d1)) = pairs.next() else {
+        return BatchPattern::Uniform { drow: base.0, dcol: base.1 };
+    };
+    let second = (d1.row - s1.row, d1.col - s1.col);
+    let stride = (second.0 - base.0, second.1 - base.1);
+    let mut expect = second;
+    for (s, d) in pairs {
+        expect = (expect.0 + stride.0, expect.1 + stride.1);
+        if (d.row - s.row, d.col - s.col) != expect {
+            return BatchPattern::Irregular;
+        }
+    }
+    if stride == (0, 0) {
+        BatchPattern::Uniform { drow: base.0, dcol: base.1 }
+    } else {
+        BatchPattern::Affine { drow: base.0, dcol: base.1, srow: stride.0, scol: stride.1 }
+    }
+}
+
+/// `Σ_{i=0}^{n-1} |a + i·s|`, exactly, as the arithmetic series split at the
+/// single sign change of the monotone sequence. `u128` so no intermediate
+/// overflows for any realistic grid.
+pub(crate) fn sum_abs_affine(a: i64, s: i64, n: u64) -> u128 {
+    if n == 0 {
+        return 0;
+    }
+    if s == 0 {
+        return u128::from(n) * u128::from(a.unsigned_abs());
+    }
+    let (a, s, n) = (i128::from(a), i128::from(s), i128::from(n));
+    // Σ_{i=lo}^{hi} (a + i·s); `2a + (lo+hi)s` is even times cnt, but avoid
+    // the parity question by summing 2× and halving once.
+    let series = |lo: i128, hi: i128| -> i128 {
+        let cnt = hi - lo + 1;
+        cnt * (2 * a + (lo + hi) * s) / 2
+    };
+    // Number of leading indices on the negative side of the monotone ramp.
+    let neg = if s > 0 {
+        // a + i·s < 0  ⇔  i < ⌈-a / s⌉
+        if a >= 0 {
+            0
+        } else {
+            ((-a) + s - 1).div_euclid(s).clamp(0, n)
+        }
+    } else {
+        // decreasing: a + i·s < 0  ⇔  i > a / (-s); count the tail.
+        if a < 0 {
+            n
+        } else {
+            (n - 1 - (a.div_euclid(-s)).min(n - 1)).clamp(0, n)
+        }
+    };
+    let mut total: i128 = 0;
+    if s > 0 {
+        if neg > 0 {
+            total -= series(0, neg - 1);
+        }
+        if neg < n {
+            total += series(neg, n - 1);
+        }
+    } else {
+        let pos = n - neg;
+        if pos > 0 {
+            total += series(0, pos - 1);
+        }
+        if neg > 0 {
+            total -= series(pos, n - 1);
+        }
+    }
+    debug_assert!(total >= 0);
+    total as u128
+}
+
+/// How many indices `i ∈ [0, n)` of an affine batch have zero displacement
+/// (`drow + i·srow == 0` and `dcol + i·scol == 0`). At most one unless the
+/// pattern degenerates to uniform-zero (which [`classify`] reports as
+/// `Uniform`), so this is O(1).
+pub(crate) fn affine_zero_count(drow: i64, dcol: i64, srow: i64, scol: i64, n: u64) -> u64 {
+    // Solutions of one axis equation `d + i·s == 0` over i ∈ [0, n).
+    let axis = |d: i64, s: i64| -> AxisZeros {
+        if s == 0 {
+            if d == 0 {
+                AxisZeros::All
+            } else {
+                AxisZeros::None
+            }
+        } else if d % s == 0 {
+            let i = -(d / s);
+            if i >= 0 && (i as u64) < n {
+                AxisZeros::One(i as u64)
+            } else {
+                AxisZeros::None
+            }
+        } else {
+            AxisZeros::None
+        }
+    };
+    match (axis(drow, srow), axis(dcol, scol)) {
+        (AxisZeros::None, _) | (_, AxisZeros::None) => 0,
+        (AxisZeros::One(i), AxisZeros::One(j)) => u64::from(i == j),
+        (AxisZeros::One(_), AxisZeros::All) | (AxisZeros::All, AxisZeros::One(_)) => 1,
+        // Both axes identically zero would be `Uniform { 0, 0 }`, never an
+        // `Affine` classification; unreachable but harmless.
+        (AxisZeros::All, AxisZeros::All) => n,
+    }
+}
+
+enum AxisZeros {
+    None,
+    One(u64),
+    All,
+}
+
+/// Override slot for [`sim_threads`]; `0` means "no override, use the
+/// environment". Programmatic so a single test process can exercise several
+/// thread counts (the env var is read once and cached).
+static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+static THREADS_ENV: OnceLock<usize> = OnceLock::new();
+
+/// Worker count used by the sharded bare-path batch kernels.
+///
+/// Resolution order: [`set_sim_threads`] override, then the
+/// `SPATIAL_SIM_THREADS` environment variable (read once per process), then
+/// `std::thread::available_parallelism()`. `1` forces the serial path.
+/// Any value yields bit-identical costs; this knob trades wall clock only.
+pub fn sim_threads() -> usize {
+    match THREADS_OVERRIDE.load(Ordering::Relaxed) {
+        0 => *THREADS_ENV.get_or_init(|| {
+            std::env::var("SPATIAL_SIM_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n: &usize| n >= 1)
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        }),
+        n => n,
+    }
+}
+
+/// Sets the worker count programmatically, overriding the environment
+/// (`0` clears the override). Takes effect on the next batch call.
+pub fn set_sim_threads(n: usize) {
+    THREADS_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// Below this many items a batch is processed serially — scoped-thread
+/// spawns cost tens of microseconds, which small batches cannot amortize.
+const MIN_PARALLEL_ITEMS: usize = 1 << 15;
+/// Minimum items per shard; fewer workers are used for mid-sized batches.
+const MIN_CHUNK: usize = 1 << 13;
+
+/// Private per-shard cost accumulator. `energy` and `messages` start at zero
+/// and are *partials* to be merged into the machine's counters; `depth` and
+/// `distance` are running maxima.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ShardAcc {
+    pub energy: u64,
+    pub messages: u64,
+    pub depth: u64,
+    pub distance: u64,
+}
+
+impl ShardAcc {
+    /// Records a delivered value's path against the watermark maxima.
+    #[inline]
+    pub fn observe(&mut self, p: Path) {
+        self.depth = self.depth.max(p.depth);
+        self.distance = self.distance.max(p.distance);
+    }
+
+    /// Charges one message of length `d`.
+    #[inline]
+    pub fn charge(&mut self, d: u64) {
+        self.energy = self.energy.saturating_add(d);
+        self.messages += 1;
+    }
+
+    /// Folds another shard's partial in (fixed caller-driven order).
+    fn merge(&mut self, o: &ShardAcc) {
+        self.energy = self.energy.saturating_add(o.energy);
+        self.messages += o.messages;
+        self.depth = self.depth.max(o.depth);
+        self.distance = self.distance.max(o.distance);
+    }
+}
+
+/// How many shards a batch of `n` items runs on under the current thread
+/// setting.
+fn shards_for(n: usize) -> usize {
+    if n < MIN_PARALLEL_ITEMS {
+        return 1;
+    }
+    sim_threads().clamp(1, n.div_ceil(MIN_CHUNK))
+}
+
+/// Maps `f` over owned items, sharded across scoped workers when the batch
+/// is large enough. `f` receives each item's global index. Outputs are
+/// concatenated and shard partials merged in ascending item order, so the
+/// result is identical to the serial fold for any thread count.
+pub(crate) fn shard_map<I, O>(
+    items: Vec<I>,
+    f: impl Fn(I, usize, &mut ShardAcc) -> O + Sync,
+) -> (Vec<O>, ShardAcc)
+where
+    I: Send,
+    O: Send,
+{
+    let n = items.len();
+    let shards = shards_for(n);
+    if shards <= 1 {
+        let mut acc = ShardAcc::default();
+        let out = items.into_iter().enumerate().map(|(i, it)| f(it, i, &mut acc)).collect();
+        return (out, acc);
+    }
+    let chunk = n.div_ceil(shards);
+    // Carve the vector into contiguous chunks back to front (one memcpy of
+    // each tail), so workers own their items without any unsafe slicing.
+    let mut chunks: Vec<(usize, Vec<I>)> = Vec::with_capacity(shards);
+    let mut rest = items;
+    for s in (1..shards).rev() {
+        let at = (s * chunk).min(rest.len());
+        chunks.push((at, rest.split_off(at)));
+    }
+    chunks.push((0, rest));
+    chunks.reverse();
+    let f = &f;
+    let results: Vec<(Vec<O>, ShardAcc)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|(base, c)| {
+                scope.spawn(move || {
+                    let mut acc = ShardAcc::default();
+                    let out: Vec<O> = c
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, it)| f(it, base + i, &mut acc))
+                        .collect();
+                    (out, acc)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("batch shard worker panicked")).collect()
+    });
+    merge_shards(n, results)
+}
+
+/// Borrowed-item variant of [`shard_map`]: shards a slice by subslices (no
+/// item copying), same deterministic merge.
+pub(crate) fn shard_map_ref<I, O>(
+    items: &[I],
+    f: impl Fn(&I, usize, &mut ShardAcc) -> O + Sync,
+) -> (Vec<O>, ShardAcc)
+where
+    I: Sync,
+    O: Send,
+{
+    let n = items.len();
+    let shards = shards_for(n);
+    if shards <= 1 {
+        let mut acc = ShardAcc::default();
+        let out = items.iter().enumerate().map(|(i, it)| f(it, i, &mut acc)).collect();
+        return (out, acc);
+    }
+    let chunk = n.div_ceil(shards);
+    let f = &f;
+    let results: Vec<(Vec<O>, ShardAcc)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(s, c)| {
+                let base = s * chunk;
+                scope.spawn(move || {
+                    let mut acc = ShardAcc::default();
+                    let out: Vec<O> =
+                        c.iter().enumerate().map(|(i, it)| f(it, base + i, &mut acc)).collect();
+                    (out, acc)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("batch shard worker panicked")).collect()
+    });
+    merge_shards(n, results)
+}
+
+/// Concatenates shard outputs and merges shard partials, lowest item index
+/// first — the single place that fixes the deterministic reduction order.
+fn merge_shards<O>(n: usize, results: Vec<(Vec<O>, ShardAcc)>) -> (Vec<O>, ShardAcc) {
+    let mut out = Vec::with_capacity(n);
+    let mut acc = ShardAcc::default();
+    for (o, a) in results {
+        out.extend(o);
+        acc.merge(&a);
+    }
+    (out, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(disp: &[(i64, i64)]) -> Vec<(Coord, Coord)> {
+        disp.iter()
+            .enumerate()
+            .map(|(i, &(dr, dc))| {
+                let s = Coord::new(i as i64, 2 * i as i64);
+                (s, Coord::new(s.row + dr, s.col + dc))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn classify_recognizes_each_shape() {
+        assert_eq!(classify(pairs(&[]).into_iter()), BatchPattern::Empty);
+        assert_eq!(
+            classify(pairs(&[(3, -1)]).into_iter()),
+            BatchPattern::Uniform { drow: 3, dcol: -1 }
+        );
+        assert_eq!(
+            classify(pairs(&[(3, -1), (3, -1), (3, -1)]).into_iter()),
+            BatchPattern::Uniform { drow: 3, dcol: -1 }
+        );
+        assert_eq!(
+            classify(pairs(&[(1, 0), (3, -2), (5, -4)]).into_iter()),
+            BatchPattern::Affine { drow: 1, dcol: 0, srow: 2, scol: -2 }
+        );
+        assert_eq!(classify(pairs(&[(1, 0), (3, 0), (4, 0)]).into_iter()), BatchPattern::Irregular);
+    }
+
+    #[test]
+    fn sum_abs_affine_matches_naive() {
+        for &(a, s) in &[(0i64, 0i64), (5, 0), (-5, 0), (-7, 2), (7, -2), (3, 3), (-3, -3), (1, -1)]
+        {
+            for n in 0u64..20 {
+                let naive: u128 =
+                    (0..n).map(|i| u128::from((a + i as i64 * s).unsigned_abs())).sum();
+                assert_eq!(sum_abs_affine(a, s, n), naive, "a={a} s={s} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn affine_zero_count_matches_naive() {
+        for &(dr, dc, sr, sc) in
+            &[(0i64, 0i64, 1i64, 0i64), (-4, -6, 2, 3), (-4, -6, 2, 2), (-4, 0, 2, 0), (1, 1, 2, 2)]
+        {
+            for n in 0u64..8 {
+                let naive = (0..n)
+                    .filter(|&i| dr + i as i64 * sr == 0 && dc + i as i64 * sc == 0)
+                    .count() as u64;
+                assert_eq!(affine_zero_count(dr, dc, sr, sc, n), naive, "{dr},{dc},{sr},{sc},{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_map_is_partition_independent() {
+        // Large enough to shard; compare against the serial fold.
+        let items: Vec<u64> = (0..(MIN_PARALLEL_ITEMS as u64 * 2 + 17)).collect();
+        let f = |it: u64, i: usize, acc: &mut ShardAcc| {
+            acc.charge(it % 13);
+            acc.observe(Path { depth: it % 7, distance: it % 29 });
+            it + i as u64
+        };
+        let mut serial_acc = ShardAcc::default();
+        let serial: Vec<u64> =
+            items.iter().enumerate().map(|(i, &it)| f(it, i, &mut serial_acc)).collect();
+        for threads in [1usize, 2, 3, 8] {
+            set_sim_threads(threads);
+            let (out, acc) = shard_map(items.clone(), f);
+            assert_eq!(out, serial, "threads={threads}");
+            assert_eq!(acc.energy, serial_acc.energy);
+            assert_eq!(acc.messages, serial_acc.messages);
+            assert_eq!(acc.depth, serial_acc.depth);
+            assert_eq!(acc.distance, serial_acc.distance);
+            let (out_ref, acc_ref) = shard_map_ref(&items, |&it, i, a| f(it, i, a));
+            assert_eq!(out_ref, serial);
+            assert_eq!(acc_ref.messages, serial_acc.messages);
+        }
+        set_sim_threads(0);
+    }
+
+    #[test]
+    fn saturating_energy_merge_matches_serial_clamp() {
+        // Shard partials that individually and jointly saturate must merge
+        // to exactly what the serial monotone fold produces: u64::MAX.
+        let mut a = ShardAcc { energy: u64::MAX - 10, ..Default::default() };
+        let b = ShardAcc { energy: 100, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.energy, u64::MAX);
+    }
+}

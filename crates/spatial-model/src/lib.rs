@@ -40,6 +40,7 @@
 //! assert_eq!(sum.path().distance, 7);
 //! ```
 
+pub mod batch;
 pub mod cancel;
 pub mod coord;
 pub mod cost;
@@ -47,6 +48,7 @@ pub mod error;
 pub mod fault;
 pub mod grid;
 pub mod guard;
+pub mod kernels;
 pub mod machine;
 pub mod memory;
 pub mod path;
@@ -55,6 +57,7 @@ pub mod trace;
 pub mod value;
 pub mod zorder;
 
+pub use batch::{set_sim_threads, sim_threads, BatchPattern};
 pub use cancel::CancelToken;
 pub use coord::Coord;
 pub use cost::Cost;

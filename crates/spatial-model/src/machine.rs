@@ -3,6 +3,7 @@
 
 use spatial_rng::Rng;
 
+use crate::batch::{self, BatchPattern};
 use crate::cancel::CancelToken;
 use crate::coord::Coord;
 use crate::cost::Cost;
@@ -260,22 +261,20 @@ impl Machine {
 
     /// Places `values[i]` at `loc_of(i)` — [`Machine::place`] over a whole
     /// input array. Placement is free either way; on an uninstrumented
-    /// machine this skips the per-item guard/fault/meter checks entirely,
-    /// while any active instrumentation sees the identical per-item
-    /// placement stream.
-    pub fn place_batch<T>(
+    /// machine this skips the per-item guard/fault/meter checks entirely
+    /// (sharding the construction across workers for large inputs — see
+    /// [`crate::sim_threads`]), while any active instrumentation sees the
+    /// identical per-item placement stream.
+    pub fn place_batch<T: Send>(
         &mut self,
         values: Vec<T>,
-        loc_of: impl Fn(usize) -> Coord,
+        loc_of: impl Fn(usize) -> Coord + Sync,
     ) -> Vec<Tracked<T>> {
         if !self.is_bare() {
             return values.into_iter().enumerate().map(|(i, v)| self.place(loc_of(i), v)).collect();
         }
-        values
-            .into_iter()
-            .enumerate()
-            .map(|(i, v)| Tracked::raw(v, loc_of(i), Path::ZERO))
-            .collect()
+        let (out, _) = batch::shard_map(values, |v, i, _| Tracked::raw(v, loc_of(i), Path::ZERO));
+        out
     }
 
     /// Sends a *copy* of `t` to `dst`, charging one message. The source copy
@@ -342,9 +341,13 @@ impl Machine {
 
     /// True when no instrumentation can observe or veto a send — every
     /// message reduces to pure counter arithmetic, and the batch APIs may
-    /// hoist all per-message checks out of their inner loops.
+    /// hoist all per-message checks out of their inner loops. Closed-form
+    /// cost kernels (see [`crate::kernels`]) are only valid on a bare
+    /// machine; with any instrument armed, algorithms must run the
+    /// materializing per-item path so the instrument observes the exact
+    /// open-coded event stream.
     #[inline]
-    fn is_bare(&self) -> bool {
+    pub fn is_bare(&self) -> bool {
         self.mem.is_none()
             && self.trace.is_none()
             && self.faults.is_none()
@@ -352,44 +355,112 @@ impl Machine {
             && self.cancel.is_none()
     }
 
+    /// Adds a closed-form energy total, clamping exactly where the serial
+    /// per-item saturating fold would (see the saturation note in
+    /// [`crate::batch`]).
+    #[inline]
+    pub(crate) fn add_energy_total(&mut self, total: u128) {
+        self.energy = (u128::from(self.energy) + total).min(u128::from(u64::MAX)) as u64;
+    }
+
+    /// Adds closed-form-counted messages (for cost kernels charging whole
+    /// phases at once).
+    #[inline]
+    pub(crate) fn add_messages(&mut self, n: u64) {
+        self.messages += n;
+    }
+
+    /// Merges a shard partial's watermarks only (energy/messages were
+    /// charged in closed form).
+    #[inline]
+    pub(crate) fn absorb_watermarks(&mut self, acc: crate::batch::ShardAcc) {
+        self.depth_watermark = self.depth_watermark.max(acc.depth);
+        self.distance_watermark = self.distance_watermark.max(acc.distance);
+    }
+
+    /// Merges a full shard partial into the machine's counters.
+    #[inline]
+    fn absorb_shard(&mut self, acc: crate::batch::ShardAcc) {
+        self.energy = self.energy.saturating_add(acc.energy);
+        self.messages += acc.messages;
+        self.absorb_watermarks(acc);
+    }
+
     /// Moves a batch of values, each to its own destination, charging the
     /// same costs as [`Machine::move_to`] on every pair (self-messages are
     /// skipped, all others charge one message).
     ///
-    /// On an uninstrumented machine the whole batch is charged in one pass
-    /// of pure arithmetic — no per-message instrumentation checks. With any
+    /// On an uninstrumented machine the batch is first classified (see
+    /// [`BatchPattern`]): uniform and affine-strided displacement batches
+    /// charge energy and message count with O(1) closed-form arithmetic,
+    /// irregular ones with the ordinary per-item loop; either way the
+    /// per-item delivery construction is sharded across workers for large
+    /// batches ([`crate::sim_threads`]), with shard partials merged in fixed
+    /// order so costs are bit-identical at any thread count. With any
     /// instrumentation active (meter, trace, faults, guard, cancellation)
     /// each pair goes through the ordinary `move_to` path, so batching
     /// never changes what instruments observe.
-    pub fn send_batch<T>(&mut self, items: Vec<(Tracked<T>, Coord)>) -> Vec<Tracked<T>> {
+    pub fn send_batch<T: Send>(&mut self, items: Vec<(Tracked<T>, Coord)>) -> Vec<Tracked<T>> {
         if !self.is_bare() {
             return items.into_iter().map(|(t, dst)| self.move_to(t, dst)).collect();
         }
-        let mut energy = self.energy;
-        let mut messages = self.messages;
-        let mut depth = self.depth_watermark;
-        let mut distance = self.distance_watermark;
-        let out = items
-            .into_iter()
-            .map(|(t, dst)| {
-                let (value, src, path) = t.into_parts();
-                if src == dst {
-                    return Tracked::raw(value, src, path);
-                }
-                let d = src.manhattan(dst);
-                energy = energy.saturating_add(d);
-                messages += 1;
-                let p = path.step(d);
-                depth = depth.max(p.depth);
-                distance = distance.max(p.distance);
-                Tracked::raw(value, dst, p)
-            })
-            .collect();
-        self.energy = energy;
-        self.messages = messages;
-        self.depth_watermark = depth;
-        self.distance_watermark = distance;
-        out
+        let n = items.len() as u64;
+        match batch::classify(items.iter().map(|(t, dst)| (t.loc(), *dst))) {
+            // All self-moves: free, nothing charged, nothing moved.
+            BatchPattern::Uniform { drow: 0, dcol: 0 } => {
+                items.into_iter().map(|(t, _)| t).collect()
+            }
+            // One common displacement and it is non-zero, so no pair is a
+            // self-move: energy is count × length in one multiplication.
+            BatchPattern::Uniform { drow, dcol } => {
+                let d = drow.unsigned_abs() + dcol.unsigned_abs();
+                self.add_energy_total(u128::from(n) * u128::from(d));
+                self.messages += n;
+                let (out, acc) = batch::shard_map(items, |(t, dst), _, acc| {
+                    let (value, _, path) = t.into_parts();
+                    let p = path.step(d);
+                    acc.observe(p);
+                    Tracked::raw(value, dst, p)
+                });
+                self.absorb_watermarks(acc);
+                out
+            }
+            // Affinely strided displacements: the energy sum is an
+            // arithmetic series and the (at most one) zero-displacement
+            // index is solvable in O(1), so counters never touch the loop.
+            BatchPattern::Affine { drow, dcol, srow, scol } => {
+                self.add_energy_total(
+                    batch::sum_abs_affine(drow, srow, n) + batch::sum_abs_affine(dcol, scol, n),
+                );
+                self.messages += n - batch::affine_zero_count(drow, dcol, srow, scol, n);
+                let (out, acc) = batch::shard_map(items, |(t, dst), _, acc| {
+                    let (value, src, path) = t.into_parts();
+                    if src == dst {
+                        return Tracked::raw(value, src, path);
+                    }
+                    let p = path.step(src.manhattan(dst));
+                    acc.observe(p);
+                    Tracked::raw(value, dst, p)
+                });
+                self.absorb_watermarks(acc);
+                out
+            }
+            BatchPattern::Empty | BatchPattern::Irregular => {
+                let (out, acc) = batch::shard_map(items, |(t, dst), _, acc| {
+                    let (value, src, path) = t.into_parts();
+                    if src == dst {
+                        return Tracked::raw(value, src, path);
+                    }
+                    let d = src.manhattan(dst);
+                    acc.charge(d);
+                    let p = path.step(d);
+                    acc.observe(p);
+                    Tracked::raw(value, dst, p)
+                });
+                self.absorb_shard(acc);
+                out
+            }
+        }
     }
 
     /// Sends a *copy* of each value to its destination, charging the same
@@ -397,32 +468,56 @@ impl Machine {
     /// nothing is skipped: a copy to the source's own PE still charges one
     /// zero-length message, exactly as `send` does).
     ///
-    /// Fast path and instrumentation behavior as in [`Machine::send_batch`].
-    pub fn send_batch_copy<T: Clone>(&mut self, items: &[(&Tracked<T>, Coord)]) -> Vec<Tracked<T>> {
+    /// Fast path and instrumentation behavior as in [`Machine::send_batch`]:
+    /// classified closed-form charging for uniform/affine batches, sharded
+    /// per-item construction for large ones. Since nothing is skipped here,
+    /// the message count is always exactly `items.len()`.
+    pub fn send_batch_copy<T: Clone + Send + Sync>(
+        &mut self,
+        items: &[(&Tracked<T>, Coord)],
+    ) -> Vec<Tracked<T>> {
         if !self.is_bare() {
             return items.iter().map(|&(t, dst)| self.send(t, dst)).collect();
         }
-        let mut energy = self.energy;
-        let mut messages = self.messages;
-        let mut depth = self.depth_watermark;
-        let mut distance = self.distance_watermark;
-        let out = items
-            .iter()
-            .map(|&(t, dst)| {
-                let d = t.loc().manhattan(dst);
-                energy = energy.saturating_add(d);
-                messages += 1;
-                let p = t.path().step(d);
-                depth = depth.max(p.depth);
-                distance = distance.max(p.distance);
-                Tracked::raw(t.value().clone(), dst, p)
-            })
-            .collect();
-        self.energy = energy;
-        self.messages = messages;
-        self.depth_watermark = depth;
-        self.distance_watermark = distance;
-        out
+        let n = items.len() as u64;
+        match batch::classify(items.iter().map(|&(t, dst)| (t.loc(), dst))) {
+            BatchPattern::Uniform { drow, dcol } => {
+                let d = drow.unsigned_abs() + dcol.unsigned_abs();
+                self.add_energy_total(u128::from(n) * u128::from(d));
+                self.messages += n;
+                let (out, acc) = batch::shard_map_ref(items, |&(t, dst), _, acc| {
+                    let p = t.path().step(d);
+                    acc.observe(p);
+                    Tracked::raw(t.value().clone(), dst, p)
+                });
+                self.absorb_watermarks(acc);
+                out
+            }
+            BatchPattern::Affine { drow, dcol, srow, scol } => {
+                self.add_energy_total(
+                    batch::sum_abs_affine(drow, srow, n) + batch::sum_abs_affine(dcol, scol, n),
+                );
+                self.messages += n;
+                let (out, acc) = batch::shard_map_ref(items, |&(t, dst), _, acc| {
+                    let p = t.path().step(t.loc().manhattan(dst));
+                    acc.observe(p);
+                    Tracked::raw(t.value().clone(), dst, p)
+                });
+                self.absorb_watermarks(acc);
+                out
+            }
+            BatchPattern::Empty | BatchPattern::Irregular => {
+                let (out, acc) = batch::shard_map_ref(items, |&(t, dst), _, acc| {
+                    let d = t.loc().manhattan(dst);
+                    acc.charge(d);
+                    let p = t.path().step(d);
+                    acc.observe(p);
+                    Tracked::raw(t.value().clone(), dst, p)
+                });
+                self.absorb_shard(acc);
+                out
+            }
+        }
     }
 
     /// Gathers copies of `srcs` at `dst` and folds them pairwise in arrival
@@ -464,19 +559,34 @@ impl Machine {
             }
             return acc;
         }
+        // Equidistant sources (e.g. a whole block's corners gathering at a
+        // level hub) charge their energy in one multiplication; the value
+        // fold itself is inherently sequential in arrival order either way.
+        let closed_form = match batch::classify(srcs.iter().map(|s| (s.loc(), dst))) {
+            BatchPattern::Uniform { drow, dcol } => {
+                let d = drow.unsigned_abs() + dcol.unsigned_abs();
+                self.add_energy_total(u128::from(srcs.len() as u64) * u128::from(d));
+                true
+            }
+            _ => false,
+        };
         let mut energy = self.energy;
         let mut depth = self.depth_watermark;
         let mut distance = self.distance_watermark;
         let first = srcs[0];
         let d = first.loc().manhattan(dst);
-        energy = energy.saturating_add(d);
+        if !closed_form {
+            energy = energy.saturating_add(d);
+        }
         let mut path = first.path().step(d);
         depth = depth.max(path.depth);
         distance = distance.max(path.distance);
         let mut value = first.value().clone();
         for s in &srcs[1..] {
             let d = s.loc().manhattan(dst);
-            energy = energy.saturating_add(d);
+            if !closed_form {
+                energy = energy.saturating_add(d);
+            }
             let p = s.path().step(d);
             depth = depth.max(p.depth);
             distance = distance.max(p.distance);
@@ -541,6 +651,16 @@ impl Machine {
             }
             return out;
         }
+        // Classified gather leg: equidistant children charge their total in
+        // one multiplication, as in [`Machine::gather_copy`].
+        let gather_closed_form = match batch::classify(children.iter().map(|c| (c.loc(), hub))) {
+            BatchPattern::Uniform { drow, dcol } => {
+                let d = drow.unsigned_abs() + dcol.unsigned_abs();
+                self.add_energy_total(u128::from(children.len() as u64) * u128::from(d));
+                true
+            }
+            _ => false,
+        };
         let mut out: [Option<Tracked<T>>; N] = std::array::from_fn(|_| None);
         let mut running: Option<(T, Path)> = carry.map(|c| {
             let (v, _, p) = c.into_parts();
@@ -551,7 +671,9 @@ impl Machine {
         }
         for (i, child) in children.iter().enumerate() {
             let d = child.loc().manhattan(hub);
-            self.energy = self.energy.saturating_add(d);
+            if !gather_closed_form {
+                self.energy = self.energy.saturating_add(d);
+            }
             self.messages += 1;
             let p = child.path().step(d);
             self.depth_watermark = self.depth_watermark.max(p.depth);

@@ -269,3 +269,68 @@ fn parallel_sends_do_not_inflate_depth() {
         Ok(())
     });
 }
+
+#[test]
+fn uniform_batches_charge_like_the_per_item_loop() {
+    // The closed-form Uniform kernel must be indistinguishable, cost-wise,
+    // from moving every item one at a time (`move_to` skips self-sends,
+    // exactly as the batch API does).
+    check("uniform_batches_charge_like_the_per_item_loop", |g: &mut Gen| {
+        let n = g.size(1..200usize);
+        let drow = g.int(-40i64..=40);
+        let dcol = g.int(-40i64..=40);
+        let srcs: Vec<Coord> =
+            (0..n).map(|_| Coord::new(g.int(-2000i64..2000), g.int(-2000i64..2000))).collect();
+        let mut batched = Machine::new();
+        let items: Vec<_> = srcs.iter().enumerate().map(|(i, &c)| batched.place(c, i)).collect();
+        let sends: Vec<_> = items
+            .into_iter()
+            .zip(&srcs)
+            .map(|(t, &c)| (t, Coord::new(c.row + drow, c.col + dcol)))
+            .collect();
+        let _ = batched.send_batch(sends);
+
+        let mut looped = Machine::new();
+        for (i, &c) in srcs.iter().enumerate() {
+            let t = looped.place(c, i);
+            let _ = looped.move_to(t, Coord::new(c.row + drow, c.col + dcol));
+        }
+        prop_assert_eq!(batched.report(), looped.report());
+        Ok(())
+    });
+}
+
+#[test]
+fn affine_batches_charge_like_the_per_item_loop() {
+    // Same equivalence for strided displacements (and, via the copy API,
+    // for the charge-everything `send` semantics).
+    check("affine_batches_charge_like_the_per_item_loop", |g: &mut Gen| {
+        let n = g.size(1..150usize);
+        let (drow, dcol) = (g.int(-30i64..=30), g.int(-30i64..=30));
+        let (srow, scol) = (g.int(-5i64..=5), g.int(-5i64..=5));
+        let srcs: Vec<Coord> =
+            (0..n).map(|_| Coord::new(g.int(-2000i64..2000), g.int(-2000i64..2000))).collect();
+        let dst = |i: usize, c: Coord| {
+            Coord::new(c.row + drow + i as i64 * srow, c.col + dcol + i as i64 * scol)
+        };
+        let mut batched = Machine::new();
+        let items: Vec<_> = srcs.iter().enumerate().map(|(i, &c)| batched.place(c, i)).collect();
+        let sends: Vec<_> =
+            items.iter().enumerate().zip(&srcs).map(|((i, t), &c)| (t, dst(i, c))).collect();
+        let _ = batched.send_batch_copy(&sends);
+        drop(sends);
+        let moved: Vec<_> =
+            items.into_iter().enumerate().zip(&srcs).map(|((i, t), &c)| (t, dst(i, c))).collect();
+        let _ = batched.send_batch(moved);
+
+        let mut looped = Machine::new();
+        for (i, &c) in srcs.iter().enumerate() {
+            let t = looped.place(c, i);
+            let copy = looped.send(&t, dst(i, c));
+            looped.discard(copy);
+            let _ = looped.move_to(t, dst(i, c));
+        }
+        prop_assert_eq!(batched.report(), looped.report());
+        Ok(())
+    });
+}

@@ -29,6 +29,8 @@ pub trait Scalar:
     + Default
     + PartialEq
     + std::fmt::Debug
+    + Send
+    + Sync
     + std::ops::Add<Output = Self>
     + std::ops::Mul<Output = Self>
 {

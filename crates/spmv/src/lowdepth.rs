@@ -12,7 +12,7 @@
 //! Total: `O(m^{3/2})` energy, `O(log³ n)` depth, `O(√m)` distance —
 //! dominated by the two sorts (Theorem V.8) and the scans (Lemma IV.3).
 
-use spatial_model::{zorder, Cost, Machine, SpatialError, Tracked};
+use spatial_model::{zorder, Coord, Cost, Machine, SpatialError, Tracked};
 
 use collectives::segmented::{segmented_scan, SegItem};
 use sorting::mergesort::sort_z;
@@ -100,20 +100,16 @@ pub fn spmv<V: Scalar>(machine: &mut Machine, a: &Coo<V>, x: &[V]) -> SpmvOutput
     let before = machine.report();
 
     // Input placement (free): triples on the matrix subgrid, x on its own.
-    let entries: Vec<Tracked<Entry<V>>> = a
-        .entries
-        .iter()
-        .enumerate()
-        .map(|(i, &(row, col, val))| {
-            machine
-                .place(zorder::coord_of(i as u64), Entry { key: col, row, col, val, uid: i as u64 })
-        })
-        .collect();
-    let xs: Vec<Tracked<V>> = x
-        .iter()
-        .enumerate()
-        .map(|(j, &v)| machine.place(zorder::coord_of(x_lo + j as u64), v))
-        .collect();
+    let entries: Vec<Tracked<Entry<V>>> = machine.place_batch(
+        a.entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(row, col, val))| Entry { key: col, row, col, val, uid: i as u64 })
+            .collect(),
+        |i| zorder::coord_of(i as u64),
+    );
+    let xs: Vec<Tracked<V>> =
+        machine.place_batch(x.to_vec(), |j| zorder::coord_of(x_lo + j as u64));
 
     // Step 1: sort by column.
     let sorted = sort_z(machine, 0, entries);
@@ -121,25 +117,48 @@ pub fn spmv<V: Scalar>(machine: &mut Machine, a: &Coo<V>, x: &[V]) -> SpmvOutput
     // Step 2: column leaders (first processor of each column group).
     let leaders = elect_leaders(machine, &sorted, |e| e.key);
 
-    // Step 3: leaders fetch x_j; segmented broadcast over the groups.
+    // Step 3: leaders fetch x_j; segmented broadcast over the groups. The
+    // fetch runs in two batched waves — all requests to the vector subgrid,
+    // then all responses back — with the local zip at the cells in between.
+    // The vector subgrid is disjoint from the matrix subgrid, so no request
+    // is a self-send and the batch charges exactly the per-leader loop.
+    let requests: Vec<(Tracked<usize>, Coord)> = sorted
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| leaders[i])
+        .map(|(_, e)| {
+            let col = e.value().col as usize;
+            (e.with_value(col), xs[col].loc())
+        })
+        .collect();
+    let arrived = machine.send_batch(requests);
+    let responses: Vec<(Tracked<V>, Coord)> = sorted
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| leaders[i])
+        .zip(arrived)
+        .map(|((_, e), request)| {
+            let col = e.value().col as usize;
+            let response = xs[col].zip_with(&request, |v, _| *v);
+            machine.discard(request);
+            (response, e.loc())
+        })
+        .collect();
+    let mut fetched = machine.send_batch(responses).into_iter();
     let mut seg: Vec<Tracked<SegItem<V>>> = Vec::with_capacity(m_pad as usize);
     for (i, e) in sorted.iter().enumerate() {
         if leaders[i] {
-            let col = e.value().col as usize;
-            // Request to the vector cell, response back to the leader.
-            let request = e.with_value(col);
-            let request = machine.send_owned(request, xs[col].loc());
-            let response = xs[col].zip_with(&request, |v, _| *v);
-            machine.discard(request);
-            let response = machine.send_owned(response, e.loc());
+            let response = fetched.next().expect("one response per leader");
             seg.push(response.map(|v| SegItem::new(true, v)));
         } else {
             seg.push(e.with_value(SegItem::new(false, V::default())));
         }
     }
-    for i in m..m_pad {
-        seg.push(machine.place(zorder::coord_of(i), SegItem::new(true, V::default())));
-    }
+    seg.extend(
+        machine.place_batch(vec![SegItem::new(true, V::default()); (m_pad - m) as usize], |i| {
+            zorder::coord_of(m + i as u64)
+        }),
+    );
     let xvals = segmented_scan(machine, 0, seg, &|a: &V, _| *a);
     for x in xs {
         machine.discard(x);
@@ -177,22 +196,32 @@ pub fn spmv<V: Scalar>(machine: &mut Machine, a: &Coo<V>, x: &[V]) -> SpmvOutput
         .enumerate()
         .map(|(i, e)| e.with_value(SegItem::new(leaders[i], e.value().val)))
         .collect();
-    for i in m..m_pad {
-        seg.push(machine.place(zorder::coord_of(i), SegItem::new(true, V::default())));
-    }
+    seg.extend(
+        machine.place_batch(vec![SegItem::new(true, V::default()); (m_pad - m) as usize], |i| {
+            zorder::coord_of(m + i as u64)
+        }),
+    );
     let sums = segmented_scan(machine, 0, seg, &|a: &V, b: &V| *a + *b);
 
     // Step 7: the final element of each row group routes the result to the
-    // output vector subgrid.
+    // output vector subgrid — one batch (the output subgrid is disjoint from
+    // the matrix subgrid, so no route is a self-send).
+    let last_rows: Vec<usize> = by_row
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i + 1 == m as usize || leaders[i + 1])
+        .map(|(_, e)| e.value().row as usize)
+        .collect();
+    let row_sends: Vec<(Tracked<V>, Coord)> = by_row
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i + 1 == m as usize || leaders[i + 1])
+        .map(|(i, e)| (sums[i].duplicate(), zorder::coord_of(y_lo + e.value().row as u64)))
+        .collect();
+    let routed_rows = machine.send_batch(row_sends);
     let mut y_cells: Vec<Option<Tracked<V>>> = (0..a.n_rows).map(|_| None).collect();
-    for (i, e) in by_row.iter().enumerate() {
-        let is_last = i + 1 == m as usize || leaders[i + 1];
-        if is_last {
-            let row = e.value().row as usize;
-            let total = sums[i].duplicate();
-            let routed = machine.send_owned(total, zorder::coord_of(y_lo + row as u64));
-            y_cells[row] = Some(routed);
-        }
+    for (row, routed) in last_rows.into_iter().zip(routed_rows) {
+        y_cells[row] = Some(routed);
     }
     for s in sums {
         machine.discard(s);
@@ -262,43 +291,61 @@ pub fn spmv_multi<V: Scalar>(
     let before = machine.report();
 
     // Entries carry their value; the vector cells hold all d channel values.
-    let entries: Vec<Tracked<Entry<V>>> = a
-        .entries
-        .iter()
-        .enumerate()
-        .map(|(i, &(row, col, val))| {
-            machine
-                .place(zorder::coord_of(i as u64), Entry { key: col, row, col, val, uid: i as u64 })
-        })
-        .collect();
-    let xcells: Vec<Tracked<Vec<V>>> = (0..a.n_cols)
-        .map(|j| {
-            let vals: Vec<V> = xs.iter().map(|x| x[j]).collect();
-            machine.place(zorder::coord_of(x_lo + j as u64), vals)
-        })
-        .collect();
+    let entries: Vec<Tracked<Entry<V>>> = machine.place_batch(
+        a.entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(row, col, val))| Entry { key: col, row, col, val, uid: i as u64 })
+            .collect(),
+        |i| zorder::coord_of(i as u64),
+    );
+    let xcells: Vec<Tracked<Vec<V>>> = machine.place_batch(
+        (0..a.n_cols).map(|j| xs.iter().map(|x| x[j]).collect::<Vec<V>>()).collect(),
+        |j| zorder::coord_of(x_lo + j as u64),
+    );
 
     // Shared: sort by column, elect leaders, fetch + segment-broadcast the
-    // d-word x payloads.
+    // d-word x payloads (two batched waves, as in [`spmv`]).
     let sorted = sort_z(machine, 0, entries);
     let leaders = elect_leaders(machine, &sorted, |e| e.key);
+    let requests: Vec<(Tracked<usize>, Coord)> = sorted
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| leaders[i])
+        .map(|(_, e)| {
+            let col = e.value().col as usize;
+            (e.with_value(col), xcells[col].loc())
+        })
+        .collect();
+    let arrived = machine.send_batch(requests);
+    let responses: Vec<(Tracked<Vec<V>>, Coord)> = sorted
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| leaders[i])
+        .zip(arrived)
+        .map(|((_, e), request)| {
+            let col = e.value().col as usize;
+            let response = xcells[col].zip_with(&request, |v, _| v.clone());
+            machine.discard(request);
+            (response, e.loc())
+        })
+        .collect();
+    let mut fetched = machine.send_batch(responses).into_iter();
     let mut seg: Vec<Tracked<SegItem<Vec<V>>>> = Vec::with_capacity(m_pad as usize);
     for (i, e) in sorted.iter().enumerate() {
         if leaders[i] {
-            let col = e.value().col as usize;
-            let request = e.with_value(col);
-            let request = machine.send_owned(request, xcells[col].loc());
-            let response = xcells[col].zip_with(&request, |v, _| v.clone());
-            machine.discard(request);
-            let response = machine.send_owned(response, e.loc());
+            let response = fetched.next().expect("one response per leader");
             seg.push(response.map(|v| SegItem::new(true, v)));
         } else {
             seg.push(e.with_value(SegItem::new(false, vec![V::default(); d])));
         }
     }
-    for i in m..m_pad {
-        seg.push(machine.place(zorder::coord_of(i), SegItem::new(true, vec![V::default(); d])));
-    }
+    seg.extend(
+        machine.place_batch(
+            vec![SegItem::new(true, vec![V::default(); d]); (m_pad - m) as usize],
+            |i| zorder::coord_of(m + i as u64),
+        ),
+    );
     let xvals = segmented_scan(machine, 0, seg, &|a: &Vec<V>, _| a.clone());
     for x in xcells {
         machine.discard(x);
@@ -330,25 +377,35 @@ pub fn spmv_multi<V: Scalar>(
         .enumerate()
         .map(|(i, e)| e.with_value(SegItem::new(leaders[i], e.value().prods.clone())))
         .collect();
-    for i in m..m_pad {
-        seg.push(machine.place(zorder::coord_of(i), SegItem::new(true, vec![V::default(); d])));
-    }
+    seg.extend(
+        machine.place_batch(
+            vec![SegItem::new(true, vec![V::default(); d]); (m_pad - m) as usize],
+            |i| zorder::coord_of(m + i as u64),
+        ),
+    );
     let sums = segmented_scan(machine, 0, seg, &|a: &Vec<V>, b: &Vec<V>| {
         a.iter().zip(b).map(|(&x, &y)| x + y).collect()
     });
 
+    let last_rows: Vec<usize> = by_row
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i + 1 == m as usize || leaders[i + 1])
+        .map(|(_, e)| e.value().entry.row as usize)
+        .collect();
+    let row_sends: Vec<(Tracked<Vec<V>>, Coord)> = by_row
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i + 1 == m as usize || leaders[i + 1])
+        .map(|(i, e)| (sums[i].duplicate(), zorder::coord_of(y_lo + e.value().entry.row as u64)))
+        .collect();
+    let routed_rows = machine.send_batch(row_sends);
     let mut ys = vec![vec![V::default(); a.n_rows]; d];
-    for (i, e) in by_row.iter().enumerate() {
-        let is_last = i + 1 == m as usize || leaders[i + 1];
-        if is_last {
-            let row = e.value().entry.row as usize;
-            let total = sums[i].duplicate();
-            let routed = machine.send_owned(total, zorder::coord_of(y_lo + row as u64));
-            for (c, y) in ys.iter_mut().enumerate() {
-                y[row] = routed.value()[c];
-            }
-            machine.discard(routed);
+    for (row, routed) in last_rows.into_iter().zip(routed_rows) {
+        for (c, y) in ys.iter_mut().enumerate() {
+            y[row] = routed.value()[c];
         }
+        machine.discard(routed);
     }
     for s in sums {
         machine.discard(s);
@@ -360,21 +417,25 @@ pub fn spmv_multi<V: Scalar>(
     (ys, machine.report() - before)
 }
 
-/// Leader election for arbitrary payloads (shared by [`spmv_multi`]).
-fn elect_leaders_by<T: Clone>(
+/// Leader election for arbitrary payloads (shared by [`spmv_multi`]): every
+/// processor `i > 0` receives a copy of its predecessor's value in one
+/// batch, then compares locally.
+fn elect_leaders_by<T: Clone + Send + Sync>(
     machine: &mut Machine,
     sorted: &[Tracked<T>],
     key: impl Fn(&T) -> u32,
 ) -> Vec<bool> {
     let mut leaders = vec![false; sorted.len()];
-    for i in 0..sorted.len() {
-        if i == 0 {
-            leaders[0] = true;
-            continue;
-        }
-        let prev = machine.send(&sorted[i - 1], sorted[i].loc());
-        let flag = sorted[i].zip_with(&prev, |e, p| key(e) != key(p));
-        leaders[i] = *flag.value();
+    if sorted.is_empty() {
+        return leaders;
+    }
+    leaders[0] = true;
+    let sends: Vec<(&Tracked<T>, Coord)> = sorted.windows(2).map(|w| (&w[0], w[1].loc())).collect();
+    let prevs = machine.send_batch_copy(&sends);
+    drop(sends);
+    for (i, prev) in prevs.into_iter().enumerate() {
+        let flag = sorted[i + 1].zip_with(&prev, |e, p| key(e) != key(p));
+        leaders[i + 1] = *flag.value();
         machine.discard(prev);
         machine.discard(flag);
     }
@@ -389,19 +450,7 @@ fn elect_leaders<V: Scalar>(
     sorted: &[Tracked<Entry<V>>],
     key: impl Fn(&Entry<V>) -> u32,
 ) -> Vec<bool> {
-    let mut leaders = vec![false; sorted.len()];
-    for i in 0..sorted.len() {
-        if i == 0 {
-            leaders[0] = true;
-            continue;
-        }
-        let prev = machine.send(&sorted[i - 1], sorted[i].loc());
-        let flag = sorted[i].zip_with(&prev, |e, p| key(e) != key(p));
-        leaders[i] = *flag.value();
-        machine.discard(prev);
-        machine.discard(flag);
-    }
-    leaders
+    elect_leaders_by(machine, sorted, key)
 }
 
 #[cfg(test)]

@@ -11,6 +11,10 @@ use spatial_dataflow::topk::top_k;
 
 const TRACE_CAP: usize = 1 << 20;
 
+/// Serialises the tests that override the process-global shard count, so
+/// one test's override can't overlap another's baseline run.
+static SIM_THREADS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Runs `f` on a traced machine; returns its value, the cost snapshot and
 /// the full message record.
 fn traced<T>(f: impl Fn(&mut Machine) -> T) -> (T, Cost, Vec<MsgRecord>, u64) {
@@ -209,4 +213,65 @@ fn recovery_retry_counts_are_deterministic() {
     let a = go();
     let b = go();
     assert_eq!(a, b, "recovery (value, attempts, costs, detour) must replay bit-for-bit");
+}
+
+#[test]
+fn sharded_bare_path_is_thread_count_invariant() {
+    // The sharded bare path must produce bit-identical Cost tuples at every
+    // worker count: shards accumulate privately and merge in fixed order, so
+    // SPATIAL_SIM_THREADS is pure throughput, never observable. Exercise a
+    // large Uniform-heavy run (scan over 2^16 cells) and a large Irregular
+    // batch (pseudo-random destinations), both past the sharding threshold.
+    use spatial_dataflow::model::{set_sim_threads, zorder};
+    let _guard = SIM_THREADS_LOCK.lock().unwrap();
+    let v = vals(65536, 11);
+    let run = || {
+        let mut m = Machine::new();
+        let items = place_z(&mut m, 0, v.clone());
+        let out = read_values(scan(&mut m, 0, items, &|a, b| a + b));
+        let scan_cost = m.report();
+        let mut mi = Machine::new();
+        let placed =
+            mi.place_batch((0..40000u64).collect::<Vec<_>>(), |i| zorder::coord_of(i as u64));
+        let sends: Vec<_> = placed
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (t, zorder::coord_of((i as u64).wrapping_mul(7919) % 60000)))
+            .collect();
+        let _ = mi.send_batch(sends);
+        (out, scan_cost, mi.report())
+    };
+    set_sim_threads(1);
+    let serial = run();
+    for threads in [2usize, 7] {
+        set_sim_threads(threads);
+        let sharded = run();
+        assert_eq!(serial.1, sharded.1, "scan Cost differs at {threads} shards");
+        assert_eq!(serial.2, sharded.2, "irregular-batch Cost differs at {threads} shards");
+        assert_eq!(serial.0, sharded.0, "scan values differ at {threads} shards");
+    }
+    set_sim_threads(0);
+}
+
+#[test]
+fn batch_report_is_invariant_under_sim_thread_count() {
+    // The canonical batch report must come back byte-identical whether the
+    // inner simulations shard across 1, 2 or 7 workers.
+    use spatial_dataflow::model::set_sim_threads;
+    let _guard = SIM_THREADS_LOCK.lock().unwrap();
+    let doc = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/experiments/jobspecs/smoke.json"
+    ))
+    .expect("read smoke jobspec");
+    let go = |threads: usize| {
+        set_sim_threads(threads);
+        let batch = runner::Batch::parse(&doc).expect("parse smoke jobspec");
+        let report = runner::run_batch(&batch.name, &batch.config, &batch.jobs).to_json(false);
+        set_sim_threads(0);
+        report
+    };
+    let serial = go(1);
+    assert_eq!(serial, go(2), "canonical report differs at 2 shards");
+    assert_eq!(serial, go(7), "canonical report differs at 7 shards");
 }

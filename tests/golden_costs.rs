@@ -95,6 +95,34 @@ fn entries_for(n: usize) -> Vec<(String, Cost)> {
             let _ = spmv(m, &a, &x);
         }),
     ));
+    out.push((
+        format!("spmv_multi/{n}"),
+        measure(|m| {
+            let a = workloads::random_uniform(n, 3, 9);
+            let xs: Vec<Vec<i64>> =
+                (0..3).map(|k| vals(n).into_iter().map(|v| v + k as i64).collect()).collect();
+            let _ = spatial_dataflow::spmv::spmv_multi(m, &a, &xs);
+        }),
+    ));
+    out.push((
+        format!("segmented_sum/{n}"),
+        measure(|m| {
+            let items: Vec<SegItem<i64>> =
+                vals(n).into_iter().enumerate().map(|(i, v)| SegItem::new(i % 5 == 0, v)).collect();
+            let placed = place_z(m, 0, items);
+            let _ = segmented_scan(m, 0, placed, &|a, b| a + b);
+        }),
+    ));
+    out.push((
+        format!("pram_erew_treesum/{n}"),
+        measure(|m| {
+            use spatial_dataflow::pram::programs::TreeSum;
+            use spatial_dataflow::pram::{simulate_erew, PramLayout, PramProgram};
+            let prog = TreeSum::new(vals(n));
+            let layout = PramLayout::adjacent(prog.processors(), prog.memory_cells());
+            let _ = simulate_erew(m, &prog, layout);
+        }),
+    ));
     out
 }
 
