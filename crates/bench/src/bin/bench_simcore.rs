@@ -19,6 +19,10 @@
 //!   regression of more than 25%** — against the committed `serial` section
 //!   when the run is pinned to `SPATIAL_SIM_THREADS=1`, the `benchmarks`
 //!   section otherwise. An id with no reference entry fails the gate too.
+//!   A scaling gate then re-runs sort_z/65536 at 1 and 2 threads and fails
+//!   if the threaded setting is slower than 95% of serial: mid-sized sorts
+//!   sit below the shard engine's amortization threshold, so a thread
+//!   setting above one must be free there.
 //!
 //! Full runs additionally record a `serial` section (every id but the 2^20
 //! mergesort, re-measured with one shard) and a `scaling` section (the
@@ -117,6 +121,26 @@ struct ScalePoint {
     id: String,
     threads: usize,
     msgs_per_sec: u64,
+}
+
+/// Median messages/sec of `samples` fresh sort runs — a lean probe for the
+/// scaling gate, which compares two thread settings and cannot afford the
+/// full warmup-plus-five-samples protocol on a 2^16 sort.
+fn sort_rate(n: usize, samples: usize) -> u64 {
+    let vals = pseudo(n, 2);
+    let mut rates: Vec<u64> = (0..samples.max(1))
+        .map(|_| {
+            let mut m = Machine::new();
+            let items = place_z(&mut m, 0, vals.clone());
+            let t = Instant::now();
+            let out = sort_z(&mut m, 0, items);
+            let ns = t.elapsed().as_nanos();
+            std::hint::black_box(out);
+            ((m.messages() as f64) / (ns as f64 / 1e9)) as u64
+        })
+        .collect();
+    rates.sort_unstable();
+    rates[rates.len() / 2]
 }
 
 fn rows(results: &[Throughput]) -> String {
@@ -308,12 +332,11 @@ fn main() {
             counts.dedup();
             for threads in counts {
                 set_sim_threads(threads);
-                let r = sort_bench(65536, true);
-                scaling.push(ScalePoint {
-                    id: curve_id.into(),
-                    threads,
-                    msgs_per_sec: r.msgs_per_sec,
-                });
+                // Median of five fresh runs: single samples on a busy host
+                // drift enough to fake a scaling regression.
+                let msgs_per_sec = sort_rate(65536, 5);
+                println!("{curve_id:<16} threads={threads:<3} {msgs_per_sec:>12} msgs/s");
+                scaling.push(ScalePoint { id: curve_id.into(), threads, msgs_per_sec });
             }
             set_sim_threads(0);
         }
@@ -373,6 +396,28 @@ fn main() {
                 }
                 println!("regression gate passed (within 25% of committed \"{section}\")");
             }
+        }
+        // Scaling gate: a thread setting above 1 must never cost throughput
+        // on mid-sized sorts. The shard engine only engages past its
+        // amortization threshold (2^17 items), so sort_z/65536 must run at
+        // serial speed at any thread count — this pins the regression where
+        // sharded 2^16 bitonic stages lost ~20% (955 -> 751 M msgs/s).
+        if want("sort_z/65536") {
+            println!("-- scaling gate (sort_z/65536, threads 2 vs 1) --");
+            set_sim_threads(1);
+            let serial = sort_rate(65536, 5);
+            set_sim_threads(2);
+            let sharded = sort_rate(65536, 5);
+            set_sim_threads(0);
+            println!("  serial {serial} msgs/s   threads=2 {sharded} msgs/s");
+            if (sharded as f64) < 0.95 * serial as f64 {
+                eprintln!(
+                    "scaling regression: threads=2 ran sort_z/65536 at {sharded} msgs/s, \
+                     under 95% of the serial {serial} msgs/s"
+                );
+                std::process::exit(1);
+            }
+            println!("scaling gate passed (threads=2 within 5% of serial)");
         }
     } else {
         std::fs::write("BENCH_simcore.json", &rendered).expect("write BENCH_simcore.json");

@@ -1,0 +1,162 @@
+//! Warm result cache for the serve daemon.
+//!
+//! Model costs are fully deterministic: a job's `Cost` tuple, attempt
+//! count, scheduled backoff, and checksum are pure functions of the inputs
+//! that reach the simulator. The cache key is exactly that input set —
+//! primitive, size, seed, input family, `k`, fault fractions, effective
+//! budget, and retry cap — and **not** the job id or deadline: the id is
+//! presentation, and deadlines only matter via wall-clock cancellation,
+//! which is never cached (see below). Hits therefore return bit-identical
+//! canonical results to cold runs, which `tests/determinism.rs` pins.
+//!
+//! Only [`Outcome::Ok`] and [`Outcome::Degraded`] results are cached: both
+//! are deterministic endpoints of the ladder. Panics, deadline
+//! cancellations, sheds, and over-budget rejections are either
+//! timing-dependent or cheaper to re-derive than to cache.
+
+use std::collections::HashMap;
+
+use crate::job::{JobResult, JobSpec, Outcome};
+
+/// The deterministic identity of a job execution.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    kind: &'static str,
+    n: u64,
+    seed: u64,
+    array: &'static str,
+    k: u64,
+    /// Fault fractions as IEEE-754 bits (f64 is not `Hash`; the bits are).
+    faults: [u64; 3],
+    /// The budget actually armed on the guard — for tenants this is
+    /// `min(job budget, tenant remaining)`, so two submissions of the same
+    /// spec under different remaining budgets are distinct executions.
+    budget: Option<u64>,
+    retries: u32,
+}
+
+impl CacheKey {
+    /// Key for `spec` as executed with `effective_budget` armed.
+    pub fn of(spec: &JobSpec, effective_budget: Option<u64>) -> CacheKey {
+        CacheKey {
+            kind: spec.kind.label(),
+            n: spec.n,
+            seed: spec.seed,
+            array: spec.array.label(),
+            k: spec.k,
+            faults: [
+                spec.faults.dead_rows.to_bits(),
+                spec.faults.degraded_rows.to_bits(),
+                spec.faults.flaky.to_bits(),
+            ],
+            budget: effective_budget,
+            retries: spec.retries,
+        }
+    }
+}
+
+/// Result cache with hit/miss telemetry.
+#[derive(Default)]
+pub struct ResultCache {
+    map: HashMap<CacheKey, JobResult>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> ResultCache {
+        ResultCache::default()
+    }
+
+    /// Looks up `key`; a hit returns the stored result re-labelled with
+    /// `id` (the id is the only presentation field in a [`JobResult`]).
+    pub fn lookup(&mut self, key: &CacheKey, id: &str) -> Option<JobResult> {
+        match self.map.get(key) {
+            Some(r) => {
+                self.hits += 1;
+                Some(JobResult { id: id.to_string(), ..r.clone() })
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `result` if its outcome is cacheable (Ok or Degraded). The
+    /// wall time is zeroed: it belongs to the original run, not to hits.
+    pub fn insert(&mut self, key: CacheKey, result: &JobResult) {
+        if matches!(result.outcome, Outcome::Ok | Outcome::Degraded) {
+            self.map.insert(key, JobResult { wall_ms: 0, ..result.clone() });
+        }
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Cached entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{execute, JobKind};
+    use spatial_core::model::CancelToken;
+    use spatial_core::recovery::BackoffPolicy;
+
+    fn run(spec: &JobSpec) -> JobResult {
+        execute(spec, &CancelToken::new(), &BackoffPolicy::NONE)
+    }
+
+    #[test]
+    fn hit_returns_bit_identical_result_with_new_id() {
+        let mut spec = JobSpec::new("cold", JobKind::Sort);
+        spec.n = 64;
+        let cold = run(&spec);
+        let mut cache = ResultCache::new();
+        let key = CacheKey::of(&spec, spec.budget);
+        assert!(cache.lookup(&key, "cold").is_none());
+        cache.insert(key.clone(), &cold);
+        let warm = cache.lookup(&key, "warm").expect("hit");
+        assert_eq!(warm.id, "warm");
+        assert_eq!(JobResult { id: cold.id.clone(), ..warm }, cold, "only the id may differ");
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn key_ignores_id_and_deadline_but_not_budget() {
+        let mut a = JobSpec::new("a", JobKind::Scan);
+        a.deadline_ms = Some(100);
+        let mut b = JobSpec::new("b", JobKind::Scan);
+        b.deadline_ms = Some(9999);
+        assert_eq!(CacheKey::of(&a, None), CacheKey::of(&b, None));
+        assert_ne!(CacheKey::of(&a, None), CacheKey::of(&a, Some(1_000_000)));
+        let mut c = a.clone();
+        c.faults.flaky = 0.25;
+        assert_ne!(CacheKey::of(&a, None), CacheKey::of(&c, None));
+    }
+
+    #[test]
+    fn non_deterministic_outcomes_are_never_cached() {
+        let spec = JobSpec::new("x", JobKind::Scan);
+        let key = CacheKey::of(&spec, None);
+        let mut cache = ResultCache::new();
+        cache.insert(key.clone(), &JobResult::shed(&spec));
+        cache.insert(key.clone(), &JobResult::panicked(&spec, "boom".into()));
+        assert!(cache.is_empty());
+        let ok = run(&spec);
+        cache.insert(key.clone(), &ok);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -109,6 +109,25 @@ impl FaultCfg {
         self.dead_rows > 0.0 || self.degraded_rows > 0.0 || self.flaky > 0.0
     }
 
+    /// Parses a `{"dead_rows": …, "degraded_rows": …, "flaky": …}` object.
+    /// `ctx` prefixes error messages (e.g. `"job 3"` or a tenant name).
+    pub fn from_json(f: &Json, ctx: &str) -> Result<FaultCfg, String> {
+        let frac = |name: &str| -> Result<f64, String> {
+            match f.get(name) {
+                None => Ok(0.0),
+                Some(j) => j
+                    .as_f64()
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .ok_or_else(|| format!("{ctx}: faults.{name} must be in [0, 1]")),
+            }
+        };
+        Ok(FaultCfg {
+            dead_rows: frac("dead_rows")?,
+            degraded_rows: frac("degraded_rows")?,
+            flaky: frac("flaky")?,
+        })
+    }
+
     /// Compiles to a [`FaultPlan`] over `extent` with the given seed.
     pub fn compile(&self, seed: u64, extent: SubGrid) -> FaultPlan {
         FaultPlan::builder(seed)
@@ -209,22 +228,7 @@ impl JobSpec {
         };
         let faults = match v.get("faults") {
             None => FaultCfg::default(),
-            Some(f) => {
-                let frac = |name: &str| -> Result<f64, String> {
-                    match f.get(name) {
-                        None => Ok(0.0),
-                        Some(j) => j
-                            .as_f64()
-                            .filter(|p| (0.0..=1.0).contains(p))
-                            .ok_or_else(|| format!("job {index}: faults.{name} must be in [0, 1]")),
-                    }
-                };
-                FaultCfg {
-                    dead_rows: frac("dead_rows")?,
-                    degraded_rows: frac("degraded_rows")?,
-                    flaky: frac("flaky")?,
-                }
-            }
+            Some(f) => FaultCfg::from_json(f, &format!("job {index}"))?,
         };
         let id = match v.get("id") {
             None => format!("job-{index}"),
@@ -261,9 +265,22 @@ pub enum Outcome {
     DeadlineExceeded,
     /// The job was rejected at admission (pool saturated).
     Shed,
+    /// The job was rejected at admission because its tenant's cumulative
+    /// energy budget is exhausted. It never executed (serve daemon only).
+    OverBudget,
 }
 
 impl Outcome {
+    /// Every outcome, in report/aggregate order.
+    pub const ALL: [Outcome; 6] = [
+        Outcome::Ok,
+        Outcome::Degraded,
+        Outcome::Panicked,
+        Outcome::DeadlineExceeded,
+        Outcome::Shed,
+        Outcome::OverBudget,
+    ];
+
     /// Report spelling.
     pub fn label(self) -> &'static str {
         match self {
@@ -272,6 +289,21 @@ impl Outcome {
             Outcome::Panicked => "panicked",
             Outcome::DeadlineExceeded => "deadline-exceeded",
             Outcome::Shed => "shed",
+            Outcome::OverBudget => "over-budget",
+        }
+    }
+
+    /// The exit-code-style classification of this outcome, extending the
+    /// [`SpatialError`] taxonomy (codes 2–11): 0 ok, 1 panicked, 8 degraded
+    /// (recovery exhausted), 9 deadline exceeded, 10 shed, 12 over budget.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            Outcome::Ok => 0,
+            Outcome::Panicked => 1,
+            Outcome::Degraded => spatial_core::recovery::EXIT_RECOVERY_EXHAUSTED,
+            Outcome::DeadlineExceeded => 9,
+            Outcome::Shed => 10,
+            Outcome::OverBudget => 12,
         }
     }
 }
@@ -337,6 +369,17 @@ impl JobResult {
         JobResult {
             error: Some(format!("panicked: {message}")),
             ..JobResult::skeleton(spec, Outcome::Panicked)
+        }
+    }
+
+    /// Result for a job rejected at admission because its tenant's energy
+    /// budget is exhausted (`charged` of `budget` units already spent).
+    pub fn over_budget(spec: &JobSpec, tenant: &str, charged: u64, budget: u64) -> JobResult {
+        JobResult {
+            error: Some(format!(
+                "over budget: tenant \"{tenant}\" has charged {charged} of {budget} energy units"
+            )),
+            ..JobResult::skeleton(spec, Outcome::OverBudget)
         }
     }
 }

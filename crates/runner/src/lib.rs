@@ -19,6 +19,13 @@
 //!   escalation level, exact cost, detour energy, wall time; aggregate
 //!   p50/p99) whose wall-clock-free canonical form is bit-deterministic;
 //! * [`batch`] — jobspec parsing and end-to-end orchestration;
+//! * [`mod@serve`] — the persistent daemon loop: newline-delimited JSON jobs
+//!   in, one ordered result line out per job, with the pool, watchdog,
+//!   shedding and degradation machinery alive across submissions;
+//! * [`tenant`] — per-tenant budgets, rate-limit admission, and deficit
+//!   round-robin fair scheduling for the daemon;
+//! * [`cache`] — the warm result cache whose hits return bit-identical
+//!   canonical results to cold runs;
 //! * [`json`] — the in-tree JSON reader backing jobspec files (the build
 //!   is hermetic: no serde).
 //!
@@ -44,15 +51,21 @@
 //! ```
 
 pub mod batch;
+pub mod cache;
 pub mod job;
 pub mod json;
 pub mod pool;
 pub mod report;
+pub mod serve;
+pub mod tenant;
 
 pub use batch::{run_batch, run_jobspec, write_report, Batch, BatchConfig};
+pub use cache::{CacheKey, ResultCache};
 pub use job::{JobKind, JobResult, JobSpec, Outcome};
 pub use pool::{run_supervised, PoolConfig, Task, TaskOutcome};
 pub use report::BatchReport;
+pub use serve::{serve, ServeConfig, ServeSummary};
+pub use tenant::{DrrScheduler, RateLimit, Submission, TenantConfig};
 
 use spatial_core::model::{Cost, Machine};
 use spatial_core::report::Sweep;

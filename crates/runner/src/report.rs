@@ -38,24 +38,14 @@ impl BatchReport {
     }
 
     /// The process exit code this batch maps to: the first non-ok job in
-    /// spec order decides (degraded → 8, panicked → 1, deadline → 9,
-    /// shed → 10); an all-ok batch — or any batch under `best_effort` —
-    /// exits 0.
+    /// spec order decides (see [`Outcome::exit_code`]: degraded → 8,
+    /// panicked → 1, deadline → 9, shed → 10, over-budget → 12); an all-ok
+    /// batch — or any batch under `best_effort` — exits 0.
     pub fn exit_code(&self, best_effort: bool) -> i32 {
         if best_effort {
             return 0;
         }
-        for j in &self.jobs {
-            let code = match j.outcome {
-                Outcome::Ok => continue,
-                Outcome::Panicked => 1,
-                Outcome::Degraded => spatial_core::recovery::EXIT_RECOVERY_EXHAUSTED,
-                Outcome::DeadlineExceeded => 9,
-                Outcome::Shed => 10,
-            };
-            return code;
-        }
-        0
+        self.jobs.iter().map(|j| j.outcome.exit_code()).find(|&c| c != 0).unwrap_or(0)
     }
 
     /// Serializes the report. With `include_wall = false` every
@@ -92,13 +82,7 @@ impl BatchReport {
         let mut s = String::new();
         s.push_str("  \"aggregate\": {\n");
         s.push_str(&format!("    \"total\": {},\n", self.jobs.len()));
-        for o in [
-            Outcome::Ok,
-            Outcome::Degraded,
-            Outcome::Panicked,
-            Outcome::DeadlineExceeded,
-            Outcome::Shed,
-        ] {
+        for o in Outcome::ALL {
             s.push_str(&format!("    \"{}\": {},\n", o.label(), self.count(o)));
         }
         s.push_str(&format!("    \"attempts\": {attempts},\n"));
@@ -159,7 +143,7 @@ fn job_json(j: &JobResult, include_wall: bool) -> String {
     s
 }
 
-fn cost_json(c: Cost) -> String {
+pub(crate) fn cost_json(c: Cost) -> String {
     format!(
         "{{\"energy\": {}, \"depth\": {}, \"distance\": {}, \"messages\": {}}}",
         c.energy, c.depth, c.distance, c.messages

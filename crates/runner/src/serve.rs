@@ -1,0 +1,752 @@
+//! The persistent serving loop: newline-delimited JSON jobs in, one result
+//! line out per job, worker pool and supervision alive across submissions.
+//!
+//! ## Protocol
+//!
+//! Each input line is one of:
+//!
+//! * **A job submission** — a JSON object with the same fields as a batch
+//!   jobspec entry (`kind`, `n`, `seed`, `k`, `array`, `faults`, `budget`,
+//!   `retries`, `deadline_ms`, `id`) plus an optional `tenant` name
+//!   (default `"default"`). Produces exactly one single-line
+//!   `spatial-batch-report/v1` result.
+//! * **A control verb** — an object with an `"op"` field:
+//!   `{"op": "tenant", "tenant": NAME, "budget": N, "rate": {"burst": B,
+//!   "window": W}, "faults": {…}}` registers per-tenant policy and is
+//!   acknowledged with a `spatial-serve-ctl/v1` line; `{"op": "stats"}`
+//!   emits a `spatial-serve-stats/v1` aggregate line.
+//! * **A comment** (`#` prefix) or blank line — skipped without output.
+//!
+//! Malformed lines produce a `spatial-serve-ctl/v1` error line; the daemon
+//! never exits on bad input, a panicking job, or an exhausted tenant. EOF
+//! on stdin drains the queue and shuts down cleanly.
+//!
+//! ## Ordering and determinism
+//!
+//! Output lines are emitted **strictly in input-line order**, whatever
+//! order the pool finishes jobs in: every consuming line gets a sequence
+//! number, completed results park in a [`BTreeMap`] keyed by it, and a
+//! cursor releases them in order. Two consequences:
+//!
+//! * the `stats` verb has barrier semantics — it aggregates exactly the
+//!   jobs submitted before it, because it cannot emit until they have;
+//! * with `canonical = true` (every wall-clock-derived field omitted) the
+//!   full output stream is a **pure function of the input stream**:
+//!   byte-identical across worker counts and across cache-cold/warm runs.
+//!
+//! The three admission decisions are deterministic by construction: rate
+//! limiting is a pure function of global sequence numbers
+//! ([`DrrScheduler::admit`]); budget admission is evaluated when a job is
+//! dispatched, and a tenant's jobs run one at a time in submission order,
+//! so the ledger a job sees depends only on that tenant's stream prefix;
+//! and cache hits return bit-identical canonical results to cold runs
+//! ([`crate::cache`]). Deficit round robin shares the pool fairly across
+//! tenants in between ([`crate::tenant`]).
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use spatial_core::model::CancelToken;
+use spatial_core::recovery::BackoffPolicy;
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::job::{execute, FaultCfg, JobKind, JobResult, JobSpec, Outcome};
+use crate::json::{escape, Json};
+use crate::pool::panic_message;
+use crate::report::{cost_json, percentile};
+use crate::tenant::{DrrScheduler, RateLimit, Refusal, Submission, TenantConfig};
+
+/// Serving-loop configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeConfig {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Deadline applied to jobs that don't carry their own.
+    pub default_deadline_ms: Option<u64>,
+    /// Omit every wall-clock-derived field (`wall_ms`, `cached`, cache and
+    /// latency stats), making the output a pure function of the input.
+    pub canonical: bool,
+    /// DRR deficit granted per tenant visit, in work units (= elements).
+    pub quantum: u64,
+    /// Watchdog polling interval for deadlines, milliseconds.
+    pub watchdog_tick_ms: u64,
+    /// Backoff between recovery attempts. The default is compressed
+    /// (1–8 ms) relative to the batch default: a daemon should not stall
+    /// its stream on sleeps, and the *scheduled* delays in `backoff_ms`
+    /// stay deterministic either way.
+    pub backoff: BackoffPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: crate::default_workers(),
+            default_deadline_ms: None,
+            canonical: false,
+            quantum: 1024,
+            watchdog_tick_ms: 5,
+            backoff: BackoffPolicy { base_ms: 1, factor: 2, max_ms: 8, jitter: 0.5 },
+        }
+    }
+}
+
+/// What a serve session processed (the daemon itself exits 0 on clean EOF;
+/// per-job failures are reported in-stream, not via the exit code).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Input lines consumed (excluding comments and blanks).
+    pub lines: u64,
+    /// Job result lines emitted.
+    pub jobs: u64,
+    /// Control error lines emitted.
+    pub errors: u64,
+}
+
+/// Index of `o` in [`Outcome::ALL`] (stats bucket).
+fn idx(o: Outcome) -> usize {
+    Outcome::ALL.iter().position(|&x| x == o).expect("outcome in ALL")
+}
+
+/// Rolling aggregates behind the `stats` verb. Updated at *emission* time,
+/// so a stats line covers exactly the jobs that precede it in the stream.
+#[derive(Default)]
+struct Agg {
+    jobs: u64,
+    counts: [u64; Outcome::ALL.len()],
+    attempts: u64,
+    energy_total: u64,
+    energies: Vec<u64>,
+    walls: Vec<u64>,
+    cache_hits: u64,
+    cache_lookups: u64,
+}
+
+/// A line waiting its turn in the ordered emission buffer.
+enum Pending {
+    /// Fully formed control line.
+    Line(String),
+    /// Completed job: the formed line plus the fields the aggregates need.
+    Job {
+        line: String,
+        outcome: Outcome,
+        energy: Option<u64>,
+        wall_ms: u64,
+        cached: bool,
+        /// Whether the job consulted the result cache (dispatched jobs do;
+        /// rate-shed and over-budget rejections never reach it).
+        looked_up: bool,
+        attempts: u32,
+    },
+    /// Stats verb: the line is rendered from [`Agg`] when its turn comes.
+    Stats,
+}
+
+struct Core<W: Write> {
+    out: W,
+    sched: DrrScheduler,
+    cache: ResultCache,
+    ready: BTreeMap<u64, Pending>,
+    next_out: u64,
+    seq: u64,
+    inflight: usize,
+    closed: bool,
+    canonical: bool,
+    agg: Agg,
+    io_err: Option<io::Error>,
+    summary: ServeSummary,
+}
+
+/// Runs the serving loop until EOF on `input`, writing one output line per
+/// consuming input line to `out` in input order. Returns after the queue
+/// has drained and every output line has been written.
+pub fn serve<R: BufRead, W: Write + Send>(
+    input: R,
+    out: W,
+    cfg: &ServeConfig,
+) -> io::Result<ServeSummary> {
+    let workers = cfg.workers.max(1);
+    let core = Mutex::new(Core {
+        out,
+        sched: DrrScheduler::new(cfg.quantum),
+        cache: ResultCache::new(),
+        ready: BTreeMap::new(),
+        next_out: 0,
+        seq: 0,
+        inflight: 0,
+        closed: false,
+        canonical: cfg.canonical,
+        agg: Agg::default(),
+        io_err: None,
+        summary: ServeSummary::default(),
+    });
+    let work = Condvar::new();
+    let done = Condvar::new();
+    // One watchdog slot per worker: the token and absolute deadline of the
+    // job it is currently running, if that job has a deadline.
+    let slots: Vec<Mutex<Option<(CancelToken, Instant)>>> =
+        (0..workers).map(|_| Mutex::new(None)).collect();
+    let shutdown = AtomicBool::new(false);
+
+    std::thread::scope(|scope| -> io::Result<()> {
+        scope.spawn(|| {
+            let tick = Duration::from_millis(cfg.watchdog_tick_ms.max(1));
+            while !shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(tick);
+                let now = Instant::now();
+                for slot in &slots {
+                    if let Some((token, deadline)) = &*slot.lock().unwrap() {
+                        if now >= *deadline {
+                            token.cancel();
+                        }
+                    }
+                }
+            }
+        });
+        for wi in 0..workers {
+            let (core, work, done, slots) = (&core, &work, &done, &slots);
+            scope.spawn(move || worker_loop(wi, core, work, done, slots, cfg));
+        }
+
+        // Reader loop. On a read error the daemon still drains what it
+        // already admitted before reporting the error.
+        let read_result: io::Result<()> = (|| {
+            for line in input.lines() {
+                let line = line?;
+                let trimmed = line.trim();
+                if trimmed.is_empty() || trimmed.starts_with('#') {
+                    continue;
+                }
+                let mut g = core.lock().unwrap();
+                let seq = g.seq;
+                g.seq += 1;
+                g.summary.lines += 1;
+                handle_line(&mut g, seq, trimmed, cfg);
+                drop(g);
+                work.notify_all();
+            }
+            Ok(())
+        })();
+
+        let mut g = core.lock().unwrap();
+        g.closed = true;
+        work.notify_all();
+        while g.inflight > 0 || g.sched.pending() > 0 || !g.ready.is_empty() {
+            g = done.wait(g).unwrap();
+        }
+        drop(g);
+        work.notify_all();
+        shutdown.store(true, Ordering::SeqCst);
+        read_result
+    })?;
+
+    let mut g = core.into_inner().unwrap();
+    if let Some(e) = g.io_err.take() {
+        return Err(e);
+    }
+    Ok(g.summary)
+}
+
+/// Handles one consuming input line (core lock held by the caller).
+fn handle_line<W: Write>(g: &mut Core<W>, seq: u64, line: &str, cfg: &ServeConfig) {
+    let v = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return ctl_error(g, seq, &format!("invalid JSON: {e}")),
+    };
+    if let Some(op) = v.get("op").and_then(Json::as_str) {
+        match op {
+            "tenant" => match parse_tenant_op(&v) {
+                Ok((name, tc)) => {
+                    g.sched.register(&name, tc);
+                    push_line(g, seq, ctl_line(seq, "tenant", Some(&name), true, None));
+                }
+                Err(e) => ctl_error(g, seq, &e),
+            },
+            "stats" => {
+                g.ready.insert(seq, Pending::Stats);
+                try_emit(g);
+            }
+            other => ctl_error(g, seq, &format!("unknown op {other:?}")),
+        }
+        return;
+    }
+
+    let tenant = match v.get("tenant") {
+        None => "default".to_string(),
+        Some(j) => match j.as_str() {
+            Some(s) => s.to_string(),
+            None => return ctl_error(g, seq, "field \"tenant\" must be a string"),
+        },
+    };
+    let mut spec = match JobSpec::from_json(&v, seq as usize) {
+        Ok(s) => s,
+        Err(e) => return ctl_error(g, seq, &e),
+    };
+    if v.get("faults").is_none() {
+        // The tenant's registered fault plan is the default for its jobs.
+        if let Some(f) = g.sched.fault_default(&tenant) {
+            spec.faults = f;
+        }
+    }
+    if spec.kind == JobKind::ChaosSpin && spec.deadline_ms.or(cfg.default_deadline_ms).is_none() {
+        return ctl_error(g, seq, &format!("job \"{}\": chaos-spin requires a deadline", spec.id));
+    }
+    if let Err(Refusal::RateLimited { burst, window }) = g.sched.admit(&tenant, seq) {
+        let mut r = JobResult::shed(&spec);
+        r.error = Some(format!(
+            "shed: tenant \"{tenant}\" rate limit exceeded ({burst} per {window} submissions)"
+        ));
+        return record_job(g, seq, &tenant, &r, false, false);
+    }
+    g.sched.enqueue(Submission { seq, tenant, spec });
+}
+
+/// One serving worker: pick by DRR, decide budget admission and cache hits
+/// under the lock, execute (contained) outside it, complete and emit.
+fn worker_loop<W: Write + Send>(
+    wi: usize,
+    core: &Mutex<Core<W>>,
+    work: &Condvar,
+    done: &Condvar,
+    slots: &[Mutex<Option<(CancelToken, Instant)>>],
+    cfg: &ServeConfig,
+) {
+    loop {
+        let (sub, effective, key) = {
+            let mut g = core.lock().unwrap();
+            'pick: loop {
+                while let Some(sub) = g.sched.next() {
+                    if g.sched.over_budget(&sub.tenant) {
+                        let charged = g.sched.charged(&sub.tenant);
+                        let budget = g.sched.budget_of(&sub.tenant).unwrap_or(charged);
+                        let r = JobResult::over_budget(&sub.spec, &sub.tenant, charged, budget);
+                        g.sched.complete(&sub.tenant, 0);
+                        record_job(&mut g, sub.seq, &sub.tenant, &r, false, false);
+                        done.notify_all();
+                        continue;
+                    }
+                    // The guard is armed at whatever is tighter: the job's
+                    // own budget or what is left of the tenant's.
+                    let effective = match (sub.spec.budget, g.sched.remaining_budget(&sub.tenant)) {
+                        (Some(b), Some(r)) => Some(b.min(r)),
+                        (Some(b), None) => Some(b),
+                        (None, r) => r,
+                    };
+                    let key = CacheKey::of(&sub.spec, effective);
+                    if let Some(hit) = g.cache.lookup(&key, &sub.spec.id) {
+                        let energy = hit.cost.map_or(0, |c| c.energy);
+                        g.sched.complete(&sub.tenant, energy);
+                        record_job(&mut g, sub.seq, &sub.tenant, &hit, true, true);
+                        done.notify_all();
+                        continue;
+                    }
+                    g.inflight += 1;
+                    if g.sched.dispatchable() {
+                        work.notify_all();
+                    }
+                    break 'pick (sub, effective, key);
+                }
+                if g.closed && g.inflight == 0 && g.sched.pending() == 0 {
+                    return;
+                }
+                g = work.wait(g).unwrap();
+            }
+        };
+
+        let mut spec = sub.spec.clone();
+        spec.budget = effective;
+        let token = CancelToken::new();
+        if let Some(ms) = spec.deadline_ms.or(cfg.default_deadline_ms) {
+            *slots[wi].lock().unwrap() =
+                Some((token.clone(), Instant::now() + Duration::from_millis(ms)));
+        }
+        let started = Instant::now();
+        let executed = catch_unwind(AssertUnwindSafe(|| execute(&spec, &token, &cfg.backoff)));
+        *slots[wi].lock().unwrap() = None;
+        let mut result = match executed {
+            Ok(r) => r,
+            Err(payload) => JobResult::panicked(&spec, panic_message(payload.as_ref())),
+        };
+        result.wall_ms = started.elapsed().as_millis() as u64;
+        let energy = result.cost.map_or(0, |c| c.energy);
+
+        let mut g = core.lock().unwrap();
+        g.cache.insert(key, &result);
+        g.sched.complete(&sub.tenant, energy);
+        g.inflight -= 1;
+        record_job(&mut g, sub.seq, &sub.tenant, &result, false, true);
+        drop(g);
+        work.notify_all();
+        done.notify_all();
+    }
+}
+
+/// Parks a completed job in the emission buffer and drains what's ready.
+fn record_job<W: Write>(
+    g: &mut Core<W>,
+    seq: u64,
+    tenant: &str,
+    r: &JobResult,
+    cached: bool,
+    looked_up: bool,
+) {
+    let line = job_line(seq, tenant, r, cached, g.canonical);
+    g.ready.insert(
+        seq,
+        Pending::Job {
+            line,
+            outcome: r.outcome,
+            energy: r.cost.map(|c| c.energy),
+            wall_ms: r.wall_ms,
+            cached,
+            looked_up,
+            attempts: r.attempts,
+        },
+    );
+    g.summary.jobs += 1;
+    try_emit(g);
+}
+
+fn push_line<W: Write>(g: &mut Core<W>, seq: u64, line: String) {
+    g.ready.insert(seq, Pending::Line(line));
+    try_emit(g);
+}
+
+fn ctl_error<W: Write>(g: &mut Core<W>, seq: u64, msg: &str) {
+    g.summary.errors += 1;
+    push_line(g, seq, ctl_line(seq, "error", None, false, Some(msg)));
+}
+
+/// Releases every buffered line whose turn has come, updating aggregates
+/// as job lines pass the cursor.
+fn try_emit<W: Write>(g: &mut Core<W>) {
+    let mut wrote = false;
+    while let Some(p) = g.ready.remove(&g.next_out) {
+        let line = match p {
+            Pending::Line(s) => s,
+            Pending::Job { line, outcome, energy, wall_ms, cached, looked_up, attempts } => {
+                g.agg.jobs += 1;
+                g.agg.counts[idx(outcome)] += 1;
+                g.agg.attempts += u64::from(attempts);
+                if let Some(e) = energy {
+                    g.agg.energy_total += e;
+                    g.agg.energies.push(e);
+                }
+                g.agg.walls.push(wall_ms);
+                if looked_up {
+                    g.agg.cache_lookups += 1;
+                    g.agg.cache_hits += u64::from(cached);
+                }
+                line
+            }
+            Pending::Stats => stats_line(g.next_out, &g.agg, g.canonical),
+        };
+        if g.io_err.is_none() {
+            if let Err(e) = writeln!(g.out, "{line}") {
+                g.io_err = Some(e);
+            }
+        }
+        g.next_out += 1;
+        wrote = true;
+    }
+    if wrote && g.io_err.is_none() {
+        if let Err(e) = g.out.flush() {
+            g.io_err = Some(e);
+        }
+    }
+}
+
+fn opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".into(), |x| x.to_string())
+}
+
+/// One job result as a single `spatial-batch-report/v1` line (same fields
+/// as the batch writer's job object, plus `seq`, `tenant` and `code`).
+fn job_line(seq: u64, tenant: &str, j: &JobResult, cached: bool, canonical: bool) -> String {
+    let mut s = String::with_capacity(256);
+    s.push_str("{\"schema\": \"spatial-batch-report/v1\", ");
+    s.push_str(&format!("\"seq\": {seq}, "));
+    s.push_str(&format!("\"tenant\": \"{}\", ", escape(tenant)));
+    s.push_str(&format!("\"id\": \"{}\", ", escape(&j.id)));
+    s.push_str(&format!("\"kind\": \"{}\", ", j.kind.label()));
+    s.push_str(&format!("\"outcome\": \"{}\", ", j.outcome.label()));
+    s.push_str(&format!("\"code\": {}, ", j.outcome.exit_code()));
+    s.push_str(&format!("\"attempts\": {}, ", j.attempts));
+    s.push_str(&format!("\"escalation\": {}, ", j.escalation));
+    match j.cost {
+        Some(c) => s.push_str(&format!("\"cost\": {}, ", cost_json(c))),
+        None => s.push_str("\"cost\": null, "),
+    }
+    s.push_str(&format!("\"detour_energy\": {}, ", j.detour_energy));
+    s.push_str(&format!("\"backoff_ms\": {}, ", j.backoff_ms));
+    match j.checksum {
+        Some(c) => s.push_str(&format!("\"checksum\": \"0x{c:016x}\", ")),
+        None => s.push_str("\"checksum\": null, "),
+    }
+    match &j.error {
+        Some(e) => s.push_str(&format!("\"error\": \"{}\"", escape(e))),
+        None => s.push_str("\"error\": null"),
+    }
+    if !canonical {
+        s.push_str(&format!(", \"cached\": {cached}, \"wall_ms\": {}", j.wall_ms));
+    }
+    s.push('}');
+    s
+}
+
+/// The `stats` verb's aggregate line. Rates are fixed-point strings so the
+/// canonical form never depends on float formatting.
+fn stats_line(seq: u64, agg: &Agg, canonical: bool) -> String {
+    let rate = |count: u64| -> String {
+        if agg.jobs == 0 {
+            "null".into()
+        } else {
+            format!("\"{:.3}\"", count as f64 / agg.jobs as f64)
+        }
+    };
+    let mut s = String::with_capacity(256);
+    s.push_str("{\"schema\": \"spatial-serve-stats/v1\", ");
+    s.push_str(&format!("\"seq\": {seq}, "));
+    s.push_str(&format!("\"jobs\": {}, ", agg.jobs));
+    for (o, c) in Outcome::ALL.iter().zip(agg.counts) {
+        s.push_str(&format!("\"{}\": {c}, ", o.label()));
+    }
+    s.push_str(&format!("\"attempts\": {}, ", agg.attempts));
+    s.push_str(&format!("\"energy_total\": {}, ", agg.energy_total));
+    s.push_str(&format!("\"shed_rate\": {}, ", rate(agg.counts[idx(Outcome::Shed)])));
+    s.push_str(&format!("\"degradation_rate\": {}, ", rate(agg.counts[idx(Outcome::Degraded)])));
+    s.push_str(&format!("\"energy_p50\": {}, ", opt(percentile(&agg.energies, 50))));
+    s.push_str(&format!("\"energy_p99\": {}", opt(percentile(&agg.energies, 99))));
+    if !canonical {
+        let hit_rate = if agg.cache_lookups == 0 {
+            "null".into()
+        } else {
+            format!("\"{:.3}\"", agg.cache_hits as f64 / agg.cache_lookups as f64)
+        };
+        s.push_str(&format!(
+            ", \"cache_hits\": {}, \"cache_lookups\": {}, \"cache_hit_rate\": {hit_rate}",
+            agg.cache_hits, agg.cache_lookups
+        ));
+        s.push_str(&format!(
+            ", \"wall_ms_p50\": {}, \"wall_ms_p99\": {}",
+            opt(percentile(&agg.walls, 50)),
+            opt(percentile(&agg.walls, 99))
+        ));
+    }
+    s.push('}');
+    s
+}
+
+fn ctl_line(seq: u64, op: &str, tenant: Option<&str>, ok: bool, error: Option<&str>) -> String {
+    let mut s = format!("{{\"schema\": \"spatial-serve-ctl/v1\", \"seq\": {seq}, ");
+    s.push_str(&format!("\"op\": \"{}\", ", escape(op)));
+    if let Some(t) = tenant {
+        s.push_str(&format!("\"tenant\": \"{}\", ", escape(t)));
+    }
+    s.push_str(&format!("\"ok\": {ok}, "));
+    match error {
+        Some(e) => s.push_str(&format!("\"error\": \"{}\"", escape(e))),
+        None => s.push_str("\"error\": null"),
+    }
+    s.push('}');
+    s
+}
+
+fn parse_tenant_op(v: &Json) -> Result<(String, TenantConfig), String> {
+    let name = v
+        .get("tenant")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "op \"tenant\": missing string field \"tenant\"".to_string())?
+        .to_string();
+    let budget = match v.get("budget") {
+        None => None,
+        Some(j) if j.is_null() => None,
+        Some(j) => Some(j.as_u64().ok_or_else(|| {
+            format!("tenant \"{name}\": field \"budget\" must be an integer or null")
+        })?),
+    };
+    let rate = match v.get("rate") {
+        None => None,
+        Some(j) if j.is_null() => None,
+        Some(j) => {
+            let field = |k: &str| -> Result<u64, String> {
+                j.get(k).and_then(Json::as_u64).filter(|&x| x >= 1).ok_or_else(|| {
+                    format!("tenant \"{name}\": rate.{k} must be a positive integer")
+                })
+            };
+            Some(RateLimit { burst: field("burst")?, window: field("window")? })
+        }
+    };
+    let faults = match v.get("faults") {
+        None => None,
+        Some(f) => Some(FaultCfg::from_json(f, &format!("tenant \"{name}\""))?),
+    };
+    Ok((name, TenantConfig { budget, rate, faults }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(input: &str, workers: usize, canonical: bool) -> (String, ServeSummary) {
+        let cfg = ServeConfig { workers, canonical, ..Default::default() };
+        let mut out = Vec::new();
+        let summary = serve(io::Cursor::new(input.to_string()), &mut out, &cfg).expect("serve I/O");
+        (String::from_utf8(out).expect("utf8 output"), summary)
+    }
+
+    fn field<'a>(line: &'a str, key: &str) -> &'a str {
+        let pat = format!("\"{key}\": ");
+        let start = line.find(&pat).unwrap_or_else(|| panic!("no {key:?} in {line}")) + pat.len();
+        let rest = &line[start..];
+        let end = rest.find(", \"").unwrap_or(rest.len() - 1);
+        &rest[..end]
+    }
+
+    #[test]
+    fn results_stream_in_input_order_with_stats_barrier() {
+        let input = r#"
+# comment lines and blanks are skipped
+{"kind": "sort", "n": 256, "seed": 1, "id": "big"}
+{"kind": "scan", "n": 16, "seed": 2, "id": "small"}
+{"op": "stats"}
+"#;
+        let (out, summary) = run(input, 4, true);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "{out}");
+        assert_eq!(field(lines[0], "id"), "\"big\"", "input order, not completion order");
+        assert_eq!(field(lines[1], "id"), "\"small\"");
+        assert!(lines[2].contains("spatial-serve-stats/v1"));
+        assert_eq!(field(lines[2], "jobs"), "2", "stats covers exactly the preceding jobs");
+        assert_eq!(field(lines[2], "ok"), "2");
+        for (i, l) in lines.iter().enumerate() {
+            assert_eq!(field(l, "seq"), i.to_string());
+            Json::parse(l).expect("every output line is valid JSON");
+        }
+        assert_eq!(summary, ServeSummary { lines: 3, jobs: 2, errors: 0 });
+    }
+
+    #[test]
+    fn canonical_output_is_worker_count_invariant() {
+        let input = r#"
+{"op": "tenant", "tenant": "a", "budget": 1000000}
+{"kind": "scan", "n": 64, "seed": 3, "tenant": "a"}
+{"kind": "sort", "n": 64, "seed": 4, "tenant": "b"}
+{"kind": "scan", "n": 64, "seed": 3, "tenant": "a"}
+{"kind": "select", "n": 64, "k": 9, "seed": 5, "tenant": "b"}
+{"op": "stats"}
+"#;
+        let (one, _) = run(input, 1, true);
+        let (four, _) = run(input, 4, true);
+        assert_eq!(one, four, "canonical stream must not depend on the worker count");
+    }
+
+    #[test]
+    fn over_budget_tenant_is_rejected_typed_not_killed() {
+        let input = r#"
+{"op": "tenant", "tenant": "t", "budget": 50}
+{"kind": "sort", "n": 256, "seed": 1, "tenant": "t", "id": "spender"}
+{"kind": "scan", "n": 16, "seed": 2, "tenant": "t", "id": "refused"}
+{"kind": "scan", "n": 16, "seed": 2, "tenant": "other", "id": "bystander"}
+"#;
+        let (out, _) = run(input, 2, true);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The spender runs under a guard armed at the remaining 50 units and
+        // degrades (sort of 256 needs far more); its sunk cost exhausts the
+        // tenant, so the next job is refused with the typed outcome.
+        assert_eq!(field(lines[1], "outcome"), "\"degraded\"");
+        assert_eq!(field(lines[2], "outcome"), "\"over-budget\"");
+        assert_eq!(field(lines[2], "code"), "12");
+        assert_eq!(field(lines[2], "cost"), "null", "rejected jobs never execute");
+        assert_eq!(field(lines[3], "outcome"), "\"ok\"", "other tenants are unaffected");
+    }
+
+    #[test]
+    fn rate_limited_jobs_shed_deterministically() {
+        let input = r#"
+{"op": "tenant", "tenant": "noisy", "rate": {"burst": 2, "window": 100}}
+{"kind": "scan", "n": 16, "seed": 1, "tenant": "noisy"}
+{"kind": "scan", "n": 16, "seed": 2, "tenant": "noisy"}
+{"kind": "scan", "n": 16, "seed": 3, "tenant": "noisy"}
+{"kind": "scan", "n": 16, "seed": 4, "tenant": "quiet"}
+"#;
+        let (out, _) = run(input, 3, true);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(field(lines[1], "outcome"), "\"ok\"");
+        assert_eq!(field(lines[2], "outcome"), "\"ok\"");
+        assert_eq!(field(lines[3], "outcome"), "\"shed\"");
+        assert_eq!(field(lines[3], "code"), "10");
+        assert!(lines[3].contains("rate limit"), "{}", lines[3]);
+        assert_eq!(field(lines[4], "outcome"), "\"ok\"");
+    }
+
+    #[test]
+    fn warm_cache_hits_are_flagged_and_bit_identical() {
+        let input = r#"
+{"kind": "sort", "n": 64, "seed": 9, "id": "cold"}
+{"kind": "sort", "n": 64, "seed": 9, "id": "warm"}
+"#;
+        let (out, _) = run(input, 1, false);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(field(lines[0], "cached"), "false");
+        assert_eq!(field(lines[1], "cached"), "true");
+        assert_eq!(field(lines[0], "cost"), field(lines[1], "cost"), "hit is bit-identical");
+        assert_eq!(field(lines[0], "checksum"), field(lines[1], "checksum"));
+        // Canonically (id aside) the two lines differ only in seq/id.
+        let (canon, _) = run(input, 1, true);
+        let c: Vec<&str> = canon.lines().collect();
+        let strip = |s: &str| s.replace("\"seq\": 0", "").replace("\"seq\": 1", "");
+        assert_eq!(strip(c[0]).replace("\"cold\"", "X"), strip(c[1]).replace("\"warm\"", "X"),);
+    }
+
+    #[test]
+    fn daemon_survives_panics_bad_lines_and_unknown_ops() {
+        let input = r#"
+{"kind": "chaos-panic", "id": "boom"}
+this is not json
+{"op": "warp"}
+{"kind": "scan", "n": 16, "seed": 1, "id": "after"}
+"#;
+        let (out, summary) = run(input, 2, true);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(field(lines[0], "outcome"), "\"panicked\"");
+        assert_eq!(field(lines[0], "code"), "1");
+        assert!(lines[1].contains("\"ok\": false") && lines[1].contains("invalid JSON"));
+        assert!(lines[2].contains("unknown op"));
+        assert_eq!(field(lines[3], "outcome"), "\"ok\"", "daemon kept serving");
+        assert_eq!(summary.errors, 2);
+    }
+
+    #[test]
+    fn spin_without_deadline_is_refused_with_deadline_cancelled() {
+        let input = r#"
+{"kind": "chaos-spin", "id": "undeadlined"}
+{"kind": "chaos-spin", "deadline_ms": 30, "id": "leashed"}
+"#;
+        let (out, _) = run(input, 1, true);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("requires a deadline"), "{}", lines[0]);
+        assert_eq!(field(lines[1], "outcome"), "\"deadline-exceeded\"");
+        assert_eq!(field(lines[1], "code"), "9");
+        assert_eq!(field(lines[1], "cost"), "null");
+    }
+
+    #[test]
+    fn tenant_fault_default_applies_to_unfaulted_jobs() {
+        let input = r#"
+{"op": "tenant", "tenant": "flaky", "faults": {"flaky": 1.0}}
+{"kind": "scan", "n": 16, "seed": 1, "retries": 1, "tenant": "flaky", "id": "inherits"}
+{"kind": "scan", "n": 16, "seed": 1, "retries": 1, "tenant": "flaky", "id": "opts-out", "faults": {}}
+"#;
+        let (out, _) = run(input, 1, true);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("\"ok\": true"));
+        assert_eq!(field(lines[1], "outcome"), "\"degraded\"", "tenant faults applied");
+        assert_eq!(field(lines[2], "outcome"), "\"ok\"", "explicit faults override");
+    }
+}

@@ -1,0 +1,221 @@
+//! Property tests for the deficit-round-robin scheduler behind `serve`.
+//!
+//! Three guarantees are pinned over randomized tenant populations and job
+//! mixes:
+//!
+//! 1. **Starvation bound** — between two consecutive dispatches of a
+//!    backlogged tenant, the other `K-1` tenants dispatch at most
+//!    `(K-1) * ceil(Wmax / quantum)` jobs: a tenant needs at most
+//!    `ceil(w / quantum)` ring visits to cover its front job, and every
+//!    other tenant is visited (and dispatches at most once) exactly once
+//!    between two of its visits.
+//! 2. **FIFO per tenant, exactly once** — a full drain dispatches every
+//!    submission exactly once, and each tenant's jobs leave in submission
+//!    order (the invariant the budget ledger's determinism rests on).
+//! 3. **Determinism** — the dispatch order and per-tenant completion
+//!    counts are a pure function of the submission sequence; replaying the
+//!    same generated workload yields identical `completion_counts()`.
+
+use runner::{DrrScheduler, Submission};
+use spatial_core::check::{check, Gen};
+
+fn workload(g: &mut Gen) -> (u64, Vec<Submission>) {
+    let tenants = g.int(2..=6usize);
+    let quantum = g.int(16..=256u64);
+    let wmax = g.int(quantum..=4 * quantum);
+    let jobs_per_tenant = g.int(8..=24usize);
+    let mut subs = Vec::new();
+    let mut seq = 0u64;
+    for j in 0..jobs_per_tenant {
+        for t in 0..tenants {
+            let mut spec = runner::JobSpec::new(format!("t{t}-j{j}"), runner::JobKind::Scan);
+            spec.n = g.int(1..=wmax);
+            subs.push(Submission { seq, tenant: format!("t{t}"), spec });
+            seq += 1;
+        }
+    }
+    (quantum, subs)
+}
+
+fn tenant_count(subs: &[Submission]) -> usize {
+    let mut names: Vec<&str> = subs.iter().map(|s| s.tenant.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    names.len()
+}
+
+fn max_weight(subs: &[Submission]) -> u64 {
+    subs.iter().map(|s| runner::tenant::weight(&s.spec)).max().unwrap_or(1)
+}
+
+/// Dispatch-complete loop that records the tenant order; stops as soon as
+/// any tenant's queue drains so every measurement happens while all
+/// tenants are backlogged.
+fn drain_while_all_backlogged(
+    sched: &mut DrrScheduler,
+    per_tenant: usize,
+    tenants: usize,
+) -> Vec<(String, u64)> {
+    let mut dispatched: Vec<(String, u64)> = Vec::new();
+    let mut counts = vec![0usize; tenants];
+    while let Some(sub) = sched.next() {
+        let w = runner::tenant::weight(&sub.spec);
+        sched.complete(&sub.tenant, 0);
+        let idx: usize = sub.tenant[1..].parse().expect("tenant name tN");
+        dispatched.push((sub.tenant, w));
+        counts[idx] += 1;
+        if counts[idx] == per_tenant {
+            break; // this tenant's queue is empty now — stop measuring
+        }
+    }
+    dispatched
+}
+
+#[test]
+fn no_tenant_starves_beyond_the_quantum_bound() {
+    check("no_tenant_starves_beyond_the_quantum_bound", |g| {
+        let (quantum, subs) = workload(g);
+        let k = tenant_count(&subs);
+        let wmax = max_weight(&subs);
+        let per_tenant = subs.len() / k;
+        let mut sched = DrrScheduler::new(quantum);
+        for sub in subs.clone() {
+            sched.enqueue(sub);
+        }
+        let dispatched = drain_while_all_backlogged(&mut sched, per_tenant, k);
+        // A front job of weight w needs at most ceil(w / quantum) visits;
+        // each other tenant dispatches at most one job per intervening
+        // visit. The +1 covers the partial ring pass around each endpoint.
+        let bound = (k as u64 - 1) * (wmax.div_ceil(quantum) + 1);
+        let mut last_seen = vec![None::<usize>; k];
+        for (pos, (tenant, _)) in dispatched.iter().enumerate() {
+            let idx: usize = tenant[1..].parse().unwrap();
+            if let Some(prev) = last_seen[idx] {
+                let gap = (pos - prev - 1) as u64;
+                if gap > bound {
+                    return Err(format!(
+                        "tenant {tenant} waited {gap} foreign dispatches between \
+                         its own (bound {bound}, k={k}, quantum={quantum}, wmax={wmax})"
+                    ));
+                }
+            }
+            last_seen[idx] = Some(pos);
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn full_drain_is_exactly_once_and_fifo_per_tenant() {
+    check("full_drain_is_exactly_once_and_fifo_per_tenant", |g| {
+        let (quantum, subs) = workload(g);
+        let mut sched = DrrScheduler::new(quantum);
+        for sub in subs.clone() {
+            sched.enqueue(sub);
+        }
+        let mut seen = Vec::new();
+        let mut last_seq: std::collections::HashMap<String, u64> = Default::default();
+        while let Some(sub) = sched.next() {
+            sched.complete(&sub.tenant, 0);
+            if let Some(&prev) = last_seq.get(&sub.tenant) {
+                if sub.seq <= prev {
+                    return Err(format!(
+                        "tenant {} dispatched seq {} after seq {prev} — \
+                         per-tenant FIFO broken (the budget ledger relies on it)",
+                        sub.tenant, sub.seq
+                    ));
+                }
+            }
+            last_seq.insert(sub.tenant.clone(), sub.seq);
+            seen.push(sub.seq);
+        }
+        if sched.pending() != 0 {
+            return Err(format!("{} jobs stranded after drain", sched.pending()));
+        }
+        seen.sort_unstable();
+        let want: Vec<u64> = subs.iter().map(|s| s.seq).collect();
+        if seen != want {
+            return Err("drain did not dispatch every submission exactly once".into());
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn completion_counts_are_deterministic_for_a_fixed_seed() {
+    check("completion_counts_are_deterministic_for_a_fixed_seed", |g| {
+        let (quantum, subs) = workload(g);
+        let run = || {
+            let mut sched = DrrScheduler::new(quantum);
+            for sub in subs.clone() {
+                sched.enqueue(sub);
+            }
+            let mut order = Vec::new();
+            while let Some(sub) = sched.next() {
+                order.push(sub.spec.id.clone());
+                sched.complete(&sub.tenant, sub.spec.n.max(1));
+            }
+            (order, sched.completion_counts())
+        };
+        let (order_a, counts_a) = run();
+        let (order_b, counts_b) = run();
+        if order_a != order_b {
+            return Err("same submissions produced different dispatch orders".into());
+        }
+        if counts_a != counts_b {
+            return Err(format!("completion counts diverged: {counts_a:?} vs {counts_b:?}"));
+        }
+        // Everything queued was eventually dispatched exactly once.
+        let total: u64 = counts_a.iter().map(|(_, c)| c).sum();
+        if total != subs.len() as u64 {
+            return Err(format!("{total} completions for {} submissions", subs.len()));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn admission_is_a_pure_function_of_the_sequence_stream() {
+    use runner::{RateLimit, TenantConfig};
+    check("admission_is_a_pure_function_of_the_sequence_stream", |g| {
+        let burst = g.int(1..=4u64);
+        let window = g.int(1..=16u64);
+        let seqs: Vec<u64> = {
+            let len = g.int(10..=50usize);
+            let mut s = 0u64;
+            g.vec(len, |g| {
+                s += g.int(1..=3u64);
+                s
+            })
+        };
+        let decide = || {
+            let mut sched = DrrScheduler::new(64);
+            sched.register(
+                "t",
+                TenantConfig { rate: Some(RateLimit { burst, window }), ..Default::default() },
+            );
+            seqs.iter().map(|&s| sched.admit("t", s).is_ok()).collect::<Vec<_>>()
+        };
+        if decide() != decide() {
+            return Err("same seq stream produced different admissions".into());
+        }
+        // The burst cap is actually enforced: inside any window at most
+        // `burst` admissions.
+        let admits = decide();
+        for (i, &s) in seqs.iter().enumerate() {
+            let in_window = seqs
+                .iter()
+                .zip(&admits)
+                .take(i + 1)
+                .filter(|&(&q, &a)| a && q + window > s)
+                .count() as u64;
+            if in_window > burst {
+                return Err(format!(
+                    "{in_window} admissions inside window ending at seq {s} \
+                     (burst {burst}, window {window})"
+                ));
+            }
+        }
+        Ok(())
+    });
+}

@@ -218,11 +218,16 @@ pub fn set_sim_threads(n: usize) {
     THREADS_OVERRIDE.store(n, Ordering::SeqCst);
 }
 
-/// Below this many items a batch is processed serially — scoped-thread
-/// spawns cost tens of microseconds, which small batches cannot amortize.
-const MIN_PARALLEL_ITEMS: usize = 1 << 15;
-/// Minimum items per shard; fewer workers are used for mid-sized batches.
-const MIN_CHUNK: usize = 1 << 13;
+/// Below this many items a batch is processed serially. Scoped-thread
+/// spawns cost tens of microseconds and the merge adds a pass over the
+/// partials; batches under ~10^5 items cannot amortize that. The threshold
+/// is deliberately high: a 2^16-item bitonic stage loses ~20% end to end
+/// when sharded (see the `scaling` section of `BENCH_simcore.json`), so
+/// only the 2^17+ batches of the largest sweeps engage the shard engine.
+const MIN_PARALLEL_ITEMS: usize = 1 << 17;
+/// Minimum items per shard; fewer workers are used for mid-sized batches,
+/// keeping each shard's working set large enough to amortize its spawn.
+const MIN_CHUNK: usize = 1 << 15;
 
 /// Private per-shard cost accumulator. `energy` and `messages` start at zero
 /// and are *partials* to be merged into the machine's counters; `depth` and

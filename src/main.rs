@@ -9,6 +9,7 @@
 //! cargo run --release -- sort   --n 4096 --faults 9:0.1
 //! cargo run --release -- scan   --n 4096 --budget 100000
 //! cargo run --release -- batch  experiments/jobspecs/smoke.json --jobs 4
+//! cargo run --release -- serve  --jobs 4 < experiments/jobspecs/serve_smoke.jsonl
 //! cargo run --release -- chaos  --mode spin --timeout 200
 //! cargo run --release -- info
 //! ```
@@ -29,6 +30,11 @@
 //! degradation to a host oracle. The JSON report lands under
 //! `target/spatial-bench/`.
 //!
+//! `serve` keeps that runtime alive as a daemon: newline-delimited JSON job
+//! submissions on stdin, one result line per job on stdout, with per-tenant
+//! budgets, rate limits, deficit-round-robin fair scheduling, and a warm
+//! result cache. See README "Serving mode" for the protocol.
+//!
 //! Violations exit with distinct codes instead of panicking:
 //!
 //! | code | meaning |
@@ -44,6 +50,7 @@
 //! | 8 | recovery retries exhausted (or batch job degraded) |
 //! | 9 | deadline exceeded (run cancelled) |
 //! | 10 | job shed: submission queue past saturation threshold |
+//! | 12 | tenant over budget (serve admission; per-job `code` field only) |
 
 use spatial_dataflow::prelude::*;
 use spatial_dataflow::recovery::{run_with_recovery, EXIT_RECOVERY_EXHAUSTED};
@@ -63,6 +70,7 @@ fn usage() -> ! {
            topk    --n <int> [--k <count>] [--kind ...] [--seed <int>]\n\
            spmv    --n <int> [--nnz-per-row <int>] [--seed <int>]\n\
            batch   <jobspec.json>  run a job batch through the supervised runtime\n\
+           serve   persistent daemon: JSON job lines on stdin, result lines on stdout\n\
            chaos   --mode panic|spin|badverify  deliberately misbehaving job\n\
            info    print the Table I bounds\n\
          \n\
@@ -80,9 +88,17 @@ fn usage() -> ! {
            --best-effort               exit 0 even when jobs fail (report still\n\
                                        records every outcome)\n\
          \n\
+         serve options:\n\
+           --jobs <int>                worker threads (default: available parallelism)\n\
+           --timeout <ms>              default per-job deadline\n\
+           --canonical                 omit wall-clock fields: output becomes a pure\n\
+                                       function of the input stream\n\
+           --quantum <int>             DRR deficit per tenant visit (default 1024)\n\
+         \n\
          exit codes: 0 ok | 1 job panicked | 2 usage | 3 verify failed | 4 dead PE |\n\
                      5 out of extent | 6 memory cap | 7 budget | 8 recovery exhausted /\n\
-                     degraded | 9 deadline exceeded | 10 job shed (overload)\n"
+                     degraded | 9 deadline exceeded | 10 job shed (overload) |\n\
+                     12 tenant over budget (serve, per-job code field)\n"
     );
     std::process::exit(2)
 }
@@ -100,6 +116,8 @@ struct Args {
     timeout_ms: Option<u64>,
     jobs: Option<usize>,
     best_effort: bool,
+    canonical: bool,
+    quantum: Option<u64>,
     mode: Option<String>,
     /// First positional argument (the jobspec path for `batch`).
     path: Option<String>,
@@ -120,6 +138,8 @@ fn parse(mut argv: std::env::Args) -> (String, Args) {
         timeout_ms: None,
         jobs: None,
         best_effort: false,
+        canonical: false,
+        quantum: None,
         mode: None,
         path: None,
     };
@@ -162,6 +182,13 @@ fn parse(mut argv: std::env::Args) -> (String, Args) {
                 }
             }
             "--best-effort" => args.best_effort = true,
+            "--canonical" => args.canonical = true,
+            "--quantum" => {
+                args.quantum = Some(val().parse().unwrap_or_else(|_| usage()));
+                if args.quantum == Some(0) {
+                    usage();
+                }
+            }
             "--mode" => args.mode = Some(val()),
             f if !f.starts_with("--") && args.path.is_none() => args.path = Some(f.to_string()),
             _ => usage(),
@@ -373,6 +400,38 @@ fn run_batch_command(a: &Args) -> ! {
     std::process::exit(report.exit_code(batch.config.best_effort));
 }
 
+/// `serve` — the persistent multi-tenant daemon: reads newline-delimited
+/// JSON job submissions from stdin, streams one result line per job to
+/// stdout, and keeps the supervised pool alive across submissions. Exits 0
+/// on clean EOF shutdown — per-job failures (panics, deadlines, exhausted
+/// tenants) are reported in-stream, never by killing the daemon.
+fn run_serve_command(a: &Args) -> ! {
+    quiet_contained_panics();
+    let mut cfg = runner::ServeConfig::default();
+    if let Some(jobs) = a.jobs {
+        cfg.workers = jobs;
+    }
+    cfg.default_deadline_ms = a.timeout_ms;
+    cfg.canonical = a.canonical;
+    if let Some(q) = a.quantum {
+        cfg.quantum = q;
+    }
+    let stdin = std::io::stdin();
+    match runner::serve(stdin.lock(), std::io::stdout(), &cfg) {
+        Ok(s) => {
+            eprintln!(
+                "serve: shut down cleanly after {} line(s): {} job(s), {} error line(s)",
+                s.lines, s.jobs, s.errors
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: serve I/O: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// `chaos --mode panic|spin|badverify` — one deliberately misbehaving job,
 /// for exercising the supervision machinery from the command line.
 ///
@@ -544,6 +603,7 @@ fn main() {
             println!("  verified against the dense reference (m = {nnz} non-zeros).");
         }
         "batch" => run_batch_command(&a),
+        "serve" => run_serve_command(&a),
         "chaos" => run_chaos_command(&a),
         "info" => {
             println!("Table I — Spatial Computer Model bounds (Gianinazzi et al., IPDPS 2025):");

@@ -1,0 +1,185 @@
+//! Spawn-driven protocol tests for the serving daemon: launch the real
+//! binary, stream the committed multi-tenant submission file into its
+//! stdin, and pin the per-job outcome lines, the ordering guarantee, the
+//! byte-determinism of the canonical stream, and clean EOF shutdown.
+//!
+//! The committed stream (`experiments/jobspecs/serve_smoke.jsonl`) covers
+//! every mechanism: clean jobs, a checksum-verified recovery, a rate-limit
+//! shed, a budget-exhausted tenant (typed over-budget rejection), a
+//! contained chaos panic, a watchdog deadline, a tenant-default fault
+//! plan, warm cache hits, a malformed submission, and the stats verb. Its
+//! canonical output is pinned byte-for-byte in
+//! `experiments/golden/serve_smoke.canonical` (CI diffs it too).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, Stdio};
+
+fn smoke_stream() -> String {
+    std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/experiments/jobspecs/serve_smoke.jsonl"
+    ))
+    .expect("read committed serve smoke stream")
+}
+
+fn golden() -> String {
+    std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/experiments/golden/serve_smoke.canonical"
+    ))
+    .expect("read committed golden canonical output")
+}
+
+fn spawn_serve(args: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_spatial-dataflow"))
+        .arg("serve")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn spatial-dataflow serve")
+}
+
+/// Streams `input` to a daemon spawned with `args`, closes stdin, and
+/// returns (stdout, exit code).
+fn serve_stream(args: &[&str], input: &str) -> (String, i32) {
+    let mut child = spawn_serve(args);
+    child.stdin.take().expect("piped stdin").write_all(input.as_bytes()).expect("write stream");
+    let out = child.wait_with_output().expect("wait for daemon");
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        out.status.code().expect("daemon exit code"),
+    )
+}
+
+/// Extracts `"key": <value>` from a single-line JSON record.
+fn field<'a>(line: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat).unwrap_or_else(|| panic!("no {key:?} in {line}")) + pat.len();
+    let rest = &line[start..];
+    &rest[..rest.find(", \"").unwrap_or(rest.len() - 1)]
+}
+
+#[test]
+fn smoke_stream_survives_everything_and_matches_the_golden_output() {
+    let (stdout, code) = serve_stream(&["--canonical", "--jobs", "4"], &smoke_stream());
+    // Clean EOF shutdown despite the chaos-panic job, the over-budget
+    // tenant, and the malformed line: per-job failures never kill the
+    // daemon, they become typed outcome lines.
+    assert_eq!(code, 0, "daemon must exit 0 on EOF\n{stdout}");
+    assert_eq!(stdout, golden(), "canonical stream must match the committed expectation");
+
+    // Pin the semantics behind the bytes, so a careless golden-file
+    // regeneration cannot silently change what the stream demonstrates.
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 19);
+    for (i, line) in lines.iter().enumerate() {
+        assert_eq!(field(line, "seq"), i.to_string(), "output is in input order");
+    }
+    let outcome_of = |id: &str| -> &str {
+        let line = lines
+            .iter()
+            .find(|l| l.contains(&format!("\"id\": \"{id}\"")))
+            .unwrap_or_else(|| panic!("no result line for {id}"));
+        field(line, "outcome")
+    };
+    for (id, want) in [
+        ("clean-scan", "\"ok\""),
+        ("clean-sort", "\"ok\""),
+        ("recovering-flaky", "\"ok\""),
+        ("acme-shed", "\"shed\""),
+        ("spender-warmup", "\"ok\""),
+        ("spender-burn", "\"degraded\""),
+        ("spender-refused", "\"over-budget\""),
+        ("boom", "\"panicked\""),
+        ("hopeless", "\"degraded\""),
+        ("leashed", "\"deadline-exceeded\""),
+        ("warm-hit", "\"ok\""),
+        ("post-chaos", "\"ok\""),
+    ] {
+        assert_eq!(outcome_of(id), want, "{id}");
+    }
+    // The recovery was real (multiple attempts), and the warm duplicate
+    // returned the identical canonical result.
+    let flaky = lines.iter().find(|l| l.contains("recovering-flaky")).unwrap();
+    assert!(field(flaky, "attempts").parse::<u32>().unwrap() > 1, "{flaky}");
+    let warm = lines.iter().find(|l| l.contains("warm-hit")).unwrap();
+    assert_eq!(field(flaky, "cost"), field(warm, "cost"));
+    assert_eq!(field(flaky, "checksum"), field(warm, "checksum"));
+    assert_eq!(field(flaky, "backoff_ms"), field(warm, "backoff_ms"));
+    // Typed exit-code-style outcomes ride along on every line.
+    let refused = lines.iter().find(|l| l.contains("spender-refused")).unwrap();
+    assert_eq!(field(refused, "code"), "12");
+    assert_eq!(field(refused, "cost"), "null", "rejected job never executed");
+    // The malformed line became a ctl error, not a crash.
+    assert!(lines[16].contains("spatial-serve-ctl/v1") && lines[16].contains("unknown kind"));
+    // The stats barrier saw every preceding job.
+    assert!(lines[18].contains("spatial-serve-stats/v1"));
+    assert_eq!(field(lines[18], "jobs"), "14");
+    assert_eq!(field(lines[18], "over-budget"), "1");
+}
+
+#[test]
+fn canonical_stream_is_byte_identical_across_worker_counts() {
+    let input = smoke_stream();
+    let (one, code1) = serve_stream(&["--canonical", "--jobs", "1"], &input);
+    let (four, code4) = serve_stream(&["--canonical", "--jobs", "4"], &input);
+    assert_eq!((code1, code4), (0, 0));
+    assert_eq!(one, four, "scheduling must not leak into the canonical stream");
+}
+
+#[test]
+fn daemon_answers_interactively_across_submissions() {
+    // The pool must stay alive between submissions: write one job, read
+    // its result *before* sending the next — no EOF-batching allowed.
+    let mut child = spawn_serve(&["--jobs", "2"]);
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut ask = |line: &str| -> String {
+        writeln!(stdin, "{line}").expect("write submission");
+        stdin.flush().expect("flush submission");
+        let mut reply = String::new();
+        stdout.read_line(&mut reply).expect("read result line");
+        assert!(reply.ends_with('\n'), "daemon closed stdout early: {reply:?}");
+        reply
+    };
+
+    let cold = ask(r#"{"kind": "sort", "n": 64, "seed": 5, "id": "first"}"#);
+    assert_eq!(field(&cold, "outcome"), "\"ok\"");
+    assert_eq!(field(&cold, "cached"), "false");
+
+    let boom = ask(r#"{"kind": "chaos-panic", "id": "mid-boom"}"#);
+    assert_eq!(field(&boom, "outcome"), "\"panicked\"", "panic contained mid-session");
+
+    let warm = ask(r#"{"kind": "sort", "n": 64, "seed": 5, "id": "again"}"#);
+    assert_eq!(field(&warm, "outcome"), "\"ok\"", "daemon survived the panic");
+    assert_eq!(field(&warm, "cached"), "true", "second submission hits the warm cache");
+    assert_eq!(field(&cold, "cost"), field(&warm, "cost"), "hit is bit-identical");
+
+    let stats = ask(r#"{"op": "stats"}"#);
+    assert!(stats.contains("spatial-serve-stats/v1"));
+    assert_eq!(field(&stats, "jobs"), "3");
+    assert_eq!(field(&stats, "cache_hits"), "1");
+
+    drop(stdin); // EOF → clean shutdown
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).expect("drain stdout");
+    assert!(rest.is_empty(), "no output after the last submission: {rest:?}");
+    let status = child.wait().expect("wait for daemon");
+    assert_eq!(status.code(), Some(0));
+}
+
+#[test]
+fn serve_usage_errors_exit_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_spatial-dataflow"))
+        .args(["serve", "--jobs", "0"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(env!("CARGO_BIN_EXE_spatial-dataflow"))
+        .args(["serve", "--quantum", "0"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+}

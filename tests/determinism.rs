@@ -220,11 +220,12 @@ fn sharded_bare_path_is_thread_count_invariant() {
     // The sharded bare path must produce bit-identical Cost tuples at every
     // worker count: shards accumulate privately and merge in fixed order, so
     // SPATIAL_SIM_THREADS is pure throughput, never observable. Exercise a
-    // large Uniform-heavy run (scan over 2^16 cells) and a large Irregular
-    // batch (pseudo-random destinations), both past the sharding threshold.
+    // large Uniform-heavy run (scan over 4^9 cells) and a large Irregular
+    // batch (pseudo-random destinations), both past the sharding threshold
+    // (2^17 items — mid-sized batches stay serial by design).
     use spatial_dataflow::model::{set_sim_threads, zorder};
     let _guard = SIM_THREADS_LOCK.lock().unwrap();
-    let v = vals(65536, 11);
+    let v = vals(262144, 11);
     let run = || {
         let mut m = Machine::new();
         let items = place_z(&mut m, 0, v.clone());
@@ -232,11 +233,11 @@ fn sharded_bare_path_is_thread_count_invariant() {
         let scan_cost = m.report();
         let mut mi = Machine::new();
         let placed =
-            mi.place_batch((0..40000u64).collect::<Vec<_>>(), |i| zorder::coord_of(i as u64));
+            mi.place_batch((0..200000u64).collect::<Vec<_>>(), |i| zorder::coord_of(i as u64));
         let sends: Vec<_> = placed
             .into_iter()
             .enumerate()
-            .map(|(i, t)| (t, zorder::coord_of((i as u64).wrapping_mul(7919) % 60000)))
+            .map(|(i, t)| (t, zorder::coord_of((i as u64).wrapping_mul(7919) % 300000)))
             .collect();
         let _ = mi.send_batch(sends);
         (out, scan_cost, mi.report())
@@ -251,6 +252,54 @@ fn sharded_bare_path_is_thread_count_invariant() {
         assert_eq!(serial.0, sharded.0, "scan values differ at {threads} shards");
     }
     set_sim_threads(0);
+}
+
+#[test]
+fn serve_warm_cache_hit_replays_the_cold_line_bit_for_bit() {
+    // Submitting the same job twice to one daemon instance must produce two
+    // canonical lines that agree on everything but the sequence number: the
+    // second is a warm cache hit, and a hit that differed anywhere (cost,
+    // checksum, attempts, backoff schedule) would make cache state
+    // observable in the canonical stream.
+    let job = r#"{"kind": "sort", "n": 256, "seed": 14, "retries": 2, "id": "dup"}"#;
+    let input = format!("{job}\n{job}\n");
+    let mut out = Vec::new();
+    let cfg = runner::ServeConfig { workers: 2, canonical: true, ..Default::default() };
+    runner::serve(std::io::Cursor::new(input), &mut out, &cfg).expect("serve");
+    let text = String::from_utf8(out).expect("utf8 canonical stream");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "one result line per submission:\n{text}");
+    let unseq =
+        |l: &str| l.replacen("\"seq\": 0", "\"seq\": _", 1).replacen("\"seq\": 1", "\"seq\": _", 1);
+    assert_eq!(unseq(lines[0]), unseq(lines[1]), "warm hit must be bit-identical");
+}
+
+#[test]
+fn serve_canonical_stream_is_cold_warm_and_worker_count_invariant() {
+    // The committed smoke stream must serve to the same canonical bytes
+    // (a) as the committed golden expectation, (b) at any worker count,
+    // and (c) on a freshly started (cache-cold) instance as on any replay —
+    // the cache can only change latency, never output.
+    let stream = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/experiments/jobspecs/serve_smoke.jsonl"
+    ))
+    .expect("read committed serve smoke stream");
+    let go = |workers: usize| {
+        let cfg = runner::ServeConfig { workers, canonical: true, ..Default::default() };
+        let mut out = Vec::new();
+        runner::serve(std::io::Cursor::new(stream.as_str()), &mut out, &cfg).expect("serve");
+        String::from_utf8(out).expect("utf8 canonical stream")
+    };
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/experiments/golden/serve_smoke.canonical"
+    ))
+    .expect("read committed golden canonical output");
+    let first = go(4);
+    assert_eq!(first, golden, "serve output must match the committed golden");
+    assert_eq!(first, go(4), "cold instance and replay must agree bit-for-bit");
+    assert_eq!(first, go(1), "worker count must not leak into the canonical stream");
 }
 
 #[test]
