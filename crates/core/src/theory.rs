@@ -31,6 +31,45 @@ impl Shape {
         n.powf(self.exponent) * n.log2().max(1.0).powi(self.log_power as i32)
     }
 
+    /// Integer evaluation of the shape at `n` with constant factor 1,
+    /// exact for the paper's half-integer exponents (0, ½, 1, 1½, 2, 2½)
+    /// and bit-identical on every platform — no `powf`, no libm.
+    ///
+    /// This is the closed-form *floor* predictive admission uses: the Θ
+    /// bounds of Table I with unit constants systematically under-estimate
+    /// measured energy (the model's constants are ≥ 1), so a job refused
+    /// because even this floor exceeds a budget could never have fit.
+    /// Saturates instead of overflowing; non-half-integer exponents fall
+    /// back to a floored float evaluation.
+    pub fn eval_u64(&self, n: u64) -> u64 {
+        let n = n.max(1);
+        let half_steps = (self.exponent * 2.0).round();
+        let poly = if (self.exponent * 2.0 - half_steps).abs() < 1e-9 && half_steps >= 0.0 {
+            let half_steps = half_steps as u32;
+            let mut v: u64 = 1;
+            for _ in 0..half_steps / 2 {
+                v = v.saturating_mul(n);
+            }
+            if half_steps % 2 == 1 {
+                v = v.saturating_mul(isqrt(n));
+            }
+            v
+        } else {
+            let f = (n as f64).powf(self.exponent);
+            if f >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                f as u64
+            }
+        };
+        let log = if n < 2 { 1 } else { u64::from(n.ilog2()) };
+        let mut v = poly;
+        for _ in 0..self.log_power {
+            v = v.saturating_mul(log);
+        }
+        v
+    }
+
     /// Human-readable form, e.g. `n^1.5·log³n`.
     #[allow(clippy::redundant_guards)] // float literal patterns are not allowed
     pub fn label(&self) -> String {
@@ -58,6 +97,23 @@ impl Shape {
 /// Shorthand constructor.
 pub const fn shape(exponent: f64, log_power: u32) -> Shape {
     Shape { exponent, log_power }
+}
+
+/// Integer square root: the largest `r` with `r·r ≤ n`. Deterministic on
+/// every platform (pure integer Newton iteration, no floating point).
+pub fn isqrt(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    // Newton's method from an over-estimate; converges in ≤ 6 steps at u64.
+    let mut x = 1u64 << (n.ilog2() / 2 + 1);
+    loop {
+        let y = (x + n / x) / 2;
+        if y >= x {
+            return x;
+        }
+        x = y;
+    }
 }
 
 /// Table I, row *Parallel Scan*: `Θ(n)` energy, `O(log n)` depth, `Θ(√n)`
@@ -194,6 +250,46 @@ mod tests {
         let sel = selection_bound(Metric::Energy).eval(n as f64);
         let sort = sorting_bound(Metric::Energy).eval(n as f64);
         assert!(sort / sel > 500.0);
+    }
+
+    #[test]
+    fn isqrt_is_exact_at_boundaries() {
+        for n in [0u64, 1, 2, 3, 4, 8, 9, 15, 16, 17, 255, 256, 65535, 65536] {
+            let r = isqrt(n);
+            assert!(r * r <= n, "isqrt({n}) = {r} overshoots");
+            assert!((r + 1) * (r + 1) > n, "isqrt({n}) = {r} undershoots");
+        }
+        assert_eq!(isqrt(u64::MAX), (1u64 << 32) - 1);
+    }
+
+    #[test]
+    fn eval_u64_matches_the_float_shape_on_half_integers() {
+        for n in [1u64, 4, 16, 64, 256, 4096, 65536] {
+            assert_eq!(scan_bound(Metric::Energy).eval_u64(n), n, "scan is Θ(n)");
+            assert_eq!(
+                sorting_bound(Metric::Energy).eval_u64(n),
+                n * isqrt(n),
+                "sorting is Θ(n^1.5)"
+            );
+            let depth = sorting_bound(Metric::Depth).eval_u64(n);
+            let log = if n < 2 { 1 } else { u64::from(n.ilog2()) };
+            assert_eq!(depth, log * log * log, "depth is log³n");
+        }
+        // Saturates instead of overflowing.
+        assert_eq!(allpairs_bound(Metric::Energy).eval_u64(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn eval_u64_floors_the_float_eval() {
+        // The integer form never exceeds the float shape it mirrors, so a
+        // refusal justified by eval_u64 is justified by the Θ bound too.
+        for n in [2u64, 3, 5, 100, 1000, 12345] {
+            for b in [scan_bound, sorting_bound, selection_bound, spmv_bound] {
+                let f = b(Metric::Energy).eval(n as f64);
+                let i = b(Metric::Energy).eval_u64(n);
+                assert!(i as f64 <= f + 1e-6, "n = {n}: {i} > {f}");
+            }
+        }
     }
 
     #[test]

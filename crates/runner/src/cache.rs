@@ -19,20 +19,23 @@ use std::collections::HashMap;
 use crate::job::{JobResult, JobSpec, Outcome};
 
 /// The deterministic identity of a job execution.
+///
+/// Fields are crate-visible so the journal module can serialize keys into
+/// the snapshot and reconstruct them on recovery.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CacheKey {
-    kind: &'static str,
-    n: u64,
-    seed: u64,
-    array: &'static str,
-    k: u64,
+    pub(crate) kind: &'static str,
+    pub(crate) n: u64,
+    pub(crate) seed: u64,
+    pub(crate) array: &'static str,
+    pub(crate) k: u64,
     /// Fault fractions as IEEE-754 bits (f64 is not `Hash`; the bits are).
-    faults: [u64; 3],
+    pub(crate) faults: [u64; 3],
     /// The budget actually armed on the guard — for tenants this is
     /// `min(job budget, tenant remaining)`, so two submissions of the same
     /// spec under different remaining budgets are distinct executions.
-    budget: Option<u64>,
-    retries: u32,
+    pub(crate) budget: Option<u64>,
+    pub(crate) retries: u32,
 }
 
 impl CacheKey {
@@ -55,26 +58,57 @@ impl CacheKey {
     }
 }
 
-/// Result cache with hit/miss telemetry.
-#[derive(Default)]
+/// Result cache with hit/miss telemetry and a bounded LRU footprint.
+///
+/// Entries carry a logical access tick; at capacity, the entry with the
+/// smallest tick (least recently used) is evicted. Ticks advance only on
+/// cache operations, never on wall clock, so eviction order is a pure
+/// function of the operation sequence — a long-lived daemon's cache content
+/// is deterministic and snapshot-restorable in LRU order. Eviction can only
+/// turn would-be hits into recomputations of bit-identical results, so
+/// canonical output bytes are capacity-invariant.
 pub struct ResultCache {
-    map: HashMap<CacheKey, JobResult>,
+    map: HashMap<CacheKey, (JobResult, u64)>,
+    /// Maximum entries; 0 disables caching entirely.
+    capacity: usize,
+    /// Logical clock: bumped by every lookup hit and insert.
+    tick: u64,
     hits: u64,
     misses: u64,
 }
 
+impl Default for ResultCache {
+    fn default() -> ResultCache {
+        ResultCache::new()
+    }
+}
+
 impl ResultCache {
-    /// An empty cache.
+    /// An empty unbounded cache (batch runs: the job list is finite).
     pub fn new() -> ResultCache {
-        ResultCache::default()
+        ResultCache::with_capacity(usize::MAX)
+    }
+
+    /// An empty cache holding at most `capacity` entries. Capacity 0
+    /// disables caching: every lookup misses and inserts are dropped.
+    pub fn with_capacity(capacity: usize) -> ResultCache {
+        ResultCache { map: HashMap::new(), capacity, tick: 0, hits: 0, misses: 0 }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Looks up `key`; a hit returns the stored result re-labelled with
-    /// `id` (the id is the only presentation field in a [`JobResult`]).
+    /// `id` (the id is the only presentation field in a [`JobResult`]) and
+    /// refreshes the entry's recency.
     pub fn lookup(&mut self, key: &CacheKey, id: &str) -> Option<JobResult> {
-        match self.map.get(key) {
-            Some(r) => {
+        match self.map.get_mut(key) {
+            Some((r, tick)) => {
                 self.hits += 1;
+                self.tick += 1;
+                *tick = self.tick;
                 Some(JobResult { id: id.to_string(), ..r.clone() })
             }
             None => {
@@ -84,12 +118,22 @@ impl ResultCache {
         }
     }
 
-    /// Stores `result` if its outcome is cacheable (Ok or Degraded). The
-    /// wall time is zeroed: it belongs to the original run, not to hits.
+    /// Stores `result` if its outcome is cacheable (Ok or Degraded),
+    /// evicting the least recently used entry when at capacity. The wall
+    /// time is zeroed: it belongs to the original run, not to hits.
     pub fn insert(&mut self, key: CacheKey, result: &JobResult) {
-        if matches!(result.outcome, Outcome::Ok | Outcome::Degraded) {
-            self.map.insert(key, JobResult { wall_ms: 0, ..result.clone() });
+        if self.capacity == 0 || !matches!(result.outcome, Outcome::Ok | Outcome::Degraded) {
+            return;
         }
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) =
+                self.map.iter().min_by_key(|(_, (_, tick))| *tick).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.tick += 1;
+        self.map.insert(key, (JobResult { wall_ms: 0, ..result.clone() }, self.tick));
     }
 
     /// (hits, misses) since construction.
@@ -105,6 +149,24 @@ impl ResultCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// The entries in LRU order (least recently used first) — the snapshot
+    /// serialization order, chosen so re-insertion on restore reproduces
+    /// the same eviction order.
+    pub fn export(&self) -> Vec<(CacheKey, JobResult)> {
+        let mut entries: Vec<_> = self.map.iter().collect();
+        entries.sort_by_key(|(_, (_, tick))| *tick);
+        entries.into_iter().map(|(k, (r, _))| (k.clone(), r.clone())).collect()
+    }
+
+    /// Rehydrates entries exported by [`ResultCache::export`], preserving
+    /// their relative recency. Entries beyond capacity evict oldest-first,
+    /// exactly as live inserts would have.
+    pub fn import(&mut self, entries: Vec<(CacheKey, JobResult)>) {
+        for (key, result) in entries {
+            self.insert(key, &result);
+        }
     }
 }
 
@@ -158,5 +220,67 @@ mod tests {
         let ok = run(&spec);
         cache.insert(key.clone(), &ok);
         assert_eq!(cache.len(), 1);
+    }
+
+    fn keyed(n: u64) -> (CacheKey, JobResult) {
+        let mut spec = JobSpec::new(format!("n{n}"), JobKind::Scan);
+        spec.n = n;
+        let mut r = JobResult::shed(&spec);
+        r.outcome = Outcome::Ok;
+        r.error = None;
+        (CacheKey::of(&spec, None), r)
+    }
+
+    #[test]
+    fn lru_eviction_is_deterministic_and_recency_aware() {
+        let mut cache = ResultCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let (k1, r1) = keyed(16);
+        let (k2, r2) = keyed(32);
+        let (k3, r3) = keyed(64);
+        cache.insert(k1.clone(), &r1);
+        cache.insert(k2.clone(), &r2);
+        // Touch k1 so k2 becomes the LRU victim.
+        assert!(cache.lookup(&k1, "touch").is_some());
+        cache.insert(k3.clone(), &r3);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&k2, "gone").is_none(), "LRU entry evicted");
+        assert!(cache.lookup(&k1, "kept").is_some());
+        assert!(cache.lookup(&k3, "kept").is_some());
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let mut cache = ResultCache::with_capacity(0);
+        let (k, r) = keyed(16);
+        cache.insert(k.clone(), &r);
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&k, "x").is_none());
+    }
+
+    #[test]
+    fn export_import_round_trips_in_lru_order() {
+        let mut cache = ResultCache::with_capacity(3);
+        let entries: Vec<_> = [16, 32, 64].iter().map(|&n| keyed(n)).collect();
+        for (k, r) in &entries {
+            cache.insert(k.clone(), r);
+        }
+        // Touch the oldest so LRU order differs from insert order.
+        assert!(cache.lookup(&entries[0].0, "touch").is_some());
+        let exported = cache.export();
+        assert_eq!(
+            exported.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+            vec![entries[1].0.clone(), entries[2].0.clone(), entries[0].0.clone()],
+            "export is LRU order, least recent first"
+        );
+        let mut fresh = ResultCache::with_capacity(3);
+        fresh.import(exported.clone());
+        assert_eq!(fresh.export(), exported, "round trip preserves order");
+        // A restore into a smaller cache keeps the most recent entries.
+        let mut small = ResultCache::with_capacity(2);
+        small.import(exported);
+        assert!(small.lookup(&entries[1].0, "x").is_none(), "least recent dropped");
+        assert!(small.lookup(&entries[2].0, "x").is_some());
+        assert!(small.lookup(&entries[0].0, "x").is_some());
     }
 }

@@ -86,7 +86,9 @@ impl JobKind {
         }
     }
 
-    fn parse(s: &str) -> Option<JobKind> {
+    /// Parses the jobspec spelling back into a kind (the inverse of
+    /// [`JobKind::label`]; also used by snapshot recovery).
+    pub fn parse(s: &str) -> Option<JobKind> {
         JobKind::ALL.into_iter().find(|k| k.label() == s)
     }
 }
@@ -250,6 +252,36 @@ impl JobSpec {
     pub fn extent(&self) -> SubGrid {
         SubGrid::input_square(zorder::next_power_of_four(self.n))
     }
+
+    /// Side of the square grid the job's input occupies — what a tenant's
+    /// [`crate::tenant::ExtentCap`] is checked against at dispatch.
+    pub fn extent_side(&self) -> u64 {
+        self.extent().h
+    }
+
+    /// The closed-form **energy floor** of this job: the paper's Table I Θ
+    /// bound for the primitive, evaluated with unit constants in exact
+    /// integer arithmetic ([`spatial_core::theory::Shape::eval_u64`]). The
+    /// model's real constants
+    /// are all ≥ 1, so the measured energy of any execution is at least
+    /// this value — which is what makes refusing a job whose floor already
+    /// exceeds a tenant's remaining budget safe: it could never have fit.
+    ///
+    /// Chaos kinds predict 0 (they exercise supervision, not the model).
+    pub fn predicted_energy(&self) -> u64 {
+        use spatial_core::theory::{
+            scan_bound, selection_bound, sorting_bound, spmv_bound, Metric,
+        };
+        match self.kind {
+            JobKind::Scan => scan_bound(Metric::Energy).eval_u64(self.n),
+            JobKind::Sort => sorting_bound(Metric::Energy).eval_u64(self.n),
+            // Top-k runs a selection phase first; its Θ(n) floor holds.
+            JobKind::Select | JobKind::TopK => selection_bound(Metric::Energy).eval_u64(self.n),
+            // The spmv workload has m ≥ n non-zeros; bound with m = n.
+            JobKind::Spmv => spmv_bound(Metric::Energy).eval_u64(self.n),
+            JobKind::ChaosPanic | JobKind::ChaosSpin | JobKind::ChaosBadVerify => 0,
+        }
+    }
 }
 
 /// Final classification of one job.
@@ -268,17 +300,26 @@ pub enum Outcome {
     /// The job was rejected at admission because its tenant's cumulative
     /// energy budget is exhausted. It never executed (serve daemon only).
     OverBudget,
+    /// The job was rejected *before execution* because its closed-form
+    /// predicted energy ([`JobSpec::predicted_energy`]) already exceeds the
+    /// tenant's remaining budget (serve daemon, predictive admission).
+    PredictedOverBudget,
+    /// The job was rejected at dispatch because its input grid exceeds the
+    /// tenant's registered extent cap (serve daemon only).
+    ExtentRefused,
 }
 
 impl Outcome {
     /// Every outcome, in report/aggregate order.
-    pub const ALL: [Outcome; 6] = [
+    pub const ALL: [Outcome; 8] = [
         Outcome::Ok,
         Outcome::Degraded,
         Outcome::Panicked,
         Outcome::DeadlineExceeded,
         Outcome::Shed,
         Outcome::OverBudget,
+        Outcome::PredictedOverBudget,
+        Outcome::ExtentRefused,
     ];
 
     /// Report spelling.
@@ -290,12 +331,20 @@ impl Outcome {
             Outcome::DeadlineExceeded => "deadline-exceeded",
             Outcome::Shed => "shed",
             Outcome::OverBudget => "over-budget",
+            Outcome::PredictedOverBudget => "predicted-over-budget",
+            Outcome::ExtentRefused => "extent-refused",
         }
+    }
+
+    /// Parses the report spelling back into an outcome (snapshot recovery).
+    pub fn parse(s: &str) -> Option<Outcome> {
+        Outcome::ALL.into_iter().find(|o| o.label() == s)
     }
 
     /// The exit-code-style classification of this outcome, extending the
     /// [`SpatialError`] taxonomy (codes 2–11): 0 ok, 1 panicked, 8 degraded
-    /// (recovery exhausted), 9 deadline exceeded, 10 shed, 12 over budget.
+    /// (recovery exhausted), 9 deadline exceeded, 10 shed, 12 over budget,
+    /// 13 predicted over budget (refused pre-execution), 14 extent refused.
     pub fn exit_code(self) -> i32 {
         match self {
             Outcome::Ok => 0,
@@ -304,6 +353,8 @@ impl Outcome {
             Outcome::DeadlineExceeded => 9,
             Outcome::Shed => 10,
             Outcome::OverBudget => 12,
+            Outcome::PredictedOverBudget => 13,
+            Outcome::ExtentRefused => 14,
         }
     }
 }
@@ -380,6 +431,44 @@ impl JobResult {
                 "over budget: tenant \"{tenant}\" has charged {charged} of {budget} energy units"
             )),
             ..JobResult::skeleton(spec, Outcome::OverBudget)
+        }
+    }
+
+    /// Result for a job refused *before execution* by predictive admission:
+    /// its closed-form energy floor already exceeds the tenant's remaining
+    /// budget, so running it could only have ended over budget.
+    pub fn predicted_over_budget(
+        spec: &JobSpec,
+        tenant: &str,
+        predicted: u64,
+        remaining: u64,
+    ) -> JobResult {
+        JobResult {
+            error: Some(format!(
+                "predicted over budget: job \"{}\" predicted energy {predicted} exceeds \
+                 tenant \"{tenant}\" remaining budget {remaining}",
+                spec.id
+            )),
+            ..JobResult::skeleton(spec, Outcome::PredictedOverBudget)
+        }
+    }
+
+    /// Result for a job refused at dispatch because its input grid exceeds
+    /// the tenant's registered extent cap.
+    pub fn extent_refused(
+        spec: &JobSpec,
+        tenant: &str,
+        side: u64,
+        rows: u64,
+        cols: u64,
+    ) -> JobResult {
+        JobResult {
+            error: Some(format!(
+                "extent refused: job \"{}\" needs a {side}x{side} grid, \
+                 tenant \"{tenant}\" extent cap is {rows}x{cols}",
+                spec.id
+            )),
+            ..JobResult::skeleton(spec, Outcome::ExtentRefused)
         }
     }
 }

@@ -22,10 +22,14 @@
 //! * [`mod@serve`] — the persistent daemon loop: newline-delimited JSON jobs
 //!   in, one ordered result line out per job, with the pool, watchdog,
 //!   shedding and degradation machinery alive across submissions;
-//! * [`tenant`] — per-tenant budgets, rate-limit admission, and deficit
-//!   round-robin fair scheduling for the daemon;
-//! * [`cache`] — the warm result cache whose hits return bit-identical
-//!   canonical results to cold runs;
+//! * [`tenant`] — per-tenant budgets, rate-limit admission, `ModelGuard`
+//!   extent caps, predictive admission policy, and deficit round-robin
+//!   fair scheduling for the daemon;
+//! * [`cache`] — the bounded LRU warm result cache whose hits return
+//!   bit-identical canonical results to cold runs;
+//! * [`journal`] — the checksum-framed write-ahead journal and atomic
+//!   snapshot that make the daemon survive SIGKILL at any instant with
+//!   exactly-once output;
 //! * [`json`] — the in-tree JSON reader backing jobspec files (the build
 //!   is hermetic: no serde).
 //!
@@ -53,6 +57,7 @@
 pub mod batch;
 pub mod cache;
 pub mod job;
+pub mod journal;
 pub mod json;
 pub mod pool;
 pub mod report;
@@ -62,10 +67,11 @@ pub mod tenant;
 pub use batch::{run_batch, run_jobspec, write_report, Batch, BatchConfig};
 pub use cache::{CacheKey, ResultCache};
 pub use job::{JobKind, JobResult, JobSpec, Outcome};
+pub use journal::{Journal, Recovered, Snapshot};
 pub use pool::{run_supervised, PoolConfig, Task, TaskOutcome};
 pub use report::BatchReport;
-pub use serve::{serve, ServeConfig, ServeSummary};
-pub use tenant::{DrrScheduler, RateLimit, Submission, TenantConfig};
+pub use serve::{request_drain, serve, ServeConfig, ServeSummary};
+pub use tenant::{DrrScheduler, ExtentCap, RateLimit, Submission, TenantConfig, TenantSnapshot};
 
 use spatial_core::model::{Cost, Machine};
 use spatial_core::report::Sweep;

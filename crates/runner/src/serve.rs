@@ -12,14 +12,27 @@
 //!   `spatial-batch-report/v1` result.
 //! * **A control verb** — an object with an `"op"` field:
 //!   `{"op": "tenant", "tenant": NAME, "budget": N, "rate": {"burst": B,
-//!   "window": W}, "faults": {…}}` registers per-tenant policy and is
-//!   acknowledged with a `spatial-serve-ctl/v1` line; `{"op": "stats"}`
-//!   emits a `spatial-serve-stats/v1` aggregate line.
+//!   "window": W}, "faults": {…}, "extent": {"rows": R, "cols": C},
+//!   "predict": BOOL}` registers per-tenant policy and is acknowledged
+//!   with a `spatial-serve-ctl/v1` line; `{"op": "stats"}` emits a
+//!   `spatial-serve-stats/v1` aggregate line; `{"op": "drain"}` is
+//!   acknowledged and then gracefully shuts the daemon down (stop
+//!   admitting, drain the pool, flush the snapshot, return).
 //! * **A comment** (`#` prefix) or blank line — skipped without output.
 //!
-//! Malformed lines produce a `spatial-serve-ctl/v1` error line; the daemon
-//! never exits on bad input, a panicking job, or an exhausted tenant. EOF
-//! on stdin drains the queue and shuts down cleanly.
+//! Malformed lines (including invalid UTF-8) produce a
+//! `spatial-serve-ctl/v1` error line; the daemon never exits on bad input,
+//! a panicking job, or an exhausted tenant. EOF on stdin — or SIGTERM, via
+//! [`request_drain`] — drains the queue and shuts down cleanly.
+//!
+//! Admission is layered, each refusal typed and deterministic: sliding-
+//! window rate limits shed at intake ([`Outcome::Shed`]); at dispatch an
+//! exhausted budget refuses with [`Outcome::OverBudget`], an oversized
+//! input grid with [`Outcome::ExtentRefused`] (the tenant's `extent` cap),
+//! and — for tenants that opt in with `predict` — a closed-form energy
+//! floor ([`JobSpec::predicted_energy`]) already above the remaining
+//! budget refuses with [`Outcome::PredictedOverBudget`] *before* spending
+//! any execution on the job.
 //!
 //! ## Ordering and determinism
 //!
@@ -46,6 +59,7 @@
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -55,13 +69,14 @@ use spatial_core::recovery::BackoffPolicy;
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::job::{execute, FaultCfg, JobKind, JobResult, JobSpec, Outcome};
+use crate::journal::{Journal, RecordKind, Recovered, Snapshot};
 use crate::json::{escape, Json};
 use crate::pool::panic_message;
 use crate::report::{cost_json, percentile};
-use crate::tenant::{DrrScheduler, RateLimit, Refusal, Submission, TenantConfig};
+use crate::tenant::{DrrScheduler, ExtentCap, RateLimit, Refusal, Submission, TenantConfig};
 
 /// Serving-loop configuration.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ServeConfig {
     /// Worker threads (clamped to at least 1).
     pub workers: usize,
@@ -79,6 +94,19 @@ pub struct ServeConfig {
     /// its stream on sleeps, and the *scheduled* delays in `backoff_ms`
     /// stay deterministic either way.
     pub backoff: BackoffPolicy,
+    /// Warm-cache entry cap ([`ResultCache::with_capacity`]); 0 disables
+    /// caching. Eviction only affects non-canonical `cached` flags, never
+    /// canonical bytes.
+    pub cache_capacity: usize,
+    /// Write-ahead journal directory for crash-safe serving — see
+    /// [`crate::journal`]. Requires `canonical`: recovery re-derives
+    /// output lines by replay, which only reproduces bytes exactly when
+    /// the stream is a pure function of the input.
+    pub journal: Option<PathBuf>,
+    /// Exactly-once resume point: the number of complete output lines the
+    /// client already received. Output for sequence numbers below this is
+    /// suppressed on recovery instead of re-delivered.
+    pub resume_from: u64,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +118,9 @@ impl Default for ServeConfig {
             quantum: 1024,
             watchdog_tick_ms: 5,
             backoff: BackoffPolicy { base_ms: 1, factor: 2, max_ms: 8, jitter: 0.5 },
+            cache_capacity: 4096,
+            journal: None,
+            resume_from: 0,
         }
     }
 }
@@ -98,13 +129,28 @@ impl Default for ServeConfig {
 /// per-job failures are reported in-stream, not via the exit code).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServeSummary {
-    /// Input lines consumed (excluding comments and blanks).
+    /// Input lines consumed from the live stream this session (excluding
+    /// comments, blanks, and lines skipped by resume deduplication).
     pub lines: u64,
     /// Job result lines emitted.
     pub jobs: u64,
     /// Control error lines emitted.
     pub errors: u64,
+    /// Journaled input lines re-driven through the pipeline at startup.
+    pub replayed: u64,
 }
+
+/// Signals the serving loop to drain: stop admitting input, finish what is
+/// queued, flush the snapshot, and return cleanly. Async-signal-safe (one
+/// atomic store) — `main` installs it as the SIGTERM handler. The check
+/// happens between input lines, so a reader blocked on a quiet stdin
+/// drains at the next line (or EOF); the `{"op": "drain"}` verb is the
+/// in-band, always-prompt equivalent.
+pub fn request_drain() {
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+static DRAIN: AtomicBool = AtomicBool::new(false);
 
 /// Index of `o` in [`Outcome::ALL`] (stats bucket).
 fn idx(o: Outcome) -> usize {
@@ -123,6 +169,38 @@ struct Agg {
     walls: Vec<u64>,
     cache_hits: u64,
     cache_lookups: u64,
+}
+
+impl Agg {
+    fn from_snapshot(s: &crate::journal::AggSnapshot) -> Agg {
+        let mut counts = [0u64; Outcome::ALL.len()];
+        for (dst, src) in counts.iter_mut().zip(&s.counts) {
+            *dst = *src;
+        }
+        Agg {
+            jobs: s.jobs,
+            counts,
+            attempts: s.attempts,
+            energy_total: s.energy_total,
+            energies: s.energies.clone(),
+            walls: s.walls.clone(),
+            cache_hits: s.cache_hits,
+            cache_lookups: s.cache_lookups,
+        }
+    }
+
+    fn to_snapshot(&self) -> crate::journal::AggSnapshot {
+        crate::journal::AggSnapshot {
+            jobs: self.jobs,
+            counts: self.counts.to_vec(),
+            attempts: self.attempts,
+            energy_total: self.energy_total,
+            energies: self.energies.clone(),
+            walls: self.walls.clone(),
+            cache_hits: self.cache_hits,
+            cache_lookups: self.cache_lookups,
+        }
+    }
 }
 
 /// A line waiting its turn in the ordered emission buffer.
@@ -158,30 +236,96 @@ struct Core<W: Write> {
     agg: Agg,
     io_err: Option<io::Error>,
     summary: ServeSummary,
+    /// Open write-ahead journal, if crash safety is on.
+    journal: Option<Journal>,
+    /// Output records already durable in the journal: sequence numbers
+    /// below this are not re-appended on replay.
+    journaled_out: u64,
+    /// Client resume point: stdout is suppressed below this sequence.
+    emit_from: u64,
+    /// Set by the `drain` verb; the reader stops admitting afterwards.
+    drain: bool,
 }
 
-/// Runs the serving loop until EOF on `input`, writing one output line per
-/// consuming input line to `out` in input order. Returns after the queue
-/// has drained and every output line has been written.
+/// Runs the serving loop until EOF (or drain) on `input`, writing one
+/// output line per consuming input line to `out` in input order. Returns
+/// after the queue has drained and every output line has been written.
+///
+/// With [`ServeConfig::journal`] set, the loop first **recovers**: the
+/// journal directory's snapshot rehydrates tenant ledgers, aggregates and
+/// the warm cache; journaled inputs past the snapshot point are re-driven
+/// through the normal pipeline (deterministic re-execution regenerates
+/// byte-identical output lines); and output below
+/// [`ServeConfig::resume_from`] — lines the client confirms it already
+/// holds — is suppressed rather than re-delivered. A resuming client
+/// re-streams its full input: lines matching the journaled prefix are
+/// deduplicated, so the concatenation of the client's pre-crash and
+/// post-crash output is exactly the uninterrupted stream.
 pub fn serve<R: BufRead, W: Write + Send>(
-    input: R,
+    mut input: R,
     out: W,
     cfg: &ServeConfig,
 ) -> io::Result<ServeSummary> {
     let workers = cfg.workers.max(1);
+    let (journal, recovered) = match &cfg.journal {
+        Some(dir) => {
+            if !cfg.canonical {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "journaling requires canonical mode: crash recovery re-derives output \
+                     lines by replay, which is exact only for canonical streams",
+                ));
+            }
+            let (j, r) = Journal::open(dir)?;
+            (Some(j), r)
+        }
+        None => (None, Recovered::default()),
+    };
+
+    // Rehydrate from the snapshot, if one survived: `base` consuming lines
+    // are already reflected in the restored state and skip replay.
+    let mut sched = DrrScheduler::new(cfg.quantum);
+    let mut cache = ResultCache::with_capacity(cfg.cache_capacity);
+    let mut agg = Agg::default();
+    let mut base: u64 = 0;
+    if let Some(snap) = &recovered.snapshot {
+        base = snap.lines;
+        for t in snap.tenants.clone() {
+            sched.import_tenant(t);
+        }
+        cache.import(snap.cache.clone());
+        agg = Agg::from_snapshot(&snap.agg);
+    }
+    let journaled_in = recovered.inputs.len() as u64;
+    let journaled_out = recovered.outputs.len() as u64;
+
+    // Snapshot-covered outputs the client is missing are re-delivered
+    // straight from the journal — their inputs will not be replayed.
+    let mut out = out;
+    if cfg.resume_from < base.min(journaled_out) {
+        for seq in cfg.resume_from..base.min(journaled_out) {
+            writeln!(out, "{}", recovered.outputs[seq as usize])?;
+        }
+        out.flush()?;
+    }
+
     let core = Mutex::new(Core {
         out,
-        sched: DrrScheduler::new(cfg.quantum),
-        cache: ResultCache::new(),
+        sched,
+        cache,
         ready: BTreeMap::new(),
-        next_out: 0,
-        seq: 0,
+        next_out: base,
+        seq: base,
         inflight: 0,
         closed: false,
         canonical: cfg.canonical,
-        agg: Agg::default(),
+        agg,
         io_err: None,
         summary: ServeSummary::default(),
+        journal,
+        journaled_out,
+        emit_from: cfg.resume_from,
+        drain: false,
     });
     let work = Condvar::new();
     let done = Condvar::new();
@@ -211,22 +355,80 @@ pub fn serve<R: BufRead, W: Write + Send>(
             scope.spawn(move || worker_loop(wi, core, work, done, slots, cfg));
         }
 
+        // Recovery replay: journaled inputs past the snapshot point go
+        // through the normal pipeline. Deterministic re-execution emits
+        // exactly the lines the pre-crash process would have (stdout
+        // suppressed below `resume_from`, journal appends below the
+        // already-durable watermark).
+        for payload in recovered.inputs.get(base as usize..).unwrap_or_default() {
+            let mut g = core.lock().unwrap();
+            let seq = g.seq;
+            g.seq += 1;
+            g.summary.replayed += 1;
+            handle_line(&mut g, seq, payload, cfg);
+            drop(g);
+            work.notify_all();
+        }
+
         // Reader loop. On a read error the daemon still drains what it
-        // already admitted before reporting the error.
+        // already admitted before reporting the error. Raw `read_until`
+        // (not `lines()`) so invalid UTF-8 becomes a per-line ctl error,
+        // never a daemon exit.
         let read_result: io::Result<()> = (|| {
-            for line in input.lines() {
-                let line = line?;
-                let trimmed = line.trim();
+            let mut dedupe = 0usize;
+            let mut buf = Vec::new();
+            loop {
+                if DRAIN.load(Ordering::SeqCst) {
+                    break; // SIGTERM: stop admitting, drain, snapshot
+                }
+                buf.clear();
+                let n = loop {
+                    match input.read_until(b'\n', &mut buf) {
+                        Ok(n) => break n,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => return Err(e),
+                    }
+                };
+                if n == 0 {
+                    break; // EOF
+                }
+                let lossy = String::from_utf8_lossy(&buf);
+                let trimmed = lossy.trim();
                 if trimmed.is_empty() || trimmed.starts_with('#') {
                     continue;
+                }
+                // Exactly-once dedupe: a resuming client re-streams its
+                // full input, and lines matching the journaled prefix were
+                // already processed (their output either delivered before
+                // the crash or re-emitted by recovery). First divergence
+                // ends deduplication for good.
+                if dedupe < recovered.inputs.len() {
+                    if trimmed == recovered.inputs[dedupe] {
+                        dedupe += 1;
+                        continue;
+                    }
+                    dedupe = recovered.inputs.len();
                 }
                 let mut g = core.lock().unwrap();
                 let seq = g.seq;
                 g.seq += 1;
                 g.summary.lines += 1;
+                if seq >= journaled_in {
+                    // Write-ahead: the input is durable before any of its
+                    // effects are.
+                    if let Some(j) = g.journal.as_mut() {
+                        if let Err(e) = j.append(RecordKind::Input, seq, trimmed) {
+                            g.io_err = Some(e);
+                        }
+                    }
+                }
                 handle_line(&mut g, seq, trimmed, cfg);
+                let drained = g.drain;
                 drop(g);
                 work.notify_all();
+                if drained {
+                    break; // in-band drain verb
+                }
             }
             Ok(())
         })();
@@ -246,6 +448,18 @@ pub fn serve<R: BufRead, W: Write + Send>(
     let mut g = core.into_inner().unwrap();
     if let Some(e) = g.io_err.take() {
         return Err(e);
+    }
+    // Quiescent point: everything consumed has been emitted. Flush the
+    // snapshot so the next recovery replays nothing that finished here.
+    if let Some(j) = g.journal.as_ref() {
+        let snap = Snapshot {
+            lines: g.seq,
+            emitted: g.next_out,
+            tenants: g.sched.export_tenants(),
+            agg: g.agg.to_snapshot(),
+            cache: g.cache.export(),
+        };
+        j.write_snapshot(&snap)?;
     }
     Ok(g.summary)
 }
@@ -268,6 +482,12 @@ fn handle_line<W: Write>(g: &mut Core<W>, seq: u64, line: &str, cfg: &ServeConfi
             "stats" => {
                 g.ready.insert(seq, Pending::Stats);
                 try_emit(g);
+            }
+            "drain" => {
+                // Graceful shutdown from in-band: acknowledge, then the
+                // reader stops admitting and the queue drains.
+                g.drain = true;
+                push_line(g, seq, ctl_line(seq, "drain", None, true, None));
             }
             other => ctl_error(g, seq, &format!("unknown op {other:?}")),
         }
@@ -327,6 +547,44 @@ fn worker_loop<W: Write + Send>(
                         record_job(&mut g, sub.seq, &sub.tenant, &r, false, false);
                         done.notify_all();
                         continue;
+                    }
+                    // ModelGuard extent policy: the job's input square must
+                    // fit the tenant's registered grid cap.
+                    if let Some(cap) = g.sched.extent_cap(&sub.tenant) {
+                        let side = sub.spec.extent_side();
+                        if !cap.admits(side) {
+                            let r = JobResult::extent_refused(
+                                &sub.spec,
+                                &sub.tenant,
+                                side,
+                                cap.rows,
+                                cap.cols,
+                            );
+                            g.sched.complete(&sub.tenant, 0);
+                            record_job(&mut g, sub.seq, &sub.tenant, &r, false, false);
+                            done.notify_all();
+                            continue;
+                        }
+                    }
+                    // Predictive admission (opt-in): refuse before
+                    // execution when the closed-form energy floor already
+                    // exceeds what is left of the budget.
+                    if g.sched.predictive(&sub.tenant) {
+                        if let Some(remaining) = g.sched.remaining_budget(&sub.tenant) {
+                            let predicted = sub.spec.predicted_energy();
+                            if predicted > remaining {
+                                let r = JobResult::predicted_over_budget(
+                                    &sub.spec,
+                                    &sub.tenant,
+                                    predicted,
+                                    remaining,
+                                );
+                                g.sched.complete(&sub.tenant, 0);
+                                record_job(&mut g, sub.seq, &sub.tenant, &r, false, false);
+                                done.notify_all();
+                                continue;
+                            }
+                        }
                     }
                     // The guard is armed at whatever is tighter: the job's
                     // own budget or what is left of the tenant's.
@@ -442,11 +700,27 @@ fn try_emit<W: Write>(g: &mut Core<W>) {
                 }
                 line
             }
-            Pending::Stats => stats_line(g.next_out, &g.agg, g.canonical),
+            Pending::Stats => {
+                let (len, cap) = (g.cache.len(), g.cache.capacity());
+                stats_line(g.next_out, &g.agg, g.canonical, len, cap)
+            }
         };
         if g.io_err.is_none() {
-            if let Err(e) = writeln!(g.out, "{line}") {
-                g.io_err = Some(e);
+            // Write-ahead: the line is durable in the journal before the
+            // client can see it, so the journal's emitted watermark is
+            // always ≥ what any client received.
+            if g.next_out >= g.journaled_out {
+                if let Some(j) = g.journal.as_mut() {
+                    let seq = g.next_out;
+                    if let Err(e) = j.append(RecordKind::Output, seq, &line) {
+                        g.io_err = Some(e);
+                    }
+                }
+            }
+            if g.io_err.is_none() && g.next_out >= g.emit_from {
+                if let Err(e) = writeln!(g.out, "{line}") {
+                    g.io_err = Some(e);
+                }
             }
         }
         g.next_out += 1;
@@ -499,7 +773,7 @@ fn job_line(seq: u64, tenant: &str, j: &JobResult, cached: bool, canonical: bool
 
 /// The `stats` verb's aggregate line. Rates are fixed-point strings so the
 /// canonical form never depends on float formatting.
-fn stats_line(seq: u64, agg: &Agg, canonical: bool) -> String {
+fn stats_line(seq: u64, agg: &Agg, canonical: bool, cache_len: usize, cache_cap: usize) -> String {
     let rate = |count: u64| -> String {
         if agg.jobs == 0 {
             "null".into()
@@ -530,6 +804,7 @@ fn stats_line(seq: u64, agg: &Agg, canonical: bool) -> String {
             ", \"cache_hits\": {}, \"cache_lookups\": {}, \"cache_hit_rate\": {hit_rate}",
             agg.cache_hits, agg.cache_lookups
         ));
+        s.push_str(&format!(", \"cache_len\": {cache_len}, \"cache_capacity\": {cache_cap}"));
         s.push_str(&format!(
             ", \"wall_ms_p50\": {}, \"wall_ms_p99\": {}",
             opt(percentile(&agg.walls, 50)),
@@ -584,7 +859,25 @@ fn parse_tenant_op(v: &Json) -> Result<(String, TenantConfig), String> {
         None => None,
         Some(f) => Some(FaultCfg::from_json(f, &format!("tenant \"{name}\""))?),
     };
-    Ok((name, TenantConfig { budget, rate, faults }))
+    let extent = match v.get("extent") {
+        None => None,
+        Some(j) if j.is_null() => None,
+        Some(j) => {
+            let field = |k: &str| -> Result<u64, String> {
+                j.get(k).and_then(Json::as_u64).filter(|&x| x >= 1).ok_or_else(|| {
+                    format!("tenant \"{name}\": extent.{k} must be a positive integer")
+                })
+            };
+            Some(ExtentCap { rows: field("rows")?, cols: field("cols")? })
+        }
+    };
+    let predict = match v.get("predict") {
+        None => false,
+        Some(j) => j
+            .as_bool()
+            .ok_or_else(|| format!("tenant \"{name}\": field \"predict\" must be a boolean"))?,
+    };
+    Ok((name, TenantConfig { budget, rate, faults, extent, predict }))
 }
 
 #[cfg(test)]
@@ -626,7 +919,7 @@ mod tests {
             assert_eq!(field(l, "seq"), i.to_string());
             Json::parse(l).expect("every output line is valid JSON");
         }
-        assert_eq!(summary, ServeSummary { lines: 3, jobs: 2, errors: 0 });
+        assert_eq!(summary, ServeSummary { lines: 3, jobs: 2, errors: 0, replayed: 0 });
     }
 
     #[test]
@@ -734,6 +1027,171 @@ this is not json
         assert_eq!(field(lines[1], "outcome"), "\"deadline-exceeded\"");
         assert_eq!(field(lines[1], "code"), "9");
         assert_eq!(field(lines[1], "cost"), "null");
+    }
+
+    #[test]
+    fn predictive_admission_refuses_before_execution() {
+        // sort n=4096 has an energy floor of 4096·√4096 = 262144 ≫ 1000,
+        // so the predictive tenant refuses it without running; the scan
+        // floor (64) fits and runs normally. The non-predictive tenant
+        // keeps the old semantics: the sort executes under its guard.
+        let input = r#"
+{"op": "tenant", "tenant": "fore", "budget": 1000, "predict": true}
+{"kind": "sort", "n": 4096, "seed": 1, "tenant": "fore", "id": "refused"}
+{"kind": "scan", "n": 64, "seed": 2, "tenant": "fore", "id": "fits"}
+{"op": "tenant", "tenant": "legacy", "budget": 1000}
+{"kind": "sort", "n": 4096, "seed": 1, "tenant": "legacy", "id": "runs-anyway"}
+"#;
+        let (out, _) = run(input, 2, true);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(field(lines[1], "outcome"), "\"predicted-over-budget\"");
+        assert_eq!(field(lines[1], "code"), "13");
+        assert_eq!(field(lines[1], "cost"), "null", "refused jobs never execute");
+        assert_eq!(field(lines[1], "attempts"), "0");
+        assert!(lines[1].contains("predicted energy 262144"), "{}", lines[1]);
+        assert_eq!(field(lines[2], "outcome"), "\"ok\"", "floor under budget runs");
+        assert_ne!(field(lines[4], "outcome"), "\"predicted-over-budget\"", "opt-in only");
+    }
+
+    #[test]
+    fn extent_cap_refuses_oversized_grids() {
+        // sort n=256 occupies a 16×16 input square; an 8×8 cap refuses it
+        // with the typed outcome while n=64 (8×8) still fits.
+        let input = r#"
+{"op": "tenant", "tenant": "boxed", "extent": {"rows": 8, "cols": 8}}
+{"kind": "sort", "n": 256, "seed": 1, "tenant": "boxed", "id": "too-wide"}
+{"kind": "scan", "n": 64, "seed": 2, "tenant": "boxed", "id": "fits"}
+"#;
+        let (out, _) = run(input, 2, true);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("\"ok\": true"));
+        assert_eq!(field(lines[1], "outcome"), "\"extent-refused\"");
+        assert_eq!(field(lines[1], "code"), "14");
+        assert!(lines[1].contains("needs a 16x16 grid"), "{}", lines[1]);
+        assert_eq!(field(lines[2], "outcome"), "\"ok\"");
+    }
+
+    #[test]
+    fn drain_verb_acks_stops_admitting_and_returns() {
+        let input = r#"
+{"kind": "scan", "n": 16, "seed": 1, "id": "served"}
+{"op": "drain"}
+{"kind": "scan", "n": 16, "seed": 2, "id": "never-admitted"}
+"#;
+        let (out, summary) = run(input, 2, true);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert_eq!(field(lines[0], "outcome"), "\"ok\"");
+        assert!(lines[1].contains("\"op\": \"drain\"") && lines[1].contains("\"ok\": true"));
+        assert_eq!(summary.lines, 2, "the post-drain line was never consumed");
+    }
+
+    #[test]
+    fn invalid_utf8_input_becomes_a_ctl_error_not_an_exit() {
+        let mut input =
+            b"{\"kind\": \"scan\", \"n\": 16, \"seed\": 1}\n\xff\xfe garbage\n".to_vec();
+        input.extend_from_slice(b"{\"kind\": \"scan\", \"n\": 16, \"seed\": 2}\n");
+        let cfg = ServeConfig { workers: 1, canonical: true, ..Default::default() };
+        let mut out = Vec::new();
+        let summary = serve(io::Cursor::new(input), &mut out, &cfg).expect("serve I/O");
+        let text = String::from_utf8(out).expect("output is clean utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[1].contains("invalid JSON"), "{}", lines[1]);
+        assert_eq!(summary.errors, 1);
+    }
+
+    #[test]
+    fn bounded_cache_keeps_canonical_bytes_while_evicting() {
+        // Capacity 1 forces eviction between the two distinct sorts, so
+        // the repeat of the first is a miss — but canonical bytes must be
+        // identical to an unbounded run.
+        let input = r#"
+{"kind": "sort", "n": 64, "seed": 9, "id": "a"}
+{"kind": "sort", "n": 64, "seed": 10, "id": "b"}
+{"kind": "sort", "n": 64, "seed": 9, "id": "a-again"}
+"#;
+        let run_cap = |capacity: usize| {
+            let cfg = ServeConfig {
+                workers: 1,
+                canonical: true,
+                cache_capacity: capacity,
+                ..Default::default()
+            };
+            let mut out = Vec::new();
+            serve(io::Cursor::new(input.to_string()), &mut out, &cfg).expect("serve I/O");
+            String::from_utf8(out).expect("utf8")
+        };
+        assert_eq!(run_cap(1), run_cap(4096), "eviction never changes canonical output");
+        assert_eq!(run_cap(0), run_cap(4096), "disabled cache neither");
+    }
+
+    #[test]
+    fn journal_requires_canonical_mode() {
+        let dir =
+            std::env::temp_dir().join(format!("spatial-serve-noncanon-{}", std::process::id()));
+        let cfg = ServeConfig {
+            workers: 1,
+            canonical: false,
+            journal: Some(dir.clone()),
+            ..Default::default()
+        };
+        let err = serve(io::Cursor::new(String::new()), Vec::new(), &cfg)
+            .expect_err("journal without canonical must be refused");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journaled_session_recovers_and_replays_nothing_already_delivered() {
+        let dir =
+            std::env::temp_dir().join(format!("spatial-serve-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let input = "{\"op\": \"tenant\", \"tenant\": \"t\", \"budget\": 100000}\n\
+                     {\"kind\": \"sort\", \"n\": 64, \"seed\": 1, \"tenant\": \"t\", \"id\": \"one\"}\n\
+                     {\"kind\": \"scan\", \"n\": 64, \"seed\": 2, \"tenant\": \"t\", \"id\": \"two\"}\n\
+                     {\"op\": \"stats\"}\n";
+        let cfg = ServeConfig {
+            workers: 2,
+            canonical: true,
+            journal: Some(dir.clone()),
+            ..Default::default()
+        };
+        let mut first = Vec::new();
+        let s1 = serve(io::Cursor::new(input.to_string()), &mut first, &cfg).expect("first run");
+        assert_eq!((s1.lines, s1.replayed), (4, 0));
+        let first = String::from_utf8(first).unwrap();
+        assert_eq!(first.lines().count(), 4);
+
+        // A client that received everything resumes from 4 and re-streams
+        // the full input: nothing is re-emitted and nothing re-runs.
+        let cfg2 = ServeConfig { resume_from: 4, ..cfg.clone() };
+        let mut second = Vec::new();
+        let s2 = serve(io::Cursor::new(input.to_string()), &mut second, &cfg2).expect("resume");
+        assert_eq!(second, b"", "exactly-once: no duplicate delivery");
+        assert_eq!(s2.lines, 0, "all four lines deduplicated");
+        assert_eq!(s2.replayed, 0, "snapshot covered everything — no replay");
+
+        // A client that lost everything resumes from 0: the full stream is
+        // re-delivered byte-identically (from the journal, not re-executed).
+        let mut third = Vec::new();
+        let s3 = serve(io::Cursor::new(input.to_string()), &mut third, &cfg).expect("redeliver");
+        assert_eq!(String::from_utf8(third).unwrap(), first, "byte-identical re-delivery");
+        assert_eq!(s3.lines, 0);
+
+        // Fresh input past the journaled prefix is served normally, with
+        // tenant ledgers carried across the restart.
+        let extended = format!("{input}{{\"op\": \"stats\"}}\n");
+        let mut fourth = Vec::new();
+        let cfg4 = ServeConfig { resume_from: 4, ..cfg.clone() };
+        let s4 = serve(io::Cursor::new(extended), &mut fourth, &cfg4).expect("extend");
+        assert_eq!(s4.lines, 1, "only the new stats line consumed");
+        let fourth = String::from_utf8(fourth).unwrap();
+        let lines: Vec<&str> = fourth.lines().collect();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(field(lines[0], "seq"), "4");
+        assert_eq!(field(lines[0], "jobs"), "2", "aggregates survived the restart");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -45,6 +45,25 @@ pub struct RateLimit {
     pub window: u64,
 }
 
+/// A [`spatial_core::model::ModelGuard`]-style *extent* policy: the largest
+/// grid a tenant's job may occupy. A job whose input square exceeds either
+/// dimension is refused at dispatch with
+/// [`crate::job::Outcome::ExtentRefused`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExtentCap {
+    /// Maximum grid rows a job's input extent may span.
+    pub rows: u64,
+    /// Maximum grid columns a job's input extent may span.
+    pub cols: u64,
+}
+
+impl ExtentCap {
+    /// Whether a square input extent of side `side` fits under the cap.
+    pub fn admits(&self, side: u64) -> bool {
+        side <= self.rows && side <= self.cols
+    }
+}
+
 /// Declarative per-tenant policy, set by the `tenant` control verb.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct TenantConfig {
@@ -55,6 +74,14 @@ pub struct TenantConfig {
     /// Default fault plan applied to this tenant's jobs that don't declare
     /// their own.
     pub faults: Option<FaultCfg>,
+    /// Largest grid extent a job may occupy; `None` is unbounded.
+    pub extent: Option<ExtentCap>,
+    /// Predictive admission: refuse a job before execution when its
+    /// closed-form energy floor ([`crate::job::JobSpec::predicted_energy`])
+    /// already exceeds the remaining budget. Opt-in — the default keeps the
+    /// pre-existing semantics where a job runs under its guard and is
+    /// charged what it actually spent.
+    pub predict: bool,
 }
 
 /// One job submission bound for the scheduler.
@@ -269,6 +296,64 @@ impl DrrScheduler {
     pub fn completion_counts(&self) -> Vec<(String, u64)> {
         self.tenants.iter().map(|t| (t.name.clone(), t.completed)).collect()
     }
+
+    /// The tenant's extent cap, if registered.
+    pub fn extent_cap(&mut self, name: &str) -> Option<ExtentCap> {
+        let i = self.slot(name);
+        self.tenants[i].config.extent
+    }
+
+    /// Whether the tenant opted into predictive admission.
+    pub fn predictive(&mut self, name: &str) -> bool {
+        let i = self.slot(name);
+        self.tenants[i].config.predict
+    }
+
+    /// Durable per-tenant state, in first-seen order, for the serve
+    /// snapshot. Queue contents and the DRR cursor/deficit are deliberately
+    /// excluded: queued-but-undispatched work is re-driven from the journal
+    /// on recovery, and the cursor never influences canonical output bytes
+    /// (per-tenant execution is serial and emission is seq-ordered).
+    pub fn export_tenants(&self) -> Vec<TenantSnapshot> {
+        self.tenants
+            .iter()
+            .map(|t| TenantSnapshot {
+                name: t.name.clone(),
+                config: t.config,
+                charged: t.charged,
+                completed: t.completed,
+                admitted: t.admitted.iter().copied().collect(),
+            })
+            .collect()
+    }
+
+    /// Rehydrates one tenant from a snapshot (inverse of
+    /// [`DrrScheduler::export_tenants`]). Replaces any existing state for
+    /// the name.
+    pub fn import_tenant(&mut self, snap: TenantSnapshot) {
+        let i = self.slot(&snap.name);
+        let t = &mut self.tenants[i];
+        t.config = snap.config;
+        t.charged = snap.charged;
+        t.completed = snap.completed;
+        t.admitted = snap.admitted.into_iter().collect();
+    }
+}
+
+/// The durable slice of one tenant's ledger, as written to (and read back
+/// from) the serve snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantSnapshot {
+    /// Tenant name.
+    pub name: String,
+    /// Registered policy.
+    pub config: TenantConfig,
+    /// Cumulative energy charged against the budget.
+    pub charged: u64,
+    /// Completed job count.
+    pub completed: u64,
+    /// Recent admission sequence numbers (rate-limit window), oldest first.
+    pub admitted: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -382,5 +467,50 @@ mod tests {
         assert!(s.over_budget("t"), "charged == budget means exhausted");
         assert_eq!(s.remaining_budget("t"), Some(0));
         assert_eq!(s.remaining_budget("unregistered"), None, "None = unlimited");
+    }
+
+    #[test]
+    fn extent_cap_admits_by_both_dimensions() {
+        let cap = ExtentCap { rows: 16, cols: 8 };
+        assert!(cap.admits(8));
+        assert!(!cap.admits(9), "cols bind before rows");
+        assert!(!cap.admits(32));
+        let mut s = DrrScheduler::new(64);
+        assert_eq!(s.extent_cap("t"), None, "unregistered tenants are unbounded");
+        s.register("t", TenantConfig { extent: Some(cap), ..Default::default() });
+        assert_eq!(s.extent_cap("t"), Some(cap));
+        assert!(!s.predictive("t"), "predict defaults off");
+    }
+
+    #[test]
+    fn tenant_snapshot_round_trips_the_ledger() {
+        let mut s = DrrScheduler::new(64);
+        s.register(
+            "t",
+            TenantConfig {
+                budget: Some(500),
+                rate: Some(RateLimit { burst: 2, window: 10 }),
+                predict: true,
+                ..Default::default()
+            },
+        );
+        assert!(s.admit("t", 3).is_ok());
+        assert!(s.admit("t", 5).is_ok());
+        s.enqueue(sub("t", 3, 16));
+        let job = s.next().unwrap();
+        s.complete(&job.tenant, 123);
+
+        let snaps = s.export_tenants();
+        let mut fresh = DrrScheduler::new(64);
+        for snap in snaps {
+            fresh.import_tenant(snap);
+        }
+        assert_eq!(fresh.charged("t"), 123);
+        assert_eq!(fresh.remaining_budget("t"), Some(377));
+        assert!(fresh.predictive("t"));
+        // The admission window carried over: seqs 3 and 5 still fill the
+        // burst at seq 6.
+        assert!(fresh.admit("t", 6).is_err());
+        assert_eq!(fresh.completion_counts(), vec![("t".to_string(), 1)]);
     }
 }

@@ -1,0 +1,129 @@
+//! Seeded protocol fuzzing for the serve loop: the parser must never
+//! panic, and the one-output-line-per-consuming-input-line invariant must
+//! hold for *arbitrary* bytes, not just well-formed submissions.
+//!
+//! Three generators stress different failure surfaces: raw byte soup
+//! (UTF-8 validity, lossy decoding), JSON token salads (parser state
+//! machine, half-open structures, wrong value types), and single-byte
+//! mutations of a valid submission (near-miss field names, corrupted
+//! numbers). A parser panic fails the test by propagating out of
+//! `serve`'s thread scope; a swallowed or duplicated reply fails the
+//! line-count accounting.
+
+use runner::{serve, ServeConfig};
+use spatial_rng::Rng;
+
+/// Replicates the serve reader's consuming-line test: lossy-decode, trim,
+/// skip blanks and `#` comments. Anything else must produce exactly one
+/// output line.
+fn consumes(line: &[u8]) -> bool {
+    let lossy = String::from_utf8_lossy(line);
+    let trimmed = lossy.trim();
+    !trimmed.is_empty() && !trimmed.starts_with('#')
+}
+
+/// One fuzzed line, newline-free. The `drain` token is excluded from every
+/// generator: a fuzzed drain verb would legitimately end the session early
+/// and invalidate the line-count invariant this test pins.
+fn gen_line(rng: &mut Rng) -> Vec<u8> {
+    const TOKENS: &[&str] = &[
+        "{",
+        "}",
+        "[",
+        "]",
+        ":",
+        ",",
+        "\"",
+        "\"kind\"",
+        "\"scan\"",
+        "\"sort\"",
+        "\"n\"",
+        "7",
+        "-3",
+        "1e9",
+        "0.5",
+        "\"op\"",
+        "\"stats\"",
+        "\"tenant\"",
+        "\"budget\"",
+        "\"extent\"",
+        "\"rows\"",
+        "\"cols\"",
+        "\"predict\"",
+        "true",
+        "false",
+        "null",
+        "\"id\"",
+        "\"x\"",
+        "\"seed\"",
+        "\"faults\"",
+        "\"rate\"",
+        "nonsense",
+        "\u{fffd}",
+        "\\u0041",
+        "\\",
+    ];
+    let line: Vec<u8> = match rng.gen_range(0..3u32) {
+        // Raw byte soup: every value but the line separator.
+        0 => (0..rng.gen_range(0..40usize))
+            .map(|_| loop {
+                let b = (rng.next_u64() & 0xff) as u8;
+                if b != b'\n' {
+                    break b;
+                }
+            })
+            .collect(),
+        // JSON token salad.
+        1 => {
+            let mut s = String::new();
+            for _ in 0..rng.gen_range(1..8usize) {
+                s.push_str(TOKENS[rng.gen_range(0..TOKENS.len())]);
+                if rng.gen_bool(0.3) {
+                    s.push(' ');
+                }
+            }
+            s.into_bytes()
+        }
+        // A valid submission with one byte flipped. Sizes stay tiny, so
+        // even a mutation that still parses runs in microseconds.
+        _ => {
+            let mut bytes = br#"{"kind": "scan", "n": 16, "seed": 3, "id": "f"}"#.to_vec();
+            let i = rng.gen_range(0..bytes.len());
+            loop {
+                let b = (rng.next_u64() & 0xff) as u8;
+                if b != b'\n' && b != bytes[i] {
+                    bytes[i] = b;
+                    break;
+                }
+            }
+            bytes
+        }
+    };
+    if line.windows(5).any(|w| w == b"drain") {
+        return b"# drained".to_vec();
+    }
+    line
+}
+
+#[test]
+fn fuzzed_streams_never_panic_and_answer_every_consuming_line() {
+    for seed in 0..4u64 {
+        let mut rng = Rng::seed_from_u64(0xF022 + seed);
+        let mut input = Vec::new();
+        let mut expected = 0usize;
+        for _ in 0..300 {
+            let line = gen_line(&mut rng);
+            if consumes(&line) {
+                expected += 1;
+            }
+            input.extend_from_slice(&line);
+            input.push(b'\n');
+        }
+        let cfg = ServeConfig { workers: 2, canonical: true, ..Default::default() };
+        let mut out = Vec::new();
+        let summary = serve(std::io::Cursor::new(input), &mut out, &cfg).expect("fuzzed serve I/O");
+        let got = out.iter().filter(|&&b| b == b'\n').count();
+        assert_eq!(got, expected, "seed {seed}: one output line per consuming input line");
+        assert_eq!(summary.lines, expected as u64, "seed {seed}");
+    }
+}

@@ -33,7 +33,13 @@
 //! `serve` keeps that runtime alive as a daemon: newline-delimited JSON job
 //! submissions on stdin, one result line per job on stdout, with per-tenant
 //! budgets, rate limits, deficit-round-robin fair scheduling, and a warm
-//! result cache. See README "Serving mode" for the protocol.
+//! result cache. With `--journal <dir>` (requires `--canonical`) every
+//! input and output line is journaled through a checksum-framed write-ahead
+//! log so a SIGKILLed daemon can be restarted on the same directory and
+//! resume with exactly-once output; `--resume-from <n>` tells the restart
+//! how many complete output lines the client already holds. SIGTERM drains
+//! gracefully, like the in-stream `{"op": "drain"}` verb. See README
+//! "Serving mode" for the protocol.
 //!
 //! Violations exit with distinct codes instead of panicking:
 //!
@@ -51,6 +57,8 @@
 //! | 9 | deadline exceeded (run cancelled) |
 //! | 10 | job shed: submission queue past saturation threshold |
 //! | 12 | tenant over budget (serve admission; per-job `code` field only) |
+//! | 13 | predicted over budget (serve admission; per-job `code` field only) |
+//! | 14 | extent refused (serve admission; per-job `code` field only) |
 
 use spatial_dataflow::prelude::*;
 use spatial_dataflow::recovery::{run_with_recovery, EXIT_RECOVERY_EXHAUSTED};
@@ -94,11 +102,18 @@ fn usage() -> ! {
            --canonical                 omit wall-clock fields: output becomes a pure\n\
                                        function of the input stream\n\
            --quantum <int>             DRR deficit per tenant visit (default 1024)\n\
+           --cache-capacity <int>      max warm-cache entries, LRU evicted (default\n\
+                                       4096; 0 disables caching)\n\
+           --journal <dir>             write-ahead journal + snapshot directory for\n\
+                                       crash-safe serving (requires --canonical)\n\
+           --resume-from <int>         complete output lines the client already\n\
+                                       received; the restart re-emits from there\n\
          \n\
          exit codes: 0 ok | 1 job panicked | 2 usage | 3 verify failed | 4 dead PE |\n\
                      5 out of extent | 6 memory cap | 7 budget | 8 recovery exhausted /\n\
                      degraded | 9 deadline exceeded | 10 job shed (overload) |\n\
-                     12 tenant over budget (serve, per-job code field)\n"
+                     12 tenant over budget | 13 predicted over budget |\n\
+                     14 extent refused (12-14: serve, per-job code field)\n"
     );
     std::process::exit(2)
 }
@@ -118,6 +133,9 @@ struct Args {
     best_effort: bool,
     canonical: bool,
     quantum: Option<u64>,
+    cache_capacity: Option<usize>,
+    journal: Option<String>,
+    resume_from: u64,
     mode: Option<String>,
     /// First positional argument (the jobspec path for `batch`).
     path: Option<String>,
@@ -140,6 +158,9 @@ fn parse(mut argv: std::env::Args) -> (String, Args) {
         best_effort: false,
         canonical: false,
         quantum: None,
+        cache_capacity: None,
+        journal: None,
+        resume_from: 0,
         mode: None,
         path: None,
     };
@@ -189,6 +210,11 @@ fn parse(mut argv: std::env::Args) -> (String, Args) {
                     usage();
                 }
             }
+            "--cache-capacity" => {
+                args.cache_capacity = Some(val().parse().unwrap_or_else(|_| usage()))
+            }
+            "--journal" => args.journal = Some(val()),
+            "--resume-from" => args.resume_from = val().parse().unwrap_or_else(|_| usage()),
             "--mode" => args.mode = Some(val()),
             f if !f.starts_with("--") && args.path.is_none() => args.path = Some(f.to_string()),
             _ => usage(),
@@ -400,6 +426,26 @@ fn run_batch_command(a: &Args) -> ! {
     std::process::exit(report.exit_code(batch.config.best_effort));
 }
 
+/// Routes SIGTERM into the daemon's graceful drain: a single
+/// async-signal-safe atomic store, checked by the reader between lines.
+/// Raw `signal(2)` keeps the workspace free of a libc dependency.
+#[cfg(unix)]
+fn install_sigterm_drain() {
+    extern "C" fn on_sigterm(_sig: i32) {
+        runner::request_drain();
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_drain() {}
+
 /// `serve` — the persistent multi-tenant daemon: reads newline-delimited
 /// JSON job submissions from stdin, streams one result line per job to
 /// stdout, and keeps the supervised pool alive across submissions. Exits 0
@@ -407,6 +453,7 @@ fn run_batch_command(a: &Args) -> ! {
 /// tenants) are reported in-stream, never by killing the daemon.
 fn run_serve_command(a: &Args) -> ! {
     quiet_contained_panics();
+    install_sigterm_drain();
     let mut cfg = runner::ServeConfig::default();
     if let Some(jobs) = a.jobs {
         cfg.workers = jobs;
@@ -416,12 +463,23 @@ fn run_serve_command(a: &Args) -> ! {
     if let Some(q) = a.quantum {
         cfg.quantum = q;
     }
+    if let Some(cap) = a.cache_capacity {
+        cfg.cache_capacity = cap;
+    }
+    if let Some(dir) = &a.journal {
+        if !a.canonical {
+            eprintln!("error: --journal requires --canonical (journaled output must be a pure function of the input stream)");
+            std::process::exit(2);
+        }
+        cfg.journal = Some(std::path::PathBuf::from(dir));
+    }
+    cfg.resume_from = a.resume_from;
     let stdin = std::io::stdin();
     match runner::serve(stdin.lock(), std::io::stdout(), &cfg) {
         Ok(s) => {
             eprintln!(
-                "serve: shut down cleanly after {} line(s): {} job(s), {} error line(s)",
-                s.lines, s.jobs, s.errors
+                "serve: shut down cleanly after {} line(s): {} job(s), {} error line(s), {} replayed",
+                s.lines, s.jobs, s.errors, s.replayed
             );
             std::process::exit(0);
         }

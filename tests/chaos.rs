@@ -1,0 +1,237 @@
+//! Kill/restart chaos harness for the crash-safe serving daemon.
+//!
+//! Each scenario runs the real binary with `--journal <dir> --canonical`,
+//! SIGKILLs it at seeded points mid-stream, restarts it on the same
+//! journal directory with `--resume-from <complete lines received>`, and
+//! re-streams the full input — the client-side resume protocol. The
+//! acceptance bar is byte-exactness: the concatenation of the complete
+//! lines received across every killed and resumed session must equal the
+//! output of one uninterrupted run. That single assertion covers no lost
+//! lines, no duplicated lines, no reordering, and no drift in tenant
+//! ledgers or aggregates across crashes.
+//!
+//! The stream exercises every admission layer (over-budget, predictive
+//! refusal, extent cap), a contained panic, and the stats barrier, so
+//! recovery is tested against state it actually has to rebuild.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use spatial_rng::Rng;
+
+/// One consuming line per entry; every output line is canonical, so the
+/// full session transcript is a pure function of this stream.
+const STREAM: &str = r#"{"op": "tenant", "tenant": "meter", "budget": 700, "predict": true}
+{"op": "tenant", "tenant": "boxed", "extent": {"rows": 8, "cols": 8}}
+{"kind": "scan", "n": 64, "seed": 1, "id": "j0"}
+{"kind": "sort", "n": 256, "seed": 2, "id": "j1"}
+{"kind": "scan", "n": 256, "seed": 3, "id": "j2"}
+{"kind": "scan", "n": 64, "seed": 4, "tenant": "meter", "id": "m0"}
+{"kind": "scan", "n": 64, "seed": 5, "tenant": "meter", "id": "m1"}
+{"kind": "sort", "n": 4096, "seed": 6, "tenant": "meter", "id": "m-predicted"}
+{"kind": "scan", "n": 64, "seed": 7, "tenant": "meter", "id": "m-burn"}
+{"kind": "scan", "n": 16, "seed": 8, "tenant": "meter", "id": "m-refused"}
+{"kind": "sort", "n": 256, "seed": 9, "tenant": "boxed", "id": "b-wide"}
+{"kind": "scan", "n": 64, "seed": 10, "tenant": "boxed", "id": "b-fits"}
+{"kind": "select", "n": 128, "k": 32, "seed": 11, "id": "j3"}
+{"kind": "topk", "n": 256, "k": 8, "seed": 12, "id": "j4"}
+{"kind": "spmv", "n": 64, "seed": 13, "id": "j5"}
+{"kind": "chaos-panic", "id": "j6"}
+{"kind": "scan", "n": 64, "seed": 14, "id": "j7"}
+{"op": "stats"}
+"#;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spatial-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spawn_serve(extra: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_spatial-dataflow"))
+        .args(["serve", "--canonical", "--jobs", "2"])
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn spatial-dataflow serve")
+}
+
+/// The uninterrupted transcript: one journal-free run of the whole stream.
+fn golden() -> Vec<String> {
+    let mut child = spawn_serve(&[]);
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    stdin.write_all(STREAM.as_bytes()).expect("write stream");
+    drop(stdin);
+    let out = child.wait_with_output().expect("wait for daemon");
+    assert_eq!(out.status.code(), Some(0), "uninterrupted run must exit 0");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    // The stream must exercise every typed admission refusal, or the
+    // harness silently stops testing ledger recovery.
+    for code in ["\"code\": 12", "\"code\": 13", "\"code\": 14"] {
+        assert!(stdout.contains(code), "golden lost its {code} line:\n{stdout}");
+    }
+    stdout.lines().map(str::to_string).collect()
+}
+
+/// Starts a journaled session resuming from `received.len()`, re-streams
+/// the full input, reads `take` more complete lines, and SIGKILLs the
+/// daemon mid-flight. Only complete (newline-terminated) lines count as
+/// received — a line torn by the kill is discarded, exactly as a client
+/// truncating its output file to the last newline would.
+fn run_and_kill(dir: &Path, received: &mut Vec<String>, take: usize) {
+    let resume = received.len().to_string();
+    let mut child = spawn_serve(&["--journal", dir.to_str().unwrap(), "--resume-from", &resume]);
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    stdin.write_all(STREAM.as_bytes()).expect("write stream");
+    stdin.flush().expect("flush stream");
+    for _ in 0..take {
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("read output line");
+        assert!(line.ends_with('\n'), "daemon died before the kill point: {line:?}");
+        line.pop();
+        received.push(line);
+    }
+    child.kill().expect("SIGKILL the daemon");
+    child.wait().expect("reap the killed daemon");
+}
+
+/// Final session: resume, re-stream everything, and run to clean EOF
+/// shutdown, appending every remaining line.
+fn run_to_completion(dir: &Path, received: &mut Vec<String>) {
+    let resume = received.len().to_string();
+    let mut child = spawn_serve(&["--journal", dir.to_str().unwrap(), "--resume-from", &resume]);
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    stdin.write_all(STREAM.as_bytes()).expect("write stream");
+    drop(stdin);
+    let out = child.wait_with_output().expect("wait for daemon");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "resumed run must exit 0\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    received
+        .extend(String::from_utf8(out.stdout).expect("utf8 stdout").lines().map(str::to_string));
+}
+
+#[test]
+fn sigkill_at_seeded_points_resumes_to_a_byte_identical_stream() {
+    let golden = golden();
+    let dir = fresh_dir("seeded");
+    let mut received = Vec::new();
+    // Three mid-stream kills at seeded offsets, then one run to completion.
+    // The seed pins the kill points so a failure reproduces exactly.
+    let mut rng = Rng::seed_from_u64(0xC4A05);
+    for round in 0..3 {
+        let take = rng.gen_range(1..5usize);
+        assert!(received.len() + take < golden.len(), "kill point past the stream");
+        run_and_kill(&dir, &mut received, take);
+        assert_eq!(received, golden[..received.len()], "prefix diverged after kill round {round}");
+    }
+    run_to_completion(&dir, &mut received);
+    assert_eq!(received, golden, "concatenated output must be byte-identical");
+}
+
+#[test]
+fn sigkill_before_any_output_replays_from_scratch() {
+    let golden = golden();
+    let dir = fresh_dir("instant");
+    let mut received = Vec::new();
+    // Kill with zero lines received: recovery must regenerate everything
+    // (and must not be confused by however much input got journaled).
+    run_and_kill(&dir, &mut received, 0);
+    run_to_completion(&dir, &mut received);
+    assert_eq!(received, golden);
+}
+
+#[test]
+fn corrupt_journal_tail_recovers_without_panic_or_double_emit() {
+    let golden = golden();
+    let dir = fresh_dir("corrupt");
+    let mut received = Vec::new();
+    run_and_kill(&dir, &mut received, 5);
+
+    // Tear the journal the way a crashed filesystem would: chop the tail
+    // mid-record, then flip a byte in what is now the last line. Recovery
+    // must truncate to the last intact record and carry on — the client's
+    // full-input re-stream regenerates whatever the corruption destroyed.
+    let wal = dir.join("journal.log");
+    let mut bytes = std::fs::read(&wal).expect("read journal");
+    assert!(bytes.len() > 32, "journal unexpectedly small");
+    bytes.truncate(bytes.len() - 9);
+    let last = bytes.len() - 3;
+    bytes[last] ^= 0x20;
+    std::fs::write(&wal, &bytes).expect("rewrite corrupted journal");
+
+    run_to_completion(&dir, &mut received);
+    assert_eq!(received, golden, "corruption must cost re-execution, never correctness");
+}
+
+#[test]
+fn clean_shutdown_snapshot_short_circuits_replay() {
+    let golden = golden();
+    let dir = fresh_dir("snapshot");
+    let mut received = Vec::new();
+    run_to_completion(&dir, &mut received);
+    assert_eq!(received, golden);
+    assert!(dir.join("snapshot.json").exists(), "clean shutdown writes the snapshot");
+
+    // Restart with everything already delivered: the snapshot covers the
+    // whole session, so the daemon replays nothing and emits nothing.
+    let mut child = spawn_serve(&[
+        "--journal",
+        dir.to_str().unwrap(),
+        "--resume-from",
+        &golden.len().to_string(),
+    ]);
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    stdin.write_all(STREAM.as_bytes()).expect("write stream");
+    drop(stdin);
+    let out = child.wait_with_output().expect("wait for daemon");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(
+        out.stdout.is_empty(),
+        "nothing to re-deliver: {:?}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("0 replayed"), "snapshot must skip replay entirely: {stderr}");
+}
+
+#[test]
+fn killed_session_keeps_reading_fresh_input_after_the_replayed_prefix() {
+    let golden = golden();
+    let dir = fresh_dir("extend");
+    let mut received = Vec::new();
+    run_and_kill(&dir, &mut received, 3);
+
+    // The resumed client re-streams its input with one *new* job appended:
+    // the dedupe must skip the journaled prefix and admit only the tail.
+    let extended =
+        format!("{STREAM}{}\n", r#"{"kind": "scan", "n": 64, "seed": 99, "id": "fresh"}"#);
+    let resume = received.len().to_string();
+    let mut child = spawn_serve(&["--journal", dir.to_str().unwrap(), "--resume-from", &resume]);
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    stdin.write_all(extended.as_bytes()).expect("write stream");
+    drop(stdin);
+    let out = child.wait_with_output().expect("wait for daemon");
+    assert_eq!(out.status.code(), Some(0));
+    received
+        .extend(String::from_utf8(out.stdout).expect("utf8 stdout").lines().map(str::to_string));
+
+    assert_eq!(received.len(), golden.len() + 1, "exactly one new line for the new job");
+    assert_eq!(received[..golden.len()], golden[..], "replayed prefix unchanged");
+    let fresh = &received[golden.len()];
+    assert!(
+        fresh.contains("\"id\": \"fresh\"") && fresh.contains("\"outcome\": \"ok\""),
+        "{fresh}"
+    );
+    assert!(
+        fresh.contains(&format!("\"seq\": {}", golden.len())),
+        "the new job continues the sequence: {fresh}"
+    );
+}

@@ -6,10 +6,13 @@
 //! The committed stream (`experiments/jobspecs/serve_smoke.jsonl`) covers
 //! every mechanism: clean jobs, a checksum-verified recovery, a rate-limit
 //! shed, a budget-exhausted tenant (typed over-budget rejection), a
-//! contained chaos panic, a watchdog deadline, a tenant-default fault
-//! plan, warm cache hits, a malformed submission, and the stats verb. Its
-//! canonical output is pinned byte-for-byte in
-//! `experiments/golden/serve_smoke.canonical` (CI diffs it too).
+//! predictive-admission refusal, an extent-cap refusal, a contained chaos
+//! panic, a watchdog deadline, a tenant-default fault plan, warm cache
+//! hits, a malformed submission, and the stats verb. Its canonical output
+//! is pinned byte-for-byte in `experiments/golden/serve_smoke.canonical`
+//! (CI diffs it too). Crash recovery itself is exercised by
+//! `tests/chaos.rs`; here we pin the graceful-shutdown paths (drain verb,
+//! SIGTERM) and the journal flag validation.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::process::{Child, Command, Stdio};
@@ -73,7 +76,7 @@ fn smoke_stream_survives_everything_and_matches_the_golden_output() {
     // Pin the semantics behind the bytes, so a careless golden-file
     // regeneration cannot silently change what the stream demonstrates.
     let lines: Vec<&str> = stdout.lines().collect();
-    assert_eq!(lines.len(), 19);
+    assert_eq!(lines.len(), 25);
     for (i, line) in lines.iter().enumerate() {
         assert_eq!(field(line, "seq"), i.to_string(), "output is in input order");
     }
@@ -97,6 +100,10 @@ fn smoke_stream_survives_everything_and_matches_the_golden_output() {
         ("leashed", "\"deadline-exceeded\""),
         ("warm-hit", "\"ok\""),
         ("post-chaos", "\"ok\""),
+        ("forecast-refused", "\"predicted-over-budget\""),
+        ("forecast-fits", "\"ok\""),
+        ("boxed-too-wide", "\"extent-refused\""),
+        ("boxed-fits", "\"ok\""),
     ] {
         assert_eq!(outcome_of(id), want, "{id}");
     }
@@ -112,12 +119,26 @@ fn smoke_stream_survives_everything_and_matches_the_golden_output() {
     let refused = lines.iter().find(|l| l.contains("spender-refused")).unwrap();
     assert_eq!(field(refused, "code"), "12");
     assert_eq!(field(refused, "cost"), "null", "rejected job never executed");
+    // Predictive admission: the closed-form Θ-bound floor (sort: n·√n =
+    // 262144 for n = 4096) already exceeds the tenant's 1000-unit budget,
+    // so the job is refused before a single message is simulated.
+    let predicted = lines.iter().find(|l| l.contains("forecast-refused")).unwrap();
+    assert_eq!(field(predicted, "code"), "13");
+    assert_eq!(field(predicted, "cost"), "null", "refused before execution");
+    assert!(predicted.contains("predicted energy 262144"), "{predicted}");
+    // Extent cap: sort n=256 needs a 16x16 Z-square, the cap is 8x8.
+    let boxed = lines.iter().find(|l| l.contains("boxed-too-wide")).unwrap();
+    assert_eq!(field(boxed, "code"), "14");
+    assert_eq!(field(boxed, "cost"), "null", "refused before execution");
+    assert!(boxed.contains("needs a 16x16 grid"), "{boxed}");
     // The malformed line became a ctl error, not a crash.
     assert!(lines[16].contains("spatial-serve-ctl/v1") && lines[16].contains("unknown kind"));
     // The stats barrier saw every preceding job.
-    assert!(lines[18].contains("spatial-serve-stats/v1"));
-    assert_eq!(field(lines[18], "jobs"), "14");
-    assert_eq!(field(lines[18], "over-budget"), "1");
+    assert!(lines[24].contains("spatial-serve-stats/v1"));
+    assert_eq!(field(lines[24], "jobs"), "18");
+    assert_eq!(field(lines[24], "over-budget"), "1");
+    assert_eq!(field(lines[24], "predicted-over-budget"), "1");
+    assert_eq!(field(lines[24], "extent-refused"), "1");
 }
 
 #[test]
@@ -182,4 +203,68 @@ fn serve_usage_errors_exit_2() {
         .output()
         .expect("spawn");
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn journal_without_canonical_is_a_usage_error() {
+    let dir = std::env::temp_dir().join(format!("spatial-flag-check-{}", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_spatial-dataflow"))
+        .args(["serve", "--journal", dir.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--journal requires --canonical"), "{stderr}");
+}
+
+#[test]
+fn drain_verb_finishes_in_flight_work_and_exits_0() {
+    let mut child = spawn_serve(&["--jobs", "2"]);
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+
+    writeln!(stdin, r#"{{"kind": "scan", "n": 64, "seed": 9, "id": "pre-drain"}}"#).unwrap();
+    writeln!(stdin, r#"{{"op": "drain"}}"#).unwrap();
+    stdin.flush().unwrap();
+
+    // The daemon must answer the in-flight job, ack the drain, and exit 0
+    // with stdin still open — drain, not EOF, ends the session.
+    let mut result = String::new();
+    stdout.read_line(&mut result).expect("job result");
+    assert_eq!(field(&result, "outcome"), "\"ok\"");
+    let mut ack = String::new();
+    stdout.read_line(&mut ack).expect("drain ack");
+    assert!(ack.contains("\"op\": \"drain\"") && ack.contains("\"ok\": true"), "{ack}");
+    let status = child.wait().expect("wait for daemon");
+    assert_eq!(status.code(), Some(0), "drain is a clean shutdown");
+    drop(stdin);
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_gracefully_instead_of_dying() {
+    let mut child = spawn_serve(&["--jobs", "2"]);
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+
+    writeln!(stdin, r#"{{"kind": "scan", "n": 64, "seed": 10, "id": "pre-term"}}"#).unwrap();
+    stdin.flush().unwrap();
+    let mut result = String::new();
+    stdout.read_line(&mut result).expect("job result");
+    assert_eq!(field(&result, "outcome"), "\"ok\"");
+
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    // The drain flag is observed between lines (the handler is a single
+    // atomic store; a blocked read restarts under SA_RESTART), so nudge
+    // the reader with a line the protocol ignores.
+    writeln!(stdin, "# nudge").unwrap();
+    stdin.flush().unwrap();
+
+    let status = child.wait().expect("wait for daemon");
+    assert_eq!(status.code(), Some(0), "SIGTERM must drain, not kill");
+    drop(stdin);
 }
