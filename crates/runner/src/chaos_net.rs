@@ -1,0 +1,251 @@
+//! Seed-deterministic transport fault injection, in the spirit of the
+//! simulator's `FaultPlan`: wrap any `Read + Write` transport in a
+//! [`ChaosTransport`] and a [`NetChaosPlan`] decides — reproducibly — where
+//! the connection tears.
+//!
+//! Faults injected:
+//!
+//! * **Mid-line disconnects** — after [`NetChaosPlan::cut_after`] total
+//!   bytes (both directions combined), I/O fails with `ConnectionReset`.
+//!   A write that crosses the boundary is truncated *at* it, so the peer
+//!   sees a torn line: exactly the worst case the resume protocol must
+//!   absorb.
+//! * **Partial writes** — [`NetChaosPlan::partial_writes`] caps each write
+//!   at a seeded chunk of 1..=`max_chunk` bytes, exercising every caller's
+//!   short-write handling regardless of how the OS happens to coalesce.
+//! * **Injected delays** — [`NetChaosPlan::delay_every`] sleeps a fixed
+//!   amount every n-th I/O call, widening race windows (heartbeats, queue
+//!   stalls) without nondeterminism.
+//!
+//! The wrapper counts everything it does in [`ChaosStats`], so tests can
+//! assert the plan actually fired instead of silently passing on a plan
+//! that never reached its trigger.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+use spatial_rng::Rng;
+
+/// Where and how a transport misbehaves. Built once per connection; all
+/// randomness comes from the seed, so a failing case replays exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetChaosPlan {
+    seed: u64,
+    cut_after_bytes: Option<u64>,
+    max_write_chunk: Option<usize>,
+    delay_every_ops: Option<(u64, u64)>,
+}
+
+impl NetChaosPlan {
+    /// A plan that does nothing until faults are added.
+    pub fn new(seed: u64) -> NetChaosPlan {
+        NetChaosPlan { seed, cut_after_bytes: None, max_write_chunk: None, delay_every_ops: None }
+    }
+
+    /// Cut the connection (ConnectionReset) once `bytes` total bytes have
+    /// crossed it, in either direction. A write spanning the boundary is
+    /// truncated at it — a torn line.
+    pub fn cut_after(mut self, bytes: u64) -> NetChaosPlan {
+        self.cut_after_bytes = Some(bytes);
+        self
+    }
+
+    /// Split writes into seeded chunks of at most `max_chunk` bytes.
+    pub fn partial_writes(mut self, max_chunk: usize) -> NetChaosPlan {
+        self.max_write_chunk = Some(max_chunk.max(1));
+        self
+    }
+
+    /// Sleep `ms` milliseconds on every `ops`-th I/O call.
+    pub fn delay_every(mut self, ops: u64, ms: u64) -> NetChaosPlan {
+        self.delay_every_ops = Some((ops.max(1), ms));
+        self
+    }
+}
+
+/// What a [`ChaosTransport`] actually did — assert on these so a chaos
+/// test that never reached its trigger fails loudly instead of proving
+/// nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Bytes that crossed the transport (both directions).
+    pub bytes: u64,
+    /// I/O calls observed.
+    pub ops: u64,
+    /// Times the cut fired (first trigger and every call after it).
+    pub cuts: u64,
+    /// Writes truncated below the caller's buffer by chunking or the cut
+    /// boundary.
+    pub partials: u64,
+    /// Delays injected.
+    pub delays: u64,
+}
+
+/// A `Read + Write` wrapper that executes a [`NetChaosPlan`]. Wraps the
+/// *client* side of a connection in tests: the daemon under test sees real
+/// torn lines, real resets, real stalls.
+pub struct ChaosTransport<T> {
+    inner: T,
+    plan: NetChaosPlan,
+    rng: Rng,
+    stats: ChaosStats,
+}
+
+impl<T> ChaosTransport<T> {
+    pub fn new(inner: T, plan: NetChaosPlan) -> ChaosTransport<T> {
+        ChaosTransport {
+            inner,
+            plan,
+            rng: Rng::stream(plan.seed ^ 0xC4A0_5BA5_DE7E_C7ED, 0),
+            stats: ChaosStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> ChaosStats {
+        self.stats
+    }
+
+    /// Whether the cut point has been reached (all further I/O fails).
+    pub fn is_cut(&self) -> bool {
+        self.plan.cut_after_bytes.is_some_and(|cut| self.stats.bytes >= cut)
+    }
+
+    pub fn get_ref(&self) -> &T {
+        &self.inner
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    /// Bookkeeping shared by both directions: op count, injected delay,
+    /// and the cut check. `Err` means the connection is (now) dead.
+    fn tick(&mut self) -> io::Result<()> {
+        self.stats.ops += 1;
+        if let Some((every, ms)) = self.plan.delay_every_ops {
+            if self.stats.ops.is_multiple_of(every) {
+                self.stats.delays += 1;
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+        }
+        if self.is_cut() {
+            self.stats.cuts += 1;
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                format!("chaos: connection cut after {} bytes", self.stats.bytes),
+            ));
+        }
+        Ok(())
+    }
+
+    /// How many bytes of an `n`-byte request may proceed: capped by the
+    /// seeded chunk size and truncated at the cut boundary.
+    fn allowance(&mut self, n: usize) -> usize {
+        let mut allowed = n;
+        if let Some(max) = self.plan.max_write_chunk {
+            allowed = allowed.min(self.rng.gen_range(1..=max));
+        }
+        if let Some(cut) = self.plan.cut_after_bytes {
+            allowed = allowed.min((cut - self.stats.bytes.min(cut)) as usize);
+        }
+        allowed
+    }
+}
+
+impl<T: Read> Read for ChaosTransport<T> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.tick()?;
+        let n = self.inner.read(buf)?;
+        self.stats.bytes += n as u64;
+        Ok(n)
+    }
+}
+
+impl<T: Write> Write for ChaosTransport<T> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tick()?;
+        let allowed = self.allowance(buf.len());
+        if allowed == 0 && !buf.is_empty() {
+            // The cut lands exactly here; the truncation already happened
+            // on the previous call, so fail now.
+            self.stats.cuts += 1;
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                format!("chaos: connection cut after {} bytes", self.stats.bytes),
+            ));
+        }
+        let n = self.inner.write(&buf[..allowed])?;
+        self.stats.bytes += n as u64;
+        if n < buf.len() {
+            self.stats.partials += 1;
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_truncates_the_crossing_write_then_resets() {
+        let mut t = ChaosTransport::new(Vec::new(), NetChaosPlan::new(1).cut_after(10));
+        assert_eq!(t.write(b"12345678").unwrap(), 8);
+        // This write crosses the boundary: only 2 of 8 bytes land.
+        assert_eq!(t.write(b"abcdefgh").unwrap(), 2, "torn at the cut point");
+        let err = t.write(b"more").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        assert_eq!(t.get_ref().as_slice(), b"12345678ab");
+        let s = t.stats();
+        assert_eq!((s.bytes, s.partials), (10, 1));
+        assert!(s.cuts >= 1);
+        assert!(t.is_cut());
+    }
+
+    #[test]
+    fn reads_count_toward_the_same_cut_budget() {
+        let data = b"0123456789abcdef".to_vec();
+        let mut t = ChaosTransport::new(io::Cursor::new(data), NetChaosPlan::new(2).cut_after(8));
+        let mut buf = [0u8; 8];
+        t.read_exact(&mut buf).unwrap();
+        let err = t.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    fn partial_writes_are_seeded_and_deterministic() {
+        let run = |seed| {
+            let mut t = ChaosTransport::new(Vec::new(), NetChaosPlan::new(seed).partial_writes(3));
+            let mut written = Vec::new();
+            let payload = b"the quick brown fox jumps over the lazy dog";
+            let mut off = 0;
+            while off < payload.len() {
+                let n = t.write(&payload[off..]).unwrap();
+                written.push(n);
+                off += n;
+            }
+            assert_eq!(t.get_ref().as_slice(), payload, "short writes lose nothing");
+            assert!(written.iter().all(|&n| (1..=3).contains(&n)));
+            assert!(t.stats().partials > 0, "chunking must actually engage");
+            written
+        };
+        assert_eq!(run(7), run(7), "same seed, same chunk schedule");
+        assert_ne!(run(7), run(8), "different seed, different schedule");
+    }
+
+    #[test]
+    fn delays_fire_on_schedule() {
+        let mut t = ChaosTransport::new(
+            Vec::new(),
+            NetChaosPlan::new(3).delay_every(2, 0), // 0 ms: count, don't sleep
+        );
+        for _ in 0..6 {
+            assert_eq!(t.write(b"x").unwrap(), 1);
+        }
+        assert_eq!(t.stats().delays, 3);
+    }
+}

@@ -1,0 +1,341 @@
+//! The resumable reconnecting client for the TCP serve daemon: the other
+//! half of the exactly-once contract the journal makes.
+//!
+//! The protocol is deliberately dumb on the wire and careful at the edges.
+//! Each connection attempt:
+//!
+//! 1. sends `{"op": "hello", "resume_from": N}` where `N` is the number of
+//!    complete result lines observed so far (the watermark);
+//! 2. restreams the **full input** — the daemon dedupes the journaled
+//!    prefix, so restreaming is idempotent and the client needs no
+//!    bookkeeping about which inputs "went through";
+//! 3. half-closes the write side ([`Conn::done_writing`]) so the daemon
+//!    sees clean EOF when it has consumed everything;
+//! 4. reads result lines, discarding transport noise (heartbeat pings,
+//!    the hello ack) and **torn tails** (bytes with no trailing newline —
+//!    a cut connection must not count a half line as received).
+//!
+//! A transport error or short session triggers a reconnect under
+//! [`BackoffPolicy`]-scheduled, seed-deterministic delays; the next hello
+//! carries the advanced watermark, so the daemon redelivers exactly the
+//! journaled lines the client is missing. The concatenation of observed
+//! lines across however many sessions it took is therefore byte-identical
+//! to one uninterrupted run — and [`run_client`] *checks* that: more lines
+//! than the input calls for is duplicate delivery and fails fast rather
+//! than corrupting downstream consumers.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use spatial_core::recovery::BackoffPolicy;
+
+use crate::json::Json;
+use crate::lines;
+
+/// A client-side connection: bidirectional I/O plus half-close, so the
+/// daemon can tell "input finished" from "client died". Implemented for
+/// [`TcpStream`] and for chaos-wrapped streams in tests.
+pub trait Conn: Read + Write + Send {
+    /// Close the write half; reads stay open for the tail of the results.
+    fn done_writing(&mut self) -> io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn done_writing(&mut self) -> io::Result<()> {
+        self.shutdown(std::net::Shutdown::Write)
+    }
+}
+
+impl<T: Read + Write + Send> Conn for crate::chaos_net::ChaosTransport<T>
+where
+    T: Conn,
+{
+    fn done_writing(&mut self) -> io::Result<()> {
+        // Half-close is control-plane, not payload: it doesn't count
+        // toward the chaos byte budget, but a transport already cut stays
+        // cut.
+        if self.is_cut() {
+            return Err(io::Error::new(io::ErrorKind::ConnectionReset, "chaos: connection cut"));
+        }
+        self.get_mut().done_writing()
+    }
+}
+
+/// Reconnection policy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClientConfig {
+    /// Delay schedule between reconnect attempts.
+    pub backoff: BackoffPolicy,
+    /// Seed for the backoff jitter (deterministic per seed).
+    pub seed: u64,
+    /// Reconnect attempts after the first connection (0 = no retry).
+    pub max_reconnects: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig { backoff: BackoffPolicy::DEFAULT, seed: 0, max_reconnects: 8 }
+    }
+}
+
+/// What a completed client run observed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClientSummary {
+    /// Result lines, in order — byte-identical to an uninterrupted run.
+    pub observed: Vec<String>,
+    /// Reconnections that were needed (0 = first connection sufficed).
+    pub reconnects: u32,
+    /// Heartbeat pings filtered out of the stream.
+    pub pings: u64,
+}
+
+/// Why a client run failed. Every variant maps to
+/// [`crate::net::EXIT_TRANSPORT_DISCONNECT`] at the CLI.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Retries exhausted without observing the full result stream.
+    Exhausted { attempts: u32, observed: usize, expected: usize, last: io::Error },
+    /// The daemon rejected the handshake (`"ok": false` ack).
+    Rejected(String),
+    /// The daemon delivered more result lines than the input calls for —
+    /// the exactly-once contract is broken; do not paper over it.
+    DuplicateDelivery { observed: usize, expected: usize },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Exhausted { attempts, observed, expected, last } => write!(
+                f,
+                "gave up after {attempts} attempt(s) with {observed}/{expected} \
+                 result lines (last error: {last})"
+            ),
+            ClientError::Rejected(msg) => write!(f, "handshake rejected: {msg}"),
+            ClientError::DuplicateDelivery { observed, expected } => write!(
+                f,
+                "duplicate delivery: observed {observed} result lines for an input \
+                 with {expected} consuming lines"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One session's verdict, fed back into the reconnect loop.
+enum Session {
+    /// All expected lines observed; done.
+    Complete,
+    /// Clean EOF but lines are still missing (daemon drained mid-stream,
+    /// or the connection died quietly); reconnect.
+    Short,
+    /// Transport error; reconnect.
+    Torn(io::Error),
+}
+
+/// Streams `input` to a daemon reached through `dial`, reconnecting and
+/// resuming until every expected result line has been observed. `dial` is
+/// called per attempt (attempt number passed for logging/chaos plans) —
+/// tests hand back chaos-wrapped connections, `main` hands back plain
+/// `TcpStream`s. Reconnect progress is narrated to `log` (stderr in the
+/// CLI), never stdout: stdout is the result stream.
+pub fn run_client(
+    input: &str,
+    mut dial: impl FnMut(u32) -> io::Result<Box<dyn Conn>>,
+    cfg: &ClientConfig,
+    log: &mut dyn Write,
+) -> Result<ClientSummary, ClientError> {
+    let expected = lines::count_consuming(input);
+    let mut summary = ClientSummary::default();
+    let mut attempt: u32 = 0;
+    loop {
+        if attempt > 0 {
+            summary.reconnects = attempt;
+            let delay = cfg.backoff.delay_ms(cfg.seed, attempt);
+            let _ = writeln!(
+                log,
+                "client: reconnect attempt {attempt} after {delay} ms \
+                 (watermark {}/{expected})",
+                summary.observed.len()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(delay));
+        }
+        let err = match dial(attempt) {
+            Err(e) => e,
+            Ok(conn) => match run_session(conn, input, expected, &mut summary)? {
+                Session::Complete => return Ok(summary),
+                Session::Short => io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!(
+                        "session ended with {}/{} result lines",
+                        summary.observed.len(),
+                        expected
+                    ),
+                ),
+                Session::Torn(e) => e,
+            },
+        };
+        if attempt >= cfg.max_reconnects {
+            return Err(ClientError::Exhausted {
+                attempts: attempt + 1,
+                observed: summary.observed.len(),
+                expected,
+                last: err,
+            });
+        }
+        attempt += 1;
+    }
+}
+
+/// Runs one connection: hello, restream, half-close, read. Fatal protocol
+/// violations (rejection, duplicates) return `Err` and end the whole run;
+/// transport trouble returns `Ok(Torn)` and the caller reconnects.
+fn run_session(
+    mut conn: Box<dyn Conn>,
+    input: &str,
+    expected: usize,
+    summary: &mut ClientSummary,
+) -> Result<Session, ClientError> {
+    let watermark = summary.observed.len();
+    let hello = format!("{{\"op\": \"hello\", \"resume_from\": {watermark}}}\n");
+    if let Err(e) = conn
+        .write_all(hello.as_bytes())
+        .and_then(|()| conn.write_all(input.as_bytes()))
+        .and_then(|()| {
+            if input.ends_with('\n') || input.is_empty() {
+                Ok(())
+            } else {
+                conn.write_all(b"\n")
+            }
+        })
+        .and_then(|()| conn.flush())
+        .and_then(|()| conn.done_writing())
+    {
+        // The daemon may still have results for what did arrive; fall
+        // through to the read phase only if the failure was past the
+        // handshake — simplest correct rule: treat any write failure as a
+        // torn session and reconnect (the watermark protects us).
+        return Ok(Session::Torn(e));
+    }
+
+    let mut reader = BufReader::new(conn);
+    let mut buf = Vec::new();
+    loop {
+        match lines::read_raw_line(&mut reader, &mut buf) {
+            Err(e) => return Ok(Session::Torn(e)),
+            Ok(0) => {
+                return Ok(if summary.observed.len() == expected {
+                    Session::Complete
+                } else {
+                    Session::Short
+                });
+            }
+            Ok(_) => {
+                if !lines::is_complete(&buf) {
+                    // Torn tail: never count a half line. EOF follows.
+                    continue;
+                }
+                let line = String::from_utf8_lossy(&buf);
+                let line = line.trim_end_matches(['\n', '\r']);
+                match classify(line) {
+                    Observed::Ping => summary.pings += 1,
+                    Observed::HelloOk => {}
+                    Observed::HelloRejected(msg) => return Err(ClientError::Rejected(msg)),
+                    Observed::Result => {
+                        if summary.observed.len() >= expected {
+                            return Err(ClientError::DuplicateDelivery {
+                                observed: summary.observed.len() + 1,
+                                expected,
+                            });
+                        }
+                        summary.observed.push(line.to_string());
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum Observed {
+    Ping,
+    HelloOk,
+    HelloRejected(String),
+    Result,
+}
+
+/// Sorts a received line into transport noise vs. payload. Unparseable
+/// lines count as payload: the daemon only emits valid JSON, so whatever
+/// arrived is the stream the caller asked to observe.
+fn classify(line: &str) -> Observed {
+    let Ok(v) = Json::parse(line) else { return Observed::Result };
+    match v.get("schema").and_then(Json::as_str) {
+        Some("spatial-serve-ping/v1") => Observed::Ping,
+        Some("spatial-serve-hello/v1") => {
+            if v.get("ok").and_then(Json::as_bool) == Some(true) {
+                Observed::HelloOk
+            } else {
+                let msg = v
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("daemon said no, without a reason")
+                    .to_string();
+                Observed::HelloRejected(msg)
+            }
+        }
+        _ => Observed::Result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_separates_noise_from_payload() {
+        assert!(matches!(
+            classify(r#"{"schema": "spatial-serve-ping/v1", "nonce": 3}"#),
+            Observed::Ping
+        ));
+        assert!(matches!(
+            classify(r#"{"schema": "spatial-serve-hello/v1", "ok": true, "error": null}"#),
+            Observed::HelloOk
+        ));
+        let rejected =
+            classify(r#"{"schema": "spatial-serve-hello/v1", "ok": false, "error": "nope"}"#);
+        match rejected {
+            Observed::HelloRejected(msg) => assert_eq!(msg, "nope"),
+            _ => panic!("rejection not classified"),
+        }
+        assert!(matches!(
+            classify(r#"{"schema": "spatial-batch-report/v1", "seq": 0}"#),
+            Observed::Result
+        ));
+        assert!(matches!(classify("garbage"), Observed::Result));
+    }
+
+    #[test]
+    fn dial_failures_are_retried_then_reported() {
+        let cfg = ClientConfig { backoff: BackoffPolicy::NONE, seed: 1, max_reconnects: 2 };
+        let mut calls = 0u32;
+        let mut log = Vec::new();
+        let err = run_client(
+            "{\"kind\": \"scan\", \"n\": 16, \"seed\": 1}\n",
+            |_attempt| {
+                calls += 1;
+                Err(io::Error::new(io::ErrorKind::ConnectionRefused, "nobody home"))
+            },
+            &cfg,
+            &mut log,
+        )
+        .unwrap_err();
+        assert_eq!(calls, 3, "initial attempt + 2 reconnects");
+        match err {
+            ClientError::Exhausted { attempts, observed, expected, .. } => {
+                assert_eq!((attempts, observed, expected), (3, 0, 1));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        let log = String::from_utf8(log).unwrap();
+        assert!(log.contains("reconnect attempt 1"), "{log}");
+    }
+}

@@ -341,6 +341,23 @@ impl Outcome {
         Outcome::ALL.into_iter().find(|o| o.label() == s)
     }
 
+    /// Index of this outcome in [`Outcome::ALL`] (stats buckets). Total by
+    /// construction — a match, not a searched `position().expect()` — so
+    /// adding a variant without extending `ALL` is a compile error here,
+    /// not a panic in the daemon's emission path.
+    pub fn index(self) -> usize {
+        match self {
+            Outcome::Ok => 0,
+            Outcome::Degraded => 1,
+            Outcome::Panicked => 2,
+            Outcome::DeadlineExceeded => 3,
+            Outcome::Shed => 4,
+            Outcome::OverBudget => 5,
+            Outcome::PredictedOverBudget => 6,
+            Outcome::ExtentRefused => 7,
+        }
+    }
+
     /// The exit-code-style classification of this outcome, extending the
     /// [`SpatialError`] taxonomy (codes 2–11): 0 ok, 1 panicked, 8 degraded
     /// (recovery exhausted), 9 deadline exceeded, 10 shed, 12 over budget,

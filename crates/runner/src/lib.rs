@@ -30,6 +30,20 @@
 //! * [`journal`] — the checksum-framed write-ahead journal and atomic
 //!   snapshot that make the daemon survive SIGKILL at any instant with
 //!   exactly-once output;
+//! * [`lines`] — the invalid-UTF-8-tolerant line reader shared by the
+//!   stdin path, the socket path and the client (one implementation of
+//!   the consuming-line rules, used by all three);
+//! * [`net`] — the TCP front end: supervised per-connection sessions with
+//!   a `hello` handshake binding a resume watermark, `ping`/`pong`
+//!   heartbeats with idle timeouts, bounded output queues with slow-client
+//!   disconnection, and a drain-aware accept loop;
+//! * [`client`] — the resumable reconnecting client: `BackoffPolicy`-driven
+//!   retry, resume-from-watermark handshakes, and duplicate/loss detection
+//!   so an interrupted session still observes the exact uninterrupted
+//!   stream;
+//! * [`chaos_net`] — seed-deterministic transport fault injection
+//!   ([`chaos_net::ChaosTransport`]): partial writes, torn lines, injected
+//!   delays and mid-line disconnects for the chaos matrix;
 //! * [`json`] — the in-tree JSON reader backing jobspec files (the build
 //!   is hermetic: no serde).
 //!
@@ -56,9 +70,13 @@
 
 pub mod batch;
 pub mod cache;
+pub mod chaos_net;
+pub mod client;
 pub mod job;
 pub mod journal;
 pub mod json;
+pub mod lines;
+pub mod net;
 pub mod pool;
 pub mod report;
 pub mod serve;
@@ -66,11 +84,17 @@ pub mod tenant;
 
 pub use batch::{run_batch, run_jobspec, write_report, Batch, BatchConfig};
 pub use cache::{CacheKey, ResultCache};
+pub use chaos_net::{ChaosTransport, NetChaosPlan};
+pub use client::{run_client, ClientConfig, ClientError, ClientSummary, Conn};
 pub use job::{JobKind, JobResult, JobSpec, Outcome};
 pub use journal::{Journal, Recovered, Snapshot};
+pub use net::{
+    serve_listener, spawn_listener, NetConfig, NetHandle, NetSummary, SessionEnd,
+    EXIT_TRANSPORT_DISCONNECT,
+};
 pub use pool::{run_supervised, PoolConfig, Task, TaskOutcome};
 pub use report::BatchReport;
-pub use serve::{request_drain, serve, ServeConfig, ServeSummary};
+pub use serve::{drain_requested, request_drain, serve, ServeConfig, ServeSummary};
 pub use tenant::{DrrScheduler, ExtentCap, RateLimit, Submission, TenantConfig, TenantSnapshot};
 
 use spatial_core::model::{Cost, Machine};

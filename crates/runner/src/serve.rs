@@ -61,7 +61,7 @@ use std::io::{self, BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use spatial_core::model::CancelToken;
@@ -107,6 +107,12 @@ pub struct ServeConfig {
     /// client already received. Output for sequence numbers below this is
     /// suppressed on recovery instead of re-delivered.
     pub resume_from: u64,
+    /// Discard a final line with no trailing newline instead of consuming
+    /// it. Off for stdin (a file's unterminated last line is intentional);
+    /// on for socket sessions, where a missing newline means the transport
+    /// was cut mid-line and the reconnect will restream the line whole —
+    /// consuming the torn half would poison the exactly-once dedupe.
+    pub discard_torn_tail: bool,
 }
 
 impl Default for ServeConfig {
@@ -121,6 +127,7 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             journal: None,
             resume_from: 0,
+            discard_torn_tail: false,
         }
     }
 }
@@ -138,6 +145,10 @@ pub struct ServeSummary {
     pub errors: u64,
     /// Journaled input lines re-driven through the pipeline at startup.
     pub replayed: u64,
+    /// Whether the session ended by drain (the `{"op": "drain"}` verb or
+    /// [`request_drain`]) rather than plain EOF. The TCP supervision layer
+    /// uses this to classify how a connection ended.
+    pub drained: bool,
 }
 
 /// Signals the serving loop to drain: stop admitting input, finish what is
@@ -150,11 +161,28 @@ pub fn request_drain() {
     DRAIN.store(true, Ordering::SeqCst);
 }
 
+/// Whether a process-wide drain has been requested ([`request_drain`],
+/// typically from the SIGTERM handler). The TCP accept loop polls this so
+/// drain wakes a listener even with zero live connections.
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::SeqCst)
+}
+
 static DRAIN: AtomicBool = AtomicBool::new(false);
 
-/// Index of `o` in [`Outcome::ALL`] (stats bucket).
-fn idx(o: Outcome) -> usize {
-    Outcome::ALL.iter().position(|&x| x == o).expect("outcome in ALL")
+/// Locks `m`, recovering the guard from a poisoned lock. A worker that
+/// panicked inside the critical section must never take the whole daemon
+/// down with it: the panic is already contained and reported elsewhere
+/// (per-job `catch_unwind`, thread join), and every structure under these
+/// locks is updated in a single assignment or append, so a recovered guard
+/// is safe to keep using.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock`].
+fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(|e| e.into_inner())
 }
 
 /// Rolling aggregates behind the `stats` verb. Updated at *emission* time,
@@ -342,7 +370,7 @@ pub fn serve<R: BufRead, W: Write + Send>(
                 std::thread::sleep(tick);
                 let now = Instant::now();
                 for slot in &slots {
-                    if let Some((token, deadline)) = &*slot.lock().unwrap() {
+                    if let Some((token, deadline)) = &*lock(slot) {
                         if now >= *deadline {
                             token.cancel();
                         }
@@ -361,7 +389,7 @@ pub fn serve<R: BufRead, W: Write + Send>(
         // suppressed below `resume_from`, journal appends below the
         // already-durable watermark).
         for payload in recovered.inputs.get(base as usize..).unwrap_or_default() {
-            let mut g = core.lock().unwrap();
+            let mut g = lock(&core);
             let seq = g.seq;
             g.seq += 1;
             g.summary.replayed += 1;
@@ -371,9 +399,11 @@ pub fn serve<R: BufRead, W: Write + Send>(
         }
 
         // Reader loop. On a read error the daemon still drains what it
-        // already admitted before reporting the error. Raw `read_until`
-        // (not `lines()`) so invalid UTF-8 becomes a per-line ctl error,
-        // never a daemon exit.
+        // already admitted before reporting the error. The shared raw-line
+        // reader ([`crate::lines`], `read_until`-based, never `lines()`)
+        // turns invalid UTF-8 into a per-line ctl error, never a daemon
+        // exit — and the DRAIN check runs after *every* raw line, comments
+        // included, so a nudge on a quiet stream is enough to drain.
         let read_result: io::Result<()> = (|| {
             let mut dedupe = 0usize;
             let mut buf = Vec::new();
@@ -381,20 +411,20 @@ pub fn serve<R: BufRead, W: Write + Send>(
                 if DRAIN.load(Ordering::SeqCst) {
                     break; // SIGTERM: stop admitting, drain, snapshot
                 }
-                buf.clear();
-                let n = loop {
-                    match input.read_until(b'\n', &mut buf) {
-                        Ok(n) => break n,
-                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                        Err(e) => return Err(e),
-                    }
-                };
+                let n = crate::lines::read_raw_line(&mut input, &mut buf)?;
                 if n == 0 {
                     break; // EOF
                 }
-                let lossy = String::from_utf8_lossy(&buf);
-                let trimmed = lossy.trim();
-                if trimmed.is_empty() || trimmed.starts_with('#') {
+                if cfg.discard_torn_tail && !crate::lines::is_complete(&buf) {
+                    continue; // cut mid-line; the next read is EOF
+                }
+                let trimmed = match crate::lines::consuming(&buf) {
+                    Some(t) => t,
+                    None => continue,
+                };
+                if crate::lines::is_pong(&trimmed) {
+                    // Heartbeat reply: transport-level noise, no sequence
+                    // number, no output line — canonical purity holds.
                     continue;
                 }
                 // Exactly-once dedupe: a resuming client re-streams its
@@ -409,7 +439,7 @@ pub fn serve<R: BufRead, W: Write + Send>(
                     }
                     dedupe = recovered.inputs.len();
                 }
-                let mut g = core.lock().unwrap();
+                let mut g = lock(&core);
                 let seq = g.seq;
                 g.seq += 1;
                 g.summary.lines += 1;
@@ -417,12 +447,12 @@ pub fn serve<R: BufRead, W: Write + Send>(
                     // Write-ahead: the input is durable before any of its
                     // effects are.
                     if let Some(j) = g.journal.as_mut() {
-                        if let Err(e) = j.append(RecordKind::Input, seq, trimmed) {
+                        if let Err(e) = j.append(RecordKind::Input, seq, &trimmed) {
                             g.io_err = Some(e);
                         }
                     }
                 }
-                handle_line(&mut g, seq, trimmed, cfg);
+                handle_line(&mut g, seq, &trimmed, cfg);
                 let drained = g.drain;
                 drop(g);
                 work.notify_all();
@@ -433,11 +463,12 @@ pub fn serve<R: BufRead, W: Write + Send>(
             Ok(())
         })();
 
-        let mut g = core.lock().unwrap();
+        let mut g = lock(&core);
         g.closed = true;
+        g.summary.drained = g.drain || DRAIN.load(Ordering::SeqCst);
         work.notify_all();
         while g.inflight > 0 || g.sched.pending() > 0 || !g.ready.is_empty() {
-            g = done.wait(g).unwrap();
+            g = wait(&done, g);
         }
         drop(g);
         work.notify_all();
@@ -445,7 +476,7 @@ pub fn serve<R: BufRead, W: Write + Send>(
         read_result
     })?;
 
-    let mut g = core.into_inner().unwrap();
+    let mut g = core.into_inner().unwrap_or_else(|e| e.into_inner());
     if let Some(e) = g.io_err.take() {
         return Err(e);
     }
@@ -536,7 +567,7 @@ fn worker_loop<W: Write + Send>(
 ) {
     loop {
         let (sub, effective, key) = {
-            let mut g = core.lock().unwrap();
+            let mut g = lock(core);
             'pick: loop {
                 while let Some(sub) = g.sched.next() {
                     if g.sched.over_budget(&sub.tenant) {
@@ -610,7 +641,7 @@ fn worker_loop<W: Write + Send>(
                 if g.closed && g.inflight == 0 && g.sched.pending() == 0 {
                     return;
                 }
-                g = work.wait(g).unwrap();
+                g = wait(work, g);
             }
         };
 
@@ -618,12 +649,11 @@ fn worker_loop<W: Write + Send>(
         spec.budget = effective;
         let token = CancelToken::new();
         if let Some(ms) = spec.deadline_ms.or(cfg.default_deadline_ms) {
-            *slots[wi].lock().unwrap() =
-                Some((token.clone(), Instant::now() + Duration::from_millis(ms)));
+            *lock(&slots[wi]) = Some((token.clone(), Instant::now() + Duration::from_millis(ms)));
         }
         let started = Instant::now();
         let executed = catch_unwind(AssertUnwindSafe(|| execute(&spec, &token, &cfg.backoff)));
-        *slots[wi].lock().unwrap() = None;
+        *lock(&slots[wi]) = None;
         let mut result = match executed {
             Ok(r) => r,
             Err(payload) => JobResult::panicked(&spec, panic_message(payload.as_ref())),
@@ -631,7 +661,7 @@ fn worker_loop<W: Write + Send>(
         result.wall_ms = started.elapsed().as_millis() as u64;
         let energy = result.cost.map_or(0, |c| c.energy);
 
-        let mut g = core.lock().unwrap();
+        let mut g = lock(core);
         g.cache.insert(key, &result);
         g.sched.complete(&sub.tenant, energy);
         g.inflight -= 1;
@@ -687,7 +717,7 @@ fn try_emit<W: Write>(g: &mut Core<W>) {
             Pending::Line(s) => s,
             Pending::Job { line, outcome, energy, wall_ms, cached, looked_up, attempts } => {
                 g.agg.jobs += 1;
-                g.agg.counts[idx(outcome)] += 1;
+                g.agg.counts[outcome.index()] += 1;
                 g.agg.attempts += u64::from(attempts);
                 if let Some(e) = energy {
                     g.agg.energy_total += e;
@@ -790,8 +820,8 @@ fn stats_line(seq: u64, agg: &Agg, canonical: bool, cache_len: usize, cache_cap:
     }
     s.push_str(&format!("\"attempts\": {}, ", agg.attempts));
     s.push_str(&format!("\"energy_total\": {}, ", agg.energy_total));
-    s.push_str(&format!("\"shed_rate\": {}, ", rate(agg.counts[idx(Outcome::Shed)])));
-    s.push_str(&format!("\"degradation_rate\": {}, ", rate(agg.counts[idx(Outcome::Degraded)])));
+    s.push_str(&format!("\"shed_rate\": {}, ", rate(agg.counts[Outcome::Shed.index()])));
+    s.push_str(&format!("\"degradation_rate\": {}, ", rate(agg.counts[Outcome::Degraded.index()])));
     s.push_str(&format!("\"energy_p50\": {}, ", opt(percentile(&agg.energies, 50))));
     s.push_str(&format!("\"energy_p99\": {}", opt(percentile(&agg.energies, 99))));
     if !canonical {
@@ -919,7 +949,10 @@ mod tests {
             assert_eq!(field(l, "seq"), i.to_string());
             Json::parse(l).expect("every output line is valid JSON");
         }
-        assert_eq!(summary, ServeSummary { lines: 3, jobs: 2, errors: 0, replayed: 0 });
+        assert_eq!(
+            summary,
+            ServeSummary { lines: 3, jobs: 2, errors: 0, replayed: 0, drained: false }
+        );
     }
 
     #[test]
@@ -1084,6 +1117,31 @@ this is not json
         assert_eq!(field(lines[0], "outcome"), "\"ok\"");
         assert!(lines[1].contains("\"op\": \"drain\"") && lines[1].contains("\"ok\": true"));
         assert_eq!(summary.lines, 2, "the post-drain line was never consumed");
+        assert!(summary.drained, "the summary records the drain");
+    }
+
+    #[test]
+    fn pong_lines_are_transport_noise_not_consuming() {
+        let input = r#"
+{"kind": "scan", "n": 16, "seed": 1, "id": "first"}
+{"op": "pong"}
+{"op": "pong", "nonce": 7}
+{"kind": "scan", "n": 16, "seed": 2, "id": "second"}
+"#;
+        let (out, summary) = run(input, 2, true);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "pongs consume no seq and emit nothing: {out}");
+        assert_eq!(field(lines[0], "seq"), "0");
+        assert_eq!(field(lines[1], "seq"), "1", "seq numbering skips heartbeat replies");
+        assert_eq!(summary.lines, 2);
+        assert!(!summary.drained);
+    }
+
+    #[test]
+    fn outcome_index_matches_all_order() {
+        for (i, o) in Outcome::ALL.into_iter().enumerate() {
+            assert_eq!(o.index(), i, "{o:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! Seeded network-chaos matrix for the TCP front end.
+//!
+//! Every scenario runs a real loopback listener ([`runner::net`]) against
+//! the reconnecting client ([`runner::client`]), with the client's
+//! transport wrapped in a seed-deterministic [`ChaosTransport`]. The
+//! acceptance bar is the same byte-exactness the SIGKILL harness enforces:
+//! whatever the chaos plan does — torn lines, partial writes, injected
+//! delays, mid-line disconnects — the client's concatenated observed
+//! stream must equal one uninterrupted in-process run, with no duplicate
+//! and no lost result lines (the client itself fails on a duplicate, so a
+//! passing run *is* the exactly-once proof).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use runner::chaos_net::{ChaosTransport, NetChaosPlan};
+use runner::client::{run_client, ClientConfig, Conn};
+use runner::net::{spawn_listener, NetConfig, SessionEnd};
+use runner::{serve, ServeConfig};
+use spatial_core::recovery::BackoffPolicy;
+
+/// Same shape as the SIGKILL harness stream: every admission layer, a
+/// contained panic, and the stats barrier, so resume is tested against
+/// state it actually has to rebuild.
+const STREAM: &str = r#"{"op": "tenant", "tenant": "meter", "budget": 700, "predict": true}
+{"op": "tenant", "tenant": "boxed", "extent": {"rows": 8, "cols": 8}}
+{"kind": "scan", "n": 64, "seed": 1, "id": "j0"}
+{"kind": "sort", "n": 256, "seed": 2, "id": "j1"}
+{"kind": "scan", "n": 64, "seed": 4, "tenant": "meter", "id": "m0"}
+{"kind": "scan", "n": 64, "seed": 5, "tenant": "meter", "id": "m1"}
+{"kind": "sort", "n": 4096, "seed": 6, "tenant": "meter", "id": "m-predicted"}
+{"kind": "scan", "n": 64, "seed": 7, "tenant": "meter", "id": "m-burn"}
+{"kind": "scan", "n": 16, "seed": 8, "tenant": "meter", "id": "m-refused"}
+{"kind": "sort", "n": 256, "seed": 9, "tenant": "boxed", "id": "b-wide"}
+{"kind": "scan", "n": 64, "seed": 10, "tenant": "boxed", "id": "b-fits"}
+{"kind": "select", "n": 128, "k": 32, "seed": 11, "id": "j3"}
+{"kind": "chaos-panic", "id": "j6"}
+{"kind": "scan", "n": 64, "seed": 14, "id": "j7"}
+{"op": "stats"}
+"#;
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig { workers: 2, canonical: true, ..Default::default() }
+}
+
+/// The uninterrupted transcript: one in-process, journal-free run.
+fn golden() -> Vec<String> {
+    let mut out = Vec::new();
+    serve(io::Cursor::new(STREAM.to_string()), &mut out, &serve_cfg()).expect("golden serve");
+    let text = String::from_utf8(out).expect("utf8 golden");
+    for code in ["\"code\": 12", "\"code\": 13", "\"code\": 14"] {
+        assert!(text.contains(code), "golden lost its {code} line:\n{text}");
+    }
+    text.lines().map(str::to_string).collect()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spatial-netchaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fast_client() -> ClientConfig {
+    ClientConfig {
+        backoff: BackoffPolicy { base_ms: 1, factor: 2, max_ms: 4, jitter: 0.0 },
+        seed: 7,
+        max_reconnects: 6,
+    }
+}
+
+#[test]
+fn clean_loopback_session_matches_the_inprocess_golden() {
+    let golden = golden();
+    let handle =
+        spawn_listener("127.0.0.1:0", serve_cfg(), NetConfig::default()).expect("bind loopback");
+    let addr = handle.addr();
+    let mut log = Vec::new();
+    let summary = run_client(
+        STREAM,
+        |_| Ok(Box::new(TcpStream::connect(addr)?) as Box<dyn Conn>),
+        &fast_client(),
+        &mut log,
+    )
+    .expect("clean session completes");
+    assert_eq!(summary.reconnects, 0, "{}", String::from_utf8_lossy(&log));
+    assert_eq!(summary.observed, golden, "TCP transcript == stdin transcript, byte for byte");
+    let net = handle.stop().expect("listener stops");
+    assert_eq!(net.sessions, 1);
+    assert_eq!(net.count(SessionEnd::Eof), 1);
+}
+
+/// The chaos matrix: ≥3 disconnect points × torn-line/partial-write/delay
+/// variants. Each cell gets a fresh journal; the first connection runs
+/// under the plan and tears, the reconnect resumes from the watermark.
+#[test]
+fn chaos_matrix_every_plan_resumes_byte_identical() {
+    let golden = golden();
+    // Cut points land in the hello/input write phase (200), at the end of
+    // the input stream (700), and mid-read of the results (1800) — the
+    // three qualitatively different places a connection can die.
+    type Shaper = fn(NetChaosPlan) -> NetChaosPlan;
+    let cuts: [u64; 3] = [200, 700, 1800];
+    let variants: [(&str, Shaper); 3] = [
+        ("cut", |p| p),
+        ("cut+partial", |p| p.partial_writes(5)),
+        ("cut+delay", |p| p.delay_every(9, 2)),
+    ];
+    for (ci, &cut) in cuts.iter().enumerate() {
+        for (vi, (name, shape)) in variants.iter().enumerate() {
+            let seed = 0xBEEF + (ci * 3 + vi) as u64;
+            let plan = shape(NetChaosPlan::new(seed).cut_after(cut));
+            let dir = fresh_dir(&format!("matrix-{ci}-{vi}"));
+            let cfg = ServeConfig { journal: Some(dir.clone()), ..serve_cfg() };
+            let handle =
+                spawn_listener("127.0.0.1:0", cfg, NetConfig::default()).expect("bind loopback");
+            let addr = handle.addr();
+            let mut log = Vec::new();
+            let summary = run_client(
+                STREAM,
+                |attempt| {
+                    let stream = TcpStream::connect(addr)?;
+                    Ok(if attempt == 0 {
+                        Box::new(ChaosTransport::new(stream, plan)) as Box<dyn Conn>
+                    } else {
+                        Box::new(stream)
+                    })
+                },
+                &fast_client(),
+                &mut log,
+            )
+            .unwrap_or_else(|e| {
+                panic!("plan {name}@{cut} failed: {e}\nlog: {}", String::from_utf8_lossy(&log))
+            });
+            assert!(
+                summary.reconnects >= 1,
+                "plan {name}@{cut} never tore the connection — the cell proves nothing"
+            );
+            assert_eq!(
+                summary.observed, golden,
+                "plan {name}@{cut}: observed stream diverged from the golden"
+            );
+            handle.stop().expect("listener stops");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Two consecutive torn connections (each cutting deeper than the last)
+/// before a clean one: the watermark must advance monotonically across
+/// multiple failures, not just one.
+#[test]
+fn double_cut_still_resumes_exactly_once() {
+    let golden = golden();
+    let dir = fresh_dir("double");
+    let cfg = ServeConfig { journal: Some(dir.clone()), ..serve_cfg() };
+    let handle = spawn_listener("127.0.0.1:0", cfg, NetConfig::default()).expect("bind loopback");
+    let addr = handle.addr();
+    let mut log = Vec::new();
+    let summary = run_client(
+        STREAM,
+        |attempt| {
+            let stream = TcpStream::connect(addr)?;
+            Ok(match attempt {
+                0 => Box::new(ChaosTransport::new(stream, NetChaosPlan::new(1).cut_after(400)))
+                    as Box<dyn Conn>,
+                1 => Box::new(ChaosTransport::new(stream, NetChaosPlan::new(2).cut_after(2500))),
+                _ => Box::new(stream),
+            })
+        },
+        &fast_client(),
+        &mut log,
+    )
+    .expect("third connection completes the stream");
+    assert!(summary.reconnects >= 2, "both cuts must fire");
+    assert_eq!(summary.observed, golden);
+    handle.stop().expect("listener stops");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn non_hello_first_line_is_rejected_and_daemon_keeps_serving() {
+    let golden = golden();
+    let handle =
+        spawn_listener("127.0.0.1:0", serve_cfg(), NetConfig::default()).expect("bind loopback");
+    let addr = handle.addr();
+
+    // A peer that skips the handshake gets a typed rejection, not service.
+    let mut rude = TcpStream::connect(addr).expect("connect");
+    rude.write_all(b"{\"kind\": \"scan\", \"n\": 16, \"seed\": 1}\n").expect("write");
+    rude.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let mut reply = String::new();
+    BufReader::new(&rude).read_to_string(&mut reply).expect("read rejection");
+    assert!(reply.contains("spatial-serve-hello/v1"), "{reply}");
+    assert!(reply.contains("\"ok\": false"), "{reply}");
+    assert!(reply.contains("hello"), "{reply}");
+    drop(rude);
+
+    // The daemon is unharmed: the next, well-behaved client gets served.
+    let mut log = Vec::new();
+    let summary = run_client(
+        STREAM,
+        |_| Ok(Box::new(TcpStream::connect(addr)?) as Box<dyn Conn>),
+        &fast_client(),
+        &mut log,
+    )
+    .expect("session after rejection");
+    assert_eq!(summary.observed, golden);
+    let net = handle.stop().expect("listener stops");
+    assert_eq!(net.sessions, 2);
+    assert_eq!(net.count(SessionEnd::HandshakeRejected), 1);
+    assert_eq!(net.count(SessionEnd::Eof), 1);
+}
+
+#[test]
+fn resume_without_a_journal_is_rejected_in_the_handshake() {
+    let handle =
+        spawn_listener("127.0.0.1:0", serve_cfg(), NetConfig::default()).expect("bind loopback");
+    let addr = handle.addr();
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.write_all(b"{\"op\": \"hello\", \"resume_from\": 3}\n").expect("write hello");
+    conn.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let mut reply = String::new();
+    BufReader::new(&conn).read_to_string(&mut reply).expect("read rejection");
+    assert!(reply.contains("\"ok\": false") && reply.contains("journal"), "{reply}");
+    let net = handle.stop().expect("listener stops");
+    assert_eq!(net.count(SessionEnd::HandshakeRejected), 1);
+}
+
+#[test]
+fn silent_client_is_pinged_then_idle_disconnected() {
+    let net_cfg = NetConfig { heartbeat_ms: 30, max_missed: 2, ..NetConfig::default() };
+    let handle = spawn_listener("127.0.0.1:0", serve_cfg(), net_cfg).expect("bind loopback");
+    let conn = TcpStream::connect(handle.addr()).expect("connect");
+    let mut writer = conn.try_clone().expect("clone");
+    writer.write_all(b"{\"op\": \"hello\"}\n").expect("write hello");
+    // Say nothing more; the daemon must ping, give up, and close.
+    let mut reader = BufReader::new(&conn);
+    let mut pings = 0;
+    let start = Instant::now();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read");
+        if n == 0 {
+            break; // daemon hung up
+        }
+        if line.contains("spatial-serve-ping/v1") {
+            pings += 1;
+        }
+        assert!(start.elapsed() < Duration::from_secs(10), "idle cutoff never fired");
+    }
+    assert!(pings >= 1, "the daemon must ping before giving up");
+    let net = handle.stop().expect("listener stops");
+    assert_eq!(net.count(SessionEnd::IdleTimeout), 1);
+}
+
+#[test]
+fn pong_replies_keep_an_idle_session_alive() {
+    let net_cfg = NetConfig { heartbeat_ms: 30, max_missed: 2, ..NetConfig::default() };
+    let handle = spawn_listener("127.0.0.1:0", serve_cfg(), net_cfg).expect("bind loopback");
+    let conn = TcpStream::connect(handle.addr()).expect("connect");
+    let mut writer = conn.try_clone().expect("clone");
+    writer.write_all(b"{\"op\": \"hello\"}\n").expect("write hello");
+    let mut reader = BufReader::new(&conn);
+    // Answer enough pings to outlive several ping windows (2 misses at
+    // 30 ms would have cut an unresponsive peer well before round 5).
+    let mut rounds = 0;
+    while rounds < 5 {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read");
+        assert_ne!(n, 0, "daemon dropped a responsive session after {rounds} pongs");
+        if line.contains("spatial-serve-ping/v1") {
+            writer.write_all(b"{\"op\": \"pong\"}\n").expect("write pong");
+            rounds += 1;
+        }
+    }
+    // Still alive: submit a job and get its result.
+    writer
+        .write_all(b"{\"kind\": \"scan\", \"n\": 16, \"seed\": 1, \"id\": \"late\"}\n")
+        .expect("job");
+    writer.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let mut result = None;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read");
+        if n == 0 {
+            break;
+        }
+        if line.contains("spatial-batch-report/v1") {
+            result = Some(line);
+        }
+    }
+    let result = result.expect("the post-pong job was served");
+    assert!(result.contains("\"id\": \"late\"") && result.contains("\"outcome\": \"ok\""));
+    let net = handle.stop().expect("listener stops");
+    assert_eq!(net.count(SessionEnd::Eof), 1, "pongs kept it out of idle-timeout");
+}
+
+/// Satellite: the drain flag must wake a listener that is sitting in
+/// accept with zero clients — a drain must never hang on an idle daemon.
+#[test]
+fn stop_wakes_an_idle_accept_loop_promptly() {
+    let handle =
+        spawn_listener("127.0.0.1:0", serve_cfg(), NetConfig::default()).expect("bind loopback");
+    std::thread::sleep(Duration::from_millis(60)); // let it reach accept
+    let start = Instant::now();
+    let net = handle.stop().expect("listener stops");
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "stop must interrupt the accept wait, not hang"
+    );
+    assert_eq!(net.sessions, 0);
+}
+
+#[test]
+fn inband_drain_verb_shuts_the_whole_listener_down() {
+    let handle =
+        spawn_listener("127.0.0.1:0", serve_cfg(), NetConfig::default()).expect("bind loopback");
+    let mut conn = TcpStream::connect(handle.addr()).expect("connect");
+    conn.write_all(b"{\"op\": \"hello\"}\n{\"op\": \"drain\"}\n").expect("write");
+    let mut reply = String::new();
+    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+    reader.read_to_string(&mut reply).expect("drain ack then EOF");
+    assert!(reply.contains("\"op\": \"drain\"") && reply.contains("\"ok\": true"), "{reply}");
+    // No stop() call: the verb alone must end the accept loop.
+    let net = handle.join().expect("listener drained itself");
+    assert_eq!(net.count(SessionEnd::Drained), 1);
+}

@@ -9,8 +9,15 @@
 //! numbers). A parser panic fails the test by propagating out of
 //! `serve`'s thread scope; a swallowed or duplicated reply fails the
 //! line-count accounting.
+//!
+//! The same soup is also fired over a real loopback socket: the TCP front
+//! end shares the serve loop, but adds a handshake, heartbeat timers, and
+//! a bounded output queue between the bytes and the parser — none of which
+//! may change the answer-every-consuming-line invariant.
 
-use runner::{serve, ServeConfig};
+use std::io::{Read, Write};
+
+use runner::{serve, spawn_listener, NetConfig, ServeConfig};
 use spatial_rng::Rng;
 
 /// Replicates the serve reader's consuming-line test: lossy-decode, trim,
@@ -22,9 +29,11 @@ fn consumes(line: &[u8]) -> bool {
     !trimmed.is_empty() && !trimmed.starts_with('#')
 }
 
-/// One fuzzed line, newline-free. The `drain` token is excluded from every
-/// generator: a fuzzed drain verb would legitimately end the session early
-/// and invalidate the line-count invariant this test pins.
+/// One fuzzed line, newline-free. Two tokens are excluded from every
+/// generator: `drain` (a fuzzed drain verb would legitimately end the
+/// session early) and `pong` (heartbeat replies are transport noise and
+/// consume no sequence number) — either would invalidate the line-count
+/// invariant this test pins without indicating a bug.
 fn gen_line(rng: &mut Rng) -> Vec<u8> {
     const TOKENS: &[&str] = &[
         "{",
@@ -102,6 +111,9 @@ fn gen_line(rng: &mut Rng) -> Vec<u8> {
     if line.windows(5).any(|w| w == b"drain") {
         return b"# drained".to_vec();
     }
+    if line.windows(4).any(|w| w == b"pong") {
+        return b"# ponged".to_vec();
+    }
     line
 }
 
@@ -126,4 +138,43 @@ fn fuzzed_streams_never_panic_and_answer_every_consuming_line() {
         assert_eq!(got, expected, "seed {seed}: one output line per consuming input line");
         assert_eq!(summary.lines, expected as u64, "seed {seed}");
     }
+}
+
+/// The same byte soup through a real `TcpStream`: hello handshake, then
+/// fuzz, then a clean half-close. The daemon must classify the session as
+/// ordinary EOF (answered, not killed) and every consuming line must get
+/// its reply — with the hello ack and any heartbeat pings filtered out as
+/// transport noise, exactly as a real client would.
+#[test]
+fn fuzzed_streams_over_a_loopback_socket_answer_every_consuming_line() {
+    let cfg = ServeConfig { workers: 2, canonical: true, ..Default::default() };
+    // Generous heartbeat: this test pins parsing, not timer behaviour.
+    let net = NetConfig { heartbeat_ms: 10_000, ..Default::default() };
+    let handle = spawn_listener("127.0.0.1:0", cfg, net).expect("bind loopback");
+    let addr = handle.addr();
+    for seed in 0..2u64 {
+        let mut rng = Rng::seed_from_u64(0x50CC + seed);
+        let mut input = Vec::new();
+        let mut expected = 0usize;
+        for _ in 0..200 {
+            let line = gen_line(&mut rng);
+            if consumes(&line) {
+                expected += 1;
+            }
+            input.extend_from_slice(&line);
+            input.push(b'\n');
+        }
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"{\"op\": \"hello\", \"resume_from\": 0}\n").expect("hello");
+        stream.write_all(&input).expect("fuzz payload");
+        stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("daemon must answer byte soup, not die");
+        // Only the handshake ack and heartbeat pings are transport noise;
+        // ctl/stats replies are the answers this invariant counts.
+        let noise = ["\"spatial-serve-ping/v1\"", "\"spatial-serve-hello/v1\""];
+        let got = out.lines().filter(|l| !noise.iter().any(|n| l.contains(n))).count();
+        assert_eq!(got, expected, "seed {seed}: loopback answers every consuming line");
+    }
+    handle.stop().expect("listener stops cleanly after soup");
 }

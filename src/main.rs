@@ -41,6 +41,14 @@
 //! gracefully, like the in-stream `{"op": "drain"}` verb. See README
 //! "Serving mode" for the protocol.
 //!
+//! `serve --listen <addr>` serves the same protocol over TCP instead of
+//! stdin/stdout: each connection opens with a `hello` handshake carrying
+//! the client's resume watermark, heartbeat pings police silent peers, and
+//! a bounded output queue disconnects clients that stop reading. `client
+//! --connect <addr>` is the matching resumable client: it restreams its
+//! stdin across however many reconnects it takes and exits only when the
+//! observed result stream is complete and duplicate-free.
+//!
 //! Violations exit with distinct codes instead of panicking:
 //!
 //! | code | meaning |
@@ -59,6 +67,7 @@
 //! | 12 | tenant over budget (serve admission; per-job `code` field only) |
 //! | 13 | predicted over budget (serve admission; per-job `code` field only) |
 //! | 14 | extent refused (serve admission; per-job `code` field only) |
+//! | 15 | transport disconnect (client retries exhausted / session torn) |
 
 use spatial_dataflow::prelude::*;
 use spatial_dataflow::recovery::{run_with_recovery, EXIT_RECOVERY_EXHAUSTED};
@@ -79,6 +88,8 @@ fn usage() -> ! {
            spmv    --n <int> [--nnz-per-row <int>] [--seed <int>]\n\
            batch   <jobspec.json>  run a job batch through the supervised runtime\n\
            serve   persistent daemon: JSON job lines on stdin, result lines on stdout\n\
+           client  --connect <addr>  resumable TCP client: stdin jobs to a daemon,\n\
+                                     reconnecting + deduping until the stream completes\n\
            chaos   --mode panic|spin|badverify  deliberately misbehaving job\n\
            info    print the Table I bounds\n\
          \n\
@@ -108,12 +119,26 @@ fn usage() -> ! {
                                        crash-safe serving (requires --canonical)\n\
            --resume-from <int>         complete output lines the client already\n\
                                        received; the restart re-emits from there\n\
+           --listen <addr>             serve over TCP instead of stdin/stdout; each\n\
+                                       connection handshakes with a hello line\n\
+           --heartbeat <ms>            ping interval for silent TCP peers (default 2000)\n\
+           --idle-misses <int>         unanswered pings before idle disconnect (default 3)\n\
+           --send-queue <lines>        bounded per-connection output queue (default 1024)\n\
+         \n\
+         client options:\n\
+           --connect <addr>            daemon address (required)\n\
+           --max-reconnects <int>      reconnect attempts after the first (default 8)\n\
+           --seed <int>                backoff jitter seed\n\
+           --cut-after <bytes>         chaos: tear the connection after this many bytes\n\
+           --cut-conns <int>           chaos: apply the cut to the first k connections\n\
+                                       (default 1 when --cut-after is given)\n\
          \n\
          exit codes: 0 ok | 1 job panicked | 2 usage | 3 verify failed | 4 dead PE |\n\
                      5 out of extent | 6 memory cap | 7 budget | 8 recovery exhausted /\n\
                      degraded | 9 deadline exceeded | 10 job shed (overload) |\n\
                      12 tenant over budget | 13 predicted over budget |\n\
-                     14 extent refused (12-14: serve, per-job code field)\n"
+                     14 extent refused (12-14: serve, per-job code field) |\n\
+                     15 transport disconnect (client retries exhausted)\n"
     );
     std::process::exit(2)
 }
@@ -136,6 +161,14 @@ struct Args {
     cache_capacity: Option<usize>,
     journal: Option<String>,
     resume_from: u64,
+    listen: Option<String>,
+    heartbeat_ms: Option<u64>,
+    idle_misses: Option<u32>,
+    send_queue: Option<usize>,
+    connect: Option<String>,
+    max_reconnects: Option<u32>,
+    cut_after: Option<u64>,
+    cut_conns: u32,
     mode: Option<String>,
     /// First positional argument (the jobspec path for `batch`).
     path: Option<String>,
@@ -161,6 +194,14 @@ fn parse(mut argv: std::env::Args) -> (String, Args) {
         cache_capacity: None,
         journal: None,
         resume_from: 0,
+        listen: None,
+        heartbeat_ms: None,
+        idle_misses: None,
+        send_queue: None,
+        connect: None,
+        max_reconnects: None,
+        cut_after: None,
+        cut_conns: 1,
         mode: None,
         path: None,
     };
@@ -215,6 +256,21 @@ fn parse(mut argv: std::env::Args) -> (String, Args) {
             }
             "--journal" => args.journal = Some(val()),
             "--resume-from" => args.resume_from = val().parse().unwrap_or_else(|_| usage()),
+            "--listen" => args.listen = Some(val()),
+            "--heartbeat" => args.heartbeat_ms = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--idle-misses" => args.idle_misses = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--send-queue" => {
+                args.send_queue = Some(val().parse().unwrap_or_else(|_| usage()));
+                if args.send_queue == Some(0) {
+                    usage();
+                }
+            }
+            "--connect" => args.connect = Some(val()),
+            "--max-reconnects" => {
+                args.max_reconnects = Some(val().parse().unwrap_or_else(|_| usage()))
+            }
+            "--cut-after" => args.cut_after = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--cut-conns" => args.cut_conns = val().parse().unwrap_or_else(|_| usage()),
             "--mode" => args.mode = Some(val()),
             f if !f.starts_with("--") && args.path.is_none() => args.path = Some(f.to_string()),
             _ => usage(),
@@ -474,6 +530,9 @@ fn run_serve_command(a: &Args) -> ! {
         cfg.journal = Some(std::path::PathBuf::from(dir));
     }
     cfg.resume_from = a.resume_from;
+    if let Some(addr) = &a.listen {
+        run_serve_listener(a, cfg, addr);
+    }
     let stdin = std::io::stdin();
     match runner::serve(stdin.lock(), std::io::stdout(), &cfg) {
         Ok(s) => {
@@ -486,6 +545,121 @@ fn run_serve_command(a: &Args) -> ! {
         Err(e) => {
             eprintln!("error: serve I/O: {e}");
             std::process::exit(2);
+        }
+    }
+}
+
+/// `serve --listen <addr>` — the TCP front end. Same protocol, same core
+/// loop; each connection handshakes with a hello line binding its resume
+/// watermark, and SIGTERM / the in-band drain verb shut the listener down
+/// across connections (the nonblocking accept loop polls the drain flag,
+/// so a drain with zero connected clients still completes promptly).
+fn run_serve_listener(a: &Args, cfg: runner::ServeConfig, addr: &str) -> ! {
+    if a.resume_from != 0 {
+        // Over TCP the watermark arrives per connection in the hello.
+        eprintln!(
+            "error: --resume-from is a stdin-mode flag; TCP clients resume via the hello handshake"
+        );
+        std::process::exit(2);
+    }
+    let mut net = runner::NetConfig::default();
+    if let Some(ms) = a.heartbeat_ms {
+        net.heartbeat_ms = ms.max(1);
+    }
+    if let Some(m) = a.idle_misses {
+        net.max_missed = m;
+    }
+    if let Some(q) = a.send_queue {
+        net.send_queue_lines = q;
+    }
+    let listener = match std::net::TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| addr.to_string());
+    // Tests and scripts bind port 0 and parse the actual port from here.
+    eprintln!("serve: listening on {bound}");
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    match runner::serve_listener(listener, &cfg, &net, &stop) {
+        Ok(s) => {
+            let ends: Vec<String> = runner::SessionEnd::ALL
+                .into_iter()
+                .filter(|&e| s.count(e) > 0)
+                .map(|e| format!("{} {}", s.count(e), e.label()))
+                .collect();
+            eprintln!(
+                "serve: listener shut down after {} session(s) ({}): {} line(s), {} job(s)",
+                s.sessions,
+                if ends.is_empty() { "none".to_string() } else { ends.join(", ") },
+                s.lines,
+                s.jobs
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: serve listener: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `client --connect <addr>` — streams stdin to a TCP daemon and prints the
+/// observed result lines, reconnecting with the resume watermark until the
+/// stream is complete. `--cut-after`/`--cut-conns` wrap the first k
+/// connections in a seeded chaos plan, so CI can force a mid-stream
+/// disconnect and still demand byte-identical output.
+fn run_client_command(a: &Args) -> ! {
+    let Some(addr) = a.connect.clone() else {
+        eprintln!("error: client needs --connect <addr>");
+        std::process::exit(2);
+    };
+    let mut input = String::new();
+    if let Err(e) = std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut input) {
+        eprintln!("error: reading stdin: {e}");
+        std::process::exit(2);
+    }
+    let mut cfg = runner::ClientConfig { seed: a.seed, ..Default::default() };
+    if let Some(r) = a.max_reconnects {
+        cfg.max_reconnects = r;
+    }
+    let cut_after = a.cut_after;
+    let cut_conns = a.cut_conns;
+    let seed = a.seed;
+    let dial = move |attempt: u32| -> std::io::Result<Box<dyn runner::Conn>> {
+        let stream = std::net::TcpStream::connect(&addr)?;
+        match cut_after {
+            Some(bytes) if attempt < cut_conns => {
+                let plan = runner::NetChaosPlan::new(seed ^ u64::from(attempt)).cut_after(bytes);
+                Ok(Box::new(runner::ChaosTransport::new(stream, plan)))
+            }
+            _ => Ok(Box::new(stream)),
+        }
+    };
+    let mut log = std::io::stderr();
+    match runner::run_client(&input, dial, &cfg, &mut log) {
+        Ok(summary) => {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            for line in &summary.observed {
+                use std::io::Write;
+                if writeln!(out, "{line}").is_err() {
+                    std::process::exit(2);
+                }
+            }
+            eprintln!(
+                "client: complete after {} reconnect(s): {} result line(s), {} ping(s) absorbed",
+                summary.reconnects,
+                summary.observed.len(),
+                summary.pings
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: client: {e}");
+            std::process::exit(runner::EXIT_TRANSPORT_DISCONNECT);
         }
     }
 }
@@ -662,6 +836,7 @@ fn main() {
         }
         "batch" => run_batch_command(&a),
         "serve" => run_serve_command(&a),
+        "client" => run_client_command(&a),
         "chaos" => run_chaos_command(&a),
         "info" => {
             println!("Table I — Spatial Computer Model bounds (Gianinazzi et al., IPDPS 2025):");

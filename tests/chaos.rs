@@ -14,10 +14,11 @@
 //! refusal, extent cap), a contained panic, and the stats barrier, so
 //! recovery is tested against state it actually has to rebuild.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 
+use spatial_core::recovery::BackoffPolicy;
 use spatial_rng::Rng;
 
 /// One consuming line per entry; every output line is canonical, so the
@@ -234,4 +235,73 @@ fn killed_session_keeps_reading_fresh_input_after_the_replayed_prefix() {
         fresh.contains(&format!("\"seq\": {}", golden.len())),
         "the new job continues the sequence: {fresh}"
     );
+}
+
+/// The TCP twin of the SIGKILL scenarios: the real binary serving
+/// `--listen` over loopback, driven by the in-process reconnecting client
+/// with seeded chaos cuts on its first connections. Because canonical
+/// output is a pure function of the input stream, the TCP transcript must
+/// equal the *stdin* golden — same bytes through a different transport,
+/// across however many torn connections the plan inflicts. SIGTERM at the
+/// end must wake the idle accept loop and exit 0 (the drain/accept race).
+#[test]
+fn tcp_chaos_cuts_resume_to_the_stdin_golden_and_sigterm_drains() {
+    let golden = golden();
+    let dir = fresh_dir("tcp");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_spatial-dataflow"))
+        .args(["serve", "--canonical", "--jobs", "2", "--listen", "127.0.0.1:0"])
+        .args(["--journal", dir.to_str().unwrap()])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn spatial-dataflow serve --listen");
+    // The daemon announces its bound address (port 0 above) on stderr.
+    let mut stderr = BufReader::new(child.stderr.take().expect("piped stderr"));
+    let mut line = String::new();
+    stderr.read_line(&mut line).expect("read listening line");
+    assert!(line.contains("listening on"), "unexpected first stderr line: {line:?}");
+    let addr = line.trim().rsplit(' ').next().expect("address token").to_string();
+
+    // Two chaos-cut connections (different seeded tear points), then clean.
+    let cfg = runner::ClientConfig {
+        backoff: BackoffPolicy { base_ms: 1, factor: 2, max_ms: 8, jitter: 0.0 },
+        seed: 21,
+        max_reconnects: 6,
+    };
+    let cuts = [700u64, 2200];
+    let dial_addr = addr.clone();
+    let mut log = Vec::new();
+    let summary = runner::run_client(
+        STREAM,
+        move |attempt| {
+            let stream = std::net::TcpStream::connect(&dial_addr)?;
+            match cuts.get(attempt as usize) {
+                Some(&bytes) => {
+                    let plan =
+                        runner::NetChaosPlan::new(0xA11CE + u64::from(attempt)).cut_after(bytes);
+                    Ok(Box::new(runner::ChaosTransport::new(stream, plan)) as Box<dyn runner::Conn>)
+                }
+                None => Ok(Box::new(stream)),
+            }
+        },
+        &cfg,
+        &mut log,
+    )
+    .expect("client must complete across the cuts");
+    assert!(summary.reconnects >= 2, "both cuts must fire: {summary:?}");
+    assert_eq!(summary.observed, golden, "TCP transcript must equal the stdin golden");
+
+    // SIGTERM with zero connected clients: the nonblocking accept loop
+    // must notice the drain flag and exit 0 instead of hanging in accept.
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success(), "kill -TERM failed");
+    let mut rest = String::new();
+    stderr.read_to_string(&mut rest).expect("drain stderr");
+    let status = child.wait().expect("reap the drained daemon");
+    assert_eq!(status.code(), Some(0), "SIGTERM must drain cleanly\nstderr: {rest}");
+    assert!(rest.contains("listener shut down"), "missing shutdown summary: {rest}");
 }
