@@ -143,6 +143,29 @@ fn sort_rate(n: usize, samples: usize) -> u64 {
     rates[rates.len() / 2]
 }
 
+/// [`sort_rate`] on a machine carrying the wse-like cost profile, with the
+/// profiled report charged once at the end — the workload the profile gate
+/// compares against its bare twin.
+fn sort_rate_profiled(n: usize, samples: usize) -> u64 {
+    use spatial_core::model::WseLike;
+    let vals = pseudo(n, 2);
+    let mut rates: Vec<u64> = (0..samples.max(1))
+        .map(|_| {
+            let mut m = Machine::with_profile(&WseLike);
+            let items = place_z(&mut m, 0, vals.clone());
+            let t = Instant::now();
+            let out = sort_z(&mut m, 0, items);
+            let profiled = m.profiled_report().expect("built-in profiles cannot saturate");
+            let ns = t.elapsed().as_nanos();
+            std::hint::black_box(out);
+            std::hint::black_box(profiled);
+            ((m.messages() as f64) / (ns as f64 / 1e9)) as u64
+        })
+        .collect();
+    rates.sort_unstable();
+    rates[rates.len() / 2]
+}
+
 fn rows(results: &[Throughput]) -> String {
     let mut s = String::new();
     for (i, r) in results.iter().enumerate() {
@@ -418,6 +441,27 @@ fn main() {
                 std::process::exit(1);
             }
             println!("scaling gate passed (threads=2 within 5% of serial)");
+        }
+        // Profile gate: a cost profile is pure accounting applied to the
+        // final counters, so a profiled machine must run the hot path at
+        // full speed. `is_bare()` deliberately ignores the profile field —
+        // this gate fails if anyone ever wires profiles into the per-message
+        // path (which would also disable the closed-form batch kernels).
+        if want("sort_z/65536") {
+            println!("-- profile gate (sort_z/65536, wse-like vs bare) --");
+            set_sim_threads(1);
+            let bare = sort_rate(65536, 5);
+            let profiled = sort_rate_profiled(65536, 5);
+            set_sim_threads(0);
+            println!("  bare {bare} msgs/s   wse-like {profiled} msgs/s");
+            if (profiled as f64) < 0.95 * bare as f64 {
+                eprintln!(
+                    "profile overhead: wse-like ran sort_z/65536 at {profiled} msgs/s, \
+                     under 95% of the bare {bare} msgs/s — profiles must stay off the hot path"
+                );
+                std::process::exit(1);
+            }
+            println!("profile gate passed (profiled within 5% of bare)");
         }
     } else {
         std::fs::write("BENCH_simcore.json", &rendered).expect("write BENCH_simcore.json");

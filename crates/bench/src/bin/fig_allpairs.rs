@@ -4,7 +4,7 @@
 //! The deliberately energy-hungry, depth-optimal subroutine used on samples
 //! and windows inside the rank routines. The sweep fits all three metrics.
 
-use bench::{print_sweep, pseudo, sweep};
+use bench::{print_profiled, print_sweep, profile_from_args, pseudo, sweep};
 use spatial_core::collectives::zarray::place_z;
 use spatial_core::report::print_section;
 use spatial_core::sorting::allpairs::{allpairs_sort_to_z, scratch_for};
@@ -35,6 +35,7 @@ fn main() {
             (Metric::Distance, theory::allpairs_bound(Metric::Distance)),
         ],
     );
+    print_profiled(&s, profile_from_args());
 
     print_section("comparison: where all-pairs loses to mergesort (energy) but wins on depth");
     println!(

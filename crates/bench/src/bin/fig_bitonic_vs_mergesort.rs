@@ -77,6 +77,12 @@ fn main() {
     ]) {
         println!("{line}");
     }
+    // Under a profile the EDP columns make the depth-vs-energy trade
+    // quantitative: bitonic's extra energy shows up directly, mergesort's
+    // deeper recursion inflates delay instead.
+    let profile = bench::profile_from_args();
+    bench::print_profiled(&bit, profile);
+    bench::print_profiled(&mrg, profile);
 
     print_section("(b) Lemma V.3: Bitonic Merge on h×w rectangles, energy Θ(h²w + w²h)");
     println!("{:>8} {:>6} {:>14} {:>14} {:>8}", "h", "w", "energy", "h²w + w²h", "ratio");

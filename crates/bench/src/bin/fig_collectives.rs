@@ -68,6 +68,7 @@ fn main() {
         );
     }
     println!("(the ratio column must grow like Θ(log n): ~1 extra doubling per 4x n)");
+    bench::print_profiled(&opt_sweep, bench::profile_from_args());
     for line in opt_sweep.report_lines([
         (Metric::Energy, theory::collective_bound(Metric::Energy)),
         (Metric::Depth, theory::collective_bound(Metric::Depth)),
@@ -99,6 +100,7 @@ fn main() {
             (Metric::Distance, theory::collective_bound(Metric::Distance)),
         ],
     );
+    bench::print_profiled(&s, bench::profile_from_args());
     // Baseline comparison at one size for the record.
     let n = 4u64.pow(8);
     let side = (n as f64).sqrt() as u64;

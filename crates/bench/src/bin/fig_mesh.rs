@@ -73,6 +73,7 @@ fn main() {
     ]) {
         println!("{line}");
     }
+    bench::print_profiled(&mesh, bench::profile_from_args());
 
     print_section("depth-vs-energy frontier at n = 4096 (all sorters)");
     let n = 4096usize;

@@ -52,6 +52,7 @@ fn main() {
         println!("{line}");
     }
     println!("(per-step energy fits p^{{3/2}}; per-step depth is a constant — Lemma VII.1)");
+    bench::print_profiled(&erew_sweep, bench::profile_from_args());
 
     print_section("(b) Lemma VII.2 — CRCW concurrent-read broadcast, one step");
     println!("{:>8} {:>14} {:>10} {:>14}", "p", "energy", "depth", "depth/log³p");
@@ -81,6 +82,7 @@ fn main() {
     ]) {
         println!("{line}");
     }
+    bench::print_profiled(&crcw_sweep, bench::profile_from_args());
 
     print_section("(c) EREW vs CRCW on the same program (concurrency resolution overhead)");
     println!(

@@ -108,4 +108,5 @@ fn main() {
     ]) {
         println!("{line}");
     }
+    bench::print_profiled(&s, bench::profile_from_args());
 }

@@ -11,7 +11,7 @@
 //! | Rank Selection | Θ(n)       | O(log² n) | Θ(√n)    |
 //! | SpMV           | Θ(m^{3/2}) | O(log³ n) | Θ(√m)    |
 
-use bench::{pow4_sizes, print_sweep, pseudo};
+use bench::{pow4_sizes, print_profiled, print_sweep, profile_from_args, pseudo};
 use runner::sweep_supervised;
 use spatial_core::collectives::{place_z, scan};
 use spatial_core::report::print_section;
@@ -26,9 +26,13 @@ fn main() {
     // a fraction of the wall time, and a panicking measurement is contained
     // and named instead of killing the whole table.
     let jobs = runner::default_workers();
+    let profile = profile_from_args();
     println!("Reproduction of Table I: fitted scaling exponents vs paper bounds.");
     println!("(energy/distance: log-log fit; depth: metric / log^k n ratios must stay bounded)");
     println!("(sweeps run on {jobs} supervised workers; override with SPATIAL_JOBS)");
+    if let Some(p) = profile {
+        println!("(profiled totals under the {:?} cost profile)", p.name());
+    }
 
     print_section("Table I row 1: Parallel Scan (Lemma IV.3)");
     let s = sweep_supervised("scan", jobs, &pow4_sizes(4, 9), |m, n| {
@@ -43,6 +47,7 @@ fn main() {
             (Metric::Distance, theory::scan_bound(Metric::Distance)),
         ],
     );
+    print_profiled(&s, profile);
 
     print_section("Table I row 2: Sorting / 2D Mergesort (Theorem V.8)");
     let s = sweep_supervised("mergesort", jobs, &pow4_sizes(3, 7), |m, n| {
@@ -57,6 +62,7 @@ fn main() {
             (Metric::Distance, theory::sorting_bound(Metric::Distance)),
         ],
     );
+    print_profiled(&s, profile);
 
     print_section("Table I row 3: Rank Selection (Theorem VI.3; mean over 5 seeds)");
     // Averaging over seeds smooths the sampling variance; the sweep reaches
@@ -89,6 +95,7 @@ fn main() {
             (Metric::Distance, theory::selection_bound(Metric::Distance)),
         ],
     );
+    print_profiled(&s, profile);
 
     print_section("Table I row 4: SpMV (Theorem VIII.2; uniform random, m = 4n)");
     // Sizes chosen so the padded matrix segment is well filled.
@@ -107,6 +114,7 @@ fn main() {
             (Metric::Distance, theory::spmv_bound(Metric::Distance)),
         ],
     );
+    print_profiled(&s, profile);
 
     println!("\nDone. Record these tables in EXPERIMENTS.md.");
 }

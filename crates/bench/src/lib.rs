@@ -10,7 +10,7 @@
 
 pub mod timing;
 
-use spatial_core::model::{Cost, Machine};
+use spatial_core::model::{profile_by_name, Cost, CostProfile, Machine};
 use spatial_core::report::Sweep;
 
 /// Deterministic pseudo-random array (no RNG state needed for sweeps whose
@@ -56,6 +56,46 @@ pub fn print_sweep(
 /// Powers of four `4^lo ..= 4^hi`.
 pub fn pow4_sizes(lo: u32, hi: u32) -> Vec<u64> {
     (lo..=hi).map(|k| 4u64.pow(k)).collect()
+}
+
+/// Resolves the experiment-wide cost profile: `--profile <name>` on the
+/// binary's command line, else the `SPATIAL_PROFILE` environment variable
+/// (the CI matrix leg sets the latter), else `None` — raw counters only,
+/// exactly today's output. An unknown name aborts with the typed usage
+/// message rather than silently generating figures under the wrong model.
+pub fn profile_from_args() -> Option<&'static dyn CostProfile> {
+    let mut name = std::env::var("SPATIAL_PROFILE").ok();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--profile" {
+            name = args.next();
+        }
+    }
+    match profile_by_name(&name?) {
+        Ok(p) => Some(p),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code());
+        }
+    }
+}
+
+/// Prints the profiled charge of every sweep point — one indented line per
+/// size, after the raw rows. A `None` profile prints nothing, so callers
+/// can pass [`profile_from_args`]'s result straight through and the default
+/// figure output stays byte-identical.
+pub fn print_profiled(s: &Sweep, profile: Option<&'static dyn CostProfile>) {
+    let Some(p) = profile else { return };
+    println!("  profiled ({}):", p.name());
+    for point in &s.points {
+        match p.charge(point.cost) {
+            Ok(c) => println!(
+                "    n={:>10}  total_pj={}  delay_cycles={}  edp={}",
+                point.n, c.total_pj, c.delay_cycles, c.edp
+            ),
+            Err(e) => println!("    n={:>10}  {e}", point.n),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -53,6 +53,10 @@ pub struct BatchConfig {
     /// When set, the batch process exits 0 regardless of job failures (the
     /// report still records every outcome).
     pub best_effort: bool,
+    /// Default cost profile applied to jobs that don't set their own
+    /// (jobspec `config.profile`, a built-in name validated at parse).
+    /// `None` keeps today's raw-counter-only reports byte-identical.
+    pub profile: Option<&'static str>,
 }
 
 impl Default for BatchConfig {
@@ -64,6 +68,7 @@ impl Default for BatchConfig {
             default_deadline_ms: None,
             backoff: BackoffPolicy::DEFAULT,
             best_effort: false,
+            profile: None,
         }
     }
 }
@@ -123,6 +128,20 @@ impl Batch {
                 config.best_effort =
                     b.as_bool().ok_or_else(|| "config.best_effort must be a bool".to_string())?;
             }
+            config.profile = match c.get("profile") {
+                None => None,
+                Some(j) if j.is_null() => None,
+                Some(j) => {
+                    let name = j
+                        .as_str()
+                        .ok_or_else(|| "config.profile must be a string or null".to_string())?;
+                    Some(
+                        spatial_core::model::profile_by_name(name)
+                            .map_err(|e| format!("config.profile: {e}"))?
+                            .name(),
+                    )
+                }
+            };
             if let Some(b) = c.get("backoff") {
                 let f = |field: &str, default: f64| -> Result<f64, String> {
                     match b.get(field) {
@@ -181,7 +200,13 @@ pub fn run_batch(name: &str, config: &BatchConfig, jobs: &[JobSpec]) -> BatchRep
     let tasks: Vec<Task<'static, JobResult>> = jobs
         .iter()
         .map(|spec| {
-            let spec = spec.clone();
+            let mut spec = spec.clone();
+            // The batch default profile is applied at execution time, not
+            // at parse time, so CLI overrides of `config.profile` reach the
+            // jobs; a job's own profile always wins.
+            if spec.profile.is_none() {
+                spec.profile = config.profile;
+            }
             let deadline = spec.deadline_ms.or(config.default_deadline_ms);
             Task {
                 deadline_ms: deadline,
@@ -207,6 +232,7 @@ pub fn run_batch(name: &str, config: &BatchConfig, jobs: &[JobSpec]) -> BatchRep
     BatchReport {
         name: name.to_string(),
         workers: config.workers,
+        profile: config.profile,
         jobs: results,
         wall_ms: started.elapsed().as_millis() as u64,
     }

@@ -36,6 +36,11 @@ pub struct CacheKey {
     /// spec under different remaining budgets are distinct executions.
     pub(crate) budget: Option<u64>,
     pub(crate) retries: u32,
+    /// Cost profile the result was charged under. Profiles are pure
+    /// accounting over identical raw counters, but the cached [`JobResult`]
+    /// embeds the profiled block, so results charged under different
+    /// profiles are distinct cache entries.
+    pub(crate) profile: Option<&'static str>,
 }
 
 impl CacheKey {
@@ -54,6 +59,7 @@ impl CacheKey {
             ],
             budget: effective_budget,
             retries: spec.retries,
+            profile: spec.profile,
         }
     }
 }

@@ -26,7 +26,8 @@
 //! never pass.
 
 use spatial_core::model::{
-    zorder, CancelToken, Coord, Cost, FaultPlan, Machine, ModelGuard, SpatialError, SubGrid,
+    profile_by_name, zorder, CancelToken, Coord, Cost, FaultPlan, Machine, ModelGuard,
+    ProfiledCost, SpatialError, SubGrid,
 };
 use spatial_core::recovery::{
     checksum_i64, run_with_recovery_policy, BackoffPolicy, RecoveryExhausted,
@@ -164,6 +165,12 @@ pub struct JobSpec {
     pub retries: u32,
     /// Per-job wall-clock deadline; `None` inherits the batch default.
     pub deadline_ms: Option<u64>,
+    /// Cost profile the job's machine reports under (a built-in name,
+    /// validated at parse time; see [`spatial_core::model::profile_by_name`]).
+    /// `None` inherits the batch/serve default, which defaults to raw
+    /// counters only. Pure accounting: never affects execution or the raw
+    /// `cost` tuple.
+    pub profile: Option<&'static str>,
 }
 
 impl JobSpec {
@@ -181,6 +188,7 @@ impl JobSpec {
             budget: None,
             retries: 3,
             deadline_ms: None,
+            profile: None,
         }
     }
 
@@ -239,12 +247,24 @@ impl JobSpec {
                 .map(str::to_string)
                 .ok_or_else(|| format!("job {index}: field \"id\" must be a string"))?,
         };
+        let profile = match v.get("profile") {
+            None => None,
+            Some(j) if j.is_null() => None,
+            Some(j) => {
+                let name = j.as_str().ok_or_else(|| {
+                    format!("job {index}: field \"profile\" must be a string or null")
+                })?;
+                // Resolve to the registry's `&'static` name; an unknown name
+                // surfaces the typed usage error verbatim.
+                Some(profile_by_name(name).map_err(|e| format!("job {index}: {e}"))?.name())
+            }
+        };
         // chaos-spin needing a deadline is checked by `Batch::parse`, which
         // also knows the batch-wide default deadline.
         if matches!(kind, JobKind::Select | JobKind::TopK) && (k < 1 || k > n) {
             return Err(format!("job {index} ({id}): k = {k} out of range 1..={n}"));
         }
-        Ok(JobSpec { id, kind, n, seed, array, k, faults, budget, retries, deadline_ms })
+        Ok(JobSpec { id, kind, n, seed, array, k, faults, budget, retries, deadline_ms, profile })
     }
 
     /// The grid extent the job's input occupies (used to scope random fault
@@ -393,6 +413,11 @@ pub struct JobResult {
     /// Accumulated model cost across attempts. `None` when no
     /// deterministic cost exists (panicked, shed, deadline-exceeded).
     pub cost: Option<Cost>,
+    /// `cost` charged under the job's [`JobSpec::profile`]. `None` when no
+    /// profile was requested, when there is no cost, or if the profile's
+    /// arithmetic saturated (impossible for built-ins on real runs). Derived
+    /// from `cost` alone, so exactly as deterministic.
+    pub profiled: Option<ProfiledCost>,
     /// Fault-detour energy of the final attempt.
     pub detour_energy: u64,
     /// Total scheduled backoff between attempts (deterministic).
@@ -416,6 +441,7 @@ impl JobResult {
             attempts: 0,
             escalation: 0,
             cost: None,
+            profiled: None,
             detour_energy: 0,
             backoff_ms: 0,
             checksum: None,
@@ -542,6 +568,11 @@ fn attempt(
     if let Some(b) = spec.budget {
         m.enable_guard(ModelGuard::new().max_energy(b));
     }
+    if let Some(name) = spec.profile {
+        // Validated at parse time; carried on the machine through the whole
+        // attempt (accounting only — the bare fast path is unaffected).
+        m.set_profile(profile_by_name(name).expect("spec profiles are validated at parse"));
+    }
     let n = spec.n as usize;
     let salt = spec.seed ^ (u64::from(attempt) << 32);
     match spec.kind {
@@ -609,6 +640,7 @@ pub fn execute(spec: &JobSpec, token: &CancelToken, policy: &BackoffPolicy) -> J
             attempts: rec.attempts,
             escalation: u8::from(rec.attempts > 1),
             cost: Some(rec.cost),
+            profiled: charge_profiled(spec, rec.cost),
             detour_energy: rec.detour_energy,
             backoff_ms: rec.backoff_ms,
             checksum: Some(checksum_i64(&rec.value)),
@@ -624,6 +656,7 @@ pub fn execute(spec: &JobSpec, token: &CancelToken, policy: &BackoffPolicy) -> J
                 attempts: ex.attempts,
                 escalation: 2,
                 cost: Some(ex.cost),
+                profiled: charge_profiled(spec, ex.cost),
                 backoff_ms: ex.backoff_ms,
                 checksum: Some(checksum_i64(&oracle)),
                 error: Some(format!("degraded to host oracle: {ex}")),
@@ -631,6 +664,16 @@ pub fn execute(spec: &JobSpec, token: &CancelToken, policy: &BackoffPolicy) -> J
             }
         }
     }
+}
+
+/// Charges `cost` under the spec's profile, if one was requested. The
+/// charge is a pure function of the deterministic `cost`, so it inherits
+/// the report's bit-determinism; a saturated charge (unreachable for the
+/// built-in profiles on real counters) yields `None` rather than aborting a
+/// job that already produced its answer.
+fn charge_profiled(spec: &JobSpec, cost: Cost) -> Option<ProfiledCost> {
+    let p = profile_by_name(spec.profile?).expect("spec profiles are validated at parse");
+    p.charge(cost).ok()
 }
 
 fn deadline_exceeded(spec: &JobSpec, ex: RecoveryExhausted) -> JobResult {

@@ -49,7 +49,7 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use spatial_core::model::Cost;
+use spatial_core::model::{profile_by_name, Cost};
 use workloads::arrays::ArrayKind;
 
 use crate::cache::CacheKey;
@@ -372,9 +372,11 @@ fn parse_tenant(v: &Json) -> Option<TenantSnapshot> {
 }
 
 fn cache_entry_json(key: &CacheKey, r: &JobResult) -> String {
+    let profile =
+        key.profile.map_or_else(|| "null".to_string(), |name| format!("\"{name}\""));
     let key_json = format!(
         "{{\"kind\": \"{}\", \"n\": {}, \"seed\": {}, \"array\": \"{}\", \"k\": {}, \
-         \"faults\": [{}, {}, {}], \"budget\": {}, \"retries\": {}}}",
+         \"faults\": [{}, {}, {}], \"budget\": {}, \"retries\": {}, \"profile\": {profile}}}",
         key.kind,
         u(key.n),
         u(key.seed),
@@ -434,6 +436,13 @@ fn parse_cache_entry(v: &Json) -> Option<(CacheKey, JobResult)> {
         faults: [fault_bits(0)?, fault_bits(1)?, fault_bits(2)?],
         budget: get_opt_u(k, "budget")?,
         retries: get_u(k, "retries")? as u32,
+        // Absent (pre-profile snapshots) and explicit null both mean the
+        // model-exact default; unknown names invalidate the entry.
+        profile: match k.get("profile") {
+            None => None,
+            Some(j) if j.is_null() => None,
+            Some(j) => Some(profile_by_name(j.as_str()?).ok()?.name()),
+        },
     };
     let r = v.get("result")?;
     let cost = match r.get("cost") {
@@ -458,6 +467,13 @@ fn parse_cache_entry(v: &Json) -> Option<(CacheKey, JobResult)> {
         attempts: get_u(r, "attempts")? as u32,
         escalation: get_u(r, "escalation")? as u8,
         cost,
+        // The profiled block is a pure function of (profile, cost), so it is
+        // recomputed rather than persisted — recovered hits stay bit-identical
+        // to fresh runs by construction.
+        profiled: match (key.profile, cost) {
+            (Some(name), Some(c)) => profile_by_name(name).ok()?.charge(c).ok(),
+            _ => None,
+        },
         detour_energy: get_u(r, "detour_energy")?,
         backoff_ms: get_u(r, "backoff_ms")?,
         checksum: get_opt_u(r, "checksum")?,

@@ -11,9 +11,14 @@
 //!
 //! Checksums are written as hex strings (`"0x…"`): JSON numbers are
 //! doubles, and a 64-bit FNV checksum does not survive a trip through a
-//! 53-bit mantissa.
+//! 53-bit mantissa. Profiled energy/EDP fields are u128 and written as
+//! decimal strings for the same reason.
+//!
+//! The profiled block is strictly **opt-in**: with no profile configured,
+//! every emitted byte is identical to the pre-profile writer, which keeps
+//! the pinned canonical goldens valid.
 
-use spatial_core::model::Cost;
+use spatial_core::model::{Cost, ProfiledCost};
 
 use crate::job::{JobResult, Outcome};
 use crate::json::escape;
@@ -25,6 +30,10 @@ pub struct BatchReport {
     pub name: String,
     /// Worker threads used.
     pub workers: usize,
+    /// Batch-default cost profile, when one was configured. Controls the
+    /// aggregate profile block; per-job profiled costs follow each job's
+    /// own (possibly overridden) spec profile.
+    pub profile: Option<&'static str>,
     /// Per-job results, in spec order.
     pub jobs: Vec<JobResult>,
     /// Total wall time of the batch, milliseconds.
@@ -57,6 +66,9 @@ impl BatchReport {
         s.push_str("  \"schema\": \"spatial-batch-report/v1\",\n");
         s.push_str(&format!("  \"name\": \"{}\",\n", escape(&self.name)));
         s.push_str(&format!("  \"workers\": {},\n", self.workers));
+        if let Some(p) = self.profile {
+            s.push_str(&format!("  \"profile\": \"{p}\",\n"));
+        }
         if include_wall {
             s.push_str(&format!("  \"wall_ms\": {},\n", self.wall_ms));
         }
@@ -90,6 +102,23 @@ impl BatchReport {
         s.push_str(&format!("    \"detour_energy_total\": {detour_total},\n"));
         s.push_str(&format!("    \"backoff_ms_total\": {backoff_total},\n"));
         s.push_str(&format!("    \"energy_p50\": {},\n", json_opt(percentile(&energies, 50))));
+        if self.profile.is_some() {
+            // Energy is additive across jobs (each pJ total is linear in the
+            // summed counters); EDP is not, so `edp_total` is the plain sum
+            // of per-job EDPs — a workload figure of merit, not a physical
+            // quantity of the union run.
+            let total_pj: u128 =
+                self.jobs.iter().filter_map(|j| j.profiled.as_ref()).fold(0u128, |a, p| {
+                    a.saturating_add(p.total_pj)
+                });
+            let edp_total: u128 = self
+                .jobs
+                .iter()
+                .filter_map(|j| j.profiled.as_ref())
+                .fold(0u128, |a, p| a.saturating_add(p.edp));
+            s.push_str(&format!("    \"total_pj\": \"{total_pj}\",\n"));
+            s.push_str(&format!("    \"edp_total\": \"{edp_total}\",\n"));
+        }
         s.push_str(&format!("    \"energy_p99\": {}", json_opt(percentile(&energies, 99))));
         if include_wall {
             s.push_str(&format!(",\n    \"wall_ms_p50\": {}", json_opt(percentile(&walls, 50))));
@@ -120,6 +149,9 @@ fn job_json(j: &JobResult, include_wall: bool) -> String {
         Some(c) => s.push_str(&format!("      \"cost\": {},\n", cost_json(c))),
         None => s.push_str("      \"cost\": null,\n"),
     }
+    if let Some(p) = &j.profiled {
+        s.push_str(&format!("      \"profiled\": {},\n", profiled_json(p)));
+    }
     s.push_str(&format!("      \"detour_energy\": {},\n", j.detour_energy));
     s.push_str(&format!("      \"backoff_ms\": {},\n", j.backoff_ms));
     match j.checksum {
@@ -147,6 +179,18 @@ pub(crate) fn cost_json(c: Cost) -> String {
     format!(
         "{{\"energy\": {}, \"depth\": {}, \"distance\": {}, \"messages\": {}}}",
         c.energy, c.depth, c.distance, c.messages
+    )
+}
+
+/// Serializes a profiled cost. The u128 fields are decimal **strings**:
+/// worst-case EDP far exceeds the 53-bit mantissa of a JSON double, and a
+/// round-trip through one must not silently change a deterministic value.
+pub(crate) fn profiled_json(p: &ProfiledCost) -> String {
+    format!(
+        "{{\"profile\": \"{}\", \"hop_pj\": \"{}\", \"op_pj\": \"{}\", \
+         \"occupancy_pj\": \"{}\", \"total_pj\": \"{}\", \"delay_cycles\": \"{}\", \
+         \"edp\": \"{}\"}}",
+        p.profile, p.hop_pj, p.op_pj, p.occupancy_pj, p.total_pj, p.delay_cycles, p.edp
     )
 }
 
@@ -191,7 +235,37 @@ mod tests {
         ok.error = None;
         ok.wall_ms = 17;
         let shed = JobResult::shed(&JobSpec::new("b", JobKind::Sort));
-        BatchReport { name: "t".into(), workers: 2, jobs: vec![ok, shed], wall_ms: 99 }
+        BatchReport { name: "t".into(), workers: 2, profile: None, jobs: vec![ok, shed], wall_ms: 99 }
+    }
+
+    #[test]
+    fn profiled_fields_are_opt_in_and_stringly_precise() {
+        use spatial_core::model::{profile_by_name, CostProfile, WseLike};
+
+        let mut r = sample_report();
+        // Default report: no profile key anywhere — byte-compatible with the
+        // pre-profile writer (the canonical goldens rely on this).
+        assert!(!r.to_json(false).contains("profile"));
+
+        let p = profile_by_name("wse-like").unwrap();
+        r.profile = Some(p.name());
+        r.jobs[0].profiled = Some(p.charge(r.jobs[0].cost.unwrap()).unwrap());
+        let doc = Json::parse(&r.to_json(false)).expect("profiled report is valid JSON");
+        assert_eq!(doc.get("profile").and_then(Json::as_str), Some("wse-like"));
+        let jobs = doc.get("jobs").and_then(Json::as_array).unwrap();
+        let pj = jobs[0].get("profiled").unwrap();
+        // cost = {energy: 100, depth: 5, distance: 9, messages: 40} under
+        // wse-like (1, 2, 1, 1, 1): hop 100, op 80, occupancy 140 → 320 pJ;
+        // delay 9 + 5 = 14 cycles; EDP 4480.
+        let w = WseLike.weights();
+        assert_eq!((w.pj_per_hop, w.pj_per_op, w.pj_per_word_hop), (1, 2, 1));
+        assert_eq!(pj.get("total_pj").and_then(Json::as_str), Some("320"));
+        assert_eq!(pj.get("delay_cycles").and_then(Json::as_str), Some("14"));
+        assert_eq!(pj.get("edp").and_then(Json::as_str), Some("4480"));
+        assert!(jobs[1].get("profiled").is_none(), "shed job has no cost to charge");
+        let agg = doc.get("aggregate").unwrap();
+        assert_eq!(agg.get("total_pj").and_then(Json::as_str), Some("320"));
+        assert_eq!(agg.get("edp_total").and_then(Json::as_str), Some("4480"));
     }
 
     #[test]

@@ -113,6 +113,11 @@ pub struct ServeConfig {
     /// was cut mid-line and the reconnect will restream the line whole —
     /// consuming the torn half would poison the exactly-once dedupe.
     pub discard_torn_tail: bool,
+    /// Default cost profile applied to submissions that don't carry their
+    /// own (`--profile` on the CLI, a built-in name validated at parse).
+    /// Purely additive accounting: with `None` the output stream is
+    /// byte-identical to the pre-profile daemon.
+    pub profile: Option<&'static str>,
 }
 
 impl Default for ServeConfig {
@@ -128,6 +133,7 @@ impl Default for ServeConfig {
             journal: None,
             resume_from: 0,
             discard_torn_tail: false,
+            profile: None,
         }
     }
 }
@@ -542,6 +548,9 @@ fn handle_line<W: Write>(g: &mut Core<W>, seq: u64, line: &str, cfg: &ServeConfi
             spec.faults = f;
         }
     }
+    if spec.profile.is_none() {
+        spec.profile = cfg.profile;
+    }
     if spec.kind == JobKind::ChaosSpin && spec.deadline_ms.or(cfg.default_deadline_ms).is_none() {
         return ctl_error(g, seq, &format!("job \"{}\": chaos-spin requires a deadline", spec.id));
     }
@@ -783,6 +792,9 @@ fn job_line(seq: u64, tenant: &str, j: &JobResult, cached: bool, canonical: bool
     match j.cost {
         Some(c) => s.push_str(&format!("\"cost\": {}, ", cost_json(c))),
         None => s.push_str("\"cost\": null, "),
+    }
+    if let Some(p) = &j.profiled {
+        s.push_str(&format!("\"profiled\": {}, ", crate::report::profiled_json(p)));
     }
     s.push_str(&format!("\"detour_energy\": {}, ", j.detour_energy));
     s.push_str(&format!("\"backoff_ms\": {}, ", j.backoff_ms));

@@ -460,6 +460,118 @@ mod tests {
     }
 
     #[test]
+    fn profiled_totals_agree_across_bare_sharded_and_instrumented_paths() {
+        // The profile is charged from the final counters, and the raw
+        // counters are bit-identical across the bare closed-form path, the
+        // shard engine at any thread count, and the instrumented per-item
+        // replay — so every profiled total must agree too. This pins that
+        // chain end to end on the machine's batch APIs.
+        use crate::machine::Machine;
+        use crate::profile::{builtin_profiles, ProfiledCost};
+
+        let n = MIN_PARALLEL_ITEMS + 1031; // past the shard engage threshold
+        let run = |m: &mut Machine| {
+            let items =
+                m.place_batch((0..n as u64).collect(), |i| Coord::new(i as i64 % 509, 0));
+            // Uniform phase: O(1) closed form on the bare path.
+            let moved = m.send_batch(
+                items
+                    .into_iter()
+                    .map(|t| {
+                        let dst = Coord::new(t.loc().row + 1, t.loc().col + 2);
+                        (t, dst)
+                    })
+                    .collect(),
+            );
+            // Irregular phase: per-item charging, sharded when large.
+            let _ = m.send_batch(
+                moved
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, t)| (t, Coord::new((i % 37) as i64, (i % 11) as i64)))
+                    .collect::<Vec<_>>(),
+            );
+        };
+        for profile in builtin_profiles() {
+            let mut reference: Option<ProfiledCost> = None;
+            for threads in [1usize, 2, 7] {
+                set_sim_threads(threads);
+                let mut m = Machine::with_profile(*profile);
+                assert!(m.is_bare(), "a profile is accounting, not an instrument");
+                run(&mut m);
+                let p = m.profiled_report().expect("built-ins cannot saturate here");
+                let r = *reference.get_or_insert(p);
+                assert_eq!(r, p, "profile {} at threads={threads}", profile.name());
+            }
+            set_sim_threads(0);
+            // Instrumented replay: the trace forces the materializing
+            // per-item path; counters — hence profiled totals — must match.
+            let mut m = Machine::with_profile(*profile);
+            m.enable_trace(4);
+            assert!(!m.is_bare());
+            run(&mut m);
+            assert_eq!(
+                m.profiled_report().unwrap(),
+                reference.unwrap(),
+                "instrumented replay under {}",
+                profile.name()
+            );
+        }
+    }
+
+    #[test]
+    fn u128_intermediates_charge_a_two_to_twenty_message_run_exactly() {
+        // A closed-form 2^20-message run under weights big enough that every
+        // pJ component overflows u64: the u128 intermediates must carry the
+        // exact products (no clamp, no wrap, no error for representable
+        // results).
+        use crate::machine::Machine;
+        use crate::profile::{CostProfile, ProfileWeights};
+
+        #[derive(Debug)]
+        struct HugeWeights;
+        impl CostProfile for HugeWeights {
+            fn name(&self) -> &'static str {
+                "huge-weights"
+            }
+            fn weights(&self) -> ProfileWeights {
+                ProfileWeights {
+                    pj_per_hop: 1 << 60,
+                    pj_per_op: 1 << 60,
+                    pj_per_word_hop: 1 << 60,
+                    cycles_per_hop: 1 << 20,
+                    cycles_per_op: 1 << 20,
+                }
+            }
+        }
+        static HUGE: HugeWeights = HugeWeights;
+
+        let n = 1u64 << 20;
+        let mut m = Machine::with_profile(&HUGE);
+        let items = m.place_batch((0..n).collect(), |i| Coord::new(i as i64, 0));
+        let _ = m.send_batch(
+            items
+                .into_iter()
+                .map(|t| {
+                    let dst = Coord::new(t.loc().row + 3, t.loc().col + 4);
+                    (t, dst)
+                })
+                .collect(),
+        );
+        let c = m.report();
+        assert_eq!(c.messages, n, "one message per item");
+        assert_eq!(c.energy, 7 * n, "uniform displacement of 7 hops");
+        let p = m.profiled_report().expect("representable in u128");
+        let w = 1u128 << 60;
+        assert_eq!(p.hop_pj, w * u128::from(c.energy));
+        assert_eq!(p.op_pj, w * u128::from(c.messages));
+        assert_eq!(p.occupancy_pj, w * (u128::from(c.energy) + u128::from(c.messages)));
+        assert!(p.total_pj > u128::from(u64::MAX), "the point of the u128 intermediates");
+        assert_eq!(p.delay_cycles, (u128::from(c.distance) + u128::from(c.depth)) << 20);
+        assert_eq!(p.edp, p.total_pj * p.delay_cycles);
+    }
+
+    #[test]
     fn saturating_energy_merge_matches_serial_clamp() {
         // Shard partials that individually and jointly saturate must merge
         // to exactly what the serial monotone fold produces: u64::MAX.

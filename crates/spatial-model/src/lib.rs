@@ -52,6 +52,7 @@ pub mod kernels;
 pub mod machine;
 pub mod memory;
 pub mod path;
+pub mod profile;
 pub mod svg;
 pub mod trace;
 pub mod value;
@@ -68,6 +69,10 @@ pub use guard::ModelGuard;
 pub use machine::Machine;
 pub use memory::MemMeter;
 pub use path::Path;
+pub use profile::{
+    builtin_profiles, profile_by_name, CostProfile, ModelExact, ProfileError, ProfileWeights,
+    ProfiledCost, SimtLike, SystolicLike, WseLike,
+};
 pub use trace::{MsgRecord, Trace};
 pub use value::Tracked;
 
@@ -85,6 +90,10 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send::<Machine>();
     assert_send::<Cost>();
+    // The profile handle is a `&'static dyn CostProfile` (the trait requires
+    // `Sync`), so a profiled machine still crosses worker threads freely.
+    assert_send::<ProfiledCost>();
+    assert_send_sync::<profile::ProfileHandle>();
     assert_send::<FaultPlan>();
     assert_send::<SpatialError>();
     assert_send::<ModelGuard>();

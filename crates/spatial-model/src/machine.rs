@@ -90,12 +90,39 @@ pub struct Machine {
     guard: Option<ModelGuard>,
     violation: Option<SpatialError>,
     cancel: Option<CancelToken>,
+    /// The cost profile reports are charged under. **Not an instrument**:
+    /// profiles are pure accounting applied to the final counters by
+    /// [`Machine::profiled_report`], so setting one keeps
+    /// [`Machine::is_bare`] true and the closed-form batch kernels engaged.
+    profile: crate::profile::ProfileHandle,
 }
 
 impl Machine {
     /// A fresh machine with all counters at zero and instrumentation off.
     pub fn new() -> Self {
         Machine::default()
+    }
+
+    /// A fresh machine whose reports are charged under `profile` (see
+    /// [`crate::profile`]). The profile is carried through the whole run —
+    /// including the bare batch fast path, the closed-form kernels and the
+    /// shard engine, none of which it perturbs — and applied to the exact
+    /// counters at [`Machine::profiled_report`] time.
+    pub fn with_profile(profile: &'static dyn crate::profile::CostProfile) -> Self {
+        let mut m = Machine::default();
+        m.profile = crate::profile::ProfileHandle(profile);
+        m
+    }
+
+    /// Replaces the active cost profile (accounting only; never affects
+    /// execution, costs already accumulated, or [`Machine::is_bare`]).
+    pub fn set_profile(&mut self, profile: &'static dyn crate::profile::CostProfile) {
+        self.profile = crate::profile::ProfileHandle(profile);
+    }
+
+    /// The active cost profile ([`crate::profile::ModelExact`] by default).
+    pub fn profile(&self) -> &'static dyn crate::profile::CostProfile {
+        self.profile.0
     }
 
     /// Enables per-PE memory metering (see [`MemMeter`]). Only values placed
@@ -936,6 +963,17 @@ impl Machine {
             distance: self.distance_watermark,
             messages: self.messages,
         }
+    }
+
+    /// The accumulated costs charged under the active profile: the pJ
+    /// decomposition, cycle delay and EDP of [`Machine::report`] (which is
+    /// carried verbatim in [`crate::ProfiledCost::raw`]). Errs only if the
+    /// profile's weight arithmetic saturates `u128` — impossible for the
+    /// built-in profiles on counters a real run can produce.
+    pub fn profiled_report(
+        &self,
+    ) -> Result<crate::profile::ProfiledCost, crate::profile::ProfileError> {
+        self.profile.0.charge(self.report())
     }
 
     /// Total energy so far.

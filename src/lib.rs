@@ -46,8 +46,8 @@ pub mod prelude {
         segmented_scan, try_broadcast, try_scan, SegItem,
     };
     pub use spatial_core::model::{
-        CancelToken, Coord, Cost, FaultPlan, Machine, ModelGuard, Path, SpatialError, SubGrid,
-        Tracked,
+        profile_by_name, CancelToken, Coord, Cost, CostProfile, FaultPlan, Machine, ModelGuard,
+        Path, ProfileError, ProfiledCost, SpatialError, SubGrid, Tracked,
     };
     pub use spatial_core::recovery::{checksum, checksum_i64, run_with_recovery, Recovered};
     pub use spatial_core::selection::{

@@ -100,6 +100,10 @@ fn usage() -> ! {
            --budget <energy>           arm an energy budget guard (exit 7 on breach)\n\
            --retries <int>             recovery retry cap (default 8)\n\
            --timeout <ms>              watchdog deadline; cancelled runs exit 9\n\
+           --profile <name>            cost profile for reported totals: model-exact |\n\
+                                       wse-like | systolic-like | simt-like. Adds a pJ\n\
+                                       energy breakdown and EDP next to the raw counters\n\
+                                       (batch/serve: default for jobs without their own)\n\
          \n\
          batch options:\n\
            --jobs <int>                worker threads (overrides the jobspec config)\n\
@@ -170,6 +174,8 @@ struct Args {
     cut_after: Option<u64>,
     cut_conns: u32,
     mode: Option<String>,
+    /// Validated built-in cost profile name (`--profile`).
+    profile: Option<&'static str>,
     /// First positional argument (the jobspec path for `batch`).
     path: Option<String>,
 }
@@ -203,6 +209,7 @@ fn parse(mut argv: std::env::Args) -> (String, Args) {
         cut_after: None,
         cut_conns: 1,
         mode: None,
+        profile: None,
         path: None,
     };
     let mut it = argv.peekable();
@@ -272,6 +279,17 @@ fn parse(mut argv: std::env::Args) -> (String, Args) {
             "--cut-after" => args.cut_after = Some(val().parse().unwrap_or_else(|_| usage())),
             "--cut-conns" => args.cut_conns = val().parse().unwrap_or_else(|_| usage()),
             "--mode" => args.mode = Some(val()),
+            "--profile" => {
+                // Typed usage error: an unknown name reports itself (and the
+                // known names) instead of the generic usage dump.
+                args.profile = match profile_by_name(&val()) {
+                    Ok(p) => Some(p.name()),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(e.exit_code());
+                    }
+                };
+            }
             f if !f.starts_with("--") && args.path.is_none() => args.path = Some(f.to_string()),
             _ => usage(),
         }
@@ -283,6 +301,8 @@ fn parse(mut argv: std::env::Args) -> (String, Args) {
 struct Outcome<T> {
     value: T,
     cost: Cost,
+    /// `cost` charged under `--profile`, when one was given.
+    profiled: Option<ProfiledCost>,
     attempts: u32,
     detour_energy: u64,
 }
@@ -316,6 +336,7 @@ fn execute<T>(
 ) -> Outcome<T> {
     let guard = a.budget.map(|e| ModelGuard::new().max_energy(e));
     let cancel = arm_watchdog(a.timeout_ms);
+    let profile = a.profile.map(|n| profile_by_name(n).expect("validated at parse"));
     let prepare = |m: &mut Machine| {
         if let Some(g) = guard {
             m.enable_guard(g);
@@ -323,6 +344,21 @@ fn execute<T>(
         if let Some(t) = &cancel {
             m.set_cancel_token(t.clone());
         }
+        if let Some(p) = profile {
+            m.set_profile(p);
+        }
+    };
+    // Charging can only saturate on adversarial weights, never on the
+    // built-in profiles; keep the typed exit anyway so the invariant is
+    // enforced, not assumed.
+    let charge = |cost: Cost| -> Option<ProfiledCost> {
+        profile.map(|p| match p.charge(cost) {
+            Ok(pc) => pc,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(e.exit_code());
+            }
+        })
     };
     if a.faults.is_none() && a.flaky == 0.0 {
         let mut m = Machine::new();
@@ -342,7 +378,8 @@ fn execute<T>(
             eprintln!("error: output failed host verification");
             std::process::exit(EXIT_VERIFY_FAILED);
         }
-        Outcome { value, cost: m.report(), attempts: 1, detour_energy: 0 }
+        let cost = m.report();
+        Outcome { value, cost, profiled: charge(cost), attempts: 1, detour_energy: 0 }
     } else {
         let (fseed, frac) = a.faults.unwrap_or((a.seed, 0.0));
         let extent = SubGrid::square(Coord::ORIGIN, extent_side.max(1));
@@ -370,6 +407,7 @@ fn execute<T>(
             Ok(rec) => Outcome {
                 value: rec.value,
                 cost: rec.cost,
+                profiled: charge(rec.cost),
                 attempts: rec.attempts,
                 detour_energy: rec.detour_energy,
             },
@@ -388,6 +426,9 @@ fn execute<T>(
 fn report<T>(name: &str, n: u64, out: &Outcome<T>, bound: impl Fn(Metric) -> Shape) {
     println!("\n{name} (n = {n})");
     println!("  measured: {}", out.cost);
+    if let Some(p) = &out.profiled {
+        println!("  profile:  {p}");
+    }
     println!(
         "  paper:    energy Θ({}), depth O({}), distance Θ({})",
         bound(Metric::Energy).label(),
@@ -449,6 +490,9 @@ fn run_batch_command(a: &Args) -> ! {
     }
     if a.best_effort {
         batch.config.best_effort = true;
+    }
+    if let Some(p) = a.profile {
+        batch.config.profile = Some(p);
     }
     println!(
         "batch {:?}: {} job(s) on {} worker(s){}",
@@ -530,6 +574,7 @@ fn run_serve_command(a: &Args) -> ! {
         cfg.journal = Some(std::path::PathBuf::from(dir));
     }
     cfg.resume_from = a.resume_from;
+    cfg.profile = a.profile;
     if let Some(addr) = &a.listen {
         run_serve_listener(a, cfg, addr);
     }
@@ -812,6 +857,9 @@ fn main() {
                 if out.value.len() > 8 { " …" } else { "" }
             );
             println!("  measured: {}", out.cost);
+            if let Some(p) = &out.profiled {
+                println!("  profile:  {p}");
+            }
             if out.attempts > 1 || out.detour_energy > 0 {
                 println!(
                     "  faults:   {} attempt(s), detour energy {}",

@@ -5,7 +5,7 @@
 //! divergence here is a bug — typically a `HashMap` iteration order or an
 //! uninitialised seed sneaking into an algorithm.
 
-use spatial_dataflow::model::{Cost, Machine, MsgRecord};
+use spatial_dataflow::model::{Cost, CostProfile, Machine, MsgRecord};
 use spatial_dataflow::prelude::*;
 use spatial_dataflow::topk::top_k;
 
@@ -300,6 +300,94 @@ fn serve_canonical_stream_is_cold_warm_and_worker_count_invariant() {
     assert_eq!(first, golden, "serve output must match the committed golden");
     assert_eq!(first, go(4), "cold instance and replay must agree bit-for-bit");
     assert_eq!(first, go(1), "worker count must not leak into the canonical stream");
+}
+
+/// The profiles exercised by the profile-aware suites: all four built-ins
+/// by default; `SPATIAL_PROFILE=<name>` narrows to one, which is how the CI
+/// profile matrix gives each built-in its own leg.
+fn profiles_under_test() -> Vec<&'static dyn CostProfile> {
+    match std::env::var("SPATIAL_PROFILE") {
+        Ok(name) => {
+            vec![profile_by_name(&name).expect("SPATIAL_PROFILE must name a built-in profile")]
+        }
+        Err(_) => spatial_dataflow::model::builtin_profiles().to_vec(),
+    }
+}
+
+#[test]
+fn profiled_totals_are_invariant_under_sim_thread_count() {
+    // A profile charges the final raw counters, and those counters are
+    // already thread-count invariant — so the derived pJ/EDP totals must be
+    // bit-identical at every worker count too. This test pins the full
+    // chain (sharded run -> raw Cost -> ProfiledCost) rather than assuming
+    // the composition.
+    use spatial_dataflow::model::set_sim_threads;
+    let _guard = SIM_THREADS_LOCK.lock().unwrap();
+    let v = vals(262144, 23);
+    let run = |profile: &'static dyn CostProfile| {
+        let mut m = Machine::with_profile(profile);
+        let items = place_z(&mut m, 0, v.clone());
+        let _ = read_values(scan(&mut m, 0, items, &|a, b| a + b));
+        m.profiled_report().expect("built-in profiles cannot saturate")
+    };
+    for profile in profiles_under_test() {
+        set_sim_threads(1);
+        let serial = run(profile);
+        for threads in [2usize, 7] {
+            set_sim_threads(threads);
+            assert_eq!(
+                serial,
+                run(profile),
+                "{} profiled totals differ at {threads} shards",
+                profile.name()
+            );
+        }
+        set_sim_threads(0);
+        assert_eq!(
+            serial,
+            profile.charge(serial.raw).expect("re-charge"),
+            "{} profiled report must equal charging its own raw tuple",
+            profile.name()
+        );
+    }
+}
+
+#[test]
+fn profiled_batch_report_is_invariant_under_sim_thread_count() {
+    // Same invariance for the full canonical batch report with a default
+    // profile configured: the profiled blocks ride on deterministic costs,
+    // so the report stays a pure function of (jobspec, profile).
+    use spatial_dataflow::model::set_sim_threads;
+    let _guard = SIM_THREADS_LOCK.lock().unwrap();
+    let doc = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/experiments/jobspecs/smoke.json"
+    ))
+    .expect("read smoke jobspec");
+    for profile in profiles_under_test() {
+        let go = |threads: usize| {
+            set_sim_threads(threads);
+            let batch = runner::Batch::parse(&doc).expect("parse smoke jobspec");
+            let mut config = batch.config;
+            config.profile = Some(profile.name());
+            let report = runner::run_batch(&batch.name, &config, &batch.jobs).to_json(false);
+            set_sim_threads(0);
+            report
+        };
+        let serial = go(1);
+        assert!(
+            serial.contains("\"profiled\""),
+            "{}: report must carry profiled job blocks",
+            profile.name()
+        );
+        assert!(
+            serial.contains(&format!("\"profile\": \"{}\"", profile.name())),
+            "{}: report must name its profile",
+            profile.name()
+        );
+        assert_eq!(serial, go(2), "{} profiled report differs at 2 shards", profile.name());
+        assert_eq!(serial, go(7), "{} profiled report differs at 7 shards", profile.name());
+    }
 }
 
 #[test]

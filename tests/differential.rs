@@ -200,6 +200,52 @@ fn differential_segmented_scan() {
 }
 
 #[test]
+fn differential_profiled_charge_is_path_independent() {
+    // A cost profile is a pure function of the final raw counters, so every
+    // execution path that agrees on raw counters must agree on the profiled
+    // charge: bare machine (closed-form batch kernels eligible) vs fully
+    // instrumented machine (trace forces the materializing per-item path).
+    // Swept over seeds and all built-in profiles (or the single profile the
+    // CI matrix pins via SPATIAL_PROFILE).
+    let profiles: Vec<&'static dyn CostProfile> = match std::env::var("SPATIAL_PROFILE") {
+        Ok(name) => {
+            vec![profile_by_name(&name).expect("SPATIAL_PROFILE must name a built-in profile")]
+        }
+        Err(_) => spatial_dataflow::model::builtin_profiles().to_vec(),
+    };
+    check_cfg(&cfg(), "differential_profiled_charge", |g: &mut Gen| {
+        let vals = input(g, 600);
+        let run = |m: &mut Machine| {
+            let items = place_z(m, 0, vals.clone());
+            let _ = sort_z(m, 0, items);
+        };
+        for &profile in &profiles {
+            let mut bare = Machine::with_profile(profile);
+            run(&mut bare);
+            let mut traced = Machine::with_profile(profile);
+            traced.enable_trace(1 << 16);
+            run(&mut traced);
+            prop_assert_eq!(
+                bare.report(),
+                traced.report(),
+                "{}: raw counters diverge between bare and instrumented paths",
+                profile.name()
+            );
+            let b = bare.profiled_report().expect("built-ins cannot saturate");
+            let t = traced.profiled_report().expect("built-ins cannot saturate");
+            prop_assert_eq!(b, t, "{}: profiled charge is path-dependent", profile.name());
+            prop_assert_eq!(
+                b,
+                profile.charge(bare.report()).expect("re-charge"),
+                "{}: machine charge must equal charging the raw tuple",
+                profile.name()
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
 fn differential_rng_gen_range_is_in_bounds_and_unbiased_enough() {
     // The RNG itself gets a differential check against its contract: bounds
     // always hold and a long stream hits every bucket of a small range.

@@ -226,6 +226,31 @@ mod cli_exit_codes {
     }
 
     #[test]
+    fn unknown_profile_is_a_typed_usage_error() {
+        // A bad --profile must exit 2 with a message naming the stranger and
+        // listing the built-ins — not the generic usage dump, and certainly
+        // not a run under some silently-substituted default.
+        let out = assert_exit(&["scan", "--n", "64", "--profile", "nope"], 2);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("unknown profile \"nope\""), "stderr: {stderr}");
+        for known in ["model-exact", "wse-like", "systolic-like", "simt-like"] {
+            assert!(stderr.contains(known), "stderr must list {known}: {stderr}");
+        }
+    }
+
+    #[test]
+    fn profiled_run_reports_energy_breakdown_and_edp() {
+        let out = assert_exit(&["scan", "--n", "256", "--profile", "wse-like"], 0);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("profile=wse-like"), "stdout: {stdout}");
+        for field in ["total_pj=", "delay_cycles=", "edp="] {
+            assert!(stdout.contains(field), "stdout must report {field}: {stdout}");
+        }
+        // The raw counters stay on their own line, profile or not.
+        assert!(stdout.contains("measured: energy="), "stdout: {stdout}");
+    }
+
+    #[test]
     fn failed_verification_exits_3() {
         let out = assert_exit(&["chaos", "--mode", "badverify", "--n", "64"], 3);
         let stderr = String::from_utf8_lossy(&out.stderr);

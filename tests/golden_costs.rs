@@ -191,3 +191,109 @@ fn golden_corpus_generation_is_deterministic() {
     let b = entries_for(64);
     assert_eq!(a, b);
 }
+
+// ---------------------------------------------------------------------------
+// Profile-aware golden corpus: the same 30 subjects charged under every
+// built-in cost profile, pinned in experiments/golden/profiled_costs.json.
+//
+// A profile is pure accounting over the raw counters, so this corpus cannot
+// drift unless either (a) the raw corpus above drifts, or (b) a profile's
+// weights or charging arithmetic change. Both deserve a reviewable diff.
+// Re-bless together with the raw corpus:
+//
+//   SPATIAL_BLESS=1 cargo test --test golden_costs
+// ---------------------------------------------------------------------------
+
+const PROFILED_GOLDEN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/experiments/golden/profiled_costs.json");
+
+/// Canonical text form: one line per (profile, subject) pair, profiles in
+/// registry order, subjects in corpus order. The u128 fields are decimal
+/// strings for the same 53-bit-mantissa reason the checksums are hex.
+fn render_profiled(entries: &[(String, Cost)]) -> String {
+    let profiles = spatial_dataflow::model::builtin_profiles();
+    let total = profiles.len() * entries.len();
+    let mut s = String::from("{\n  \"format\": \"spatial-golden-profiled/v1\",\n  \"entries\": [\n");
+    let mut k = 0;
+    for profile in profiles {
+        for (id, c) in entries {
+            let p = profile.charge(*c).expect("built-in profiles cannot saturate on real runs");
+            k += 1;
+            s.push_str(&format!(
+                "    {{\"id\": \"{id}\", \"profile\": \"{}\", \"hop_pj\": \"{}\", \
+                 \"op_pj\": \"{}\", \"occupancy_pj\": \"{}\", \"total_pj\": \"{}\", \
+                 \"delay_cycles\": \"{}\", \"edp\": \"{}\"}}{}\n",
+                p.profile,
+                p.hop_pj,
+                p.op_pj,
+                p.occupancy_pj,
+                p.total_pj,
+                p.delay_cycles,
+                p.edp,
+                if k < total { "," } else { "" }
+            ));
+        }
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[test]
+fn golden_profiled_costs_match_committed_corpus() {
+    let mut entries = Vec::new();
+    for &n in &SIZES {
+        entries.extend(entries_for(n));
+    }
+    let rendered = render_profiled(&entries);
+
+    if std::env::var("SPATIAL_BLESS").map(|v| v == "1").unwrap_or(false) {
+        std::fs::create_dir_all(std::path::Path::new(PROFILED_GOLDEN_PATH).parent().unwrap())
+            .expect("create experiments/golden");
+        std::fs::write(PROFILED_GOLDEN_PATH, &rendered).expect("write profiled golden corpus");
+        eprintln!("blessed profiled corpus into {PROFILED_GOLDEN_PATH}");
+        return;
+    }
+
+    let committed = std::fs::read_to_string(PROFILED_GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!(
+            "missing profiled golden corpus {PROFILED_GOLDEN_PATH}: {e}\n\
+             generate it with SPATIAL_BLESS=1 cargo test --test golden_costs"
+        )
+    });
+    if committed != rendered {
+        let diff: Vec<String> = committed
+            .lines()
+            .zip(rendered.lines())
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| format!("  committed: {a}\n  measured:  {b}"))
+            .collect();
+        panic!(
+            "profiled golden costs drifted from {PROFILED_GOLDEN_PATH} ({} line(s)):\n{}\n\
+             If this change is intentional, re-bless with \
+             SPATIAL_BLESS=1 cargo test --test golden_costs",
+            diff.len(),
+            diff.join("\n")
+        );
+    }
+}
+
+/// The model-exact profile is the identity mapping on the corpus: pJ totals
+/// equal raw energy, delay equals raw distance, and the embedded raw tuple
+/// is the corpus tuple, bit for bit. This is the contract that lets the
+/// default profile replace the old unprofiled accounting with zero drift.
+#[test]
+fn model_exact_reproduces_the_raw_corpus_bit_identically() {
+    use spatial_dataflow::model::ModelExact;
+    for &n in &SIZES {
+        for (id, c) in entries_for(n) {
+            let p = ModelExact.charge(c).expect("model-exact never saturates");
+            assert_eq!(p.raw, c, "{id}: raw tuple must ride through verbatim");
+            assert_eq!(p.total_pj, u128::from(c.energy), "{id}: total_pj == energy");
+            assert_eq!(p.hop_pj, u128::from(c.energy), "{id}: hop term carries everything");
+            assert_eq!(p.op_pj, 0, "{id}: no per-op energy in the pure model");
+            assert_eq!(p.occupancy_pj, 0, "{id}: no occupancy energy in the pure model");
+            assert_eq!(p.delay_cycles, u128::from(c.distance), "{id}: delay == distance");
+            assert_eq!(p.edp, u128::from(c.energy) * u128::from(c.distance), "{id}: EDP");
+        }
+    }
+}
